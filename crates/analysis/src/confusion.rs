@@ -1,0 +1,128 @@
+//! Prediction bookkeeping.
+
+use crate::{AnalysisError, Result};
+
+/// A `k × k` confusion matrix: `counts[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `k` classes.
+    pub fn new(k: usize) -> Self {
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Records one (truth, prediction) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range classes.
+    pub fn record(&mut self, truth: usize, pred: usize) -> Result<()> {
+        if truth >= self.k || pred >= self.k {
+            return Err(AnalysisError::Invalid(format!(
+                "class ({truth}, {pred}) out of range for {} classes",
+                self.k
+            )));
+        }
+        self.counts[truth * self.k + pred] += 1;
+        Ok(())
+    }
+
+    /// Records a batch of pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch or out-of-range classes.
+    pub fn record_batch(&mut self, truths: &[usize], preds: &[usize]) -> Result<()> {
+        if truths.len() != preds.len() {
+            return Err(AnalysisError::Invalid(format!(
+                "{} truths vs {} predictions",
+                truths.len(),
+                preds.len()
+            )));
+        }
+        for (&t, &p) in truths.iter().zip(preds) {
+            self.record(t, p)?;
+        }
+        Ok(())
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.k + pred]
+    }
+
+    /// Row of counts for one true class.
+    pub fn row(&self, truth: usize) -> &[usize] {
+        &self.counts[truth * self.k..(truth + 1) * self.k]
+    }
+
+    /// Overall accuracy (diagonal mass / total), 0.0 when empty.
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.k).map(|i| self.count(i, i)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// The `top` most-predicted classes for `truth`, **excluding** the
+    /// diagonal, as `(class, count)` sorted descending.
+    pub fn top_confusions(&self, truth: usize, top: usize) -> Vec<(usize, usize)> {
+        let mut entries: Vec<(usize, usize)> = self
+            .row(truth)
+            .iter()
+            .enumerate()
+            .filter(|(pred, _)| *pred != truth)
+            .map(|(pred, &c)| (pred, c))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(top);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record_batch(&[0, 1, 2, 0], &[0, 1, 0, 0]).unwrap();
+        assert_eq!(m.count(2, 0), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_confusions_excludes_diagonal() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record_batch(&[0, 0, 0, 0], &[0, 1, 1, 2]).unwrap();
+        let top = m.top_confusions(0, 2);
+        assert_eq!(top, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = ConfusionMatrix::new(2);
+        assert!(m.record(2, 0).is_err());
+        assert!(m.record_batch(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_accuracy_zero() {
+        assert_eq!(ConfusionMatrix::new(4).accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Error type for analysis routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// A tensor operation failed.
+    Tensor(ibrar_tensor::TensorError),
+    /// An attack/evaluation failed.
+    Attack(ibrar_attacks::AttackError),
+    /// A model forward failed.
+    Nn(ibrar_nn::NnError),
+    /// Inputs are inconsistent.
+    Invalid(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AnalysisError::Attack(e) => write!(f, "attack error: {e}"),
+            AnalysisError::Nn(e) => write!(f, "model error: {e}"),
+            AnalysisError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Tensor(e) => Some(e),
+            AnalysisError::Attack(e) => Some(e),
+            AnalysisError::Nn(e) => Some(e),
+            AnalysisError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<ibrar_tensor::TensorError> for AnalysisError {
+    fn from(e: ibrar_tensor::TensorError) -> Self {
+        AnalysisError::Tensor(e)
+    }
+}
+
+impl From<ibrar_attacks::AttackError> for AnalysisError {
+    fn from(e: ibrar_attacks::AttackError) -> Self {
+        AnalysisError::Attack(e)
+    }
+}
+
+impl From<ibrar_nn::NnError> for AnalysisError {
+    fn from(e: ibrar_nn::NnError) -> Self {
+        AnalysisError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!AnalysisError::Invalid("x".into()).to_string().is_empty());
+    }
+}

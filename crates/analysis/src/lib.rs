@@ -1,0 +1,29 @@
+//! Analysis tooling for the IB-RAR reproduction.
+//!
+//! * [`tsne`] — exact-gradient t-SNE (van der Maaten & Hinton 2008) for the
+//!   paper's Fig. 3 cluster visualizations, plus [`cluster_separation`] to
+//!   quantify what the paper shows visually.
+//! * [`tendency_table`] — the adversarial misclassification-tendency counts
+//!   of paper Table 5 (which class each attacked image is predicted as).
+//! * [`shared_feature_ranking`] — the §3.3 future-work direction: recover
+//!   shared-feature class pairs from a trained network's feature geometry.
+//! * [`ConfusionMatrix`] — generic prediction bookkeeping.
+//! * [`TextTable`] / [`render_series`] — fixed-width text rendering used by
+//!   every experiment binary to print paper-style tables and figure series.
+
+mod confusion;
+mod error;
+mod render;
+mod shared;
+mod tendency;
+mod tsne;
+
+pub use confusion::ConfusionMatrix;
+pub use error::AnalysisError;
+pub use render::{render_series, Series, TextTable};
+pub use shared::{pair_recovery_rate, shared_feature_ranking, ClassPairScore};
+pub use tendency::{tendency_table, TendencyRow, TendencyTable};
+pub use tsne::{cluster_separation, tsne, TsneConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AnalysisError>;

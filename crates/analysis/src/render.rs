@@ -1,0 +1,174 @@
+//! Fixed-width text rendering for experiment output.
+//!
+//! Every experiment binary prints its results through [`TextTable`] (paper
+//! tables) or [`render_series`] (paper figures rendered as aligned numeric
+//! series).
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// One named numeric series of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series label (e.g. "IB-RAR(rob)").
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f32, f32)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f32, f32)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Renders figure series as an aligned numeric block: one row per x value,
+/// one column per series.
+pub fn render_series(x_label: &str, series: &[Series]) -> String {
+    let mut header = vec![x_label.to_string()];
+    header.extend(series.iter().map(|s| s.name.clone()));
+    let mut table = TextTable::new(header);
+    // Collect the union of x values, sorted.
+    let mut xs: Vec<f32> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f32::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for x in xs {
+        let mut cells = vec![format!("{x}")];
+        for s in series {
+            let cell = s
+                .points
+                .iter()
+                .find(|(px, _)| (px - x).abs() < 1e-9)
+                .map(|(_, y)| format!("{y:.2}"))
+                .unwrap_or_default();
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["Method", "Natural", "PGD"]);
+        t.row(vec!["PGD", "75.02", "42.45"]);
+        t.row(vec!["PGD (IB-RAR)", "76.22", "45.09"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        // Columns align: both data rows place "Natural" column at the same
+        // offset.
+        let off2 = lines[2].find("75.02").unwrap();
+        let off3 = lines[3].find("76.22").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.render().is_empty());
+    }
+
+    #[test]
+    fn series_rendering_merges_x() {
+        let s1 = Series::new("A", vec![(1.0, 0.5), (2.0, 0.6)]);
+        let s2 = Series::new("B", vec![(2.0, 0.7), (3.0, 0.8)]);
+        let out = render_series("steps", &[s1, s2]);
+        assert!(out.contains("steps"));
+        assert!(out.contains("0.60"));
+        assert!(out.contains("0.70"));
+        // 3 distinct x values + header + separator
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new(vec!["x"]);
+        t.row(vec!["1"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

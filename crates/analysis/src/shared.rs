@@ -1,0 +1,196 @@
+//! Shared-feature analysis (the paper's §3.3 future-work direction).
+//!
+//! The paper conjectures that adversarial confusions follow *shared
+//! features* between similar classes and proposes distilling them as future
+//! work. This module implements the measurement half: estimate class-pair
+//! similarity from a trained network's penultimate features and rank the
+//! pairs. On SynthVision the ground-truth shared pairs are planted, so the
+//! recovery can be validated directly (see the tests and the `fig3`/
+//! `table5` experiments).
+
+use crate::{AnalysisError, Result};
+use ibrar_tensor::Tensor;
+
+/// A scored class pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassPairScore {
+    /// Smaller class index.
+    pub a: usize,
+    /// Larger class index.
+    pub b: usize,
+    /// Similarity score (higher = more shared structure).
+    pub score: f32,
+}
+
+/// Ranks class pairs by feature-space similarity.
+///
+/// For every class the centroid of its feature vectors is computed; the
+/// similarity of a pair is the negative centroid distance normalized by the
+/// mean intra-class spread, mapped through `exp(−d)` so scores live in
+/// `(0, 1]`. Pairs are returned sorted descending.
+///
+/// # Errors
+///
+/// Returns an error for inconsistent inputs or fewer than two classes with
+/// samples.
+pub fn shared_feature_ranking(
+    features: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+) -> Result<Vec<ClassPairScore>> {
+    let n = *features
+        .shape()
+        .first()
+        .ok_or_else(|| AnalysisError::Invalid("rank-0 features".into()))?;
+    if n != labels.len() {
+        return Err(AnalysisError::Invalid(format!(
+            "{n} feature rows vs {} labels",
+            labels.len()
+        )));
+    }
+    if num_classes < 2 {
+        return Err(AnalysisError::Invalid("need at least two classes".into()));
+    }
+    let d = features.len() / n.max(1);
+    // Centroids and intra-class spread.
+    let mut centroids = vec![0.0f32; num_classes * d];
+    let mut counts = vec![0usize; num_classes];
+    for (i, &y) in labels.iter().enumerate() {
+        if y >= num_classes {
+            return Err(AnalysisError::Invalid(format!(
+                "label {y} out of range for {num_classes} classes"
+            )));
+        }
+        counts[y] += 1;
+        for t in 0..d {
+            centroids[y * d + t] += features.data()[i * d + t];
+        }
+    }
+    let populated = counts.iter().filter(|&&c| c > 0).count();
+    if populated < 2 {
+        return Err(AnalysisError::Invalid(
+            "need samples from at least two classes".into(),
+        ));
+    }
+    for y in 0..num_classes {
+        if counts[y] > 0 {
+            for t in 0..d {
+                centroids[y * d + t] /= counts[y] as f32;
+            }
+        }
+    }
+    let mut spread = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let mut acc = 0.0f32;
+        for t in 0..d {
+            let diff = features.data()[i * d + t] - centroids[y * d + t];
+            acc += diff * diff;
+        }
+        spread += acc.sqrt();
+    }
+    spread = (spread / n as f32).max(1e-6);
+
+    let mut pairs = Vec::new();
+    for a in 0..num_classes {
+        if counts[a] == 0 {
+            continue;
+        }
+        for b in (a + 1)..num_classes {
+            if counts[b] == 0 {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                let diff = centroids[a * d + t] - centroids[b * d + t];
+                acc += diff * diff;
+            }
+            let normalized = acc.sqrt() / spread;
+            pairs.push(ClassPairScore {
+                a,
+                b,
+                score: (-normalized).exp(),
+            });
+        }
+    }
+    pairs.sort_by(|x, y| y.score.total_cmp(&x.score));
+    Ok(pairs)
+}
+
+/// Fraction of `expected` pairs found within the top `k` of `ranking`
+/// (order within a pair ignored).
+pub fn pair_recovery_rate(
+    ranking: &[ClassPairScore],
+    expected: &[(usize, usize)],
+    k: usize,
+) -> f32 {
+    if expected.is_empty() {
+        return 0.0;
+    }
+    let top: Vec<(usize, usize)> = ranking.iter().take(k).map(|p| (p.a, p.b)).collect();
+    let hits = expected
+        .iter()
+        .filter(|&&(a, b)| {
+            let key = (a.min(b), a.max(b));
+            top.contains(&key)
+        })
+        .count();
+    hits as f32 / expected.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three classes: 0 and 1 nearly overlap, 2 is far away.
+    fn toy_features() -> (Tensor, Vec<usize>) {
+        let n = 30;
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let features = Tensor::from_fn(&[n, 4], |idx| {
+            let base = match idx[0] % 3 {
+                0 => 0.0,
+                1 => 0.5,
+                _ => 10.0,
+            };
+            base + ((idx[0] * 7 + idx[1] * 3) % 5) as f32 * 0.1
+        });
+        (features, labels)
+    }
+
+    #[test]
+    fn closest_pair_ranks_first() {
+        let (features, labels) = toy_features();
+        let ranking = shared_feature_ranking(&features, &labels, 3).unwrap();
+        assert_eq!((ranking[0].a, ranking[0].b), (0, 1));
+        assert!(ranking[0].score > ranking.last().unwrap().score);
+    }
+
+    #[test]
+    fn recovery_rate_counts_hits() {
+        let (features, labels) = toy_features();
+        let ranking = shared_feature_ranking(&features, &labels, 3).unwrap();
+        assert_eq!(pair_recovery_rate(&ranking, &[(1, 0)], 1), 1.0);
+        assert_eq!(pair_recovery_rate(&ranking, &[(0, 2)], 1), 0.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let f = Tensor::zeros(&[4, 2]);
+        assert!(shared_feature_ranking(&f, &[0, 1], 2).is_err()); // length
+        assert!(shared_feature_ranking(&f, &[0, 1, 0, 1], 1).is_err()); // classes
+        assert!(shared_feature_ranking(&f, &[0, 0, 0, 5], 3).is_err()); // range
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let (features, labels) = toy_features();
+        let ranking = shared_feature_ranking(&features, &labels, 3).unwrap();
+        for p in &ranking {
+            assert!(p.score > 0.0 && p.score <= 1.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_expected_gives_zero() {
+        assert_eq!(pair_recovery_rate(&[], &[], 3), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Adversarial misclassification tendency (paper Table 5).
+//!
+//! Attack every test image, record what the network predicts instead of the
+//! true class, and report the top-k predicted classes per true class. On
+//! SynthVision the planted shared-feature partners (car↔truck, cat↔dog, …)
+//! should dominate these lists, reproducing the paper's observation that
+//! shared features drive adversarial confusions.
+
+use crate::confusion::ConfusionMatrix;
+use crate::Result;
+use ibrar_attacks::Attack;
+use ibrar_data::Dataset;
+use ibrar_nn::{ImageModel, Mode, Session};
+
+/// One row of the tendency table.
+#[derive(Debug, Clone)]
+pub struct TendencyRow {
+    /// True class index.
+    pub class: usize,
+    /// True class name.
+    pub name: String,
+    /// Top predicted wrong classes as `(name, count)`, descending.
+    pub top: Vec<(String, usize)>,
+}
+
+/// The full table plus the underlying confusion matrix.
+#[derive(Debug, Clone)]
+pub struct TendencyTable {
+    /// One row per class.
+    pub rows: Vec<TendencyRow>,
+    /// Raw confusion counts over adversarial predictions.
+    pub confusion: ConfusionMatrix,
+}
+
+impl TendencyTable {
+    /// Whether `partner` is among the top-`k` confusions of `class`.
+    pub fn partner_in_top(&self, class: usize, partner_name: &str, k: usize) -> bool {
+        self.rows
+            .get(class)
+            .map(|row| row.top.iter().take(k).any(|(name, _)| name == partner_name))
+            .unwrap_or(false)
+    }
+}
+
+/// Builds the Table 5 tendency table by attacking `dataset`.
+///
+/// `class_names[i]` names class `i`; `top` bounds the per-class list (the
+/// paper uses 4).
+///
+/// # Errors
+///
+/// Returns an error on attack/evaluation failures or name-count mismatches.
+pub fn tendency_table(
+    model: &dyn ImageModel,
+    attack: &dyn Attack,
+    dataset: &Dataset,
+    class_names: &[String],
+    top: usize,
+    batch_size: usize,
+) -> Result<TendencyTable> {
+    let k = model.num_classes();
+    if class_names.len() != k {
+        return Err(crate::AnalysisError::Invalid(format!(
+            "{} class names for {k} classes",
+            class_names.len()
+        )));
+    }
+    let mut confusion = ConfusionMatrix::new(k);
+    for batch in dataset.batches_sequential(batch_size) {
+        let adv = attack.perturb(model, &batch.images, &batch.labels)?;
+        let tape = ibrar_autograd::Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(adv);
+        let out = model.forward(&sess, x, Mode::Eval)?;
+        let preds = out.logits.value().argmax_rows()?;
+        confusion.record_batch(&batch.labels, &preds)?;
+    }
+    let rows = (0..k)
+        .map(|class| TendencyRow {
+            class,
+            name: class_names[class].clone(),
+            top: confusion
+                .top_confusions(class, top)
+                .into_iter()
+                .filter(|&(_, count)| count > 0)
+                .map(|(pred, count)| (class_names[pred].clone(), count))
+                .collect(),
+        })
+        .collect();
+    Ok(TendencyTable { rows, confusion })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_attacks::Fgsm;
+    use ibrar_data::{SynthVision, SynthVisionConfig};
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_rows_for_every_class() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        let data = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(40, 30),
+            2,
+        )
+        .unwrap();
+        let names: Vec<String> = (0..10).map(|i| data.class_name(i)).collect();
+        let table = tendency_table(
+            &model,
+            &Fgsm::new(8.0 / 255.0),
+            &data.test,
+            &names,
+            4,
+            16,
+        )
+        .unwrap();
+        assert_eq!(table.rows.len(), 10);
+        for row in &table.rows {
+            assert!(row.top.len() <= 4);
+            // Top lists never contain the class itself.
+            assert!(row.top.iter().all(|(n, _)| n != &row.name));
+        }
+    }
+
+    #[test]
+    fn name_count_validated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        let data = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(20, 10),
+            2,
+        )
+        .unwrap();
+        let too_few = vec!["a".to_string()];
+        assert!(
+            tendency_table(&model, &Fgsm::new(0.03), &data.test, &too_few, 4, 16).is_err()
+        );
+    }
+
+    #[test]
+    fn partner_lookup() {
+        let table = TendencyTable {
+            rows: vec![TendencyRow {
+                class: 0,
+                name: "plane".into(),
+                top: vec![("ship".into(), 5), ("bird".into(), 2)],
+            }],
+            confusion: ConfusionMatrix::new(2),
+        };
+        assert!(table.partner_in_top(0, "ship", 1));
+        assert!(!table.partner_in_top(0, "bird", 1));
+        assert!(table.partner_in_top(0, "bird", 2));
+        assert!(!table.partner_in_top(1, "ship", 2));
+    }
+}

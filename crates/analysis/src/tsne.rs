@@ -1,0 +1,332 @@
+//! Exact-gradient t-SNE (van der Maaten & Hinton 2008).
+//!
+//! Used for the paper's Fig. 3: embed penultimate-layer features in 2-D and
+//! compare cluster geometry across training methods. `O(n²)` per iteration,
+//! which is fine at the few hundred points the experiments use.
+
+use crate::{AnalysisError, Result};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f32,
+    /// RNG seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 250,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds `[n, d]` features into `[n, 2]`.
+///
+/// # Errors
+///
+/// Returns an error for fewer than 4 points or a perplexity too large for
+/// the sample count.
+pub fn tsne(features: &Tensor, config: &TsneConfig) -> Result<Tensor> {
+    let n = *features
+        .shape()
+        .first()
+        .ok_or_else(|| AnalysisError::Invalid("rank-0 features".into()))?;
+    if n < 4 {
+        return Err(AnalysisError::Invalid(format!(
+            "t-SNE needs at least 4 points, got {n}"
+        )));
+    }
+    if config.perplexity >= n as f32 {
+        return Err(AnalysisError::Invalid(format!(
+            "perplexity {} too large for {n} points",
+            config.perplexity
+        )));
+    }
+    let d = features.len() / n;
+    let x = features.reshape(&[n, d])?;
+
+    // Pairwise squared distances in feature space.
+    let mut dist = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                let diff = x.data()[i * d + t] - x.data()[j * d + t];
+                acc += diff * diff;
+            }
+            dist[i * n + j] = acc;
+            dist[j * n + i] = acc;
+        }
+    }
+
+    // Per-point binary search for beta = 1/(2σ²) matching the perplexity.
+    let target_entropy = config.perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f32;
+        let (mut lo, mut hi) = (0.0f32, f32::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            let mut sum_dp = 0.0f32;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * dist[i * n + j]).exp();
+                sum += pij;
+                sum_dp += pij * dist[i * n + j];
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            // Shannon entropy of the conditional distribution.
+            let entropy = sum.ln() + beta * sum_dp / sum;
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = (-beta * dist[i * n + j]).exp();
+                sum += p[i * n + j];
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize: P = (P + Pᵀ) / 2n, floored away from zero.
+    let mut psym = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            psym[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on KL(P || Q) with momentum and early exaggeration.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y = ibrar_tensor::normal(&[n, 2], 0.0, 1e-2, &mut rng).into_vec();
+    let mut vel = vec![0.0f32; n * 2];
+    let exaggerate_until = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < exaggerate_until {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        // Student-t affinities Q.
+        let mut num = vec![0.0f32; n * n];
+        let mut qsum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = y[i * 2] - y[j * 2];
+                let dy1 = y[i * 2 + 1] - y[j * 2 + 1];
+                let v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                num[i * n + j] = v;
+                num[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        // Gradient: 4 Σ_j (eP_ij − Q_ij) (y_i − y_j) num_ij.
+        let momentum = if iter < 20 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut g0 = 0.0f32;
+            let mut g1 = 0.0f32;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let q = num[i * n + j] / qsum;
+                let coeff = (exaggeration * psym[i * n + j] - q) * num[i * n + j];
+                g0 += coeff * (y[i * 2] - y[j * 2]);
+                g1 += coeff * (y[i * 2 + 1] - y[j * 2 + 1]);
+            }
+            vel[i * 2] = momentum * vel[i * 2] - config.learning_rate * 4.0 * g0;
+            vel[i * 2 + 1] = momentum * vel[i * 2 + 1] - config.learning_rate * 4.0 * g1;
+        }
+        for (yi, vi) in y.iter_mut().zip(&vel) {
+            *yi += vi;
+        }
+    }
+    Ok(Tensor::from_vec(y, &[n, 2])?)
+}
+
+/// Ratio of mean inter-class centroid distance to mean intra-class spread.
+///
+/// Quantifies the cluster geometry the paper's Fig. 3 shows qualitatively:
+/// larger = better separated clusters.
+///
+/// # Errors
+///
+/// Returns an error on inconsistent inputs.
+pub fn cluster_separation(embedding: &Tensor, labels: &[usize]) -> Result<f32> {
+    let n = *embedding
+        .shape()
+        .first()
+        .ok_or_else(|| AnalysisError::Invalid("rank-0 embedding".into()))?;
+    if n != labels.len() {
+        return Err(AnalysisError::Invalid(format!(
+            "{n} points vs {} labels",
+            labels.len()
+        )));
+    }
+    if n == 0 {
+        return Err(AnalysisError::Invalid("empty embedding".into()));
+    }
+    let d = embedding.len() / n;
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    // Centroids.
+    let mut centroids = vec![0.0f32; k * d];
+    let mut counts = vec![0usize; k];
+    for (i, &y) in labels.iter().enumerate() {
+        counts[y] += 1;
+        for t in 0..d {
+            centroids[y * d + t] += embedding.data()[i * d + t];
+        }
+    }
+    for y in 0..k {
+        if counts[y] > 0 {
+            for t in 0..d {
+                centroids[y * d + t] /= counts[y] as f32;
+            }
+        }
+    }
+    // Intra-class spread.
+    let mut intra = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let mut acc = 0.0f32;
+        for t in 0..d {
+            let diff = embedding.data()[i * d + t] - centroids[y * d + t];
+            acc += diff * diff;
+        }
+        intra += acc.sqrt();
+    }
+    intra /= n as f32;
+    // Inter-class centroid distance.
+    let mut inter = 0.0f32;
+    let mut pairs = 0usize;
+    for a in 0..k {
+        if counts[a] == 0 {
+            continue;
+        }
+        for b in (a + 1)..k {
+            if counts[b] == 0 {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                let diff = centroids[a * d + t] - centroids[b * d + t];
+                acc += diff * diff;
+            }
+            inter += acc.sqrt();
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        return Ok(0.0);
+    }
+    inter /= pairs as f32;
+    Ok(inter / intra.max(1e-6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn two_blobs(n_per: usize) -> (Tensor, Vec<usize>) {
+        let n = n_per * 2;
+        let features = Tensor::from_fn(&[n, 10], |idx| {
+            let cls = idx[0] / n_per;
+            let jitter = (((idx[0] * 13 + idx[1] * 7) % 10) as f32 - 5.0) * 0.02;
+            if cls == 0 {
+                jitter
+            } else {
+                5.0 + jitter
+            }
+        });
+        let labels = (0..n).map(|i| i / n_per).collect();
+        (features, labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (features, labels) = two_blobs(15);
+        let config = TsneConfig {
+            iterations: 150,
+            ..TsneConfig::default()
+        };
+        let emb = tsne(&features, &config).unwrap();
+        assert_eq!(emb.shape(), &[30, 2]);
+        assert!(emb.all_finite());
+        let sep = cluster_separation(&emb, &labels).unwrap();
+        assert!(sep > 1.5, "blobs not separated: {sep}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (features, _) = two_blobs(8);
+        let config = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        let a = tsne(&features, &config).unwrap();
+        let b = tsne(&features, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_tiny_inputs() {
+        let f = Tensor::zeros(&[3, 2]);
+        assert!(tsne(&f, &TsneConfig::default()).is_err());
+        let f = Tensor::zeros(&[10, 2]);
+        let bad = TsneConfig {
+            perplexity: 20.0,
+            ..TsneConfig::default()
+        };
+        assert!(tsne(&f, &bad).is_err());
+    }
+
+    #[test]
+    fn separation_higher_for_separated_data() {
+        // Mixed labels on the same points → low separation.
+        let (features, labels) = two_blobs(10);
+        let sep_good = cluster_separation(&features, &labels).unwrap();
+        let mixed: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let sep_bad = cluster_separation(&features, &mixed).unwrap();
+        assert!(sep_good > sep_bad);
+    }
+
+    #[test]
+    fn separation_validates() {
+        let emb = Tensor::zeros(&[4, 2]);
+        assert!(cluster_separation(&emb, &[0, 1]).is_err());
+    }
+}

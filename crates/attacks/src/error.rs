@@ -1,0 +1,70 @@
+use ibrar_autograd::AutogradError;
+use ibrar_nn::NnError;
+use ibrar_tensor::TensorError;
+use std::fmt;
+
+/// Error type for attack construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A model forward/backward failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// An autograd operation failed.
+    Autograd(AutogradError),
+    /// Attack parameters are invalid.
+    Config(String),
+    /// The model produced no input gradient (e.g. a constant objective).
+    NoGradient,
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "model error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::Autograd(e) => write!(f, "autograd error: {e}"),
+            AttackError::Config(msg) => write!(f, "invalid attack config: {msg}"),
+            AttackError::NoGradient => write!(f, "objective produced no input gradient"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            AttackError::Autograd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+impl From<AutogradError> for AttackError {
+    fn from(e: AutogradError) -> Self {
+        AttackError::Autograd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!AttackError::NoGradient.to_string().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Accuracy evaluation: clean and under attack.
+
+use crate::{Attack, Result};
+use ibrar_data::Dataset;
+use ibrar_nn::{ImageModel, Mode, Session};
+use ibrar_tensor::Tensor;
+
+/// Fraction of `labels` matched by the model's argmax predictions on
+/// `images`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn accuracy(model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<f32> {
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(images.clone());
+    let out = model.forward(&sess, x, Mode::Eval)?;
+    let preds = out.logits.value().argmax_rows()?;
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Clean test accuracy over a dataset, evaluated in mini-batches.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn clean_accuracy(model: &dyn ImageModel, dataset: &Dataset, batch_size: usize) -> Result<f32> {
+    if dataset.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for batch in dataset.batches_sequential(batch_size) {
+        let acc = accuracy(model, &batch.images, &batch.labels)?;
+        correct += (acc * batch.len() as f32).round() as usize;
+    }
+    Ok(correct as f32 / dataset.len() as f32)
+}
+
+/// Adversarial accuracy: the attack perturbs every batch, then the model is
+/// scored on the perturbed inputs.
+///
+/// # Errors
+///
+/// Returns an error on attack or evaluation failures.
+pub fn robust_accuracy(
+    model: &dyn ImageModel,
+    attack: &dyn Attack,
+    dataset: &Dataset,
+    batch_size: usize,
+) -> Result<f32> {
+    if dataset.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for batch in dataset.batches_sequential(batch_size) {
+        let adv = attack.perturb(model, &batch.images, &batch.labels)?;
+        let acc = accuracy(model, &adv, &batch.labels)?;
+        correct += (acc * batch.len() as f32).round() as usize;
+    }
+    Ok(correct as f32 / dataset.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fgsm;
+    use ibrar_data::{SynthVision, SynthVisionConfig};
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (VggMini, Dataset) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        let data = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(40, 20),
+            1,
+        )
+        .unwrap();
+        (model, data.test)
+    }
+
+    #[test]
+    fn clean_accuracy_in_unit_interval() {
+        let (model, test) = setup();
+        let acc = clean_accuracy(&model, &test, 10).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn robust_accuracy_le_clean_for_untrained_is_plausible() {
+        let (model, test) = setup();
+        let clean = clean_accuracy(&model, &test, 10).unwrap();
+        let robust = robust_accuracy(&model, &Fgsm::new(0.1), &test, 10).unwrap();
+        // With an untrained model both hover near chance; just sanity-bound.
+        assert!((0.0..=1.0).contains(&robust));
+        assert!(robust <= clean + 0.35);
+    }
+
+    #[test]
+    fn empty_dataset_gives_zero() {
+        let (model, test) = setup();
+        let empty = test.subset(&[]).unwrap();
+        assert_eq!(clean_accuracy(&model, &empty, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_exact_matches() {
+        let (model, test) = setup();
+        let batch = test.as_batch();
+        let acc = accuracy(&model, &batch.images, &batch.labels).unwrap();
+        let manual = {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(batch.images.clone());
+            let out = model.forward(&sess, x, Mode::Eval).unwrap();
+            let preds = out.logits.value().argmax_rows().unwrap();
+            preds.iter().zip(&batch.labels).filter(|(p, y)| p == y).count() as f32
+                / batch.len() as f32
+        };
+        assert!((acc - manual).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fast Gradient Sign Method (Goodfellow et al. 2015).
+
+use crate::objective::{input_gradient, CeObjective, Objective};
+use crate::{Attack, AttackError, Result};
+use ibrar_nn::ImageModel;
+use ibrar_tensor::Tensor;
+use std::sync::Arc;
+
+/// Single-step L∞ attack: `x' = clip(x + ε · sign(∇ₓL))`.
+pub struct Fgsm {
+    eps: f32,
+    objective: Arc<dyn Objective>,
+}
+
+impl Fgsm {
+    /// Creates an FGSM attack with budget `eps` and the CE objective.
+    pub fn new(eps: f32) -> Self {
+        Fgsm {
+            eps,
+            objective: Arc::new(CeObjective),
+        }
+    }
+
+    /// Replaces the objective (builder style).
+    pub fn with_objective(mut self, objective: Arc<dyn Objective>) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The attack budget.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+}
+
+impl Attack for Fgsm {
+    fn perturb(
+        &self,
+        model: &dyn ImageModel,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<Tensor> {
+        if self.eps < 0.0 {
+            return Err(AttackError::Config(format!("negative eps {}", self.eps)));
+        }
+        let grad = input_gradient(model, self.objective.as_ref(), images, labels)?;
+        let step = grad.signum().scale(self.eps);
+        Ok(images.add(&step)?.clamp(0.0, 1.0))
+    }
+
+    fn name(&self) -> String {
+        "FGSM".into()
+    }
+}
+
+impl std::fmt::Debug for Fgsm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fgsm")
+            .field("eps", &self.eps)
+            .field("objective", &self.objective.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> VggMini {
+        let mut rng = StdRng::seed_from_u64(0);
+        VggMini::new(VggConfig::tiny(4), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn perturbation_within_budget_and_box() {
+        let m = model();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.5);
+        let eps = 8.0 / 255.0;
+        let adv = Fgsm::new(eps).perturb(&m, &x, &[0, 3]).unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn zero_eps_is_identity_after_clip() {
+        let m = model();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.3);
+        let adv = Fgsm::new(0.0).perturb(&m, &x, &[1]).unwrap();
+        assert!(adv.max_abs_diff(&x).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn negative_eps_rejected() {
+        let m = model();
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        assert!(Fgsm::new(-0.1).perturb(&m, &x, &[0]).is_err());
+    }
+
+    #[test]
+    fn increases_loss() {
+        // The defining property: one FGSM step must not decrease CE loss.
+        let m = model();
+        let x = Tensor::from_fn(&[4, 3, 16, 16], |i| {
+            (((i[0] + i[1]) * 7 + i[2] * 3 + i[3]) % 11) as f32 / 11.0
+        });
+        let labels = [0, 1, 2, 3];
+        let loss_of = |imgs: &Tensor| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = ibrar_nn::Session::new(&tape);
+            let xv = tape.leaf(imgs.clone());
+            let out = m.forward(&sess, xv, ibrar_nn::Mode::Eval).unwrap();
+            out.logits.cross_entropy(&labels).unwrap().value().data()[0]
+        };
+        let before = loss_of(&x);
+        let adv = Fgsm::new(0.05).perturb(&m, &x, &labels).unwrap();
+        let after = loss_of(&adv);
+        assert!(after >= before, "FGSM decreased loss: {before} -> {after}");
+    }
+}

@@ -1,0 +1,152 @@
+//! NI-FGSM: Nesterov-accelerated iterative FGSM (Lin et al. 2020).
+//!
+//! At each step the gradient is evaluated at the Nesterov look-ahead point
+//! `x + α·μ·g`, the momentum buffer is updated with the L1-normalized
+//! gradient, and the iterate moves by `α · sign(g)`.
+
+use crate::objective::{input_gradient, CeObjective, Objective};
+use crate::{Attack, AttackError, Result};
+use ibrar_nn::ImageModel;
+use ibrar_tensor::Tensor;
+use std::sync::Arc;
+
+/// Nesterov-momentum iterative L∞ attack.
+pub struct NiFgsm {
+    eps: f32,
+    alpha: f32,
+    steps: usize,
+    decay: f32,
+    objective: Arc<dyn Objective>,
+}
+
+impl NiFgsm {
+    /// Creates an NI-FGSM attack with momentum decay 1.0 (the paper's value).
+    pub fn new(eps: f32, alpha: f32, steps: usize) -> Self {
+        NiFgsm {
+            eps,
+            alpha,
+            steps,
+            decay: 1.0,
+            objective: Arc::new(CeObjective),
+        }
+    }
+
+    /// The paper's default budget: ε=8/255, α=2/255, 10 steps.
+    pub fn paper_default() -> Self {
+        NiFgsm::new(crate::DEFAULT_EPS, crate::DEFAULT_ALPHA, crate::DEFAULT_STEPS)
+    }
+
+    /// Overrides the momentum decay μ (builder style).
+    pub fn with_decay(mut self, decay: f32) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Replaces the objective (builder style).
+    pub fn with_objective(mut self, objective: Arc<dyn Objective>) -> Self {
+        self.objective = objective;
+        self
+    }
+}
+
+impl Attack for NiFgsm {
+    fn perturb(
+        &self,
+        model: &dyn ImageModel,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<Tensor> {
+        if self.eps < 0.0 || self.alpha < 0.0 {
+            return Err(AttackError::Config(format!(
+                "negative eps/alpha: {} / {}",
+                self.eps, self.alpha
+            )));
+        }
+        let mut x = images.clone();
+        let mut momentum = Tensor::zeros(images.shape());
+        let lookahead_scale = self.alpha * self.decay;
+        for _ in 0..self.steps {
+            let x_nes = x
+                .add(&momentum.scale(lookahead_scale))?
+                .clamp(0.0, 1.0);
+            let grad = input_gradient(model, self.objective.as_ref(), &x_nes, labels)?;
+            // L1 normalization per batch (the standard MI/NI-FGSM recipe).
+            let l1 = grad.abs().sum().max(1e-12);
+            momentum = momentum.scale(self.decay).add(&grad.scale(1.0 / l1))?;
+            let stepped = x.add(&momentum.signum().scale(self.alpha))?;
+            let lo = images.add_scalar(-self.eps);
+            let hi = images.add_scalar(self.eps);
+            x = stepped.maximum(&lo)?.minimum(&hi)?.clamp(0.0, 1.0);
+        }
+        Ok(x)
+    }
+
+    fn name(&self) -> String {
+        format!("NIFGSM{}", self.steps)
+    }
+}
+
+impl std::fmt::Debug for NiFgsm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NiFgsm")
+            .field("eps", &self.eps)
+            .field("alpha", &self.alpha)
+            .field("steps", &self.steps)
+            .field("decay", &self.decay)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> VggMini {
+        let mut rng = StdRng::seed_from_u64(0);
+        VggMini::new(VggConfig::tiny(4), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn respects_budget() {
+        let m = model();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.5);
+        let eps = 8.0 / 255.0;
+        let adv = NiFgsm::new(eps, 2.0 / 255.0, 5)
+            .perturb(&m, &x, &[0, 2])
+            .unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let m = model();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.4);
+        let attack = NiFgsm::new(0.05, 0.01, 3);
+        let a = attack.perturb(&m, &x, &[1]).unwrap();
+        let b = attack.perturb(&m, &x, &[1]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn increases_loss() {
+        let m = model();
+        let x = Tensor::from_fn(&[4, 3, 16, 16], |i| {
+            (((i[0] + 2 * i[1]) * 5 + i[2] + i[3]) % 9) as f32 / 9.0
+        });
+        let labels = [0, 1, 2, 3];
+        let loss_of = |imgs: &Tensor| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = ibrar_nn::Session::new(&tape);
+            let xv = tape.leaf(imgs.clone());
+            let out = m.forward(&sess, xv, ibrar_nn::Mode::Eval).unwrap();
+            out.logits.cross_entropy(&labels).unwrap().value().data()[0]
+        };
+        let before = loss_of(&x);
+        let adv = NiFgsm::new(0.05, 0.0125, 8).perturb(&m, &x, &labels).unwrap();
+        assert!(loss_of(&adv) >= before);
+    }
+}

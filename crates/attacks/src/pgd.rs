@@ -1,0 +1,174 @@
+//! Projected Gradient Descent (Madry et al. 2018).
+
+use crate::objective::{input_gradient, CeObjective, Objective};
+use crate::{Attack, AttackError, Result};
+use ibrar_nn::ImageModel;
+use ibrar_tensor::{uniform, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Iterative L∞ attack with random start and per-step projection onto the
+/// ε-ball.
+pub struct Pgd {
+    eps: f32,
+    alpha: f32,
+    steps: usize,
+    random_start: bool,
+    objective: Arc<dyn Objective>,
+    seed: AtomicU64,
+}
+
+impl Pgd {
+    /// Creates a PGD attack with the CE objective.
+    pub fn new(eps: f32, alpha: f32, steps: usize) -> Self {
+        Pgd {
+            eps,
+            alpha,
+            steps,
+            random_start: true,
+            objective: Arc::new(CeObjective),
+            seed: AtomicU64::new(0x5EED),
+        }
+    }
+
+    /// The paper's default budget: ε=8/255, α=2/255, 10 steps.
+    pub fn paper_default() -> Self {
+        Pgd::new(crate::DEFAULT_EPS, crate::DEFAULT_ALPHA, crate::DEFAULT_STEPS)
+    }
+
+    /// Replaces the objective (builder style). Used by the adaptive attack.
+    pub fn with_objective(mut self, objective: Arc<dyn Objective>) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Disables the random start (deterministic PGD).
+    pub fn without_random_start(mut self) -> Self {
+        self.random_start = false;
+        self
+    }
+
+    /// Fixes the random-start seed (builder style).
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.seed.store(seed, Ordering::Relaxed);
+        self
+    }
+
+    /// Number of optimization steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl Attack for Pgd {
+    fn perturb(
+        &self,
+        model: &dyn ImageModel,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<Tensor> {
+        if self.eps < 0.0 || self.alpha < 0.0 {
+            return Err(AttackError::Config(format!(
+                "negative eps/alpha: {} / {}",
+                self.eps, self.alpha
+            )));
+        }
+        let mut x = if self.random_start && self.eps > 0.0 {
+            let seed = self.seed.fetch_add(1, Ordering::Relaxed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let noise = uniform(images.shape(), -self.eps, self.eps, &mut rng);
+            images.add(&noise)?.clamp(0.0, 1.0)
+        } else {
+            images.clone()
+        };
+        for _ in 0..self.steps {
+            let grad = input_gradient(model, self.objective.as_ref(), &x, labels)?;
+            let stepped = x.add(&grad.signum().scale(self.alpha))?;
+            // Project back onto the ε-ball around the original images.
+            let lo = images.add_scalar(-self.eps);
+            let hi = images.add_scalar(self.eps);
+            x = stepped.maximum(&lo)?.minimum(&hi)?.clamp(0.0, 1.0);
+        }
+        Ok(x)
+    }
+
+    fn name(&self) -> String {
+        if self.objective.name() == "ce" {
+            format!("PGD{}", self.steps)
+        } else {
+            format!("PGD{}[{}]", self.steps, self.objective.name())
+        }
+    }
+}
+
+impl std::fmt::Debug for Pgd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pgd")
+            .field("eps", &self.eps)
+            .field("alpha", &self.alpha)
+            .field("steps", &self.steps)
+            .field("random_start", &self.random_start)
+            .field("objective", &self.objective.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+
+    fn model() -> VggMini {
+        let mut rng = StdRng::seed_from_u64(0);
+        VggMini::new(VggConfig::tiny(4), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn stays_in_eps_ball_and_box() {
+        let m = model();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.5);
+        let eps = 8.0 / 255.0;
+        let adv = Pgd::new(eps, 2.0 / 255.0, 5).perturb(&m, &x, &[0, 1]).unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn more_steps_is_at_least_as_strong() {
+        let m = model();
+        let x = Tensor::from_fn(&[8, 3, 16, 16], |i| {
+            (((i[0] * 5 + i[1]) * 7 + i[2] * 3 + i[3]) % 13) as f32 / 13.0
+        });
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let loss_of = |imgs: &Tensor| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = ibrar_nn::Session::new(&tape);
+            let xv = tape.leaf(imgs.clone());
+            let out = m.forward(&sess, xv, ibrar_nn::Mode::Eval).unwrap();
+            out.logits.cross_entropy(&labels).unwrap().value().data()[0]
+        };
+        let weak = Pgd::new(0.05, 0.01, 1).without_random_start();
+        let strong = Pgd::new(0.05, 0.01, 10).without_random_start();
+        let l1 = loss_of(&weak.perturb(&m, &x, &labels).unwrap());
+        let l10 = loss_of(&strong.perturb(&m, &x, &labels).unwrap());
+        assert!(l10 >= l1 - 1e-4, "10-step {l10} weaker than 1-step {l1}");
+    }
+
+    #[test]
+    fn random_start_differs_between_calls() {
+        let m = model();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.5);
+        let attack = Pgd::new(0.05, 0.01, 0); // zero steps: pure random start
+        let a = attack.perturb(&m, &x, &[0]).unwrap();
+        let b = attack.perturb(&m, &x, &[0]).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn name_encodes_steps() {
+        assert_eq!(Pgd::new(0.1, 0.01, 20).name(), "PGD20");
+    }
+}

@@ -1,0 +1,70 @@
+use ibrar_tensor::TensorError;
+use std::fmt;
+
+/// Error type for autograd operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutogradError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// `backward` was called on a non-scalar variable.
+    NonScalarLoss {
+        /// Number of elements in the offending variable.
+        len: usize,
+    },
+    /// A `Var` from a different tape was passed to an operation.
+    ForeignVar,
+    /// An op received labels inconsistent with the batch.
+    BadLabels(String),
+    /// An op-specific invariant was violated.
+    Invalid(String),
+}
+
+impl fmt::Display for AutogradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutogradError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AutogradError::NonScalarLoss { len } => {
+                write!(f, "backward requires a scalar loss, got {len} elements")
+            }
+            AutogradError::ForeignVar => write!(f, "variable belongs to a different tape"),
+            AutogradError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            AutogradError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AutogradError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutogradError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AutogradError {
+    fn from(e: TensorError) -> Self {
+        AutogradError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let err = AutogradError::NonScalarLoss { len: 4 };
+        assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let ae: AutogradError = te.clone().into();
+        assert_eq!(ae, AutogradError::Tensor(te));
+    }
+}

@@ -1,0 +1,98 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and `ibrar-nn` to validate every
+//! op's backward rule against a central-difference approximation.
+
+use crate::Result;
+use ibrar_tensor::Tensor;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (guarded against tiny denominators).
+    pub max_rel_err: f32,
+    /// Flat index where the worst absolute error occurred.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// Whether both error measures are under `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Compares the analytic gradient of `f` at `x` against central differences.
+///
+/// `f` must build a fresh tape internally and return the scalar loss for a
+/// given input value. `analytic` is the gradient produced by
+/// [`Tape::backward`](crate::Tape::backward) for the same input.
+///
+/// # Errors
+///
+/// Propagates any error returned by `f`.
+pub fn check_gradients(
+    x: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    mut f: impl FnMut(&Tensor) -> Result<f32>,
+) -> Result<GradCheckReport> {
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    let mut worst = 0usize;
+    for i in 0..x.len() {
+        let mut plus = x.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x.clone();
+        minus.data_mut()[i] -= eps;
+        let numeric = (f(&plus)? - f(&minus)?) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1e-4);
+        if abs > max_abs {
+            max_abs = abs;
+            worst = i;
+        }
+        max_rel = max_rel.max(rel);
+    }
+    Ok(GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        worst_index: worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        // f(x) = sum(x²); analytic grad = 2x.
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
+        let analytic = x.scale(2.0);
+        let report = check_gradients(&x, &analytic, 1e-2, |t| {
+            let tape = Tape::new();
+            let v = tape.var(t.clone());
+            Ok(v.square()?.sum()?.value().data()[0])
+        })
+        .unwrap();
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn fails_for_wrong_gradient() {
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let wrong = x.scale(3.0); // should be 2x
+        let report = check_gradients(&x, &wrong, 1e-2, |t| {
+            let tape = Tape::new();
+            let v = tape.var(t.clone());
+            Ok(v.square()?.sum()?.value().data()[0])
+        })
+        .unwrap();
+        assert!(!report.passes(1e-2));
+    }
+}

@@ -1,0 +1,42 @@
+//! Tape-based reverse-mode automatic differentiation for the IB-RAR
+//! reproduction.
+//!
+//! A [`Tape`] records every operation performed on its [`Var`] handles; a
+//! single call to [`Tape::backward`] then computes gradients of a scalar loss
+//! with respect to every variable created with [`Tape::var`]. Parameters live
+//! *outside* the tape (as plain [`ibrar_tensor::Tensor`]s) — each training
+//! step builds a fresh tape, registers the parameters as differentiable
+//! leaves, runs the forward pass, and reads the gradients back out.
+//!
+//! The op set is exactly what the paper needs: dense and convolutional
+//! layers, batch normalization, pooling, classification losses
+//! (cross-entropy, KL divergence for TRADES, per-class gathers for MART),
+//! and the pairwise-distance/Gaussian-kernel ops from which the HSIC
+//! bottleneck estimator is composed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ibrar_autograd::Tape;
+//! use ibrar_tensor::Tensor;
+//!
+//! let tape = Tape::new();
+//! let x = tape.var(Tensor::from_vec(vec![2.0, -3.0], &[2])?);
+//! let loss = x.square()?.sum()?; // L = x₀² + x₁²
+//! let grads = tape.backward(loss)?;
+//! let gx = grads.get(x).expect("x requires grad");
+//! assert_eq!(gx.data(), &[4.0, -6.0]); // dL/dx = 2x
+//! # Ok::<(), ibrar_autograd::AutogradError>(())
+//! ```
+
+mod error;
+mod gradcheck;
+mod ops;
+mod tape;
+
+pub use error::AutogradError;
+pub use gradcheck::{check_gradients, GradCheckReport};
+pub use tape::{Gradients, Tape, Var, VarId};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AutogradError>;

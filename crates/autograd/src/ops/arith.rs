@@ -1,0 +1,209 @@
+//! Elementwise arithmetic with the broadcast patterns used by layers
+//! (bias `[c]` against `[n, c]` / `[n, c, h, w]`, and scalars).
+
+use crate::tape::BackwardFn;
+use crate::{Result, Var};
+use ibrar_tensor::Tensor;
+
+/// Sums `grad` down to `target_shape` to undo broadcasting.
+///
+/// Supports the same broadcast patterns as `ibrar_tensor`'s binary ops:
+/// identical shapes (no-op), scalar targets, `[c]` against `[n, c]`, and
+/// `[c]` against `[n, c, h, w]`.
+pub(crate) fn reduce_to_shape(grad: &Tensor, target_shape: &[usize]) -> Tensor {
+    if grad.shape() == target_shape {
+        return grad.clone();
+    }
+    if target_shape.is_empty() {
+        return Tensor::scalar(grad.sum());
+    }
+    if target_shape.len() == 1 {
+        let c = target_shape[0];
+        if grad.rank() == 2 && grad.shape()[1] == c {
+            return grad.sum_rows().expect("rank checked");
+        }
+        if grad.rank() == 4 && grad.shape()[1] == c {
+            return grad.sum_channels().expect("rank checked");
+        }
+    }
+    unreachable!("broadcast pattern was validated by the forward op")
+}
+
+impl<'t> Var<'t> {
+    /// Elementwise sum, with bias/scalar broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on incompatible shapes or mixed tapes.
+    pub fn add(self, other: Var<'t>) -> Result<Var<'t>> {
+        self.same_tape(&other)?;
+        let a = self.value();
+        let b = other.value();
+        let out = a.add(&b)?;
+        let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![
+                (self.id, reduce_to_shape(grad, &sa)),
+                (other.id, reduce_to_shape(grad, &sb)),
+            ]
+        });
+        Ok(self.record_binary(other, out, backward))
+    }
+
+    /// Elementwise difference, with bias/scalar broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on incompatible shapes or mixed tapes.
+    pub fn sub(self, other: Var<'t>) -> Result<Var<'t>> {
+        self.same_tape(&other)?;
+        let a = self.value();
+        let b = other.value();
+        let out = a.sub(&b)?;
+        let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![
+                (self.id, reduce_to_shape(grad, &sa)),
+                (other.id, reduce_to_shape(&grad.neg(), &sb)),
+            ]
+        });
+        Ok(self.record_binary(other, out, backward))
+    }
+
+    /// Elementwise product, with bias/scalar broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on incompatible shapes or mixed tapes.
+    pub fn mul(self, other: Var<'t>) -> Result<Var<'t>> {
+        self.same_tape(&other)?;
+        let a = self.value();
+        let b = other.value();
+        let out = a.mul(&b)?;
+        let (sa, sb) = (a.shape().to_vec(), b.shape().to_vec());
+        let backward: BackwardFn = Box::new(move |grad| {
+            // d(a⊙b) = grad⊙b for a, grad⊙a for b (then undo broadcast).
+            let ga = grad.mul(&b).expect("forward validated shapes");
+            let gb = grad.mul(&a).expect("forward validated shapes");
+            vec![
+                (self.id, reduce_to_shape(&ga, &sa)),
+                (other.id, reduce_to_shape(&gb, &sb)),
+            ]
+        });
+        Ok(self.record_binary(other, out, backward))
+    }
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(self, s: f32) -> Var<'t> {
+        let out = self.value().scale(s);
+        let backward: BackwardFn = Box::new(move |grad| vec![(self.id, grad.scale(s))]);
+        self.record_unary(out, backward)
+    }
+
+    /// Adds a compile-time constant.
+    pub fn add_scalar(self, s: f32) -> Var<'t> {
+        let out = self.value().add_scalar(s);
+        let backward: BackwardFn = Box::new(move |grad| vec![(self.id, grad.clone())]);
+        self.record_unary(out, backward)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(self) -> Var<'t> {
+        self.scale(-1.0)
+    }
+
+    pub(crate) fn record_unary(self, out: Tensor, backward: BackwardFn) -> Var<'t> {
+        let requires = self.requires_grad();
+        self.tape
+            .push(out, requires, requires.then_some(backward))
+    }
+
+    pub(crate) fn record_binary(
+        self,
+        other: Var<'t>,
+        out: Tensor,
+        backward: BackwardFn,
+    ) -> Var<'t> {
+        let requires = self.requires_grad() || other.requires_grad();
+        self.tape
+            .push(out, requires, requires.then_some(backward))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    #[test]
+    fn add_backward_identity() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let y = tape.var(Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        let loss = x.add(y).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(grads.get(y).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sub_backward_negates() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(1.0));
+        let y = tape.var(Tensor::scalar(2.0));
+        let loss = x.sub(y).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(y).unwrap().data(), &[-1.0]);
+    }
+
+    #[test]
+    fn mul_backward_swaps_operands() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(3.0));
+        let y = tape.var(Tensor::scalar(7.0));
+        let loss = x.mul(y).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[7.0]);
+        assert_eq!(grads.get(y).unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_backward_reduces() {
+        // [2, 3] + [3] — bias grad must be the column sums of grad_out.
+        let tape = Tape::new();
+        let x = tape.var(Tensor::ones(&[2, 3]));
+        let b = tape.var(Tensor::zeros(&[3]));
+        let loss = x.add(b).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(b).unwrap().shape(), &[3]);
+        assert_eq!(grads.get(b).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn channel_broadcast_backward_reduces() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::ones(&[2, 3, 2, 2]));
+        let m = tape.var(Tensor::ones(&[3]));
+        let loss = x.mul(m).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        // each channel sees 2 samples * 4 pixels of ones
+        assert_eq!(grads.get(m).unwrap().data(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar_chain() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(2.0));
+        let loss = x.scale(3.0).add_scalar(1.0); // 3x + 1
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn no_grad_path_skips_backward() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(1.0));
+        let y = x.add_scalar(1.0);
+        assert!(!y.requires_grad());
+    }
+}

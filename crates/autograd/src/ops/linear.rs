@@ -1,0 +1,133 @@
+//! Matrix product, transpose, and shape ops.
+
+use crate::tape::BackwardFn;
+use crate::{Result, Var};
+
+impl<'t> Var<'t> {
+    /// Matrix product `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Backward: `dA = G Bᵀ`, `dB = Aᵀ G`, computed with the
+    /// transpose-fused kernels so no transposes are materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/dimension mismatches or mixed tapes.
+    pub fn matmul(self, other: Var<'t>) -> Result<Var<'t>> {
+        self.same_tape(&other)?;
+        let a = self.value();
+        let b = other.value();
+        let out = a.matmul(&b)?;
+        let backward: BackwardFn = Box::new(move |grad| {
+            let ga = grad.matmul_nt(&b).expect("shapes fixed by forward");
+            let gb = a.matmul_tn(grad).expect("shapes fixed by forward");
+            vec![(self.id, ga), (other.id, gb)]
+        });
+        Ok(self.record_binary(other, out, backward))
+    }
+
+    /// Matrix transpose (rank 2 only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices.
+    pub fn transpose(self) -> Result<Var<'t>> {
+        let out = self.value().transpose()?;
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(self.id, grad.transpose().expect("grad of matrix is matrix"))]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+
+    /// Reshapes to `dims` (same element count).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when volumes differ.
+    pub fn reshape(self, dims: &[usize]) -> Result<Var<'t>> {
+        let input_shape = self.shape();
+        let out = self.value().reshape(dims)?;
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.reshape(&input_shape).expect("volume preserved"),
+            )]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+
+    /// Flattens `[n, ...]` to `[n, d]`, the canonical conv→linear bridge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 values.
+    pub fn flatten_batch(self) -> Result<Var<'t>> {
+        let shape = self.shape();
+        let n = *shape.first().ok_or_else(|| {
+            crate::AutogradError::Invalid("flatten_batch on rank-0 value".into())
+        })?;
+        let d = if n == 0 { 0 } else { self.len() / n };
+        self.reshape(&[n, d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use ibrar_tensor::Tensor;
+
+    #[test]
+    fn matmul_gradients_match_closed_form() {
+        // L = sum(A B); dL/dA = 1 Bᵀ, dL/dB = Aᵀ 1
+        let tape = Tape::new();
+        let a_val = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b_val = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let a = tape.var(a_val.clone());
+        let b = tape.var(b_val.clone());
+        let loss = a.matmul(b).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        let ones = Tensor::ones(&[2, 2]);
+        let expect_a = ones.matmul(&b_val.transpose().unwrap()).unwrap();
+        let expect_b = a_val.transpose().unwrap().matmul(&ones).unwrap();
+        assert_eq!(grads.get(a).unwrap(), &expect_a);
+        assert_eq!(grads.get(b).unwrap(), &expect_b);
+    }
+
+    #[test]
+    fn transpose_backward_transposes() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap());
+        let loss = x.transpose().unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn reshape_backward_restores_shape() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::ones(&[2, 3]));
+        let loss = x.reshape(&[6]).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn flatten_batch_shapes() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::ones(&[2, 3, 4, 5]));
+        let f = x.flatten_batch().unwrap();
+        assert_eq!(f.shape(), vec![2, 60]);
+    }
+
+    #[test]
+    fn matmul_chain_gradient() {
+        // L = sum((A B) C) exercised through two matmuls.
+        let tape = Tape::new();
+        let a = tape.var(Tensor::from_fn(&[2, 3], |i| (i[0] + i[1]) as f32));
+        let b = tape.leaf(Tensor::from_fn(&[3, 2], |i| (i[0] * 2 + i[1]) as f32 * 0.1));
+        let c = tape.leaf(Tensor::from_fn(&[2, 2], |i| (i[0] + 2 * i[1]) as f32 * 0.5));
+        let loss = a.matmul(b).unwrap().matmul(c).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert!(grads.get(a).unwrap().all_finite());
+        assert_eq!(grads.get(a).unwrap().shape(), &[2, 3]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Classification heads: softmax, cross-entropy, KL divergence (TRADES) and
+//! the per-class gathers used by MART's boosted loss.
+
+use crate::tape::BackwardFn;
+use crate::{AutogradError, Result, Var};
+use ibrar_tensor::Tensor;
+
+/// Numerically stable row-wise softmax of a `[n, k]` matrix.
+fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        for j in 0..k {
+            out.data_mut()[i * k + j] = (row[j] - max).exp() / denom;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax of a `[n, k]` matrix.
+fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for j in 0..k {
+            out.data_mut()[i * k + j] = row[j] - lse;
+        }
+    }
+    out
+}
+
+fn check_labels(n: usize, k: usize, labels: &[usize]) -> Result<()> {
+    if labels.len() != n {
+        return Err(AutogradError::BadLabels(format!(
+            "{} labels for a batch of {n}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(AutogradError::BadLabels(format!(
+            "label {bad} out of range for {k} classes"
+        )));
+    }
+    Ok(())
+}
+
+impl<'t> Var<'t> {
+    /// Row-wise softmax probabilities of `[n, k]` logits.
+    ///
+    /// Backward applies the full softmax Jacobian per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices.
+    pub fn softmax(self) -> Result<Var<'t>> {
+        let logits = self.value();
+        logits.shape_obj().expect_rank(2, "softmax")?;
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        let probs = softmax_rows(&logits);
+        let p = probs.clone();
+        let backward: BackwardFn = Box::new(move |grad| {
+            let mut dz = Tensor::zeros(&[n, k]);
+            for i in 0..n {
+                let prow = &p.data()[i * k..(i + 1) * k];
+                let grow = &grad.data()[i * k..(i + 1) * k];
+                let dot: f32 = prow.iter().zip(grow).map(|(a, b)| a * b).sum();
+                for j in 0..k {
+                    dz.data_mut()[i * k + j] = prow[j] * (grow[j] - dot);
+                }
+            }
+            vec![(self.id, dz)]
+        });
+        Ok(self.record_unary(probs, backward))
+    }
+
+    /// Row-wise log-softmax of `[n, k]` logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices.
+    pub fn log_softmax(self) -> Result<Var<'t>> {
+        let logits = self.value();
+        logits.shape_obj().expect_rank(2, "log_softmax")?;
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        let out = log_softmax_rows(&logits);
+        let probs = softmax_rows(&logits);
+        let backward: BackwardFn = Box::new(move |grad| {
+            let mut dz = Tensor::zeros(&[n, k]);
+            for i in 0..n {
+                let prow = &probs.data()[i * k..(i + 1) * k];
+                let grow = &grad.data()[i * k..(i + 1) * k];
+                let gsum: f32 = grow.iter().sum();
+                for j in 0..k {
+                    dz.data_mut()[i * k + j] = grow[j] - prow[j] * gsum;
+                }
+            }
+            vec![(self.id, dz)]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+
+    /// Mean cross-entropy of `[n, k]` logits against integer labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or inconsistent labels.
+    pub fn cross_entropy(self, labels: &[usize]) -> Result<Var<'t>> {
+        let logits = self.value();
+        logits.shape_obj().expect_rank(2, "cross_entropy")?;
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        check_labels(n, k, labels)?;
+        let logp = log_softmax_rows(&logits);
+        let mut loss = 0.0f32;
+        for (i, &y) in labels.iter().enumerate() {
+            loss -= logp.data()[i * k + y];
+        }
+        loss /= n as f32;
+        let probs = softmax_rows(&logits);
+        let labels_owned = labels.to_vec();
+        let backward: BackwardFn = Box::new(move |grad| {
+            let g = grad.data()[0] / n as f32;
+            let mut dz = probs.clone();
+            for (i, &y) in labels_owned.iter().enumerate() {
+                dz.data_mut()[i * k + y] -= 1.0;
+            }
+            vec![(self.id, dz.scale(g))]
+        });
+        Ok(self.record_unary(Tensor::scalar(loss), backward))
+    }
+
+    /// Mean KL divergence `KL(softmax(self) ‖ softmax(other))` over the batch.
+    ///
+    /// Gradients flow into **both** logit matrices (needed by TRADES, where
+    /// the clean and adversarial branches share parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for shape mismatches or mixed tapes.
+    pub fn kl_div_to(self, other: Var<'t>) -> Result<Var<'t>> {
+        self.same_tape(&other)?;
+        let zp = self.value();
+        let zq = other.value();
+        zp.shape_obj().expect_rank(2, "kl_div_to")?;
+        zp.shape_obj().expect_same(zq.shape_obj(), "kl_div_to")?;
+        let (n, k) = (zp.shape()[0], zp.shape()[1]);
+        let p = softmax_rows(&zp);
+        let q = softmax_rows(&zq);
+        let logp = log_softmax_rows(&zp);
+        let logq = log_softmax_rows(&zq);
+        let mut per_sample = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..k {
+                let idx = i * k + j;
+                per_sample[i] += p.data()[idx] * (logp.data()[idx] - logq.data()[idx]);
+            }
+        }
+        let loss = per_sample.iter().sum::<f32>() / n as f32;
+        let other_id = other.id;
+        let backward: BackwardFn = Box::new(move |grad| {
+            let g = grad.data()[0] / n as f32;
+            let mut dzp = Tensor::zeros(&[n, k]);
+            let mut dzq = Tensor::zeros(&[n, k]);
+            for i in 0..n {
+                for j in 0..k {
+                    let idx = i * k + j;
+                    let pv = p.data()[idx];
+                    let diff = logp.data()[idx] - logq.data()[idx];
+                    dzp.data_mut()[idx] = g * pv * (diff - per_sample[i]);
+                    dzq.data_mut()[idx] = g * (q.data()[idx] - pv);
+                }
+            }
+            vec![(self.id, dzp), (other_id, dzq)]
+        });
+        Ok(self.record_binary(other, Tensor::scalar(loss), backward))
+    }
+
+    /// Gathers `probs[i, labels[i]]` from a `[n, k]` matrix, producing `[n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or inconsistent labels.
+    pub fn gather_classes(self, labels: &[usize]) -> Result<Var<'t>> {
+        let value = self.value();
+        value.shape_obj().expect_rank(2, "gather_classes")?;
+        let (n, k) = (value.shape()[0], value.shape()[1]);
+        check_labels(n, k, labels)?;
+        let mut out = Vec::with_capacity(n);
+        for (i, &y) in labels.iter().enumerate() {
+            out.push(value.data()[i * k + y]);
+        }
+        let labels_owned = labels.to_vec();
+        let backward: BackwardFn = Box::new(move |grad| {
+            let mut dz = Tensor::zeros(&[n, k]);
+            for (i, &y) in labels_owned.iter().enumerate() {
+                dz.data_mut()[i * k + y] = grad.data()[i];
+            }
+            vec![(self.id, dz)]
+        });
+        Ok(self.record_unary(Tensor::from_vec(out, &[n])?, backward))
+    }
+
+    /// Row-wise maximum over the **non-label** classes of a `[n, k]` matrix,
+    /// producing `[n]` (the `max_{k≠y} p_k` term of MART).
+    ///
+    /// Backward routes each gradient to the argmax entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices, `k < 2`, or inconsistent labels.
+    pub fn max_other_class(self, labels: &[usize]) -> Result<Var<'t>> {
+        let value = self.value();
+        value.shape_obj().expect_rank(2, "max_other_class")?;
+        let (n, k) = (value.shape()[0], value.shape()[1]);
+        if k < 2 {
+            return Err(AutogradError::Invalid(
+                "max_other_class needs at least 2 classes".into(),
+            ));
+        }
+        check_labels(n, k, labels)?;
+        let mut out = Vec::with_capacity(n);
+        let mut arg = Vec::with_capacity(n);
+        for (i, &y) in labels.iter().enumerate() {
+            let row = &value.data()[i * k..(i + 1) * k];
+            let mut best = usize::from(y == 0);
+            for j in 0..k {
+                if j != y && row[j] > row[best] {
+                    best = j;
+                }
+            }
+            out.push(row[best]);
+            arg.push(best);
+        }
+        let backward: BackwardFn = Box::new(move |grad| {
+            let mut dz = Tensor::zeros(&[n, k]);
+            for (i, &j) in arg.iter().enumerate() {
+                dz.data_mut()[i * k + j] = grad.data()[i];
+            }
+            vec![(self.id, dz)]
+        });
+        Ok(self.record_unary(Tensor::from_vec(out, &[n])?, backward))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use ibrar_tensor::Tensor;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let tape = Tape::new();
+        let z = tape.var(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap());
+        let p = z.softmax().unwrap();
+        let sums = p.value().sum_cols().unwrap();
+        assert!((sums.data()[0] - 1.0).abs() < 1e-6);
+        assert!((sums.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let tape = Tape::new();
+        let z1 = tape.var(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        let z2 = tape.var(Tensor::from_vec(vec![101.0, 102.0], &[1, 2]).unwrap());
+        let p1 = z1.softmax().unwrap().value();
+        let p2 = z2.softmax().unwrap().value();
+        assert!(p1.max_abs_diff(&p2).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_onehot() {
+        let tape = Tape::new();
+        let z = tape.var(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap());
+        let loss = z.cross_entropy(&[0]).unwrap();
+        // loss = -log(0.5)
+        assert!((loss.value().data()[0] - 0.5f32.ln().abs()).abs() < 1e-5);
+        let grads = tape.backward(loss).unwrap();
+        let g = grads.get(z).unwrap();
+        assert!((g.data()[0] - (-0.5)).abs() < 1e-5);
+        assert!((g.data()[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let tape = Tape::new();
+        let z = tape.var(Tensor::zeros(&[2, 3]));
+        assert!(z.cross_entropy(&[0]).is_err());
+        assert!(z.cross_entropy(&[0, 3]).is_err());
+    }
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let tape = Tape::new();
+        let z1 = tape.var(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap());
+        let z2 = tape.var(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap());
+        let kl = z1.kl_div_to(z2).unwrap();
+        assert!(kl.value().data()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_is_nonnegative_and_differentiable() {
+        let tape = Tape::new();
+        let z1 = tape.var(Tensor::from_vec(vec![2.0, 0.0, -1.0], &[1, 3]).unwrap());
+        let z2 = tape.var(Tensor::from_vec(vec![0.0, 1.0, 0.5], &[1, 3]).unwrap());
+        let kl = z1.kl_div_to(z2).unwrap();
+        assert!(kl.value().data()[0] > 0.0);
+        let grads = tape.backward(kl).unwrap();
+        assert!(grads.get(z1).unwrap().all_finite());
+        assert!(grads.get(z2).unwrap().all_finite());
+        // KL grads w.r.t. logits always sum to zero per row (softmax gauge).
+        assert!(grads.get(z2).unwrap().sum().abs() < 1e-6);
+        assert!(grads.get(z1).unwrap().sum().abs() < 1e-5);
+    }
+
+    #[test]
+    fn gather_classes_selects_and_routes() {
+        let tape = Tape::new();
+        let p = tape.var(Tensor::from_vec(vec![0.1, 0.9, 0.6, 0.4], &[2, 2]).unwrap());
+        let gathered = p.gather_classes(&[1, 0]).unwrap();
+        assert_eq!(gathered.value().data(), &[0.9, 0.6]);
+        let loss = gathered.sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(p).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn max_other_class_skips_label() {
+        let tape = Tape::new();
+        let p = tape.var(Tensor::from_vec(vec![0.9, 0.05, 0.05, 0.2, 0.3, 0.5], &[2, 3]).unwrap());
+        let m = p.max_other_class(&[0, 2]).unwrap();
+        assert_eq!(m.value().data(), &[0.05, 0.3]);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let tape = Tape::new();
+        let z = tape.var(Tensor::from_vec(vec![0.3, -1.2, 2.0], &[1, 3]).unwrap());
+        let lp = z.log_softmax().unwrap().value();
+        let p = z.softmax().unwrap().value().ln();
+        assert!(lp.max_abs_diff(&p).unwrap() < 1e-5);
+    }
+}

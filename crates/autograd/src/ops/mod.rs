@@ -1,0 +1,10 @@
+//! Differentiable operations on [`Var`](crate::Var), grouped by theme.
+
+mod arith;
+mod conv;
+mod kernel;
+mod linear;
+mod loss;
+mod norm;
+mod reduce;
+mod unary;

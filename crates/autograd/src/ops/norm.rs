@@ -1,0 +1,221 @@
+//! Differentiable batch normalization (training mode).
+//!
+//! Inference-mode normalization with running statistics is composed from the
+//! broadcast arithmetic ops by the layer code in `ibrar-nn`; only the
+//! training-mode op — whose backward pass must differentiate through the
+//! batch statistics — needs a dedicated kernel.
+
+use crate::tape::BackwardFn;
+use crate::{AutogradError, Result, Var};
+use ibrar_tensor::Tensor;
+
+/// Batch statistics produced by [`Var::batch_norm2d`], used by the layer to
+/// update running estimates.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Per-channel batch mean.
+    pub mean: Tensor,
+    /// Per-channel biased batch variance.
+    pub var: Tensor,
+}
+
+impl<'t> Var<'t> {
+    /// Training-mode 2-D batch normalization over an `[n, c, h, w]` input.
+    ///
+    /// Normalizes with the batch statistics and applies the affine transform
+    /// `γ·x̂ + β`. Returns the output together with the batch statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or mixed tapes.
+    pub fn batch_norm2d(
+        self,
+        gamma: Var<'t>,
+        beta: Var<'t>,
+        eps: f32,
+    ) -> Result<(Var<'t>, BatchStats)> {
+        self.same_tape(&gamma)?;
+        self.same_tape(&beta)?;
+        let x = self.value();
+        x.shape_obj().expect_rank(4, "batch_norm2d")?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let g = gamma.value();
+        let b = beta.value();
+        if g.shape() != [c] || b.shape() != [c] {
+            return Err(AutogradError::Invalid(format!(
+                "batch_norm2d affine params must be [{c}], got {:?} and {:?}",
+                g.shape(),
+                b.shape()
+            )));
+        }
+        let m = (n * h * w) as f32;
+        if m == 0.0 {
+            return Err(AutogradError::Invalid("batch_norm2d on empty batch".into()));
+        }
+        let mean = x.mean_channels()?;
+        let var = x.var_channels(&mean)?;
+        let inv_std: Vec<f32> = var.data().iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
+
+        let plane = h * w;
+        let mut xhat = Tensor::zeros(&[n, c, h, w]);
+        {
+            let xd = x.data();
+            let xh = xhat.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let mu = mean.data()[ci];
+                    let is = inv_std[ci];
+                    for k in 0..plane {
+                        xh[base + k] = (xd[base + k] - mu) * is;
+                    }
+                }
+            }
+        }
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        {
+            let xh = xhat.data();
+            let od = out.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    for k in 0..plane {
+                        od[base + k] = g.data()[ci] * xh[base + k] + b.data()[ci];
+                    }
+                }
+            }
+        }
+
+        let stats = BatchStats {
+            mean: mean.clone(),
+            var: var.clone(),
+        };
+        let gamma_id = gamma.id;
+        let beta_id = beta.id;
+        let backward: BackwardFn = Box::new(move |grad| {
+            // Standard BN backward, differentiating through μ and σ².
+            let gd = grad.data();
+            let xh = xhat.data();
+            let mut dgamma = vec![0.0f32; c];
+            let mut dbeta = vec![0.0f32; c];
+            // Per-channel sums of dxhat and dxhat·x̂.
+            let mut sum_dxhat = vec![0.0f32; c];
+            let mut sum_dxhat_xhat = vec![0.0f32; c];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let gch = g.data()[ci];
+                    for k in 0..plane {
+                        let go = gd[base + k];
+                        let xv = xh[base + k];
+                        dgamma[ci] += go * xv;
+                        dbeta[ci] += go;
+                        let dxhat = go * gch;
+                        sum_dxhat[ci] += dxhat;
+                        sum_dxhat_xhat[ci] += dxhat * xv;
+                    }
+                }
+            }
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            let dxd = dx.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let gch = g.data()[ci];
+                    let is = inv_std[ci];
+                    for k in 0..plane {
+                        let dxhat = gd[base + k] * gch;
+                        dxd[base + k] = is / m
+                            * (m * dxhat - sum_dxhat[ci] - xh[base + k] * sum_dxhat_xhat[ci]);
+                    }
+                }
+            }
+            vec![
+                (self.id, dx),
+                (gamma_id, Tensor::from_vec(dgamma, &[c]).expect("length c")),
+                (beta_id, Tensor::from_vec(dbeta, &[c]).expect("length c")),
+            ]
+        });
+        let requires = self.requires_grad() || gamma.requires_grad() || beta.requires_grad();
+        let out_var = self.tape().push(out, requires, requires.then_some(backward));
+        Ok((out_var, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use ibrar_tensor::Tensor;
+
+    #[test]
+    fn output_is_normalized() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_fn(&[4, 2, 2, 2], |i| {
+            (i[0] * 7 + i[1] * 3 + i[2] * 2 + i[3]) as f32
+        }));
+        let gamma = tape.var(Tensor::ones(&[2]));
+        let beta = tape.var(Tensor::zeros(&[2]));
+        let (y, stats) = x.batch_norm2d(gamma, beta, 1e-5).unwrap();
+        let yv = y.value();
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let mean = yv.mean_channels().unwrap();
+        assert!(mean.abs().max() < 1e-4);
+        let var = yv.var_channels(&mean).unwrap();
+        assert!((var.data()[0] - 1.0).abs() < 1e-2);
+        assert!(stats.mean.all_finite());
+        assert!(stats.var.min() >= 0.0);
+    }
+
+    #[test]
+    fn affine_params_shift_and_scale() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_fn(&[2, 1, 2, 2], |i| (i[0] + i[3]) as f32));
+        let gamma = tape.var(Tensor::full(&[1], 2.0));
+        let beta = tape.var(Tensor::full(&[1], 5.0));
+        let (y, _) = x.batch_norm2d(gamma, beta, 1e-5).unwrap();
+        let yv = y.value();
+        let mean = yv.mean_channels().unwrap();
+        assert!((mean.data()[0] - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_sums_vanish_for_dx() {
+        // BN output is invariant to adding a constant to x, so dx sums to ~0
+        // per channel under any upstream gradient.
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_fn(&[3, 2, 2, 2], |i| {
+            ((i[0] * 5 + i[1] * 11 + i[2] * 3 + i[3]) % 7) as f32
+        }));
+        let gamma = tape.var(Tensor::ones(&[2]));
+        let beta = tape.var(Tensor::zeros(&[2]));
+        let (y, _) = x.batch_norm2d(gamma, beta, 1e-5).unwrap();
+        // Non-uniform loss to make the test nontrivial.
+        let weights = tape.leaf(Tensor::from_fn(&[3, 2, 2, 2], |i| (i[3] + 1) as f32));
+        let loss = y.mul(weights).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        let dx = grads.get(x).unwrap();
+        let per_channel = dx.sum_channels().unwrap();
+        assert!(per_channel.abs().max() < 1e-3, "{per_channel:?}");
+    }
+
+    #[test]
+    fn dbeta_is_grad_sum() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_fn(&[2, 1, 1, 2], |i| (i[0] * 2 + i[3]) as f32));
+        let gamma = tape.var(Tensor::ones(&[1]));
+        let beta = tape.var(Tensor::zeros(&[1]));
+        let (y, _) = x.batch_norm2d(gamma, beta, 1e-5).unwrap();
+        let loss = y.sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(beta).unwrap().data(), &[4.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_param_shape() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::zeros(&[1, 2, 2, 2]));
+        let gamma = tape.var(Tensor::ones(&[3]));
+        let beta = tape.var(Tensor::zeros(&[2]));
+        assert!(x.batch_norm2d(gamma, beta, 1e-5).is_err());
+    }
+}

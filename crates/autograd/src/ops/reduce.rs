@@ -1,0 +1,101 @@
+//! Differentiable reductions to scalars and per-row vectors.
+
+use crate::tape::BackwardFn;
+use crate::{Result, Var};
+use ibrar_tensor::Tensor;
+
+impl<'t> Var<'t> {
+    /// Sum of all elements, producing a scalar variable.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; returns `Result` for signature consistency.
+    pub fn sum(self) -> Result<Var<'t>> {
+        let input_shape = self.shape();
+        let out = Tensor::scalar(self.tape().with_value(self.id, |v| v.sum()));
+        let backward: BackwardFn = Box::new(move |grad| {
+            let g = grad.data()[0];
+            vec![(self.id, Tensor::full(&input_shape, g))]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+
+    /// Mean of all elements, producing a scalar variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty values.
+    pub fn mean(self) -> Result<Var<'t>> {
+        let n = self.len();
+        if n == 0 {
+            return Err(crate::AutogradError::Invalid("mean of empty value".into()));
+        }
+        Ok(self.sum()?.scale(1.0 / n as f32))
+    }
+
+    /// Row-wise mean of a `[n, d]` value, producing `[n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices.
+    pub fn mean_rows(self) -> Result<Var<'t>> {
+        let value = self.value();
+        value.shape_obj().expect_rank(2, "mean_rows")?;
+        let (n, d) = (value.shape()[0], value.shape()[1]);
+        let out = value.sum_cols()?.scale(1.0 / d as f32);
+        let backward: BackwardFn = Box::new(move |grad| {
+            let mut g = Tensor::zeros(&[n, d]);
+            for i in 0..n {
+                let gi = grad.data()[i] / d as f32;
+                for j in 0..d {
+                    g.data_mut()[i * d + j] = gi;
+                }
+            }
+            vec![(self.id, g)]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use ibrar_tensor::Tensor;
+
+    #[test]
+    fn sum_backward_is_ones() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::full(&[2, 2], 3.0));
+        let loss = x.sum().unwrap();
+        assert_eq!(loss.value().data(), &[12.0]);
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn mean_backward_is_uniform() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::full(&[4], 2.0));
+        let loss = x.mean().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn mean_rows_values_and_grad() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[2, 2]).unwrap());
+        let m = x.mean_rows().unwrap();
+        assert_eq!(m.value().data(), &[2.0, 6.0]);
+        let loss = m.sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn mean_of_empty_errors() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::zeros(&[0]));
+        assert!(x.mean().is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Differentiable elementwise functions.
+
+use crate::tape::BackwardFn;
+use crate::{Result, Var};
+
+impl<'t> Var<'t> {
+    /// Elementwise natural exponential.
+    pub fn exp(self) -> Var<'t> {
+        let out = self.value().exp();
+        let out_clone = out.clone();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(self.id, grad.mul(&out_clone).expect("same shape"))]
+        });
+        self.record_unary(out, backward)
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// The derivative `1/x` is computed at the *input* value; callers must
+    /// keep inputs strictly positive (losses in this workspace add an
+    /// epsilon before calling `ln`).
+    pub fn ln(self) -> Var<'t> {
+        let input = self.value();
+        let out = input.ln();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&input, |g, x| g / x).expect("same shape"),
+            )]
+        });
+        self.record_unary(out, backward)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(self) -> Result<Var<'t>> {
+        let input = self.value();
+        let out = input.relu();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&input, |g, x| if x > 0.0 { g } else { 0.0 })
+                    .expect("same shape"),
+            )]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let out = self.value().tanh();
+        let out_clone = out.clone();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&out_clone, |g, y| g * (1.0 - y * y))
+                    .expect("same shape"),
+            )]
+        });
+        self.record_unary(out, backward)
+    }
+
+    /// Elementwise square.
+    pub fn square(self) -> Result<Var<'t>> {
+        let input = self.value();
+        let out = input.square();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&input, |g, x| 2.0 * g * x).expect("same shape"),
+            )]
+        });
+        Ok(self.record_unary(out, backward))
+    }
+
+    /// Elementwise square root.
+    ///
+    /// Inputs must be strictly positive for a finite derivative.
+    pub fn sqrt(self) -> Var<'t> {
+        let out = self.value().sqrt();
+        let out_clone = out.clone();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&out_clone, |g, y| g / (2.0 * y)).expect("same shape"),
+            )]
+        });
+        self.record_unary(out, backward)
+    }
+
+    /// Elementwise sigmoid `1/(1+e^{-x})`.
+    pub fn sigmoid(self) -> Var<'t> {
+        let out = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out_clone = out.clone();
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&out_clone, |g, y| g * y * (1.0 - y))
+                    .expect("same shape"),
+            )]
+        });
+        self.record_unary(out, backward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use ibrar_tensor::Tensor;
+
+    #[test]
+    fn exp_gradient_is_exp() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(1.0));
+        let loss = x.exp();
+        let grads = tape.backward(loss).unwrap();
+        let e = std::f32::consts::E;
+        assert!((grads.get(x).unwrap().data()[0] - e).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ln_gradient_is_reciprocal() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(4.0));
+        let loss = x.ln();
+        let grads = tape.backward(loss).unwrap();
+        assert!((grads.get(x).unwrap().data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap());
+        let loss = x.relu().unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_identity() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(0.5));
+        let loss = x.tanh();
+        let grads = tape.backward(loss).unwrap();
+        let y = 0.5f32.tanh();
+        assert!((grads.get(x).unwrap().data()[0] - (1.0 - y * y)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sqrt_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(9.0));
+        let loss = x.sqrt();
+        let grads = tape.backward(loss).unwrap();
+        assert!((grads.get(x).unwrap().data()[0] - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_gradient_at_zero() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(0.0));
+        let loss = x.sigmoid();
+        let grads = tape.backward(loss).unwrap();
+        assert!((grads.get(x).unwrap().data()[0] - 0.25).abs() < 1e-6);
+    }
+}

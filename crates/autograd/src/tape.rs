@@ -1,0 +1,289 @@
+use crate::{AutogradError, Result};
+use ibrar_tensor::Tensor;
+use std::cell::RefCell;
+
+/// Index of a node on a [`Tape`].
+pub type VarId = usize;
+
+/// Closure computing gradient contributions for each parent given the
+/// gradient with respect to the node's output.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(VarId, Tensor)>>;
+
+struct Node {
+    value: Tensor,
+    requires_grad: bool,
+    backward: Option<BackwardFn>,
+}
+
+/// A recording of a differentiable computation.
+///
+/// Nodes are appended in topological order as ops execute, so the backward
+/// pass is a single reverse sweep. Tapes are intended to be short-lived: one
+/// per forward/backward step.
+///
+/// See the [crate-level docs](crate) for a full example.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape")
+            .field("nodes", &self.nodes.borrow().len())
+            .finish()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Registers a constant input: gradients do **not** flow into it.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(value, false, None)
+    }
+
+    /// Registers a differentiable input (parameter or attacked image):
+    /// gradients flow into it and can be read from [`Gradients::get`].
+    pub fn var(&self, value: Tensor) -> Var<'_> {
+        self.push(value, true, None)
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        requires_grad: bool,
+        backward: Option<BackwardFn>,
+    ) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node {
+            value,
+            requires_grad,
+            backward,
+        });
+        Var { tape: self, id }
+    }
+
+    /// Clones the value stored at `id`.
+    pub(crate) fn value_of(&self, id: VarId) -> Tensor {
+        self.nodes.borrow()[id].value.clone()
+    }
+
+    /// Runs `f` against the value stored at `id` without cloning.
+    pub(crate) fn with_value<R>(&self, id: VarId, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[id].value)
+    }
+
+    pub(crate) fn requires_grad(&self, id: VarId) -> bool {
+        self.nodes.borrow()[id].requires_grad
+    }
+
+    /// Computes gradients of the scalar `loss` with respect to every
+    /// differentiable variable on the tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutogradError::NonScalarLoss`] when `loss` has more than one
+    /// element and [`AutogradError::ForeignVar`] when `loss` belongs to
+    /// another tape.
+    pub fn backward(&self, loss: Var<'_>) -> Result<Gradients> {
+        if !std::ptr::eq(loss.tape, self) {
+            return Err(AutogradError::ForeignVar);
+        }
+        let nodes = self.nodes.borrow();
+        let loss_len = nodes[loss.id].value.len();
+        if loss_len != 1 {
+            return Err(AutogradError::NonScalarLoss { len: loss_len });
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::from_vec(vec![1.0], nodes[loss.id].value.shape())?);
+        for id in (0..=loss.id).rev() {
+            let Some(grad_out) = grads[id].clone() else {
+                continue;
+            };
+            let Some(backward) = nodes[id].backward.as_ref() else {
+                continue;
+            };
+            for (parent, contribution) in backward(&grad_out) {
+                if !nodes[parent].requires_grad && nodes[parent].backward.is_none() {
+                    continue;
+                }
+                match &mut grads[parent] {
+                    Some(existing) => {
+                        *existing = existing.add(&contribution)?;
+                    }
+                    slot @ None => *slot = Some(contribution),
+                }
+            }
+        }
+        Ok(Gradients { grads })
+    }
+}
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// `Var` is `Copy`; all arithmetic is exposed as methods defined in the
+/// `ops` modules (e.g. [`Var::matmul`], [`Var::relu`], [`Var::conv2d`]).
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: VarId,
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var").field("id", &self.id).finish()
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The node index on the owning tape.
+    pub fn id(&self) -> VarId {
+        self.id
+    }
+
+    /// The tape this variable belongs to.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Clones the current value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// Shape of the current value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.tape.with_value(self.id, |v| v.shape().to_vec())
+    }
+
+    /// Number of elements in the current value.
+    pub fn len(&self) -> usize {
+        self.tape.with_value(self.id, |v| v.len())
+    }
+
+    /// Whether the value has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether gradients flow into this variable.
+    pub fn requires_grad(&self) -> bool {
+        self.tape.requires_grad(self.id)
+    }
+
+    pub(crate) fn same_tape(&self, other: &Var<'_>) -> Result<()> {
+        if std::ptr::eq(self.tape, other.tape) {
+            Ok(())
+        } else {
+            Err(AutogradError::ForeignVar)
+        }
+    }
+}
+
+/// Gradients produced by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `var`, if any flowed into it.
+    pub fn get(&self, var: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient by raw id (for callers that stored [`VarId`]s).
+    pub fn get_id(&self, id: VarId) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+
+    /// Removes and returns the gradient for `id`, avoiding a clone.
+    pub fn take_id(&mut self, id: VarId) -> Option<Tensor> {
+        self.grads.get_mut(id).and_then(|g| g.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_gets_no_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(3.0));
+        let y = x.square().unwrap();
+        let grads = tape.backward(y).unwrap();
+        assert!(grads.get(x).is_none());
+    }
+
+    #[test]
+    fn var_gets_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(3.0));
+        let y = x.square().unwrap();
+        let grads = tape.backward(y).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[6.0]);
+    }
+
+    #[test]
+    fn non_scalar_loss_rejected() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::zeros(&[3]));
+        assert!(matches!(
+            tape.backward(x),
+            Err(AutogradError::NonScalarLoss { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn foreign_var_rejected() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let x = t1.var(Tensor::scalar(1.0));
+        let y = t2.var(Tensor::scalar(1.0));
+        assert!(matches!(x.add(y), Err(AutogradError::ForeignVar)));
+    }
+
+    #[test]
+    fn gradient_accumulates_through_reuse() {
+        // L = x·x + x ⇒ dL/dx = 2x + 1
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(5.0));
+        let loss = x.mul(x).unwrap().add(x).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[11.0]);
+    }
+
+    #[test]
+    fn take_id_consumes() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(2.0));
+        let loss = x.square().unwrap();
+        let mut grads = tape.backward(loss).unwrap();
+        assert!(grads.take_id(x.id()).is_some());
+        assert!(grads.take_id(x.id()).is_none());
+    }
+
+    #[test]
+    fn debug_impls_nonempty() {
+        let tape = Tape::new();
+        let v = tape.var(Tensor::scalar(0.0));
+        assert!(!format!("{tape:?}").is_empty());
+        assert!(!format!("{v:?}").is_empty());
+    }
+}

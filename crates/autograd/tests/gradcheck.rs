@@ -1,0 +1,256 @@
+//! Finite-difference validation of every nontrivial backward rule.
+//!
+//! Each test builds a small network fragment with fixed pseudo-random
+//! inputs, computes analytic gradients, and compares them against central
+//! differences with [`check_gradients`].
+
+use ibrar_autograd::{check_gradients, Tape};
+use ibrar_tensor::{Conv2dSpec, Pool2dSpec, Tensor};
+
+/// Deterministic pseudo-random tensor (hash-based, no RNG dependency).
+fn pseudo(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::from_fn(dims, |idx| {
+        let mut h = seed.wrapping_mul(0x9E3779B97F4A7C15);
+        for (axis, &i) in idx.iter().enumerate() {
+            h ^= ((i as u64 + 1) << (axis * 8)).wrapping_mul(0xBF58476D1CE4E5B9);
+            h = h.rotate_left(17);
+        }
+        ((h % 2000) as f32 / 1000.0) - 1.0
+    })
+}
+
+#[test]
+fn conv2d_input_gradient() {
+    let x = pseudo(&[2, 2, 5, 5], 1);
+    let w = pseudo(&[3, 2, 3, 3], 2);
+    let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+    let forward = |xv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xvar = tape.var(xv.clone());
+        let wvar = tape.leaf(w.clone());
+        Ok(xvar.conv2d(wvar, None, spec)?.square()?.sum()?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let xvar = tape.var(x.clone());
+    let wvar = tape.leaf(w.clone());
+    let loss = xvar
+        .conv2d(wvar, None, spec)
+        .unwrap()
+        .square()
+        .unwrap()
+        .sum()
+        .unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&x, grads.get(xvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(2e-2), "{report:?}");
+}
+
+#[test]
+fn conv2d_weight_gradient() {
+    let x = pseudo(&[2, 2, 4, 4], 3);
+    let w = pseudo(&[2, 2, 3, 3], 4);
+    let b = pseudo(&[2], 5);
+    let spec = Conv2dSpec::new(2, 2, 3, 2, 1);
+    let forward = |wv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xvar = tape.leaf(x.clone());
+        let wvar = tape.var(wv.clone());
+        let bvar = tape.leaf(b.clone());
+        Ok(xvar
+            .conv2d(wvar, Some(bvar), spec)?
+            .square()?
+            .sum()?
+            .value()
+            .data()[0])
+    };
+    let tape = Tape::new();
+    let xvar = tape.leaf(x.clone());
+    let wvar = tape.var(w.clone());
+    let bvar = tape.leaf(b.clone());
+    let loss = xvar
+        .conv2d(wvar, Some(bvar), spec)
+        .unwrap()
+        .square()
+        .unwrap()
+        .sum()
+        .unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&w, grads.get(wvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(2e-2), "{report:?}");
+}
+
+#[test]
+fn batch_norm_input_gradient() {
+    let x = pseudo(&[3, 2, 3, 3], 6);
+    let gamma = pseudo(&[2], 7).add_scalar(2.0); // keep away from zero
+    let beta = pseudo(&[2], 8);
+    let forward = |xv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xvar = tape.var(xv.clone());
+        let g = tape.leaf(gamma.clone());
+        let b = tape.leaf(beta.clone());
+        let (y, _) = xvar.batch_norm2d(g, b, 1e-3)?;
+        Ok(y.square()?.sum()?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let xvar = tape.var(x.clone());
+    let g = tape.leaf(gamma.clone());
+    let b = tape.leaf(beta.clone());
+    let (y, _) = xvar.batch_norm2d(g, b, 1e-3).unwrap();
+    let loss = y.square().unwrap().sum().unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&x, grads.get(xvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(5e-2), "{report:?}");
+}
+
+#[test]
+fn max_pool_gradient() {
+    let x = pseudo(&[1, 2, 4, 4], 9);
+    let spec = Pool2dSpec::new(2, 2);
+    let forward = |xv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xvar = tape.var(xv.clone());
+        Ok(xvar.max_pool2d(spec)?.square()?.sum()?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let xvar = tape.var(x.clone());
+    let loss = xvar
+        .max_pool2d(spec)
+        .unwrap()
+        .square()
+        .unwrap()
+        .sum()
+        .unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&x, grads.get(xvar).unwrap(), 1e-3, forward).unwrap();
+    assert!(report.passes(2e-2), "{report:?}");
+}
+
+#[test]
+fn cross_entropy_gradient() {
+    let z = pseudo(&[4, 5], 10);
+    let labels = [0usize, 2, 4, 1];
+    let forward = |zv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let zvar = tape.var(zv.clone());
+        Ok(zvar.cross_entropy(&labels)?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let zvar = tape.var(z.clone());
+    let loss = zvar.cross_entropy(&labels).unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&z, grads.get(zvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(1e-2), "{report:?}");
+}
+
+#[test]
+fn kl_divergence_gradients_both_sides() {
+    let zp = pseudo(&[3, 4], 11);
+    let zq = pseudo(&[3, 4], 12);
+    // Gradient w.r.t. the p-side logits.
+    let forward_p = |z: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let p = tape.var(z.clone());
+        let q = tape.leaf(zq.clone());
+        Ok(p.kl_div_to(q)?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let p = tape.var(zp.clone());
+    let q = tape.var(zq.clone());
+    let loss = p.kl_div_to(q).unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&zp, grads.get(p).unwrap(), 1e-2, forward_p).unwrap();
+    assert!(report.passes(1e-2), "p-side {report:?}");
+    // Gradient w.r.t. the q-side logits.
+    let forward_q = |z: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let p = tape.leaf(zp.clone());
+        let q = tape.var(z.clone());
+        Ok(p.kl_div_to(q)?.value().data()[0])
+    };
+    let report = check_gradients(&zq, grads.get(q).unwrap(), 1e-2, forward_q).unwrap();
+    assert!(report.passes(1e-2), "q-side {report:?}");
+}
+
+#[test]
+fn gaussian_kernel_gradient() {
+    let x = pseudo(&[4, 3], 13);
+    let forward = |xv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xvar = tape.var(xv.clone());
+        Ok(xvar.gaussian_kernel(1.5)?.sum()?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let xvar = tape.var(x.clone());
+    let loss = xvar.gaussian_kernel(1.5).unwrap().sum().unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&x, grads.get(xvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(2e-2), "{report:?}");
+}
+
+#[test]
+fn composite_mlp_gradient() {
+    // Two-layer MLP with ReLU and CE: the full training-path composition.
+    let x = pseudo(&[3, 6], 14);
+    let w1 = pseudo(&[6, 8], 15).scale(0.5);
+    let w2 = pseudo(&[8, 4], 16).scale(0.5);
+    let labels = [1usize, 3, 0];
+    let forward = |wv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let w1v = tape.var(wv.clone());
+        let w2v = tape.leaf(w2.clone());
+        let h = xv.matmul(w1v)?.relu()?;
+        Ok(h.matmul(w2v)?.cross_entropy(&labels)?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let xv = tape.leaf(x.clone());
+    let w1v = tape.var(w1.clone());
+    let w2v = tape.leaf(w2.clone());
+    let h = xv.matmul(w1v).unwrap().relu().unwrap();
+    let loss = h.matmul(w2v).unwrap().cross_entropy(&labels).unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&w1, grads.get(w1v).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(2e-2), "{report:?}");
+}
+
+#[test]
+fn softmax_then_gather_gradient() {
+    let z = pseudo(&[3, 4], 17);
+    let labels = [2usize, 0, 3];
+    let forward = |zv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let zvar = tape.var(zv.clone());
+        let p = zvar.softmax()?;
+        Ok(p.gather_classes(&labels)?.sum()?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let zvar = tape.var(z.clone());
+    let p = zvar.softmax().unwrap();
+    let loss = p.gather_classes(&labels).unwrap().sum().unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&z, grads.get(zvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(1e-2), "{report:?}");
+}
+
+#[test]
+fn global_avg_pool_gradient() {
+    let x = pseudo(&[2, 3, 3, 3], 18);
+    let forward = |xv: &Tensor| -> ibrar_autograd::Result<f32> {
+        let tape = Tape::new();
+        let xvar = tape.var(xv.clone());
+        Ok(xvar.global_avg_pool()?.square()?.sum()?.value().data()[0])
+    };
+    let tape = Tape::new();
+    let xvar = tape.var(x.clone());
+    let loss = xvar
+        .global_avg_pool()
+        .unwrap()
+        .square()
+        .unwrap()
+        .sum()
+        .unwrap();
+    let grads = tape.backward(loss).unwrap();
+    let report = check_gradients(&x, grads.get(xvar).unwrap(), 1e-2, forward).unwrap();
+    assert!(report.passes(1e-2), "{report:?}");
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the autograd algebra.
+
+use ibrar_autograd::Tape;
+use ibrar_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, 4)
+}
+
+proptest! {
+    /// d(sum(a+b))/da == d(sum(a))/da: addition contributes identity grads.
+    #[test]
+    fn addition_gradient_is_identity(a in small_vec(), b in small_vec()) {
+        let tape = Tape::new();
+        let av = tape.var(Tensor::from_vec(a, &[4]).unwrap());
+        let bv = tape.leaf(Tensor::from_vec(b, &[4]).unwrap());
+        let loss = av.add(bv).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        prop_assert_eq!(grads.get(av).unwrap().data(), &[1.0; 4]);
+    }
+
+    /// Chain rule through scale: d(c·sum(x))/dx = c.
+    #[test]
+    fn scale_gradient(a in small_vec(), c in -2.0f32..2.0) {
+        let tape = Tape::new();
+        let av = tape.var(Tensor::from_vec(a, &[4]).unwrap());
+        let loss = av.sum().unwrap().scale(c);
+        let grads = tape.backward(loss).unwrap();
+        for &g in grads.get(av).unwrap().data() {
+            prop_assert!((g - c).abs() < 1e-6);
+        }
+    }
+
+    /// Product rule: d(sum(a⊙a))/da = 2a.
+    #[test]
+    fn self_product_gradient(a in small_vec()) {
+        let tape = Tape::new();
+        let t = Tensor::from_vec(a.clone(), &[4]).unwrap();
+        let av = tape.var(t.clone());
+        let loss = av.mul(av).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        let expect = t.scale(2.0);
+        prop_assert!(grads.get(av).unwrap().max_abs_diff(&expect).unwrap() < 1e-5);
+    }
+
+    /// exp/ln compose to identity on positive inputs (values and grads).
+    #[test]
+    fn exp_ln_roundtrip(a in proptest::collection::vec(0.1f32..3.0, 4)) {
+        let tape = Tape::new();
+        let t = Tensor::from_vec(a, &[4]).unwrap();
+        let av = tape.var(t.clone());
+        let roundtrip = av.ln().exp();
+        prop_assert!(roundtrip.value().max_abs_diff(&t).unwrap() < 1e-4);
+        let loss = roundtrip.sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        for &g in grads.get(av).unwrap().data() {
+            prop_assert!((g - 1.0).abs() < 1e-3, "grad {g}");
+        }
+    }
+
+    /// Softmax outputs are a probability simplex for any logits.
+    #[test]
+    fn softmax_simplex(a in proptest::collection::vec(-5.0f32..5.0, 6)) {
+        let tape = Tape::new();
+        let av = tape.var(Tensor::from_vec(a, &[2, 3]).unwrap());
+        let p = av.softmax().unwrap().value();
+        prop_assert!(p.min() >= 0.0);
+        for i in 0..2 {
+            let row_sum: f32 = (0..3).map(|j| p.get(&[i, j])).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// Cross-entropy is minimized when the logit of the label dominates.
+    #[test]
+    fn ce_lower_for_correct_logits(margin in 1.0f32..5.0) {
+        let tape = Tape::new();
+        let good = tape.leaf(Tensor::from_vec(vec![margin, 0.0, 0.0], &[1, 3]).unwrap());
+        let bad = tape.leaf(Tensor::from_vec(vec![0.0, margin, 0.0], &[1, 3]).unwrap());
+        let lg = good.cross_entropy(&[0]).unwrap().value().data()[0];
+        let lb = bad.cross_entropy(&[0]).unwrap().value().data()[0];
+        prop_assert!(lg < lb);
+    }
+
+    /// KL(p‖q) ≥ 0 with equality iff p == q, for arbitrary logits.
+    #[test]
+    fn kl_nonnegative(a in proptest::collection::vec(-3.0f32..3.0, 4),
+                      b in proptest::collection::vec(-3.0f32..3.0, 4)) {
+        let tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec(a.clone(), &[1, 4]).unwrap());
+        let q = tape.leaf(Tensor::from_vec(b, &[1, 4]).unwrap());
+        let kl = p.kl_div_to(q).unwrap().value().data()[0];
+        prop_assert!(kl > -1e-6, "negative KL: {kl}");
+        let p2 = tape.leaf(Tensor::from_vec(a.clone(), &[1, 4]).unwrap());
+        let q2 = tape.leaf(Tensor::from_vec(a, &[1, 4]).unwrap());
+        let self_kl = p2.kl_div_to(q2).unwrap().value().data()[0];
+        prop_assert!(self_kl.abs() < 1e-6);
+    }
+
+    /// Matmul gradient shapes always match the operands.
+    #[test]
+    fn matmul_gradient_shapes(m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        let tape = Tape::new();
+        let a = tape.var(Tensor::full(&[m, k], 0.5));
+        let b = tape.var(Tensor::full(&[k, n], -0.25));
+        let loss = a.matmul(b).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+        prop_assert_eq!(grads.get(a).unwrap().shape(), &[m, k]);
+        prop_assert_eq!(grads.get(b).unwrap().shape(), &[k, n]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Criterion benchmarks, one group per paper table/figure, timing the
+//! characteristic inner kernel of each experiment (the full regeneration
+//! lives in the `src/bin` binaries — see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibrar::{
+    compute_channel_mask, AdaptiveIbObjective, IbLoss, IbLossConfig, LayerPolicy, MaskConfig,
+    TrainMethod, Trainer, TrainerConfig, VibBaseline,
+};
+use ibrar_analysis::{tendency_table, tsne, TsneConfig};
+use ibrar_attacks::{Attack, Fgsm, Pgd};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_infotheory::{BinningConfig, InfoPlane};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Fixture {
+    model: VggMini,
+    images: Tensor,
+    labels: Vec<usize>,
+    data: SynthVision,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let data = SynthVision::generate(
+        &SynthVisionConfig::cifar10_like().with_sizes(64, 32),
+        0,
+    )
+    .unwrap();
+    let batch = data.train.take(16).unwrap().as_batch();
+    Fixture {
+        model,
+        images: batch.images,
+        labels: batch.labels,
+        data,
+    }
+}
+
+/// Tables 1–2 inner kernel: one PGD-AT + IB-RAR training step.
+fn bench_table1_2(c: &mut Criterion) {
+    let f = fixture();
+    let train = f.data.train.take(16).unwrap();
+    let test = f.data.test.take(16).unwrap();
+    c.bench_function("table1_pgd_at_ibrar_step", |b| {
+        b.iter(|| {
+            let cfg = TrainerConfig::new(TrainMethod::PgdAt {
+                eps: 8.0 / 255.0,
+                alpha: 2.0 / 255.0,
+                steps: 2,
+            })
+            .with_epochs(1)
+            .with_batch_size(16)
+            .with_ib(IbLossConfig::paper_vgg());
+            black_box(Trainer::new(cfg).train(&f.model, &train, &test).unwrap());
+        })
+    });
+}
+
+/// Table 3 inner kernel: a single-layer IB regularizer forward+backward.
+fn bench_table3(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("table3_single_layer_ib_step", |b| {
+        b.iter(|| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(f.images.clone());
+            let out = f.model.forward(&sess, x, Mode::Train).unwrap();
+            let cfg = IbLossConfig::paper_vgg().with_policy(LayerPolicy::Single(4));
+            let reg = IbLoss::regularizer(&sess, x, &out.hidden, &f.labels, 10, &cfg).unwrap();
+            let loss = out.logits.cross_entropy(&f.labels).unwrap().add(reg).unwrap();
+            sess.backward(loss).unwrap();
+            for p in f.model.params() {
+                p.zero_grad();
+            }
+        })
+    });
+}
+
+/// Table 4 inner kernel: the Eq. 3 channel-mask computation.
+fn bench_table4(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("table4_channel_mask", |b| {
+        b.iter(|| {
+            black_box(
+                compute_channel_mask(&f.model, &f.data.train, &MaskConfig::default()).unwrap(),
+            )
+        })
+    });
+}
+
+/// Table 5 inner kernel: tendency table over one attacked batch.
+fn bench_table5(c: &mut Criterion) {
+    let f = fixture();
+    let names: Vec<String> = (0..10).map(|i| f.data.class_name(i)).collect();
+    let subset = f.data.test.take(16).unwrap();
+    c.bench_function("table5_tendency", |b| {
+        b.iter(|| {
+            black_box(
+                tendency_table(&f.model, &Fgsm::new(8.0 / 255.0), &subset, &names, 4, 16)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+/// Table 6 inner kernel: one adaptive-PGD perturbation.
+fn bench_table6(c: &mut Criterion) {
+    let f = fixture();
+    let attack = Pgd::new(8.0 / 255.0, 2.0 / 255.0, 3).with_objective(Arc::new(
+        AdaptiveIbObjective::new(IbLossConfig::paper_vgg(), 10),
+    ));
+    c.bench_function("table6_adaptive_pgd", |b| {
+        b.iter(|| black_box(attack.perturb(&f.model, &f.images, &f.labels).unwrap()))
+    });
+}
+
+/// Figure 2 inner kernel: a VIB forward/backward step.
+fn bench_fig2(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let inner = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let vib = VibBaseline::new(inner, 64, 32, 0.01, &mut rng).unwrap();
+    let f = fixture();
+    c.bench_function("fig2_vib_step", |b| {
+        b.iter(|| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(f.images.clone());
+            let out = vib.forward(&sess, x, Mode::Train).unwrap();
+            let loss = out
+                .logits
+                .cross_entropy(&f.labels)
+                .unwrap()
+                .add(out.aux_loss.unwrap())
+                .unwrap();
+            sess.backward(loss).unwrap();
+            for p in vib.params() {
+                p.zero_grad();
+            }
+        })
+    });
+}
+
+/// Figure 3 inner kernel: t-SNE embedding of 48 feature vectors.
+fn bench_fig3(c: &mut Criterion) {
+    let features = Tensor::from_fn(&[48, 64], |i| {
+        ((i[0] / 8) * 50 + (i[0] * 13 + i[1] * 7) % 23) as f32 * 0.05
+    });
+    let cfg = TsneConfig {
+        iterations: 60,
+        perplexity: 8.0,
+        ..TsneConfig::default()
+    };
+    c.bench_function("fig3_tsne_48pts", |b| {
+        b.iter(|| black_box(tsne(&features, &cfg).unwrap()))
+    });
+}
+
+/// Figure 4 inner kernel: one MART training epoch (tiny set).
+fn bench_fig4(c: &mut Criterion) {
+    let f = fixture();
+    let train = f.data.train.take(16).unwrap();
+    let test = f.data.test.take(16).unwrap();
+    c.bench_function("fig4_mart_epoch", |b| {
+        b.iter(|| {
+            let cfg = TrainerConfig::new(TrainMethod::Mart {
+                beta: 5.0,
+                eps: 8.0 / 255.0,
+                alpha: 2.0 / 255.0,
+                steps: 2,
+            })
+            .with_epochs(1)
+            .with_batch_size(16);
+            black_box(Trainer::new(cfg).train(&f.model, &train, &test).unwrap());
+        })
+    });
+}
+
+/// Figure 5 inner kernel: one information-plane recording.
+fn bench_fig5(c: &mut Criterion) {
+    let f = fixture();
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(f.images.clone());
+    let out = f.model.forward(&sess, x, Mode::Eval).unwrap();
+    let t4 = out.hidden[3].var.value();
+    c.bench_function("fig5_info_plane_record", |b| {
+        b.iter(|| {
+            let mut plane = InfoPlane::new(10, BinningConfig::new(12));
+            black_box(plane.record(0, &t4, &f.labels).unwrap())
+        })
+    });
+}
+
+/// Figure 6 inner kernel: IB regularizer with a swept β.
+fn bench_fig6(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig6_ib_regularizer_beta_sweep_point", |b| {
+        b.iter(|| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(f.images.clone());
+            let out = f.model.forward(&sess, x, Mode::Eval).unwrap();
+            let cfg = IbLossConfig::new(0.05, 0.5).with_policy(LayerPolicy::Robust);
+            black_box(
+                IbLoss::regularizer(&sess, x, &out.hidden, &f.labels, 10, &cfg)
+                    .unwrap()
+                    .value(),
+            )
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_table1_2, bench_table3, bench_table4, bench_table5, bench_table6,
+        bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the substrate kernels: matmul, im2col
+//! convolution, HSIC estimation (both kernel-width strategies — the
+//! DESIGN.md ablation), pooling, and a full model forward/backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibrar_autograd::Tape;
+use ibrar_infotheory::{hsic, median_sigma, one_hot};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_tensor::{im2col, Conv2dSpec, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_fn(&[128, 128], |i| ((i[0] * 7 + i[1]) % 13) as f32 * 0.1);
+    let b = Tensor::from_fn(&[128, 128], |i| ((i[0] + 3 * i[1]) % 11) as f32 * 0.1);
+    c.bench_function("matmul_128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    c.bench_function("matmul_nt_128", |bench| {
+        bench.iter(|| black_box(a.matmul_nt(&b).unwrap()))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let x = Tensor::from_fn(&[8, 16, 16, 16], |i| ((i[0] + i[1] + i[2] + i[3]) % 7) as f32);
+    let spec = Conv2dSpec::new(16, 32, 3, 1, 1);
+    c.bench_function("im2col_8x16x16x16", |bench| {
+        bench.iter(|| black_box(im2col(&x, &spec).unwrap()))
+    });
+    let w = Tensor::from_fn(&[32, 16, 3, 3], |i| (i[0] + i[1]) as f32 * 0.01);
+    c.bench_function("conv2d_fwd_bwd", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.var(x.clone());
+            let wv = tape.var(w.clone());
+            let loss = xv
+                .conv2d(wv, None, spec)
+                .unwrap()
+                .square()
+                .unwrap()
+                .sum()
+                .unwrap();
+            black_box(tape.backward(loss).unwrap());
+        })
+    });
+}
+
+fn bench_hsic(c: &mut Criterion) {
+    // Ablation: median-heuristic sigma vs fixed sigma.
+    let x = Tensor::from_fn(&[32, 64], |i| ((i[0] * 13 + i[1] * 7) % 17) as f32 * 0.1);
+    let y = one_hot(&(0..32).map(|i| i % 10).collect::<Vec<_>>(), 10).unwrap();
+    c.bench_function("hsic_fixed_sigma", |bench| {
+        bench.iter(|| black_box(hsic(&x, &y, 1.0, 1.0).unwrap()))
+    });
+    c.bench_function("hsic_median_sigma", |bench| {
+        bench.iter(|| {
+            let sx = median_sigma(&x);
+            let sy = median_sigma(&y);
+            black_box(hsic(&x, &y, sx, sy).unwrap())
+        })
+    });
+    c.bench_function("hsic_backward", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.var(x.clone());
+            let yv = tape.leaf(y.clone());
+            let loss = ibrar_infotheory::hsic_var(xv, yv, 1.0, 1.0).unwrap();
+            black_box(tape.backward(loss).unwrap());
+        })
+    });
+}
+
+fn bench_model_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let x = Tensor::from_fn(&[16, 3, 16, 16], |i| ((i[0] + i[1] + i[3]) % 9) as f32 / 9.0);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    c.bench_function("vgg_forward_eval", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let sess = Session::new(&tape);
+            let xv = tape.leaf(x.clone());
+            black_box(model.forward(&sess, xv, Mode::Eval).unwrap());
+        })
+    });
+    c.bench_function("vgg_train_step_ce", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let sess = Session::new(&tape);
+            let xv = tape.leaf(x.clone());
+            let out = model.forward(&sess, xv, Mode::Train).unwrap();
+            let loss = out.logits.cross_entropy(&labels).unwrap();
+            sess.backward(loss).unwrap();
+            for p in model.params() {
+                p.zero_grad();
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_conv, bench_hsic, bench_model_step
+}
+criterion_main!(benches);

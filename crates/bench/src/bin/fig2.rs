@@ -1,0 +1,12 @@
+//! Regenerates paper fig2 (see EXPERIMENTS.md). Flags: --quick | --full |
+//! --train N | --test N | --epochs N | --seeds N | --eval N.
+
+fn main() -> ibrar_bench::ExpResult<()> {
+    let scale = ibrar_bench::Scale::from_args();
+    eprintln!("[fig2] running at {scale:?}");
+    let started = std::time::Instant::now();
+    let out = ibrar_bench::experiments::fig2::run(&scale)?;
+    ibrar_bench::write_output("fig2", &out);
+    eprintln!("[fig2] done in {:.1?}", started.elapsed());
+    Ok(())
+}

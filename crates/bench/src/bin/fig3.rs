@@ -1,0 +1,12 @@
+//! Regenerates paper fig3 (see EXPERIMENTS.md). Flags: --quick | --full |
+//! --train N | --test N | --epochs N | --seeds N | --eval N.
+
+fn main() -> ibrar_bench::ExpResult<()> {
+    let scale = ibrar_bench::Scale::from_args();
+    eprintln!("[fig3] running at {scale:?}");
+    let started = std::time::Instant::now();
+    let out = ibrar_bench::experiments::fig3::run(&scale)?;
+    ibrar_bench::write_output("fig3", &out);
+    eprintln!("[fig3] done in {:.1?}", started.elapsed());
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Regenerates every paper table and figure in sequence, writing each to
+//! `target/experiments/<name>.txt`. Flags are shared with the individual
+//! binaries (`--quick`, `--full`, `--epochs N`, ...).
+
+fn main() -> ibrar_bench::ExpResult<()> {
+    let scale = ibrar_bench::Scale::from_args();
+    eprintln!("[run_all] running at {scale:?}");
+    type Runner = fn(&ibrar_bench::Scale) -> ibrar_bench::ExpResult<String>;
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("table1", ibrar_bench::experiments::table1::run),
+        ("table2", ibrar_bench::experiments::table2::run),
+        ("table3", ibrar_bench::experiments::table3::run),
+        ("table4", ibrar_bench::experiments::table4::run),
+        ("table5", ibrar_bench::experiments::table5::run),
+        ("table6", ibrar_bench::experiments::table6::run),
+        ("fig2", ibrar_bench::experiments::fig2::run),
+        ("fig3", ibrar_bench::experiments::fig3::run),
+        ("fig4", ibrar_bench::experiments::fig4::run),
+        ("fig5", ibrar_bench::experiments::fig5::run),
+        ("fig6", ibrar_bench::experiments::fig6::run),
+    ];
+    let total = std::time::Instant::now();
+    for (name, run) in experiments {
+        let started = std::time::Instant::now();
+        eprintln!("=== {name} ===");
+        match run(&scale) {
+            Ok(out) => {
+                ibrar_bench::write_output(name, &out);
+                eprintln!("[{name}] done in {:.1?}", started.elapsed());
+            }
+            Err(e) => eprintln!("[{name}] FAILED: {e}"),
+        }
+    }
+    eprintln!("[run_all] total {:.1?}", total.elapsed());
+    Ok(())
+}

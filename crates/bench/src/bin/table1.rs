@@ -1,0 +1,12 @@
+//! Regenerates paper table1 (see EXPERIMENTS.md). Flags: --quick | --full |
+//! --train N | --test N | --epochs N | --seeds N | --eval N.
+
+fn main() -> ibrar_bench::ExpResult<()> {
+    let scale = ibrar_bench::Scale::from_args();
+    eprintln!("[table1] running at {scale:?}");
+    let started = std::time::Instant::now();
+    let out = ibrar_bench::experiments::table1::run(&scale)?;
+    ibrar_bench::write_output("table1", &out);
+    eprintln!("[table1] done in {:.1?}", started.elapsed());
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! **Figure 5**: the information plane. Track `I(X;T)` and `I(Y;T)` of the
+//! fourth conv block while training with the MI loss versus CE only. The
+//! paper's observation: the MI-loss network compresses (`I(X;T)` shrinks)
+//! while staying label-informative; the CE network never compresses.
+
+use crate::{Arch, ExpResult, Scale};
+use ibrar::{IbLoss, IbLossConfig, LayerPolicy};
+use ibrar_analysis::{render_series, Series};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_infotheory::{BinningConfig, InfoPlane};
+use ibrar_nn::{Mode, Session, Sgd, SgdConfig};
+use ibrar_tensor::{normal, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Projects `[n, ...]` features onto `dims` fixed random directions.
+///
+/// The pattern-hash MI estimator saturates at `log2(n)` when every sample's
+/// binned activation vector is unique — inevitable for raw conv features.
+/// A coarse random projection (the standard remedy in the information-plane
+/// literature) restores sensitivity to compression.
+fn project(features: &Tensor, directions: &Tensor) -> Tensor {
+    let n = features.shape()[0];
+    let d = features.len() / n;
+    features
+        .reshape(&[n, d])
+        .expect("volume preserved")
+        .matmul(directions)
+        .expect("projection dims agree")
+}
+
+/// Runs the experiment with a hand-rolled loop (the per-iteration recording
+/// hook is specific to this figure) and renders both trajectories.
+///
+/// # Errors
+///
+/// Propagates training/recording errors.
+pub fn run(scale: &Scale) -> ExpResult<String> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(scale.train, scale.test);
+    let data = SynthVision::generate(&config, 111)?;
+    let k = config.num_classes;
+    let record_every = 4usize;
+    let probe = data.train.take(128.min(data.train.len()))?;
+    let probe_batch = probe.as_batch();
+    // Fixed random projection for the MI probe (see `project`).
+    let mut proj_rng = StdRng::seed_from_u64(999);
+    // conv block 4 of VggMini: 48 channels at 2x2 = 192 dims.
+    let feature_dim = {
+        let tape = ibrar_autograd::Tape::new();
+        let sess = Session::new(&tape);
+        let probe_model = Arch::Vgg.build(k, 0)?;
+        let xp = tape.leaf(probe_batch.images.clone());
+        let out = probe_model.forward(&sess, xp, Mode::Eval)?;
+        let t = out.hidden[3].var.value();
+        t.len() / t.shape()[0]
+    };
+    let directions = normal(&[feature_dim, 6], 0.0, (1.0 / feature_dim as f32).sqrt(), &mut proj_rng);
+
+    let mut out = String::from(
+        "Figure 5: information plane of conv block 4 (VGG16, synth_cifar10)\n\n",
+    );
+    let mut all_series = Vec::new();
+    for (name, use_mi_loss) in [("MI loss", true), ("CE only", false)] {
+        let model = Arch::Vgg.build(k, 40)?;
+        let mut opt = Sgd::new(model.params(), SgdConfig::substrate());
+        let mut plane = InfoPlane::new(k, BinningConfig::new(4));
+        let ib_cfg = IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust);
+        let mut iteration = 0usize;
+        for epoch in 0..scale.epochs {
+            for batch in data.train.batches(scale.batch, epoch as u64) {
+                if batch.len() < 2 {
+                    continue;
+                }
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let x = tape.leaf(batch.images.clone());
+                let out_fwd = model.forward(&sess, x, Mode::Train)?;
+                let mut loss = out_fwd.logits.cross_entropy(&batch.labels)?;
+                if use_mi_loss {
+                    let reg =
+                        IbLoss::regularizer(&sess, x, &out_fwd.hidden, &batch.labels, k, &ib_cfg)?;
+                    loss = loss.add(reg)?;
+                }
+                sess.backward(loss)?;
+                opt.step();
+                if iteration % record_every == 0 {
+                    // Probe conv block 4 (tap index 3) on a fixed batch.
+                    let tape2 = ibrar_autograd::Tape::new();
+                    let sess2 = Session::new(&tape2);
+                    let xp = tape2.leaf(probe_batch.images.clone());
+                    let probe_out = model.forward(&sess2, xp, Mode::Eval)?;
+                    let t4 = project(&probe_out.hidden[3].var.value(), &directions);
+                    plane.record(iteration, &t4, &probe_batch.labels)?;
+                }
+                iteration += 1;
+            }
+        }
+        let ixt = Series::new(
+            format!("{name} I(X;T)"),
+            plane
+                .points()
+                .iter()
+                .map(|p| (p.iteration as f32, p.i_xt))
+                .collect(),
+        );
+        let iyt = Series::new(
+            format!("{name} I(Y;T)"),
+            plane
+                .points()
+                .iter()
+                .map(|p| (p.iteration as f32, p.i_yt))
+                .collect(),
+        );
+        let first = plane.points().first().copied();
+        let last = plane.points().last().copied();
+        if let (Some(first), Some(last)) = (first, last) {
+            out.push_str(&format!(
+                "{name}: I(X;T) {:.2} -> {:.2} bits, I(Y;T) {:.2} -> {:.2} bits\n",
+                first.i_xt, last.i_xt, first.i_yt, last.i_yt
+            ));
+        }
+        all_series.push(ixt);
+        all_series.push(iyt);
+    }
+    out.push('\n');
+    out.push_str(&render_series("iteration", &all_series));
+    Ok(out)
+}

@@ -1,0 +1,76 @@
+//! **Figure 6**: regularizer-weight sweep. The x-axis is β with
+//! α = 0.1·β (the paper's coupling). Panel (a): PGD-AT VGG16 evaluated by
+//! PGD/CW/FGSM; panel (b): TRADES ResNet-18 evaluated by PGD/FAB/FGSM.
+
+use crate::{scaled_method, train_and_eval, Arch, ExpResult, Scale};
+use ibrar::{IbLossConfig, LayerPolicy, TrainMethod};
+use ibrar_analysis::{render_series, Series};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+
+/// Runs the sweep and renders both panels.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run(scale: &Scale) -> ExpResult<String> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(scale.train, scale.test);
+    let data = SynthVision::generate(&config, 123)?;
+    let k = config.num_classes;
+    // The paper sweeps β ∈ {4.0 … 0.0}; shrink the grid at quick scale.
+    let betas: Vec<f32> = if scale.epochs <= 2 {
+        vec![0.0, 0.1, 1.0]
+    } else {
+        vec![0.0, 0.02, 0.1, 0.5, 1.0, 2.0, 4.0]
+    };
+
+    let panels = [
+        (
+            "(a) PGD-AT, VGG16, synth_cifar10",
+            Arch::Vgg,
+            scaled_method(TrainMethod::pgd_at_default(), scale),
+            ["PGD", "CW", "FGSM"],
+        ),
+        (
+            "(b) TRADES, ResNet-18, synth_cifar10",
+            Arch::Resnet,
+            scaled_method(TrainMethod::trades_default(), scale),
+            ["PGD", "FAB", "FGSM"],
+        ),
+    ];
+
+    let mut out = String::from("Figure 6: accuracy vs regularizer weight (alpha = 0.1*beta)\n\n");
+    for (label, arch, method, attack_names) in panels {
+        let mut series: Vec<Series> = attack_names
+            .iter()
+            .map(|n| Series::new(n.to_string(), Vec::new()))
+            .collect();
+        let mut natural = Series::new("Natural", Vec::new());
+        for &beta in &betas {
+            let ib = (beta > 0.0).then(|| {
+                IbLossConfig::new(0.1 * beta, beta).with_policy(LayerPolicy::Robust)
+            });
+            let result = train_and_eval(
+                arch,
+                method,
+                ib,
+                beta > 0.0,
+                &data.train,
+                &data.test,
+                scale,
+                k,
+            )?;
+            natural.points.push((beta, result.natural));
+            for (series, name) in series.iter_mut().zip(attack_names.iter()) {
+                if let Some(acc) = result.attack_acc(name) {
+                    series.points.push((beta, acc));
+                }
+            }
+        }
+        let mut all = vec![natural];
+        all.extend(series);
+        out.push_str(&format!("{label}\n"));
+        out.push_str(&render_series("beta", &all));
+        out.push('\n');
+    }
+    Ok(out)
+}

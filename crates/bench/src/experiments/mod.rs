@@ -1,0 +1,15 @@
+//! One module per paper table/figure. Each exposes
+//! `run(scale) -> ExpResult<String>` returning the rendered result block
+//! that the corresponding binary prints and saves.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

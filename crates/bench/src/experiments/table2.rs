@@ -1,0 +1,65 @@
+//! **Table 2**: PGD / TRADES / MART ± IB-RAR with ResNet-18 on CIFAR-10 and
+//! WRN-28-10 on CIFAR-100 (here: `ResNetMini` on `synth_cifar10`,
+//! `WideResNetMini` on `synth_cifar100`).
+
+use crate::{attack_row, scaled_method, train_and_eval, Arch, ExpResult, Scale};
+use ibrar::{LayerPolicy, TrainMethod};
+use ibrar_analysis::TextTable;
+use ibrar_data::{SynthVision, SynthVisionConfig};
+
+/// Runs the experiment and renders the table.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run(scale: &Scale) -> ExpResult<String> {
+    let mut out =
+        String::from("Table 2: adversarial training benchmarks ± IB-RAR (residual nets)\n\n");
+    let datasets = [
+        (
+            SynthVisionConfig::cifar10_like(),
+            Arch::Resnet,
+            "synth_cifar10 (CIFAR-10 stand-in)",
+        ),
+        (
+            SynthVisionConfig::cifar100_like(),
+            Arch::Wrn,
+            "synth_cifar100 (CIFAR-100 stand-in)",
+        ),
+    ];
+    for (config, arch, label) in datasets {
+        let config = config.with_sizes(scale.train, scale.test);
+        let data = SynthVision::generate(&config, 22)?;
+        let k = config.num_classes;
+        let mut table = TextTable::new(vec![
+            "Inputs", "Natural", "PGD", "CW", "FGSM", "FAB", "NIFGSM",
+        ]);
+        for method in [
+            TrainMethod::pgd_at_default(),
+            TrainMethod::trades_default(),
+            TrainMethod::mart_default(),
+        ] {
+            let method = scaled_method(method, scale);
+            let plain = train_and_eval(
+                arch, method, None, false, &data.train, &data.test, scale, k,
+            )?;
+            table.row(attack_row(method.name(), &plain));
+            let ib = arch.paper_ib().with_policy(LayerPolicy::Robust);
+            let ours = train_and_eval(
+                arch,
+                method,
+                Some(ib),
+                true,
+                &data.train,
+                &data.test,
+                scale,
+                k,
+            )?;
+            table.row(attack_row(&format!("{} (IB-RAR)", method.name()), &ours));
+        }
+        out.push_str(&format!("--- {label}, {} ---\n", arch.name()));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    Ok(out)
+}

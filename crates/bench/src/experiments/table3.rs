@@ -1,0 +1,91 @@
+//! **Table 3**: per-layer IB robustness for VGG16 on CIFAR-10 — train one
+//! network per hidden layer with single-layer IB loss, plus "All Layers" and
+//! "Rob. Layers" rows, and report PGD and clean accuracy.
+
+use crate::{train_and_eval, Arch, ExpResult, Scale};
+use ibrar::{
+    discover_robust_layers, robust_indices, IbLossConfig, LayerPolicy, RobustLayerConfig,
+    TrainMethod,
+};
+use ibrar_analysis::TextTable;
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_nn::ImageModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment and renders the table.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run(scale: &Scale) -> ExpResult<String> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(scale.train, scale.test);
+    let data = SynthVision::generate(&config, 33)?;
+    let k = config.num_classes;
+
+    let factory = move |seed: u64| -> ibrar::Result<Box<dyn ImageModel>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(Box::new(
+            ibrar_nn::VggMini::new(ibrar_nn::VggConfig::tiny(k), &mut rng)
+                .map_err(ibrar::IbrarError::from)?,
+        ))
+    };
+    let discovery_cfg = RobustLayerConfig {
+        epochs: scale.epochs,
+        batch_size: scale.batch,
+        eval_samples: scale.eval,
+        ..RobustLayerConfig::default()
+    };
+    let reports = discover_robust_layers(&factory, &data.train, &data.test, &discovery_cfg)?;
+
+    let mut table = TextTable::new(vec!["Layer", "Adv. acc.", "Test acc.", "Robust?"]);
+    for report in &reports {
+        table.row(vec![
+            report.name.clone(),
+            format!("{:.2}", report.adv_acc * 100.0),
+            format!("{:.2}", report.test_acc * 100.0),
+            if report.layer.is_none() {
+                "-".to_string()
+            } else if report.robust {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+        ]);
+    }
+
+    // "All Layers" and "Rob. Layers" rows: full IB training.
+    for (label, policy) in [
+        ("All Layers", LayerPolicy::All),
+        ("Rob. Layers", LayerPolicy::Robust),
+    ] {
+        let result = train_and_eval(
+            Arch::Vgg,
+            TrainMethod::Standard,
+            Some(IbLossConfig::substrate_vgg().with_policy(policy)),
+            true,
+            &data.train,
+            &data.test,
+            scale,
+            k,
+        )?;
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", result.attack_acc("PGD").unwrap_or(0.0)),
+            format!("{:.2}", result.natural),
+            "-".to_string(),
+        ]);
+    }
+
+    let discovered = robust_indices(&reports);
+    let mut out = String::from(
+        "Table 3: single-layer IB robustness (VGG16, synth_cifar10, PGD^10 eval)\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nDiscovered robust layers (margin {:.1}pp over CE): {:?}\n",
+        discovery_cfg.margin * 100.0,
+        discovered
+    ));
+    Ok(out)
+}

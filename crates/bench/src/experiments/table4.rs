@@ -1,0 +1,61 @@
+//! **Table 4**: ablation study. Six rows per architecture:
+//! (1) CE only, (2) the MI loss `L`, (3) compression term only,
+//! (4) relevance term only, (5) CE + feature mask (`FC`), (6) `L + FC`
+//! (full IB-RAR). Columns: Natural / PGD / NIFGSM / FGSM.
+
+use crate::{train_and_eval, Arch, EvalResult, ExpResult, Scale};
+use ibrar::{IbLossConfig, TrainMethod};
+use ibrar_analysis::TextTable;
+use ibrar_data::{SynthVision, SynthVisionConfig};
+
+fn ablation_row(name: &str, r: &EvalResult) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{:.2}", r.natural),
+        r.attack_acc("PGD").map(|a| format!("{a:.2}")).unwrap_or_default(),
+        r.attack_acc("NIFGSM").map(|a| format!("{a:.2}")).unwrap_or_default(),
+        r.attack_acc("FGSM").map(|a| format!("{a:.2}")).unwrap_or_default(),
+    ]
+}
+
+/// Runs the experiment and renders the table.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run(scale: &Scale) -> ExpResult<String> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(scale.train, scale.test);
+    let data = SynthVision::generate(&config, 44)?;
+    let k = config.num_classes;
+    let mut out = String::from("Table 4: ablation (synth_cifar10, no adversarial training)\n\n");
+    for arch in [Arch::Vgg, Arch::Resnet] {
+        let ib = arch.paper_ib();
+        // (name, ib-config, mask)
+        let rows: Vec<(&str, Option<IbLossConfig>, bool)> = vec![
+            ("(1) CE", None, false),
+            ("(2) L", Some(ib.clone()), false),
+            ("(3) CE + a*I(X,T)", Some(ib.clone().compression_only()), false),
+            ("(4) CE - b*I(Y,T)", Some(ib.clone().relevance_only()), false),
+            ("(5) CE + FC", None, true),
+            ("(6) L + FC (IB-RAR)", Some(ib.clone()), true),
+        ];
+        let mut table = TextTable::new(vec!["Inputs", "Natural", "PGD", "NIFGSM", "FGSM"]);
+        for (name, ib_cfg, mask) in rows {
+            let result = train_and_eval(
+                arch,
+                TrainMethod::Standard,
+                ib_cfg,
+                mask,
+                &data.train,
+                &data.test,
+                scale,
+                k,
+            )?;
+            table.row(ablation_row(name, &result));
+        }
+        out.push_str(&format!("--- {} ---\n", arch.name()));
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    Ok(out)
+}

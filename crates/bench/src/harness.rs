@@ -1,0 +1,281 @@
+//! Shared train/evaluate plumbing for the experiment binaries.
+
+use crate::{ExpResult, Scale};
+use ibrar::{IbLossConfig, MaskConfig, TrainMethod, Trainer, TrainerConfig};
+use ibrar_attacks::{
+    clean_accuracy, robust_accuracy, Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd, DEFAULT_ALPHA,
+    DEFAULT_EPS,
+};
+use ibrar_data::Dataset;
+use ibrar_nn::{
+    ImageModel, ResNetConfig, ResNetMini, VggConfig, VggMini, WideResNetConfig, WideResNetMini,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Which architecture an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// `VggMini` on 16×16 inputs.
+    Vgg,
+    /// `VggMini` on 32×32 inputs (the Tiny-ImageNet stand-in).
+    Vgg32,
+    /// `ResNetMini` (single-block stages for speed).
+    Resnet,
+    /// `WideResNetMini`.
+    Wrn,
+}
+
+impl Arch {
+    /// Builds a fresh, randomly initialized model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn build(&self, num_classes: usize, seed: u64) -> ExpResult<Box<dyn ImageModel>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(match self {
+            Arch::Vgg => Box::new(VggMini::new(VggConfig::tiny(num_classes), &mut rng)?),
+            Arch::Vgg32 => Box::new(VggMini::new(VggConfig::small32(num_classes), &mut rng)?),
+            Arch::Resnet => Box::new(ResNetMini::new(
+                ResNetConfig::tiny_fast(num_classes),
+                &mut rng,
+            )?),
+            Arch::Wrn => Box::new(WideResNetMini::new(
+                WideResNetConfig::tiny(num_classes),
+                &mut rng,
+            )?),
+        })
+    }
+
+    /// The IB hyperparameters used for this family's experiments — the
+    /// substrate-tuned values (see `sweep_ib` and DESIGN.md §6); the paper's
+    /// own values are available as `IbLossConfig::paper_vgg/paper_resnet`.
+    pub fn paper_ib(&self) -> IbLossConfig {
+        match self {
+            Arch::Vgg | Arch::Vgg32 => IbLossConfig::substrate_vgg(),
+            Arch::Resnet | Arch::Wrn => IbLossConfig::substrate_resnet(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::Vgg => "VGG16",
+            Arch::Vgg32 => "VGG16",
+            Arch::Resnet => "ResNet-18",
+            Arch::Wrn => "WRN-28-10",
+        }
+    }
+}
+
+/// The paper's five evaluation attacks, at the scale's budgets.
+pub fn attack_suite(scale: &Scale) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(Pgd::paper_default()),
+        Box::new(CwL2::paper_default().with_steps(scale.cw_steps)),
+        Box::new(Fgsm::new(DEFAULT_EPS)),
+        Box::new(Fab::paper_default()),
+        Box::new(NiFgsm::new(DEFAULT_EPS, DEFAULT_ALPHA, 10)),
+    ]
+}
+
+/// Natural accuracy plus adversarial accuracy per attack (in %).
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Clean test accuracy in percent.
+    pub natural: f32,
+    /// `(attack_name, accuracy %)` in suite order.
+    pub attacks: Vec<(String, f32)>,
+}
+
+impl EvalResult {
+    /// Accuracy for an attack by name (None if not evaluated).
+    pub fn attack_acc(&self, name: &str) -> Option<f32> {
+        self.attacks
+            .iter()
+            .find(|(n, _)| n.starts_with(name))
+            .map(|(_, a)| *a)
+    }
+}
+
+/// Evaluates a model on clean data and under the standard attack suite.
+///
+/// # Errors
+///
+/// Propagates attack/evaluation errors.
+pub fn eval_model(
+    model: &dyn ImageModel,
+    test: &Dataset,
+    scale: &Scale,
+) -> ExpResult<EvalResult> {
+    let natural = clean_accuracy(model, test, 64)? * 100.0;
+    let eval_set = test.take(scale.eval)?;
+    let mut attacks = Vec::new();
+    for attack in attack_suite(scale) {
+        let acc = robust_accuracy(model, attack.as_ref(), &eval_set, 32)? * 100.0;
+        attacks.push((attack.name(), acc));
+    }
+    Ok(EvalResult { natural, attacks })
+}
+
+/// Trains a fresh `arch` model with `method` (± IB-RAR) and evaluates it,
+/// averaging over `scale.seeds` runs.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn train_and_eval(
+    arch: Arch,
+    method: TrainMethod,
+    ib: Option<IbLossConfig>,
+    mask: bool,
+    train: &Dataset,
+    test: &Dataset,
+    scale: &Scale,
+    num_classes: usize,
+) -> ExpResult<EvalResult> {
+    let mut natural = 0.0f32;
+    let mut attack_accs: Vec<(String, f32)> = Vec::new();
+    for seed in 0..scale.seeds as u64 {
+        let model = arch.build(num_classes, 1000 + seed)?;
+        let mut config = TrainerConfig::new(method)
+            .with_epochs(scale.epochs)
+            .with_batch_size(scale.batch)
+            .with_seed(seed);
+        if let Some(ib_cfg) = ib.clone() {
+            config = config.with_ib(ib_cfg);
+        }
+        if mask {
+            config = config.with_mask(MaskConfig::default());
+        }
+        Trainer::new(config).train(model.as_ref(), train, test)?;
+        let result = eval_model(model.as_ref(), test, scale)?;
+        natural += result.natural;
+        if attack_accs.is_empty() {
+            attack_accs = result.attacks;
+        } else {
+            for (acc, (_, new)) in attack_accs.iter_mut().zip(result.attacks) {
+                acc.1 += new;
+            }
+        }
+    }
+    let n = scale.seeds as f32;
+    Ok(EvalResult {
+        natural: natural / n,
+        attacks: attack_accs
+            .into_iter()
+            .map(|(name, a)| (name, a / n))
+            .collect(),
+    })
+}
+
+/// Formats a full attack-suite table row: name, natural, then the five
+/// attack accuracies in paper column order.
+pub fn attack_row(name: &str, result: &EvalResult) -> Vec<String> {
+    let get = |attack: &str| {
+        result
+            .attack_acc(attack)
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_default()
+    };
+    vec![
+        name.to_string(),
+        format!("{:.2}", result.natural),
+        get("PGD"),
+        get("CW"),
+        get("FGSM"),
+        get("FAB"),
+        get("NIFGSM"),
+    ]
+}
+
+/// Directory where experiment outputs are written.
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints `content` and writes it to `target/experiments/<name>.txt`.
+pub fn write_output(name: &str, content: &str) {
+    println!("{content}");
+    let path = output_dir().join(format!("{name}.txt"));
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+/// Lowers the training method's inner-PGD cost to the scale's budget.
+pub fn scaled_method(method: TrainMethod, scale: &Scale) -> TrainMethod {
+    match method {
+        TrainMethod::PgdAt { eps, alpha, .. } => TrainMethod::PgdAt {
+            eps,
+            alpha,
+            steps: scale.at_steps,
+        },
+        TrainMethod::Trades {
+            beta, eps, alpha, ..
+        } => TrainMethod::Trades {
+            beta,
+            eps,
+            alpha,
+            steps: scale.at_steps,
+        },
+        TrainMethod::Mart {
+            beta, eps, alpha, ..
+        } => TrainMethod::Mart {
+            beta,
+            eps,
+            alpha,
+            steps: scale.at_steps,
+        },
+        TrainMethod::Standard => TrainMethod::Standard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_builds_all_families() {
+        for arch in [Arch::Vgg, Arch::Vgg32, Arch::Resnet, Arch::Wrn] {
+            let model = arch.build(10, 0).unwrap();
+            assert_eq!(model.num_classes(), 10);
+        }
+    }
+
+    #[test]
+    fn attack_suite_has_five_attacks() {
+        let suite = attack_suite(&Scale::quick());
+        assert_eq!(suite.len(), 5);
+        let names: Vec<String> = suite.iter().map(|a| a.name()).collect();
+        assert!(names.iter().any(|n| n.contains("PGD")));
+        assert!(names.iter().any(|n| n.contains("CW")));
+        assert!(names.iter().any(|n| n.contains("FGSM")));
+        assert!(names.iter().any(|n| n.contains("FAB")));
+        assert!(names.iter().any(|n| n.contains("NIFGSM")));
+    }
+
+    #[test]
+    fn scaled_method_rewrites_steps() {
+        let scale = Scale::quick();
+        let m = scaled_method(TrainMethod::pgd_at_default(), &scale);
+        assert!(matches!(m, TrainMethod::PgdAt { steps, .. } if steps == scale.at_steps));
+    }
+
+    #[test]
+    fn eval_result_lookup() {
+        let r = EvalResult {
+            natural: 90.0,
+            attacks: vec![("PGD10".into(), 40.0), ("CW".into(), 35.0)],
+        };
+        assert_eq!(r.attack_acc("PGD"), Some(40.0));
+        assert_eq!(r.attack_acc("AutoAttack"), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the IB-RAR reproduction.
+//!
+//! Every table and figure of the paper maps to a module under
+//! [`experiments`] and a binary under `src/bin/` that prints the
+//! paper-style rows (and writes them to `target/experiments/`). The
+//! [`Scale`] type lets each binary run at `--quick` smoke-test scale, the
+//! default laptop scale, or `--full` scale with seed averaging.
+
+pub mod experiments;
+mod harness;
+mod scale;
+
+pub use harness::{
+    attack_row, attack_suite, eval_model, output_dir, scaled_method, train_and_eval,
+    write_output, Arch, EvalResult,
+};
+pub use scale::Scale;
+
+/// Experiment-level result alias (boxed error for binary `main`s).
+pub type ExpResult<T> = Result<T, Box<dyn std::error::Error>>;

@@ -1,0 +1,172 @@
+//! Experiment sizing.
+
+/// How big an experiment run is.
+///
+/// Parsed from CLI args (`--quick`, `--full`, `--train N`, `--epochs N`,
+/// `--seeds N`) with environment-variable fallbacks (`IBRAR_SCALE`,
+/// `IBRAR_EPOCHS`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Training-set size.
+    pub train: usize,
+    /// Test-set size.
+    pub test: usize,
+    /// Test samples used for adversarial evaluation.
+    pub eval: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Inner PGD steps during adversarial training.
+    pub at_steps: usize,
+    /// CW optimization steps at evaluation time.
+    pub cw_steps: usize,
+    /// Number of seeds to average.
+    pub seeds: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Scale {
+    /// Smoke-test scale: seconds per experiment.
+    pub fn quick() -> Self {
+        Scale {
+            train: 192,
+            test: 96,
+            eval: 48,
+            epochs: 2,
+            at_steps: 2,
+            cw_steps: 8,
+            seeds: 1,
+            batch: 32,
+        }
+    }
+
+    /// Default laptop scale: minutes per experiment.
+    pub fn default_scale() -> Self {
+        Scale {
+            train: 512,
+            test: 192,
+            eval: 64,
+            epochs: 10,
+            at_steps: 4,
+            cw_steps: 20,
+            seeds: 1,
+            batch: 32,
+        }
+    }
+
+    /// Full scale with seed averaging (the paper averages 3 runs).
+    pub fn full() -> Self {
+        Scale {
+            train: 1536,
+            test: 384,
+            eval: 160,
+            epochs: 15,
+            at_steps: 7,
+            cw_steps: 40,
+            seeds: 3,
+            batch: 32,
+        }
+    }
+
+    /// Parses `std::env::args` plus environment fallbacks.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse(&args, |k| std::env::var(k).ok())
+    }
+
+    /// Pure parser (tested without touching the real environment).
+    pub fn parse(args: &[String], env: impl Fn(&str) -> Option<String>) -> Self {
+        let mut scale = match env("IBRAR_SCALE").as_deref() {
+            Some("quick") => Scale::quick(),
+            Some("full") => Scale::full(),
+            _ => Scale::default_scale(),
+        };
+        if args.iter().any(|a| a == "--quick") {
+            scale = Scale::quick();
+        }
+        if args.iter().any(|a| a == "--full") {
+            scale = Scale::full();
+        }
+        let get = |flag: &str, env_key: &str| -> Option<usize> {
+            if let Some(pos) = args.iter().position(|a| a == flag) {
+                if let Some(v) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+                    return Some(v);
+                }
+            }
+            env(env_key).and_then(|v| v.parse().ok())
+        };
+        if let Some(v) = get("--train", "IBRAR_TRAIN") {
+            scale.train = v.max(16);
+        }
+        if let Some(v) = get("--test", "IBRAR_TEST") {
+            scale.test = v.max(16);
+            scale.eval = scale.eval.min(scale.test);
+        }
+        if let Some(v) = get("--epochs", "IBRAR_EPOCHS") {
+            scale.epochs = v.max(1);
+        }
+        if let Some(v) = get("--seeds", "IBRAR_SEEDS") {
+            scale.seeds = v.max(1);
+        }
+        if let Some(v) = get("--eval", "IBRAR_EVAL") {
+            scale.eval = v.max(8);
+        }
+        scale
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn default_without_flags() {
+        let s = Scale::parse(&[], no_env);
+        assert_eq!(s, Scale::default_scale());
+    }
+
+    #[test]
+    fn quick_flag_wins() {
+        let args = vec!["bin".to_string(), "--quick".to_string()];
+        assert_eq!(Scale::parse(&args, no_env), Scale::quick());
+    }
+
+    #[test]
+    fn explicit_overrides_apply() {
+        let args: Vec<String> = ["bin", "--quick", "--epochs", "5", "--train", "64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let s = Scale::parse(&args, no_env);
+        assert_eq!(s.epochs, 5);
+        assert_eq!(s.train, 64);
+        assert_eq!(s.batch, Scale::quick().batch);
+    }
+
+    #[test]
+    fn env_scale_respected() {
+        let s = Scale::parse(&[], |k| (k == "IBRAR_SCALE").then(|| "full".to_string()));
+        assert_eq!(s, Scale::full());
+    }
+
+    #[test]
+    fn floors_enforced() {
+        let args: Vec<String> = ["bin", "--epochs", "0", "--train", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let s = Scale::parse(&args, no_env);
+        assert_eq!(s.epochs, 1);
+        assert_eq!(s.train, 16);
+    }
+}

@@ -1,0 +1,97 @@
+//! The adaptive white-box attack objective (paper Appendix A.2).
+//!
+//! An adversary with full knowledge of IB-RAR runs PGD on the *defense's own
+//! loss* — Eq. 1 in its entirety — rather than plain cross-entropy:
+//! `maximize L_CE + α Σ I(X, T_l) − β Σ I(Y, T_l)`.
+
+use crate::loss::{IbLoss, IbLossConfig};
+use ibrar_attacks::Objective;
+use ibrar_autograd::Var;
+use ibrar_nn::{ModelOutput, Session};
+
+/// PGD objective that maximizes the full IB-RAR training loss.
+///
+/// Plug into [`ibrar_attacks::Pgd::with_objective`] to obtain the paper's
+/// `PGD_AD` attack.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ibrar::{AdaptiveIbObjective, IbLossConfig};
+/// use ibrar_attacks::Pgd;
+/// use std::sync::Arc;
+///
+/// let adaptive = Pgd::paper_default()
+///     .with_objective(Arc::new(AdaptiveIbObjective::new(IbLossConfig::substrate_vgg(), 10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveIbObjective {
+    config: IbLossConfig,
+    num_classes: usize,
+}
+
+impl AdaptiveIbObjective {
+    /// Creates the adaptive objective for a `num_classes`-way model using
+    /// the defender's IB hyperparameters.
+    pub fn new(config: IbLossConfig, num_classes: usize) -> Self {
+        AdaptiveIbObjective {
+            config,
+            num_classes,
+        }
+    }
+}
+
+impl Objective for AdaptiveIbObjective {
+    fn loss<'t>(
+        &self,
+        sess: &Session<'t>,
+        x: Var<'t>,
+        out: &ModelOutput<'t>,
+        labels: &[usize],
+    ) -> ibrar_attacks::Result<Var<'t>> {
+        let ce = out.logits.cross_entropy(labels)?;
+        let reg = IbLoss::regularizer(sess, x, &out.hidden, labels, self.num_classes, &self.config)
+            .map_err(|e| ibrar_attacks::AttackError::Config(e.to_string()))?;
+        Ok(ce.add(reg)?)
+    }
+
+    fn name(&self) -> &str {
+        "adaptive-ib"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_attacks::{Attack, Pgd};
+    use ibrar_nn::{VggConfig, VggMini};
+    use ibrar_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn adaptive_pgd_runs_and_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(4), &mut rng).unwrap();
+        let x = Tensor::from_fn(&[4, 3, 16, 16], |i| {
+            (((i[0] + i[1]) * 3 + i[2] + i[3]) % 7) as f32 / 7.0
+        });
+        let labels = [0, 1, 2, 3];
+        let eps = 8.0 / 255.0;
+        let attack = Pgd::new(eps, 2.0 / 255.0, 3).with_objective(Arc::new(
+            AdaptiveIbObjective::new(IbLossConfig::substrate_vgg(), 4),
+        ));
+        let adv = attack.perturb(&model, &x, &labels).unwrap();
+        assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn name_distinguishes_attack() {
+        let obj = AdaptiveIbObjective::new(IbLossConfig::substrate_vgg(), 10);
+        assert_eq!(obj.name(), "adaptive-ib");
+        let attack = Pgd::paper_default().with_objective(Arc::new(obj));
+        assert!(attack.name().contains("adaptive-ib"));
+    }
+}

@@ -1,0 +1,230 @@
+//! IB-based baselines for the Fig. 2 comparison.
+//!
+//! * **CE** — plain cross-entropy: `TrainerConfig::new(TrainMethod::Standard)`.
+//! * **HBaR** (Wang et al. 2021) — HSIC bottleneck on all layers:
+//!   [`IbLossConfig::hbar`](crate::IbLossConfig::hbar).
+//! * **VIB** (Alemi et al. 2017) — this module: a stochastic bottleneck head
+//!   on top of any [`ImageModel`], trained with the reparameterization trick
+//!   and a `KL(q(z|x) ‖ N(0, I))` penalty delivered through
+//!   [`ModelOutput::aux_loss`].
+
+use crate::Result;
+use ibrar_nn::{ImageModel, Linear, Mode, ModelOutput, NnError, Parameter, Session};
+use ibrar_tensor::{normal, Tensor};
+use ibrar_autograd::Var;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Variational-Information-Bottleneck head wrapped around a backbone model.
+///
+/// The backbone's last hidden tap `h` feeds two linear heads `μ(h)` and
+/// `log σ²(h)`; during training `z = μ + σ ⊙ ε` with `ε ~ N(0, I)`, at
+/// evaluation `z = μ`. The classifier consumes `z`, and the forward pass
+/// reports `γ · KL(q(z|x) ‖ N(0, I))` as its auxiliary loss, which the
+/// [`Trainer`](crate::Trainer) adds to the objective.
+pub struct VibBaseline<M> {
+    inner: M,
+    mu_head: Linear,
+    logvar_head: Linear,
+    classifier: Linear,
+    gamma: f32,
+    bottleneck: usize,
+    rng: Mutex<StdRng>,
+}
+
+impl<M: ImageModel> VibBaseline<M> {
+    /// Wraps `inner`, whose last hidden tap must be a `[n, feature_dim]`
+    /// fully-connected output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for a zero bottleneck width.
+    pub fn new(
+        inner: M,
+        feature_dim: usize,
+        bottleneck: usize,
+        gamma: f32,
+        rng: &mut impl rand::Rng,
+    ) -> Result<Self> {
+        if bottleneck == 0 {
+            return Err(crate::IbrarError::Config("bottleneck width must be positive".into()));
+        }
+        Ok(VibBaseline {
+            mu_head: Linear::new("vib.mu", feature_dim, bottleneck, rng),
+            logvar_head: Linear::new("vib.logvar", feature_dim, bottleneck, rng),
+            classifier: Linear::new("vib.classifier", bottleneck, inner.num_classes(), rng),
+            inner,
+            gamma,
+            bottleneck,
+            rng: Mutex::new(StdRng::seed_from_u64(rng.next_u64())),
+        })
+    }
+
+    /// The wrapped backbone.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: ImageModel> ImageModel for VibBaseline<M> {
+    fn forward<'t>(
+        &self,
+        sess: &Session<'t>,
+        x: Var<'t>,
+        mode: Mode,
+    ) -> ibrar_nn::Result<ModelOutput<'t>> {
+        let inner_out = self.inner.forward(sess, x, mode)?;
+        let h = inner_out
+            .hidden
+            .last()
+            .ok_or_else(|| NnError::Config("backbone exposes no hidden taps".into()))?
+            .var;
+        let n = h.shape()[0];
+        let mu = self.mu_head.forward(sess, h)?;
+        let logvar = self.logvar_head.forward(sess, h)?;
+        let z = match mode {
+            Mode::Train => {
+                let eps = {
+                    let mut rng = self.rng.lock();
+                    normal(&[n, self.bottleneck], 0.0, 1.0, &mut *rng)
+                };
+                let eps_leaf = sess.tape().leaf(eps);
+                let std = logvar.scale(0.5).exp();
+                mu.add(std.mul(eps_leaf)?)?
+            }
+            Mode::Eval => mu,
+        };
+        let logits = self.classifier.forward(sess, z)?;
+        // KL(N(μ, σ²) ‖ N(0, I)) = ½ Σ (μ² + σ² − log σ² − 1), meaned over
+        // the batch.
+        let kl = mu
+            .square()?
+            .add(logvar.exp())?
+            .sub(logvar)?
+            .add_scalar(-1.0)
+            .sum()?
+            .scale(0.5 / n as f32);
+        Ok(ModelOutput {
+            logits,
+            hidden: inner_out.hidden,
+            aux_loss: Some(kl.scale(self.gamma)),
+        })
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        let mut out = self.inner.params();
+        out.extend(self.mu_head.params());
+        out.extend(self.logvar_head.params());
+        out.extend(self.classifier.params());
+        out
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.inner.input_shape()
+    }
+
+    fn last_conv_channels(&self) -> usize {
+        self.inner.last_conv_channels()
+    }
+
+    fn set_channel_mask(&self, mask: Option<Tensor>) -> ibrar_nn::Result<()> {
+        self.inner.set_channel_mask(mask)
+    }
+
+    fn channel_mask(&self) -> Option<Tensor> {
+        self.inner.channel_mask()
+    }
+
+    fn name(&self) -> &str {
+        "VIB"
+    }
+
+    fn hidden_names(&self) -> Vec<String> {
+        self.inner.hidden_names()
+    }
+}
+
+impl<M: ImageModel> std::fmt::Debug for VibBaseline<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VibBaseline")
+            .field("gamma", &self.gamma)
+            .field("bottleneck", &self.bottleneck)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vib() -> VibBaseline<VggMini> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inner = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        VibBaseline::new(inner, 64, 32, 0.01, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_has_aux_loss() {
+        let m = vib();
+        let tape = ibrar_autograd::Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::full(&[2, 3, 16, 16], 0.4));
+        let out = m.forward(&sess, x, Mode::Train).unwrap();
+        assert_eq!(out.logits.shape(), vec![2, 10]);
+        let aux = out.aux_loss.expect("VIB must report its KL term");
+        assert!(aux.value().data()[0] >= 0.0);
+    }
+
+    #[test]
+    fn eval_is_deterministic_train_is_stochastic() {
+        let m = vib();
+        let run = |mode: Mode| {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(Tensor::full(&[1, 3, 16, 16], 0.4));
+            m.forward(&sess, x, mode).unwrap().logits.value()
+        };
+        assert_eq!(run(Mode::Eval), run(Mode::Eval));
+        assert_ne!(run(Mode::Train), run(Mode::Train));
+    }
+
+    #[test]
+    fn gradients_reach_vib_heads() {
+        let m = vib();
+        let tape = ibrar_autograd::Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::full(&[2, 3, 16, 16], 0.4));
+        let out = m.forward(&sess, x, Mode::Train).unwrap();
+        let loss = out
+            .logits
+            .cross_entropy(&[0, 1])
+            .unwrap()
+            .add(out.aux_loss.unwrap())
+            .unwrap();
+        sess.backward(loss).unwrap();
+        let vib_params: Vec<_> = m
+            .params()
+            .into_iter()
+            .filter(|p| p.name().starts_with("vib."))
+            .collect();
+        assert!(!vib_params.is_empty());
+        for p in vib_params {
+            assert!(p.grad().is_some(), "{} missing grad", p.name());
+        }
+    }
+
+    #[test]
+    fn zero_bottleneck_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inner = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        assert!(VibBaseline::new(inner, 64, 0, 0.01, &mut rng).is_err());
+    }
+}

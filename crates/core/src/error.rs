@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Error type for IB-RAR training and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IbrarError {
+    /// A tensor operation failed.
+    Tensor(ibrar_tensor::TensorError),
+    /// An autograd operation failed.
+    Autograd(ibrar_autograd::AutogradError),
+    /// A model operation failed.
+    Nn(ibrar_nn::NnError),
+    /// A dataset operation failed.
+    Data(ibrar_data::DataError),
+    /// An information-theoretic estimator failed.
+    Info(ibrar_infotheory::InfoError),
+    /// An attack failed.
+    Attack(ibrar_attacks::AttackError),
+    /// A training/loss configuration is invalid.
+    Config(String),
+}
+
+impl fmt::Display for IbrarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IbrarError::Tensor(e) => write!(f, "tensor error: {e}"),
+            IbrarError::Autograd(e) => write!(f, "autograd error: {e}"),
+            IbrarError::Nn(e) => write!(f, "model error: {e}"),
+            IbrarError::Data(e) => write!(f, "data error: {e}"),
+            IbrarError::Info(e) => write!(f, "info error: {e}"),
+            IbrarError::Attack(e) => write!(f, "attack error: {e}"),
+            IbrarError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IbrarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IbrarError::Tensor(e) => Some(e),
+            IbrarError::Autograd(e) => Some(e),
+            IbrarError::Nn(e) => Some(e),
+            IbrarError::Data(e) => Some(e),
+            IbrarError::Info(e) => Some(e),
+            IbrarError::Attack(e) => Some(e),
+            IbrarError::Config(_) => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for IbrarError {
+            fn from(e: $ty) -> Self {
+                IbrarError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Tensor, ibrar_tensor::TensorError);
+impl_from!(Autograd, ibrar_autograd::AutogradError);
+impl_from!(Nn, ibrar_nn::NnError);
+impl_from!(Data, ibrar_data::DataError);
+impl_from!(Info, ibrar_infotheory::InfoError);
+impl_from!(Attack, ibrar_attacks::AttackError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: IbrarError = ibrar_tensor::TensorError::Decode("x".into()).into();
+        assert!(matches!(e, IbrarError::Tensor(_)));
+        assert!(!e.to_string().is_empty());
+        let c = IbrarError::Config("bad alpha".into());
+        assert!(c.to_string().contains("bad alpha"));
+    }
+}

@@ -1,0 +1,69 @@
+//! **IB-RAR** — Information Bottleneck as Regularizer for Adversarial
+//! Robustness (Xu, Perin, Picek; DSN Workshops 2023).
+//!
+//! This crate is the paper's contribution, built on the workspace
+//! substrates:
+//!
+//! * [`IbLoss`] — the mutual-information regularizer of Eq. 1,
+//!   `L = L_CE + α Σ_l I(X, T_l) − β Σ_l I(Y, T_l)`, with HSIC standing in
+//!   for `I(·,·)` and a [`LayerPolicy`] choosing which hidden layers
+//!   participate (all layers, the robust layers, or a single layer).
+//! * [`Trainer`] — Algorithm 1, for plain training and the three
+//!   adversarial-training benchmarks ([`TrainMethod::PgdAt`],
+//!   [`TrainMethod::Trades`], [`TrainMethod::Mart`]), each combinable with
+//!   the IB regularizer (Eq. 2).
+//! * [`compute_channel_mask`] — the unnecessary-feature mask of Eq. 3:
+//!   channels of the last conv block whose MI with the labels falls in the
+//!   bottom fraction (default 5%) are zeroed.
+//! * [`discover_robust_layers`] — the §2.2 procedure: train one network per
+//!   hidden layer with single-layer IB loss and compare PGD accuracy against
+//!   the CE baseline.
+//! * [`AdaptiveIbObjective`] — the Appendix A.2 adaptive white-box attack
+//!   objective (PGD on the full IB-RAR loss).
+//! * [`VibBaseline`] — the VIB comparison baseline (Alemi et al. 2017);
+//!   HBaR (Wang et al. 2021) is expressed as `IbLoss` over all layers with
+//!   its own hyperparameters via [`IbLossConfig::hbar`].
+//!
+//! # Examples
+//!
+//! Train a small model with the IB-RAR loss and mask, then evaluate under
+//! PGD:
+//!
+//! ```no_run
+//! use ibrar::{IbLossConfig, LayerPolicy, MaskConfig, Trainer, TrainerConfig, TrainMethod};
+//! use ibrar_data::{SynthVision, SynthVisionConfig};
+//! use ibrar_nn::{VggMini, VggConfig};
+//! use ibrar_attacks::{robust_accuracy, Pgd};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+//! let data = SynthVision::generate(&SynthVisionConfig::cifar10_like(), 0)?;
+//! let config = TrainerConfig::new(TrainMethod::Standard)
+//!     .with_epochs(5)
+//!     .with_ib(IbLossConfig::new(1.0, 0.1).with_policy(LayerPolicy::Robust))
+//!     .with_mask(MaskConfig::default());
+//! let report = Trainer::new(config).train(&model, &data.train, &data.test)?;
+//! let adv_acc = robust_accuracy(&model, &Pgd::paper_default(), &data.test, 50)?;
+//! println!("natural {:.2}% adversarial {:.2}%", report.final_natural_acc() * 100.0, adv_acc * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod adaptive;
+mod baselines;
+mod error;
+mod layer_select;
+mod loss;
+mod mask;
+mod trainer;
+
+pub use adaptive::AdaptiveIbObjective;
+pub use baselines::VibBaseline;
+pub use error::IbrarError;
+pub use layer_select::{discover_robust_layers, robust_indices, LayerReport, RobustLayerConfig};
+pub use loss::{IbLoss, IbLossConfig, LayerPolicy};
+pub use mask::{compute_channel_mask, mask_from_scores, MaskConfig};
+pub use trainer::{EpochMetrics, TrainMethod, TrainReport, Trainer, TrainerConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IbrarError>;

@@ -1,0 +1,319 @@
+//! The IB-RAR mutual-information loss (paper Eq. 1).
+//!
+//! `L = L_CE + α Σ_l I(X, T_l) − β Σ_l I(Y, T_l)` where `I` is the biased
+//! Gaussian-kernel HSIC estimator and the sum ranges over the layers chosen
+//! by the [`LayerPolicy`]. Kernel widths follow the median heuristic on each
+//! batch.
+
+use crate::{IbrarError, Result};
+use ibrar_autograd::Var;
+use ibrar_infotheory::{hsic_var, median_sigma, one_hot_var};
+use ibrar_nn::{Hidden, Session};
+
+/// Which hidden layers receive IB regularizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerPolicy {
+    /// Every hidden tap (the HBaR/HSIC-bottleneck choice).
+    All,
+    /// The paper's robust layers: the last conv block plus both FC layers
+    /// (resolved against the model's tap count at loss time).
+    Robust,
+    /// A single hidden tap by index (used by the §2.2 discovery procedure).
+    Single(usize),
+    /// An explicit set of tap indices.
+    Custom(Vec<usize>),
+}
+
+impl LayerPolicy {
+    /// Resolves the policy to tap indices for a model with `num_taps` taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices or an empty selection.
+    pub fn resolve(&self, num_taps: usize) -> Result<Vec<usize>> {
+        let indices = match self {
+            LayerPolicy::All => (0..num_taps).collect::<Vec<_>>(),
+            LayerPolicy::Robust => {
+                // Last conv block + the (up to two) taps after it. For
+                // VggMini this is exactly {conv_block5, fc1, fc2}; for the
+                // residual nets it is the last stage + pooled features.
+                let start = num_taps.saturating_sub(3);
+                (start..num_taps).collect()
+            }
+            LayerPolicy::Single(i) => vec![*i],
+            LayerPolicy::Custom(v) => v.clone(),
+        };
+        if indices.is_empty() {
+            return Err(IbrarError::Config("layer policy selects no layers".into()));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= num_taps) {
+            return Err(IbrarError::Config(format!(
+                "layer index {bad} out of range for {num_taps} taps"
+            )));
+        }
+        Ok(indices)
+    }
+}
+
+/// Hyperparameters of the IB regularizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IbLossConfig {
+    /// Weight of the compression term `+α Σ I(X, T_l)`.
+    pub alpha: f32,
+    /// Weight of the relevance term `−β Σ I(Y, T_l)`.
+    pub beta: f32,
+    /// Which layers participate.
+    pub policy: LayerPolicy,
+}
+
+impl IbLossConfig {
+    /// Creates a config with the [`LayerPolicy::Robust`] default.
+    pub fn new(alpha: f32, beta: f32) -> Self {
+        IbLossConfig {
+            alpha,
+            beta,
+            policy: LayerPolicy::Robust,
+        }
+    }
+
+    /// The paper's VGG16 setting: α=1.0, β=0.1.
+    pub fn paper_vgg() -> Self {
+        IbLossConfig::new(1.0, 0.1)
+    }
+
+    /// The paper's ResNet-18 setting: α=5e-4, β=5e-5.
+    ///
+    /// (Note the paper states α = β×0.1 generally but lists α=5e-4,
+    /// β=5e-5 for ResNet, i.e. α = 10β; we reproduce the listed values.)
+    pub fn paper_resnet() -> Self {
+        IbLossConfig::new(5e-4, 5e-5)
+    }
+
+    /// HBaR baseline (Wang et al. 2021): HSIC bottleneck on **all** layers.
+    pub fn hbar() -> Self {
+        IbLossConfig::new(0.5, 0.05).with_policy(LayerPolicy::All)
+    }
+
+    /// Substrate-tuned VGG weights (α=0.1, β=0.01), selected by the
+    /// `sweep_ib` diagnostic exactly as the paper's Fig. 6 sweep selects
+    /// (α, β) per architecture: 4× the CE baseline's PGD accuracy with
+    /// natural accuracy preserved. The paper's own values assume
+    /// CIFAR-scale HSIC magnitudes and over-compress on this substrate.
+    pub fn substrate_vgg() -> Self {
+        IbLossConfig::new(0.1, 0.01)
+    }
+
+    /// Substrate-tuned residual-net weights (α=0.1, β=0.01). The paper's
+    /// ResNet values (5e-4/5e-5) are inert at this scale.
+    pub fn substrate_resnet() -> Self {
+        IbLossConfig::new(0.1, 0.01)
+    }
+
+    /// Overrides the layer policy (builder style).
+    pub fn with_policy(mut self, policy: LayerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Keeps only the compression term (ablation row 3 of Table 4).
+    pub fn compression_only(mut self) -> Self {
+        self.beta = 0.0;
+        self
+    }
+
+    /// Keeps only the relevance term (ablation row 4 of Table 4).
+    pub fn relevance_only(mut self) -> Self {
+        self.alpha = 0.0;
+        self
+    }
+}
+
+/// A built IB regularizer term, ready to be added to a base loss.
+#[derive(Debug)]
+pub struct IbLoss;
+
+impl IbLoss {
+    /// Builds the regularizer `α Σ_l I(X, T_l) − β Σ_l I(Y, T_l)` on the
+    /// session's tape.
+    ///
+    /// `x` is the input batch variable (used for `I(X, T_l)`), `hidden` the
+    /// model's taps, `labels` the batch labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid layer selections or estimator failures.
+    pub fn regularizer<'t>(
+        sess: &Session<'t>,
+        x: Var<'t>,
+        hidden: &[Hidden<'t>],
+        labels: &[usize],
+        num_classes: usize,
+        config: &IbLossConfig,
+    ) -> Result<Var<'t>> {
+        let indices = config.policy.resolve(hidden.len())?;
+        let tape = sess.tape();
+        let x_flat = x.flatten_batch()?;
+        let sigma_x = median_sigma(&x_flat.value());
+        let y = one_hot_var(tape, labels, num_classes)?;
+        let sigma_y = median_sigma(&y.value());
+
+        let mut total: Option<Var<'t>> = None;
+        for &i in &indices {
+            let t_flat = hidden[i].var.flatten_batch()?;
+            let sigma_t = median_sigma(&t_flat.value());
+            let mut term: Option<Var<'t>> = None;
+            if config.alpha != 0.0 {
+                let ixt = hsic_var(x_flat, t_flat, sigma_x, sigma_t)?.scale(config.alpha);
+                term = Some(ixt);
+            }
+            if config.beta != 0.0 {
+                let iyt = hsic_var(y, t_flat, sigma_y, sigma_t)?.scale(-config.beta);
+                term = Some(match term {
+                    Some(t) => t.add(iyt)?,
+                    None => iyt,
+                });
+            }
+            if let Some(t) = term {
+                total = Some(match total {
+                    Some(acc) => acc.add(t)?,
+                    None => t,
+                });
+            }
+        }
+        match total {
+            Some(t) => Ok(t),
+            // α = β = 0: contribute nothing.
+            None => Ok(tape.leaf(ibrar_tensor::Tensor::scalar(0.0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_autograd::Tape;
+    use ibrar_nn::{ImageModel, Mode, VggConfig, VggMini};
+    use ibrar_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> VggMini {
+        let mut rng = StdRng::seed_from_u64(0);
+        VggMini::new(VggConfig::tiny(4), &mut rng).unwrap()
+    }
+
+    fn batch() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_fn(&[6, 3, 16, 16], |i| {
+            (((i[0] * 3 + i[1]) * 7 + i[2] + 2 * i[3]) % 11) as f32 / 11.0
+        });
+        let labels = vec![0, 1, 2, 3, 0, 1];
+        (x, labels)
+    }
+
+    #[test]
+    fn policy_resolution() {
+        assert_eq!(LayerPolicy::All.resolve(7).unwrap(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(LayerPolicy::Robust.resolve(7).unwrap(), vec![4, 5, 6]);
+        assert_eq!(LayerPolicy::Single(2).resolve(7).unwrap(), vec![2]);
+        assert_eq!(
+            LayerPolicy::Custom(vec![1, 3]).resolve(7).unwrap(),
+            vec![1, 3]
+        );
+        assert!(LayerPolicy::Single(7).resolve(7).is_err());
+        assert!(LayerPolicy::Custom(vec![]).resolve(7).is_err());
+    }
+
+    #[test]
+    fn regularizer_is_finite_and_differentiable() {
+        let m = model();
+        let (x, labels) = batch();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let xv = tape.var(x);
+        let out = m.forward(&sess, xv, Mode::Eval).unwrap();
+        let reg = IbLoss::regularizer(
+            &sess,
+            xv,
+            &out.hidden,
+            &labels,
+            4,
+            &IbLossConfig::paper_vgg(),
+        )
+        .unwrap();
+        assert!(reg.value().all_finite());
+        let ce = out.logits.cross_entropy(&labels).unwrap();
+        let loss = ce.add(reg).unwrap();
+        sess.backward(loss).unwrap();
+        for p in m.params() {
+            assert!(p.grad().is_some(), "{} missing grad", p.name());
+        }
+    }
+
+    #[test]
+    fn alpha_term_positive_beta_negative() {
+        // With β = 0 the regularizer is +α ΣI(X,T) ≥ 0; with α = 0 it is
+        // −β ΣI(Y,T) ≤ 0.
+        let m = model();
+        let (x, labels) = batch();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let xv = tape.leaf(x);
+        let out = m.forward(&sess, xv, Mode::Eval).unwrap();
+        let a_only = IbLoss::regularizer(
+            &sess,
+            xv,
+            &out.hidden,
+            &labels,
+            4,
+            &IbLossConfig::paper_vgg().compression_only(),
+        )
+        .unwrap();
+        assert!(a_only.value().data()[0] >= 0.0);
+        let b_only = IbLoss::regularizer(
+            &sess,
+            xv,
+            &out.hidden,
+            &labels,
+            4,
+            &IbLossConfig::paper_vgg().relevance_only(),
+        )
+        .unwrap();
+        assert!(b_only.value().data()[0] <= 0.0);
+    }
+
+    #[test]
+    fn zero_config_contributes_zero() {
+        let m = model();
+        let (x, labels) = batch();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let xv = tape.leaf(x);
+        let out = m.forward(&sess, xv, Mode::Eval).unwrap();
+        let reg = IbLoss::regularizer(
+            &sess,
+            xv,
+            &out.hidden,
+            &labels,
+            4,
+            &IbLossConfig::new(0.0, 0.0),
+        )
+        .unwrap();
+        assert_eq!(reg.value().data(), &[0.0]);
+    }
+
+    #[test]
+    fn robust_policy_on_vgg_picks_block5_fc1_fc2() {
+        let m = model();
+        let names = m.hidden_names();
+        let idx = LayerPolicy::Robust.resolve(names.len()).unwrap();
+        let picked: Vec<&str> = idx.iter().map(|&i| names[i].as_str()).collect();
+        assert_eq!(picked, vec!["conv_block5", "fully_c1", "fully_c2"]);
+    }
+
+    #[test]
+    fn paper_configs() {
+        assert_eq!(IbLossConfig::paper_vgg().alpha, 1.0);
+        assert_eq!(IbLossConfig::paper_vgg().beta, 0.1);
+        assert_eq!(IbLossConfig::hbar().policy, LayerPolicy::All);
+    }
+}

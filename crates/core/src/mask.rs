@@ -1,0 +1,188 @@
+//! Unnecessary-feature masking (paper Eq. 3, §2.3).
+//!
+//! After IB training, the channels of the last convolutional block are
+//! scored by their (binned) mutual information with the labels; the bottom
+//! `fraction` (paper: 5%) are zeroed by a 0/1 mask installed into the model
+//! and applied on every subsequent forward pass (`T_last = T_last ⊙ mask`).
+
+use crate::{IbrarError, Result};
+use ibrar_data::Dataset;
+use ibrar_infotheory::{channel_label_mi, BinningConfig};
+use ibrar_nn::{ImageModel, LayerKind, Mode, Session};
+use ibrar_tensor::Tensor;
+
+/// Masking parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskConfig {
+    /// Fraction of channels to remove (paper: 0.05).
+    pub fraction: f32,
+    /// Histogram bins for the MI estimator.
+    pub bins: usize,
+    /// How many training samples to score the channels on.
+    pub sample_budget: usize,
+}
+
+impl Default for MaskConfig {
+    fn default() -> Self {
+        MaskConfig {
+            fraction: 0.05,
+            bins: 30,
+            sample_budget: 256,
+        }
+    }
+}
+
+impl MaskConfig {
+    /// Overrides the masked fraction (builder style).
+    pub fn with_fraction(mut self, fraction: f32) -> Self {
+        self.fraction = fraction;
+        self
+    }
+}
+
+/// Builds a 0/1 mask from per-channel MI scores: the lowest
+/// `fraction·C` channels (rounded down, at least 0, at most C−1) get 0.
+///
+/// # Errors
+///
+/// Returns an error for an out-of-range fraction or empty scores.
+pub fn mask_from_scores(scores: &[f32], fraction: f32) -> Result<Tensor> {
+    if scores.is_empty() {
+        return Err(IbrarError::Config("no channel scores".into()));
+    }
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(IbrarError::Config(format!(
+            "mask fraction {fraction} outside [0, 1]"
+        )));
+    }
+    let c = scores.len();
+    let k = ((c as f32 * fraction) as usize).min(c.saturating_sub(1));
+    let mut order: Vec<usize> = (0..c).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut mask = Tensor::ones(&[c]);
+    for &idx in order.iter().take(k) {
+        mask.data_mut()[idx] = 0.0;
+    }
+    Ok(mask)
+}
+
+/// Scores the last conv block's channels on (a subset of) `data` and
+/// returns the Eq. 3 mask. Any previously installed mask is ignored during
+/// scoring (the model is evaluated mask-free) and left untouched.
+///
+/// # Errors
+///
+/// Returns an error when the model exposes no conv tap or estimation fails.
+pub fn compute_channel_mask(
+    model: &dyn ImageModel,
+    data: &Dataset,
+    config: &MaskConfig,
+) -> Result<Tensor> {
+    let previous = model.channel_mask();
+    model.set_channel_mask(None)?;
+    let result = score_and_mask(model, data, config);
+    model.set_channel_mask(previous)?;
+    result
+}
+
+fn score_and_mask(
+    model: &dyn ImageModel,
+    data: &Dataset,
+    config: &MaskConfig,
+) -> Result<Tensor> {
+    let subset = data.take(config.sample_budget.max(2))?;
+    let batch = subset.as_batch();
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(batch.images.clone());
+    let out = model.forward(&sess, x, Mode::Eval)?;
+    // The tap of the last conv block is the last Conv-kind hidden.
+    let last_conv = out
+        .hidden
+        .iter()
+        .rev()
+        .find(|h| h.kind == LayerKind::Conv)
+        .ok_or_else(|| IbrarError::Config("model exposes no conv tap".into()))?;
+    let features = last_conv.var.value();
+    let scores = channel_label_mi(
+        &features,
+        &batch.labels,
+        model.num_classes(),
+        BinningConfig::new(config.bins),
+    )?;
+    mask_from_scores(&scores, config.fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_data::{SynthVision, SynthVisionConfig};
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mask_from_scores_zeroes_lowest() {
+        let scores = [0.9, 0.1, 0.5, 0.05, 0.7, 0.3, 0.8, 0.6, 0.4, 0.2];
+        let mask = mask_from_scores(&scores, 0.2).unwrap();
+        // bottom 2 of 10: indices 3 (0.05) and 1 (0.1)
+        assert_eq!(mask.data()[3], 0.0);
+        assert_eq!(mask.data()[1], 0.0);
+        assert_eq!(mask.sum(), 8.0);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let mask = mask_from_scores(&[0.1, 0.2], 0.0).unwrap();
+        assert_eq!(mask.sum(), 2.0);
+    }
+
+    #[test]
+    fn full_fraction_keeps_at_least_one() {
+        let mask = mask_from_scores(&[0.1, 0.2, 0.3], 1.0).unwrap();
+        assert!(mask.sum() >= 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(mask_from_scores(&[], 0.1).is_err());
+        assert!(mask_from_scores(&[0.1], -0.1).is_err());
+        assert!(mask_from_scores(&[0.1], 1.5).is_err());
+    }
+
+    #[test]
+    fn compute_mask_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        let data = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(64, 16),
+            1,
+        )
+        .unwrap();
+        let mask = compute_channel_mask(&model, &data.train, &MaskConfig::default()).unwrap();
+        assert_eq!(mask.shape(), &[64]);
+        // 5% of 64 = 3 channels removed.
+        assert_eq!(mask.sum(), 61.0);
+        // Model's own mask is untouched by scoring.
+        assert!(model.channel_mask().is_none());
+    }
+
+    #[test]
+    fn scoring_ignores_installed_mask_but_restores_it() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        let data = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(64, 16),
+            1,
+        )
+        .unwrap();
+        let installed = Tensor::zeros(&[64]);
+        model.set_channel_mask(Some(installed.clone())).unwrap();
+        let mask = compute_channel_mask(&model, &data.train, &MaskConfig::default()).unwrap();
+        // If the zero mask had been active during scoring, every channel
+        // would have zero MI and the mask would be degenerate; instead we
+        // get the normal 5% cut.
+        assert_eq!(mask.sum(), 61.0);
+        assert_eq!(model.channel_mask().unwrap(), installed);
+    }
+}

@@ -1,0 +1,662 @@
+//! Algorithm 1: training with the IB-RAR loss, standalone or on top of the
+//! three adversarial-training benchmarks (PGD-AT, TRADES, MART).
+//!
+//! Per batch, the trainer
+//!
+//! 1. generates adversarial examples when the method requires them (PGD on
+//!    CE for PGD-AT/MART, PGD on KL for TRADES),
+//! 2. computes the method's base loss,
+//! 3. adds the IB regularizer computed on **clean** examples (the paper
+//!    notes clean-MI works best across attacks, §3.1.1),
+//! 4. backpropagates and steps SGD.
+//!
+//! When masking is enabled, the Eq. 3 channel mask is computed from the
+//! trained network after the final epoch and installed into the model
+//! (`T_last = T_last * mask` on every subsequent forward pass).
+
+use crate::loss::{IbLoss, IbLossConfig};
+use crate::mask::{compute_channel_mask, MaskConfig};
+use crate::{IbrarError, Result};
+use ibrar_attacks::{clean_accuracy, robust_accuracy, Attack, Objective, Pgd};
+use ibrar_data::Dataset;
+use ibrar_nn::{ImageModel, Mode, Session, Sgd, SgdConfig, StepLr};
+use ibrar_tensor::Tensor;
+
+/// The training method (paper benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainMethod {
+    /// Plain SGD on cross-entropy (no adversarial examples).
+    Standard,
+    /// Madry-style adversarial training: CE on PGD examples only.
+    PgdAt {
+        /// L∞ budget for training-time PGD.
+        eps: f32,
+        /// PGD step size.
+        alpha: f32,
+        /// PGD steps.
+        steps: usize,
+    },
+    /// TRADES (Zhang et al. 2019): CE(clean) + β·KL(clean‖adv) with the
+    /// inner maximization on KL.
+    Trades {
+        /// Robustness/accuracy trade-off weight.
+        beta: f32,
+        /// L∞ budget.
+        eps: f32,
+        /// PGD step size.
+        alpha: f32,
+        /// PGD steps.
+        steps: usize,
+    },
+    /// MART (Wang et al. 2019): boosted CE on adversarial examples plus a
+    /// misclassification-aware weighted KL.
+    Mart {
+        /// Weight of the misclassification-aware KL term.
+        beta: f32,
+        /// L∞ budget.
+        eps: f32,
+        /// PGD step size.
+        alpha: f32,
+        /// PGD steps.
+        steps: usize,
+    },
+}
+
+impl TrainMethod {
+    /// PGD-AT with the paper's budget (ε=8/255, α=2/255) and 7 inner steps.
+    pub fn pgd_at_default() -> Self {
+        TrainMethod::PgdAt {
+            eps: 8.0 / 255.0,
+            alpha: 2.0 / 255.0,
+            steps: 7,
+        }
+    }
+
+    /// TRADES with β=6 (the original paper's CIFAR-10 setting).
+    pub fn trades_default() -> Self {
+        TrainMethod::Trades {
+            beta: 6.0,
+            eps: 8.0 / 255.0,
+            alpha: 2.0 / 255.0,
+            steps: 7,
+        }
+    }
+
+    /// MART with β=5 (the original paper's setting).
+    pub fn mart_default() -> Self {
+        TrainMethod::Mart {
+            beta: 5.0,
+            eps: 8.0 / 255.0,
+            alpha: 2.0 / 255.0,
+            steps: 7,
+        }
+    }
+
+    /// Short method name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrainMethod::Standard => "Standard",
+            TrainMethod::PgdAt { .. } => "PGD",
+            TrainMethod::Trades { .. } => "TRADES",
+            TrainMethod::Mart { .. } => "MART",
+        }
+    }
+}
+
+/// Full trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Training method.
+    pub method: TrainMethod,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD hyperparameters.
+    pub sgd: SgdConfig,
+    /// Learning-rate schedule.
+    pub schedule: StepLr,
+    /// IB regularizer (None = benchmark method alone).
+    pub ib: Option<IbLossConfig>,
+    /// Apply the IB loss only during the first epoch (the paper's Fig. 4
+    /// convergence rescue).
+    pub ib_first_epoch_only: bool,
+    /// Compute the MI terms on adversarial examples (`I(X+δ, T_l)`) instead
+    /// of clean ones. The paper (§3.1.1) reports this helps against the
+    /// attack used for training but hurts transfer to other attacks.
+    pub ib_on_adversarial: bool,
+    /// Channel masking (None = no masking).
+    pub mask: Option<MaskConfig>,
+    /// Track adversarial accuracy each epoch on a test subset (slow).
+    pub track_adversarial: bool,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// Creates a config with paper-style defaults (batch 32, StepLR).
+    pub fn new(method: TrainMethod) -> Self {
+        TrainerConfig {
+            method,
+            epochs: 10,
+            batch_size: 32,
+            sgd: SgdConfig::substrate(),
+            schedule: StepLr::paper(),
+            ib: None,
+            ib_first_epoch_only: false,
+            ib_on_adversarial: false,
+            mask: None,
+            track_adversarial: false,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the epoch count (builder style).
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Overrides the batch size (builder style).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Enables the IB regularizer (builder style).
+    pub fn with_ib(mut self, ib: IbLossConfig) -> Self {
+        self.ib = Some(ib);
+        self
+    }
+
+    /// Enables channel masking (builder style).
+    pub fn with_mask(mut self, mask: MaskConfig) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Enables per-epoch adversarial tracking (builder style).
+    pub fn with_adversarial_tracking(mut self) -> Self {
+        self.track_adversarial = true;
+        self
+    }
+
+    /// Restricts the IB loss to the first epoch (builder style).
+    pub fn with_ib_first_epoch_only(mut self) -> Self {
+        self.ib_first_epoch_only = true;
+        self
+    }
+
+    /// Computes MI on adversarial examples instead of clean ones (builder
+    /// style; only affects the adversarial-training methods).
+    pub fn with_ib_on_adversarial(mut self) -> Self {
+        self.ib_on_adversarial = true;
+        self
+    }
+
+    /// Overrides the shuffling seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Metrics recorded after each epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMetrics {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Natural (clean) test accuracy.
+    pub natural_acc: f32,
+    /// PGD test accuracy on a subset, when tracking is enabled.
+    pub adversarial_acc: Option<f32>,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-epoch metrics in order.
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl TrainReport {
+    /// Natural accuracy after the final epoch (0.0 for empty runs).
+    pub fn final_natural_acc(&self) -> f32 {
+        self.epochs.last().map(|e| e.natural_acc).unwrap_or(0.0)
+    }
+
+    /// Adversarial accuracy after the final epoch, if tracked.
+    pub fn final_adversarial_acc(&self) -> Option<f32> {
+        self.epochs.last().and_then(|e| e.adversarial_acc)
+    }
+
+    /// Training loss of the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.train_loss).unwrap_or(f32::NAN)
+    }
+}
+
+/// Inner-maximization objective for TRADES: maximize `KL(clean ‖ adv)` with
+/// the clean distribution frozen.
+struct TradesKlObjective {
+    clean_logits: Tensor,
+}
+
+impl Objective for TradesKlObjective {
+    fn loss<'t>(
+        &self,
+        sess: &Session<'t>,
+        _x: ibrar_autograd::Var<'t>,
+        out: &ibrar_nn::ModelOutput<'t>,
+        _labels: &[usize],
+    ) -> ibrar_attacks::Result<ibrar_autograd::Var<'t>> {
+        let clean = sess.tape().leaf(self.clean_logits.clone());
+        Ok(clean.kl_div_to(out.logits)?)
+    }
+
+    fn name(&self) -> &str {
+        "trades-kl"
+    }
+}
+
+/// Runs Algorithm 1.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `train`, evaluating on `test` after each epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on configuration problems or numerical failures.
+    pub fn train(
+        &self,
+        model: &dyn ImageModel,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> Result<TrainReport> {
+        if train.is_empty() {
+            return Err(IbrarError::Config("empty training set".into()));
+        }
+        let cfg = &self.config;
+        let mut opt = Sgd::new(model.params(), cfg.sgd);
+        let mut epochs = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            cfg.schedule.apply(&mut opt, epoch);
+            let ib_active = cfg.ib.is_some() && (!cfg.ib_first_epoch_only || epoch == 0);
+            let mut loss_sum = 0.0f32;
+            let mut batches = 0usize;
+            for batch in train.batches(cfg.batch_size, cfg.seed.wrapping_add(epoch as u64)) {
+                if batch.len() < 2 {
+                    continue; // HSIC needs ≥2 samples; skip ragged tails of 1
+                }
+                let loss = self.train_step(model, &batch.images, &batch.labels, ib_active)?;
+                opt.step();
+                loss_sum += loss;
+                batches += 1;
+            }
+            let natural_acc = clean_accuracy(model, test, cfg.batch_size.max(32))?;
+            let adversarial_acc = if cfg.track_adversarial {
+                let subset = test.take(64.min(test.len()))?;
+                Some(robust_accuracy(
+                    model,
+                    &Pgd::paper_default(),
+                    &subset,
+                    32,
+                )?)
+            } else {
+                None
+            };
+            epochs.push(EpochMetrics {
+                epoch,
+                train_loss: if batches > 0 {
+                    loss_sum / batches as f32
+                } else {
+                    f32::NAN
+                },
+                natural_acc,
+                adversarial_acc,
+            });
+        }
+        // Eq. 3: the mask is derived from the *trained* network's
+        // channel-label MI and installed for all subsequent inference
+        // (and for any continued training a caller performs).
+        if let Some(mask_cfg) = &cfg.mask {
+            let mask = compute_channel_mask(model, train, mask_cfg)?;
+            model.set_channel_mask(Some(mask))?;
+        }
+        Ok(TrainReport { epochs })
+    }
+
+    /// One optimizer step; returns the scalar loss.
+    fn train_step(
+        &self,
+        model: &dyn ImageModel,
+        images: &Tensor,
+        labels: &[usize],
+        ib_active: bool,
+    ) -> Result<f32> {
+        let cfg = &self.config;
+        match cfg.method {
+            TrainMethod::Standard => {
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let x = tape.leaf(images.clone());
+                let out = model.forward(&sess, x, Mode::Train)?;
+                let mut loss = out.logits.cross_entropy(labels)?;
+                if let Some(aux) = out.aux_loss {
+                    loss = loss.add(aux)?;
+                }
+                if ib_active {
+                    if let Some(ib) = &cfg.ib {
+                        let reg = IbLoss::regularizer(
+                            &sess,
+                            x,
+                            &out.hidden,
+                            labels,
+                            model.num_classes(),
+                            ib,
+                        )?;
+                        loss = loss.add(reg)?;
+                    }
+                }
+                let value = loss.value().data()[0];
+                sess.backward(loss)?;
+                Ok(value)
+            }
+            TrainMethod::PgdAt { eps, alpha, steps } => {
+                let attack = Pgd::new(eps, alpha, steps);
+                let adv = attack.perturb(model, images, labels)?;
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let xadv = tape.leaf(adv);
+                let out_adv = model.forward(&sess, xadv, Mode::Train)?;
+                let mut loss = out_adv.logits.cross_entropy(labels)?;
+                if let Some(aux) = out_adv.aux_loss {
+                    loss = loss.add(aux)?;
+                }
+                if ib_active {
+                    if let Some(ib) = &cfg.ib {
+                        let reg = if cfg.ib_on_adversarial {
+                            // I(X+δ, T) variant (§3.1.1): reuse the
+                            // adversarial forward's taps.
+                            IbLoss::regularizer(
+                                &sess,
+                                xadv,
+                                &out_adv.hidden,
+                                labels,
+                                model.num_classes(),
+                                ib,
+                            )?
+                        } else {
+                            // Clean-example MI (the default): separate
+                            // eval-mode forward so batch-norm statistics
+                            // update only once.
+                            let xclean = tape.leaf(images.clone());
+                            let out_clean = model.forward(&sess, xclean, Mode::Eval)?;
+                            IbLoss::regularizer(
+                                &sess,
+                                xclean,
+                                &out_clean.hidden,
+                                labels,
+                                model.num_classes(),
+                                ib,
+                            )?
+                        };
+                        loss = loss.add(reg)?;
+                    }
+                }
+                let value = loss.value().data()[0];
+                sess.backward(loss)?;
+                Ok(value)
+            }
+            TrainMethod::Trades {
+                beta,
+                eps,
+                alpha,
+                steps,
+            } => {
+                // Inner maximization on KL with frozen clean logits.
+                let clean_logits = {
+                    let tape = ibrar_autograd::Tape::new();
+                    let sess = Session::new(&tape);
+                    let x = tape.leaf(images.clone());
+                    model.forward(&sess, x, Mode::Eval)?.logits.value()
+                };
+                let attack = Pgd::new(eps, alpha, steps).with_objective(std::sync::Arc::new(
+                    TradesKlObjective { clean_logits },
+                ));
+                let adv = attack.perturb(model, images, labels)?;
+
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let xclean = tape.leaf(images.clone());
+                let out_clean = model.forward(&sess, xclean, Mode::Train)?;
+                let xadv = tape.leaf(adv);
+                let out_adv = model.forward(&sess, xadv, Mode::Eval)?;
+                let ce = out_clean.logits.cross_entropy(labels)?;
+                let kl = out_clean.logits.kl_div_to(out_adv.logits)?;
+                let mut loss = ce.add(kl.scale(beta))?;
+                if let Some(aux) = out_clean.aux_loss {
+                    loss = loss.add(aux)?;
+                }
+                if ib_active {
+                    if let Some(ib) = &cfg.ib {
+                        let reg = IbLoss::regularizer(
+                            &sess,
+                            xclean,
+                            &out_clean.hidden,
+                            labels,
+                            model.num_classes(),
+                            ib,
+                        )?;
+                        loss = loss.add(reg)?;
+                    }
+                }
+                let value = loss.value().data()[0];
+                sess.backward(loss)?;
+                Ok(value)
+            }
+            TrainMethod::Mart {
+                beta,
+                eps,
+                alpha,
+                steps,
+            } => {
+                let attack = Pgd::new(eps, alpha, steps);
+                let adv = attack.perturb(model, images, labels)?;
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let xadv = tape.leaf(adv);
+                let out_adv = model.forward(&sess, xadv, Mode::Train)?;
+                let xclean = tape.leaf(images.clone());
+                let out_clean = model.forward(&sess, xclean, Mode::Eval)?;
+                let k = model.num_classes();
+
+                // Boosted CE: −log p_y(x') − log(1 − max_{j≠y} p_j(x')).
+                let probs_adv = out_adv.logits.softmax()?;
+                let py = probs_adv.gather_classes(labels)?;
+                let pother = probs_adv.max_other_class(labels)?;
+                let nll = py.add_scalar(1e-8).ln().neg();
+                let margin = pother.neg().add_scalar(1.0 + 1e-8).ln().neg();
+                let bce = nll.add(margin)?.mean()?;
+
+                // Misclassification-aware KL: per-sample KL(clean‖adv)
+                // weighted by (1 − p_y(x)).
+                let p_clean = out_clean.logits.softmax()?;
+                let logp_clean = out_clean.logits.log_softmax()?;
+                let logq_adv = out_adv.logits.log_softmax()?;
+                let diff = logp_clean.sub(logq_adv)?;
+                let kl_rows = p_clean.mul(diff)?.mean_rows()?.scale(k as f32);
+                let weights = p_clean.gather_classes(labels)?.neg().add_scalar(1.0);
+                let weighted_kl = kl_rows.mul(weights)?.mean()?;
+
+                let mut loss = bce.add(weighted_kl.scale(beta))?;
+                if let Some(aux) = out_adv.aux_loss {
+                    loss = loss.add(aux)?;
+                }
+                if ib_active {
+                    if let Some(ib) = &cfg.ib {
+                        let reg = IbLoss::regularizer(
+                            &sess,
+                            xclean,
+                            &out_clean.hidden,
+                            labels,
+                            model.num_classes(),
+                            ib,
+                        )?;
+                        loss = loss.add(reg)?;
+                    }
+                }
+                let value = loss.value().data()[0];
+                sess.backward(loss)?;
+                Ok(value)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LayerPolicy;
+    use ibrar_data::{SynthVision, SynthVisionConfig};
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_data() -> (Dataset, Dataset) {
+        let d = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(96, 48),
+            3,
+        )
+        .unwrap();
+        (d.train, d.test)
+    }
+
+    fn quick_model() -> VggMini {
+        let mut rng = StdRng::seed_from_u64(7);
+        VggMini::new(VggConfig::tiny(10), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn standard_training_learns() {
+        let (train, test) = quick_data();
+        let model = quick_model();
+        let config = TrainerConfig::new(TrainMethod::Standard)
+            .with_epochs(4)
+            .with_batch_size(16);
+        let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+        assert_eq!(report.epochs.len(), 4);
+        // Loss decreases and accuracy clears chance (10%).
+        assert!(report.epochs[3].train_loss < report.epochs[0].train_loss);
+        assert!(report.final_natural_acc() > 0.15, "{report:?}");
+    }
+
+    #[test]
+    fn ib_training_runs_and_learns() {
+        let (train, test) = quick_data();
+        let model = quick_model();
+        let config = TrainerConfig::new(TrainMethod::Standard)
+            .with_epochs(5)
+            .with_batch_size(16)
+            .with_ib(IbLossConfig::paper_vgg().with_policy(LayerPolicy::Robust))
+            .with_mask(MaskConfig::default());
+        let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+        // Smoke threshold: the IB loss slows early training, so only require
+        // progress past chance; the real ordering claims live in the
+        // workspace integration tests.
+        assert!(report.final_natural_acc() > 0.1, "{report:?}");
+        // Mask was installed.
+        assert!(model.channel_mask().is_some());
+        assert_eq!(model.channel_mask().unwrap().sum(), 61.0);
+    }
+
+    #[test]
+    fn pgd_at_training_runs() {
+        let (train, test) = quick_data();
+        let train = train.take(48).unwrap();
+        let model = quick_model();
+        let config = TrainerConfig::new(TrainMethod::PgdAt {
+            eps: 8.0 / 255.0,
+            alpha: 2.0 / 255.0,
+            steps: 3,
+        })
+        .with_epochs(1)
+        .with_batch_size(16);
+        let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+        assert!(report.final_loss().is_finite());
+    }
+
+    #[test]
+    fn trades_and_mart_run() {
+        let (train, test) = quick_data();
+        let train = train.take(32).unwrap();
+        for method in [
+            TrainMethod::Trades {
+                beta: 6.0,
+                eps: 8.0 / 255.0,
+                alpha: 2.0 / 255.0,
+                steps: 2,
+            },
+            TrainMethod::Mart {
+                beta: 5.0,
+                eps: 8.0 / 255.0,
+                alpha: 2.0 / 255.0,
+                steps: 2,
+            },
+        ] {
+            let model = quick_model();
+            let config = TrainerConfig::new(method).with_epochs(1).with_batch_size(16);
+            let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+            assert!(
+                report.final_loss().is_finite(),
+                "{method:?} produced {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        let (train, test) = quick_data();
+        let empty = train.subset(&[]).unwrap();
+        let model = quick_model();
+        let config = TrainerConfig::new(TrainMethod::Standard);
+        assert!(Trainer::new(config).train(&model, &empty, &test).is_err());
+    }
+
+    #[test]
+    fn adversarial_tracking_records() {
+        let (train, test) = quick_data();
+        let train = train.take(32).unwrap();
+        let model = quick_model();
+        let config = TrainerConfig::new(TrainMethod::Standard)
+            .with_epochs(1)
+            .with_batch_size(16)
+            .with_adversarial_tracking();
+        let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+        assert!(report.epochs[0].adversarial_acc.is_some());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(TrainMethod::Standard.name(), "Standard");
+        assert_eq!(TrainMethod::pgd_at_default().name(), "PGD");
+        assert_eq!(TrainMethod::trades_default().name(), "TRADES");
+        assert_eq!(TrainMethod::mart_default().name(), "MART");
+    }
+}

@@ -1,0 +1,297 @@
+//! Generator configuration and the dataset presets mirroring the paper's
+//! benchmarks.
+
+use crate::{DataError, Result};
+
+/// CIFAR-10 class names, used by the `cifar10_like` preset and the
+/// misclassification-tendency table (paper Table 5).
+pub const CIFAR10_CLASS_NAMES: [&str; 10] = [
+    "plane", "car", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+];
+
+/// A pair of classes that share a feature component.
+///
+/// `strength` ∈ [0, 1] controls how much of each sample is the shared
+/// pattern rather than the class prototype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedPair {
+    /// First class index.
+    pub a: usize,
+    /// Second class index.
+    pub b: usize,
+    /// Mixing weight of the shared component.
+    pub strength: f32,
+}
+
+impl SharedPair {
+    /// Creates a shared pair.
+    pub fn new(a: usize, b: usize, strength: f32) -> Self {
+        SharedPair { a, b, strength }
+    }
+}
+
+/// Configuration of a SynthVision dataset.
+#[derive(Debug, Clone)]
+pub struct SynthVisionConfig {
+    /// Dataset name (used in logs and experiment tables).
+    pub name: String,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Image shape `[c, h, w]`.
+    pub image: [usize; 3],
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+    /// Standard deviation of the per-pixel Gaussian noise.
+    pub noise_std: f32,
+    /// Maximum per-sample translation (pixels, each axis).
+    pub max_shift: usize,
+    /// Class pairs with planted shared features.
+    pub shared_pairs: Vec<SharedPair>,
+    /// Contrast between class prototypes: 1.0 keeps the raw patterns,
+    /// smaller values blend every prototype toward the global mean pattern,
+    /// shrinking decision margins (how "hard" the task is relative to the
+    /// attack budget).
+    pub contrast: f32,
+    /// Optional class names (length `num_classes` when present).
+    pub class_names: Vec<String>,
+}
+
+impl SynthVisionConfig {
+    /// CIFAR-10 stand-in: 10 classes, 3×16×16, with the shared pairs that
+    /// drive the paper's Table 5 confusions (car↔truck, cat↔dog, …).
+    pub fn cifar10_like() -> Self {
+        SynthVisionConfig {
+            name: "synth_cifar10".into(),
+            num_classes: 10,
+            image: [3, 16, 16],
+            train_size: 1024,
+            test_size: 256,
+            noise_std: 0.18,
+            max_shift: 2,
+            contrast: 0.45,
+            shared_pairs: vec![
+                SharedPair::new(1, 9, 0.45), // car ↔ truck
+                SharedPair::new(3, 5, 0.45), // cat ↔ dog
+                SharedPair::new(2, 4, 0.35), // bird ↔ deer
+                SharedPair::new(0, 8, 0.35), // plane ↔ ship
+                SharedPair::new(6, 3, 0.25), // frog ↔ cat
+                SharedPair::new(7, 5, 0.25), // horse ↔ dog
+            ],
+            class_names: CIFAR10_CLASS_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// CIFAR-100 stand-in: 20 classes (scaled from 100), 3×16×16.
+    pub fn cifar100_like() -> Self {
+        let pairs = (0..10)
+            .map(|i| SharedPair::new(2 * i, 2 * i + 1, 0.35))
+            .collect();
+        SynthVisionConfig {
+            name: "synth_cifar100".into(),
+            num_classes: 20,
+            image: [3, 16, 16],
+            train_size: 1536,
+            test_size: 384,
+            noise_std: 0.18,
+            max_shift: 2,
+            contrast: 0.45,
+            shared_pairs: pairs,
+            class_names: (0..20).map(|i| format!("class{i:02}")).collect(),
+        }
+    }
+
+    /// SVHN stand-in: 10 digit classes with high prototype overlap (digits
+    /// share strokes), lower noise.
+    pub fn svhn_like() -> Self {
+        SynthVisionConfig {
+            name: "synth_svhn".into(),
+            num_classes: 10,
+            image: [3, 16, 16],
+            train_size: 1024,
+            test_size: 256,
+            noise_std: 0.14,
+            max_shift: 1,
+            contrast: 0.4,
+            shared_pairs: vec![
+                SharedPair::new(3, 8, 0.5), // 3 ↔ 8 share strokes
+                SharedPair::new(1, 7, 0.5), // 1 ↔ 7
+                SharedPair::new(0, 6, 0.4), // 0 ↔ 6
+                SharedPair::new(5, 6, 0.3), // 5 ↔ 6
+                SharedPair::new(4, 9, 0.4), // 4 ↔ 9
+            ],
+            class_names: (0..10).map(|d| d.to_string()).collect(),
+        }
+    }
+
+    /// Tiny-ImageNet stand-in: 20 classes, 3×32×32, noisier.
+    pub fn tiny_imagenet_like() -> Self {
+        let pairs = (0..8)
+            .map(|i| SharedPair::new(2 * i, 2 * i + 1, 0.4))
+            .collect();
+        SynthVisionConfig {
+            name: "synth_tiny_imagenet".into(),
+            num_classes: 20,
+            image: [3, 32, 32],
+            train_size: 1024,
+            test_size: 256,
+            noise_std: 0.2,
+            max_shift: 3,
+            contrast: 0.45,
+            shared_pairs: pairs,
+            class_names: (0..20).map(|i| format!("tiny{i:02}")).collect(),
+        }
+    }
+
+    /// Overrides the train/test sizes (builder style).
+    pub fn with_sizes(mut self, train: usize, test: usize) -> Self {
+        self.train_size = train;
+        self.test_size = test;
+        self
+    }
+
+    /// Overrides the noise level (builder style).
+    pub fn with_noise(mut self, noise_std: f32) -> Self {
+        self.noise_std = noise_std;
+        self
+    }
+
+    /// Overrides the prototype contrast (builder style).
+    pub fn with_contrast(mut self, contrast: f32) -> Self {
+        self.contrast = contrast;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] for zero classes/sizes, empty images,
+    /// or out-of-range shared pairs.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_classes == 0 {
+            return Err(DataError::Config("num_classes must be positive".into()));
+        }
+        if self.image.iter().any(|&d| d == 0) {
+            return Err(DataError::Config(format!(
+                "image dims must be positive, got {:?}",
+                self.image
+            )));
+        }
+        if self.train_size == 0 || self.test_size == 0 {
+            return Err(DataError::Config("train/test sizes must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.contrast) || self.contrast == 0.0 {
+            return Err(DataError::Config(format!(
+                "contrast {} outside (0, 1]",
+                self.contrast
+            )));
+        }
+        for p in &self.shared_pairs {
+            if p.a >= self.num_classes || p.b >= self.num_classes {
+                return Err(DataError::Config(format!(
+                    "shared pair ({}, {}) out of range for {} classes",
+                    p.a, p.b, self.num_classes
+                )));
+            }
+            if p.a == p.b {
+                return Err(DataError::Config(format!(
+                    "shared pair ({}, {}) must join distinct classes",
+                    p.a, p.b
+                )));
+            }
+            if !(0.0..=1.0).contains(&p.strength) {
+                return Err(DataError::Config(format!(
+                    "shared strength {} outside [0, 1]",
+                    p.strength
+                )));
+            }
+        }
+        if !self.class_names.is_empty() && self.class_names.len() != self.num_classes {
+            return Err(DataError::Config(format!(
+                "{} class names for {} classes",
+                self.class_names.len(),
+                self.num_classes
+            )));
+        }
+        Ok(())
+    }
+
+    /// The strongest shared partner of `class`, if any (used by tests and
+    /// the tendency analysis).
+    pub fn shared_partner(&self, class: usize) -> Option<usize> {
+        self.shared_pairs
+            .iter()
+            .filter(|p| p.a == class || p.b == class)
+            .max_by(|x, y| x.strength.total_cmp(&y.strength))
+            .map(|p| if p.a == class { p.b } else { p.a })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            SynthVisionConfig::cifar10_like(),
+            SynthVisionConfig::cifar100_like(),
+            SynthVisionConfig::svhn_like(),
+            SynthVisionConfig::tiny_imagenet_like(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn car_truck_are_partners() {
+        let cfg = SynthVisionConfig::cifar10_like();
+        assert_eq!(cfg.shared_partner(1), Some(9));
+        assert_eq!(cfg.shared_partner(9), Some(1));
+    }
+
+    #[test]
+    fn cat_partner_is_dog_not_frog() {
+        // cat participates in two pairs; the stronger one (dog) wins.
+        let cfg = SynthVisionConfig::cifar10_like();
+        assert_eq!(cfg.shared_partner(3), Some(5));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = SynthVisionConfig::cifar10_like();
+        cfg.num_classes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SynthVisionConfig::cifar10_like();
+        cfg.shared_pairs.push(SharedPair::new(0, 10, 0.2));
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SynthVisionConfig::cifar10_like();
+        cfg.shared_pairs.push(SharedPair::new(2, 2, 0.2));
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SynthVisionConfig::cifar10_like();
+        cfg.shared_pairs.push(SharedPair::new(0, 1, 1.5));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let cfg = SynthVisionConfig::cifar10_like()
+            .with_sizes(10, 5)
+            .with_noise(0.3);
+        assert_eq!(cfg.train_size, 10);
+        assert_eq!(cfg.test_size, 5);
+        assert_eq!(cfg.noise_std, 0.3);
+    }
+
+    #[test]
+    fn no_partner_returns_none() {
+        let mut cfg = SynthVisionConfig::cifar10_like();
+        cfg.shared_pairs.clear();
+        assert_eq!(cfg.shared_partner(0), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! In-memory datasets and mini-batch iteration.
+
+use crate::{DataError, Result};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labeled image set held fully in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset from an `[n, c, h, w]` image tensor and `n` labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Config`] when the label count disagrees with the
+    /// leading image axis or the tensor is not rank 4.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Result<Self> {
+        if images.rank() != 4 {
+            return Err(DataError::Config(format!(
+                "images must be [n, c, h, w], got rank {}",
+                images.rank()
+            )));
+        }
+        if images.shape()[0] != labels.len() {
+            return Err(DataError::Config(format!(
+                "{} images but {} labels",
+                images.shape()[0],
+                labels.len()
+            )));
+        }
+        Ok(Dataset { images, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The full image tensor `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Image shape `[c, h, w]`.
+    pub fn image_shape(&self) -> [usize; 3] {
+        [
+            self.images.shape()[1],
+            self.images.shape()[2],
+            self.images.shape()[3],
+        ]
+    }
+
+    /// Extracts the samples at `indices` as a new dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let images = self.images.select_rows(indices)?;
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset::new(images, labels)
+    }
+
+    /// The first `n` samples (clamped to the dataset size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors (none expected in practice).
+    pub fn take(&self, n: usize) -> Result<Dataset> {
+        let idx: Vec<usize> = (0..n.min(self.len())).collect();
+        self.subset(&idx)
+    }
+
+    /// One [`Batch`] view of the whole dataset.
+    pub fn as_batch(&self) -> Batch {
+        Batch {
+            images: self.images.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Iterates over shuffled mini-batches (seeded, deterministic).
+    pub fn batches(&self, batch_size: usize, seed: u64) -> Batcher<'_> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        Batcher {
+            dataset: self,
+            order,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Iterates over mini-batches in stored order (for evaluation).
+    pub fn batches_sequential(&self, batch_size: usize) -> Batcher<'_> {
+        Batcher {
+            dataset: self,
+            order: (0..self.len()).collect(),
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+}
+
+/// A mini-batch: images `[m, c, h, w]` plus `m` labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch images.
+    pub images: Tensor,
+    /// Batch labels.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Iterator over mini-batches of a [`Dataset`].
+#[derive(Debug)]
+pub struct Batcher<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batcher<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let images = self
+            .dataset
+            .images
+            .select_rows(idx)
+            .expect("indices constructed in range");
+        let labels = idx.iter().map(|&i| self.dataset.labels[i]).collect();
+        Some(Batch { images, labels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| i[0] as f32);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0]).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[4]), vec![0; 4]).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0, 1]).is_ok());
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = toy(10);
+        let mut seen = vec![0usize; 10];
+        for batch in d.batches(3, 0) {
+            for i in 0..batch.len() {
+                let sample_id = batch.images.get(&[i, 0, 0, 0]) as usize;
+                seen[sample_id] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn batches_are_shuffled_but_deterministic() {
+        let d = toy(32);
+        let first = |seed: u64| d.batches(8, seed).next().unwrap().labels.clone();
+        assert_eq!(first(1), first(1));
+        assert_ne!(first(1), first(2));
+    }
+
+    #[test]
+    fn sequential_batches_preserve_order() {
+        let d = toy(5);
+        let all: Vec<usize> = d
+            .batches_sequential(2)
+            .flat_map(|b| b.labels.clone())
+            .collect();
+        assert_eq!(all, d.labels());
+    }
+
+    #[test]
+    fn last_batch_may_be_short() {
+        let d = toy(5);
+        let sizes: Vec<usize> = d.batches_sequential(2).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn subset_and_take() {
+        let d = toy(6);
+        let s = d.subset(&[5, 0]).unwrap();
+        assert_eq!(s.labels(), &[2, 0]);
+        let t = d.take(100).unwrap();
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn image_shape_reported() {
+        assert_eq!(toy(2).image_shape(), [1, 2, 2]);
+    }
+}

@@ -1,0 +1,45 @@
+use ibrar_tensor::TensorError;
+use std::fmt;
+
+/// Error type for dataset generation and batching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The generator configuration is invalid.
+    Config(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            DataError::Config(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!DataError::Config("bad".into()).to_string().is_empty());
+    }
+}

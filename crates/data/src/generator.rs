@@ -1,0 +1,320 @@
+//! Procedural image synthesis.
+//!
+//! Every class gets a smooth *prototype* (a sum of random Gaussian blobs and
+//! low-frequency waves). Classes joined by a [`SharedPair`](crate::SharedPair) additionally mix
+//! in a *shared pattern* with per-sample random weight up to the pair's
+//! strength — this plants exactly the "shared features among similar
+//! classes" that the paper identifies as the raw material of adversarial
+//! perturbations (§3.3). Samples then get a random translation, brightness
+//! jitter, and Gaussian pixel noise, and are clamped to `[0, 1]`.
+
+use crate::config::SynthVisionConfig;
+use crate::dataset::Dataset;
+use crate::Result;
+use ibrar_tensor::{NormalSampler, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset pair plus the latent patterns that produced it.
+#[derive(Debug, Clone)]
+pub struct SynthVision {
+    /// Generator configuration.
+    pub config: SynthVisionConfig,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+    /// Class prototypes `[k, c, h, w]` (exposed for analysis/debugging).
+    pub prototypes: Tensor,
+}
+
+impl SynthVision {
+    /// Generates a dataset deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when `config` is inconsistent.
+    pub fn generate(config: &SynthVisionConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let [c, h, w] = config.image;
+        let k = config.num_classes;
+
+        let mut prototypes: Vec<Tensor> =
+            (0..k).map(|_| smooth_pattern(c, h, w, &mut rng)).collect();
+        let mut shared: Vec<Tensor> = config
+            .shared_pairs
+            .iter()
+            .map(|_| smooth_pattern(c, h, w, &mut rng))
+            .collect();
+        // Contrast: blend every pattern toward the global prototype mean so
+        // decision margins scale with `contrast` (relative to the attack
+        // budget). The mean stays put, so pixel statistics are unchanged.
+        if config.contrast < 1.0 {
+            let mut mean = Tensor::zeros(&[c, h, w]);
+            for p in &prototypes {
+                mean = mean.add(p)?;
+            }
+            mean = mean.scale(1.0 / k as f32);
+            let blend = |t: &Tensor| -> crate::Result<Tensor> {
+                Ok(mean.add(&t.sub(&mean)?.scale(config.contrast))?)
+            };
+            for p in prototypes.iter_mut() {
+                *p = blend(p)?;
+            }
+            for s in shared.iter_mut() {
+                *s = blend(s)?;
+            }
+        }
+
+        let train = synthesize_split(
+            config,
+            &prototypes,
+            &shared,
+            config.train_size,
+            &mut rng,
+        )?;
+        let test = synthesize_split(config, &prototypes, &shared, config.test_size, &mut rng)?;
+        Ok(SynthVision {
+            config: config.clone(),
+            train,
+            test,
+            prototypes: Tensor::stack(&prototypes)?,
+        })
+    }
+
+    /// Name of class `i` (falls back to `class<i>`).
+    pub fn class_name(&self, i: usize) -> String {
+        self.config
+            .class_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("class{i}"))
+    }
+}
+
+/// A smooth pattern in roughly `[0, 1]`: Gaussian blobs + low-frequency
+/// waves, rescaled per channel.
+fn smooth_pattern(c: usize, h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let blobs = 3;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    for ch in 0..c {
+        // Random blobs.
+        let mut params = Vec::with_capacity(blobs);
+        for _ in 0..blobs {
+            let cy = rng.gen_range(0.0..h as f32);
+            let cx = rng.gen_range(0.0..w as f32);
+            let sy = rng.gen_range(1.2..(h as f32 / 2.5));
+            let sx = rng.gen_range(1.2..(w as f32 / 2.5));
+            let amp = rng.gen_range(0.4..1.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            params.push((cy, cx, sy, sx, amp));
+        }
+        // Random low-frequency wave.
+        let fy = rng.gen_range(0.5..2.0) * std::f32::consts::PI / h as f32;
+        let fx = rng.gen_range(0.5..2.0) * std::f32::consts::PI / w as f32;
+        let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+        let wamp = rng.gen_range(0.1..0.4);
+
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        let mut vals = vec![0.0f32; h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let mut v = wamp * (fy * y as f32 + fx * x as f32 + phase).sin();
+                for &(cy, cx, sy, sx, amp) in &params {
+                    let dy = (y as f32 - cy) / sy;
+                    let dx = (x as f32 - cx) / sx;
+                    v += amp * (-(dy * dy + dx * dx) / 2.0).exp();
+                }
+                vals[y * w + x] = v;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let range = (hi - lo).max(1e-6);
+        for (i, v) in vals.iter().enumerate() {
+            out.data_mut()[ch * h * w + i] = (v - lo) / range;
+        }
+    }
+    out
+}
+
+fn synthesize_split(
+    config: &SynthVisionConfig,
+    prototypes: &[Tensor],
+    shared: &[Tensor],
+    size: usize,
+    rng: &mut StdRng,
+) -> Result<Dataset> {
+    let [c, h, w] = config.image;
+    let k = config.num_classes;
+    let mut images = Tensor::zeros(&[size, c, h, w]);
+    let mut labels = Vec::with_capacity(size);
+    let mut normal = NormalSampler::new();
+    let plane = c * h * w;
+    for i in 0..size {
+        // Balanced labels with a shuffled remainder.
+        let label = if i < (size / k) * k {
+            i % k
+        } else {
+            rng.gen_range(0..k)
+        };
+        labels.push(label);
+        let mut pixels = prototypes[label].data().to_vec();
+        // Mix in shared components with per-sample random weight.
+        for (pair_idx, pair) in config.shared_pairs.iter().enumerate() {
+            if pair.a == label || pair.b == label {
+                let lambda = rng.gen_range(0.0..pair.strength);
+                let sp = shared[pair_idx].data();
+                for (p, &s) in pixels.iter_mut().zip(sp) {
+                    *p = (1.0 - lambda) * *p + lambda * s;
+                }
+            }
+        }
+        // Per-sample brightness jitter.
+        let gain = rng.gen_range(0.85..1.15f32);
+        let offset = rng.gen_range(-0.05..0.05f32);
+        // Random translation (torus roll keeps statistics stationary).
+        let dy = rng.gen_range(0..=2 * config.max_shift) as isize - config.max_shift as isize;
+        let dx = rng.gen_range(0..=2 * config.max_shift) as isize - config.max_shift as isize;
+        let dst = &mut images.data_mut()[i * plane..(i + 1) * plane];
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let sy = (y as isize - dy).rem_euclid(h as isize) as usize;
+                    let sx = (x as isize - dx).rem_euclid(w as isize) as usize;
+                    let v = pixels[ch * h * w + sy * w + sx] * gain
+                        + offset
+                        + config.noise_std * normal.sample(rng);
+                    dst[ch * h * w + y * w + x] = v.clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+    Dataset::new(images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthVisionConfig;
+
+    fn small() -> SynthVisionConfig {
+        SynthVisionConfig::cifar10_like().with_sizes(100, 40)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthVision::generate(&small(), 7).unwrap();
+        let b = SynthVision::generate(&small(), 7).unwrap();
+        assert_eq!(a.train.images(), b.train.images());
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthVision::generate(&small(), 1).unwrap();
+        let b = SynthVision::generate(&small(), 2).unwrap();
+        assert!(a.train.images().max_abs_diff(b.train.images()).unwrap() > 0.01);
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let d = SynthVision::generate(&small(), 3).unwrap();
+        assert!(d.train.images().min() >= 0.0);
+        assert!(d.train.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let d = SynthVision::generate(&small(), 4).unwrap();
+        let mut counts = vec![0usize; 10];
+        for &l in d.train.labels() {
+            counts[l] += 1;
+        }
+        // 100 samples / 10 classes: every class gets the balanced floor of 10.
+        assert!(counts.iter().all(|&c| c >= 10), "{counts:?}");
+    }
+
+    #[test]
+    fn same_class_closer_than_other_class() {
+        // Intra-class distances should on average undercut inter-class ones.
+        let d = SynthVision::generate(&small(), 5).unwrap();
+        let images = d.train.images();
+        let labels = d.train.labels();
+        let dist = |i: usize, j: usize| {
+            let a = images.select_rows(&[i]).unwrap();
+            let b = images.select_rows(&[j]).unwrap();
+            a.sub(&b).unwrap().norm()
+        };
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..30 {
+            for j in (i + 1)..30 {
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + dist(i, j), intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dist(i, j), inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1.max(1) as f32;
+        let inter_mean = inter.0 / inter.1.max(1) as f32;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} !< inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn shared_pairs_are_closer_than_unrelated() {
+        // Prototype distance between car(1) and truck(9) should undercut the
+        // mean unrelated-pair distance once shared mixing is applied to
+        // samples. Compare class-mean images.
+        let cfg = small().with_sizes(400, 40);
+        let d = SynthVision::generate(&cfg, 6).unwrap();
+        let mean_image = |class: usize| {
+            let idx: Vec<usize> = d
+                .train
+                .labels()
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == class)
+                .map(|(i, _)| i)
+                .collect();
+            let sel = d.train.images().select_rows(&idx).unwrap();
+            let n = idx.len() as f32;
+            let mut acc = Tensor::zeros(&[sel.len() / idx.len()]);
+            for i in 0..idx.len() {
+                let row = sel.select_rows(&[i]).unwrap().flatten();
+                acc = acc.add(&row).unwrap();
+            }
+            acc.scale(1.0 / n)
+        };
+        let m1 = mean_image(1);
+        let m9 = mean_image(9);
+        let m7 = mean_image(7); // horse — unrelated to car
+        let car_truck = m1.sub(&m9).unwrap().norm();
+        let car_horse = m1.sub(&m7).unwrap().norm();
+        assert!(
+            car_truck < car_horse,
+            "car–truck {car_truck} !< car–horse {car_horse}"
+        );
+    }
+
+    #[test]
+    fn class_name_fallback() {
+        let mut cfg = small();
+        cfg.class_names.clear();
+        let d = SynthVision::generate(&cfg, 0).unwrap();
+        assert_eq!(d.class_name(3), "class3");
+        let named = SynthVision::generate(&small(), 0).unwrap();
+        assert_eq!(named.class_name(1), "car");
+    }
+
+    #[test]
+    fn prototype_stack_shape() {
+        let d = SynthVision::generate(&small(), 8).unwrap();
+        assert_eq!(d.prototypes.shape(), &[10, 3, 16, 16]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Binned (histogram) mutual-information estimators.
+//!
+//! Used where no gradient is required: the per-channel MI scores behind the
+//! unnecessary-feature mask (paper Eq. 3) and the information-plane curves
+//! (paper Fig. 5). The approach follows Shwartz-Ziv & Tishby: quantize
+//! activations into equal-width bins over the observed range, then compute
+//! discrete entropies.
+
+use crate::{InfoError, Result};
+use ibrar_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Binning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BinningConfig {
+    /// Number of equal-width bins per scalar.
+    pub bins: usize,
+}
+
+impl BinningConfig {
+    /// Creates a config with `bins` bins.
+    pub fn new(bins: usize) -> Self {
+        BinningConfig { bins: bins.max(2) }
+    }
+}
+
+impl Default for BinningConfig {
+    fn default() -> Self {
+        BinningConfig { bins: 30 }
+    }
+}
+
+fn bin_index(v: f32, lo: f32, hi: f32, bins: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = ((v - lo) / (hi - lo) * bins as f32) as usize;
+    t.min(bins - 1)
+}
+
+fn entropy_from_counts<I: IntoIterator<Item = usize>>(counts: I, total: usize) -> f32 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f32;
+    counts
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let p = c as f32 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Mutual information (bits) between scalar `values` and integer `labels`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::Invalid`] when lengths disagree, labels exceed
+/// `num_classes`, or the input is empty.
+pub fn mi_values_labels(
+    values: &[f32],
+    labels: &[usize],
+    num_classes: usize,
+    config: BinningConfig,
+) -> Result<f32> {
+    if values.len() != labels.len() {
+        return Err(InfoError::Invalid(format!(
+            "{} values vs {} labels",
+            values.len(),
+            labels.len()
+        )));
+    }
+    if values.is_empty() {
+        return Err(InfoError::Invalid("empty input".into()));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+        return Err(InfoError::Invalid(format!(
+            "label {bad} out of range for {num_classes} classes"
+        )));
+    }
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let bins = config.bins;
+    let n = values.len();
+    let mut joint = vec![0usize; bins * num_classes];
+    let mut marg_v = vec![0usize; bins];
+    let mut marg_y = vec![0usize; num_classes];
+    for (&v, &y) in values.iter().zip(labels) {
+        let b = bin_index(v, lo, hi, bins);
+        joint[b * num_classes + y] += 1;
+        marg_v[b] += 1;
+        marg_y[y] += 1;
+    }
+    // I(V;Y) = H(V) + H(Y) − H(V,Y)
+    let hv = entropy_from_counts(marg_v.iter().copied(), n);
+    let hy = entropy_from_counts(marg_y.iter().copied(), n);
+    let hvy = entropy_from_counts(joint.iter().copied(), n);
+    Ok((hv + hy - hvy).max(0.0))
+}
+
+/// MI (bits) between each channel of a `[n, c, h, w]` feature map and the
+/// labels, using the spatial mean of each channel as the scalar summary.
+///
+/// This is the scoring function behind the IB-RAR channel mask: channels
+/// whose activations carry little label information get low scores.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 features or inconsistent labels.
+pub fn channel_label_mi(
+    features: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    config: BinningConfig,
+) -> Result<Vec<f32>> {
+    features
+        .shape_obj()
+        .expect_rank(4, "channel_label_mi")
+        .map_err(InfoError::Tensor)?;
+    let (n, c, h, w) = (
+        features.shape()[0],
+        features.shape()[1],
+        features.shape()[2],
+        features.shape()[3],
+    );
+    if n != labels.len() {
+        return Err(InfoError::Invalid(format!(
+            "{n} samples vs {} labels",
+            labels.len()
+        )));
+    }
+    let plane = h * w;
+    let mut scores = Vec::with_capacity(c);
+    let mut values = vec![0.0f32; n];
+    for ci in 0..c {
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            values[ni] =
+                features.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
+        }
+        scores.push(mi_values_labels(&values, labels, num_classes, config)?);
+    }
+    Ok(scores)
+}
+
+/// Entropy (bits) of the *binned activation patterns* of a `[n, d]` (or
+/// `[n, ...]`, flattened) representation.
+///
+/// Each sample's activation vector is quantized per dimension and hashed;
+/// the entropy of the resulting discrete distribution approximates `H(T)`,
+/// which equals `I(X;T)` for a deterministic network (Shwartz-Ziv & Tishby).
+///
+/// # Errors
+///
+/// Returns an error for empty input.
+pub fn binned_pattern_entropy(t: &Tensor, config: BinningConfig) -> Result<f32> {
+    let n = *t
+        .shape()
+        .first()
+        .ok_or_else(|| InfoError::Invalid("rank-0 input".into()))?;
+    if n == 0 {
+        return Err(InfoError::Invalid("empty input".into()));
+    }
+    let d = t.len() / n;
+    let lo = t.min();
+    let hi = t.max();
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for i in 0..n {
+        let mut hash = 0xcbf29ce484222325u64; // FNV-1a
+        for j in 0..d {
+            let b = bin_index(t.data()[i * d + j], lo, hi, config.bins) as u64;
+            hash ^= b.wrapping_add(0x9e3779b9);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        *counts.entry(hash).or_insert(0) += 1;
+    }
+    Ok(entropy_from_counts(counts.into_values(), n))
+}
+
+/// Pattern entropy conditioned on labels: `H(T | Y)` in bits.
+///
+/// # Errors
+///
+/// Returns an error for inconsistent labels or empty input.
+pub fn conditional_pattern_entropy(
+    t: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    config: BinningConfig,
+) -> Result<f32> {
+    let n = *t
+        .shape()
+        .first()
+        .ok_or_else(|| InfoError::Invalid("rank-0 input".into()))?;
+    if n != labels.len() {
+        return Err(InfoError::Invalid(format!(
+            "{n} samples vs {} labels",
+            labels.len()
+        )));
+    }
+    if n == 0 {
+        return Err(InfoError::Invalid("empty input".into()));
+    }
+    let mut total = 0.0f32;
+    for y in 0..num_classes {
+        let idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == y)
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let sub = t.select_rows(&idx)?;
+        let h = binned_pattern_entropy(&sub, config)?;
+        total += (idx.len() as f32 / n as f32) * h;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi_of_perfectly_informative_values() {
+        // values identical to labels → MI == H(Y) == 1 bit for balanced binary.
+        let values = [0.0f32, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let labels = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        let mi = mi_values_labels(&values, &labels, 2, BinningConfig::new(4)).unwrap();
+        assert!((mi - 1.0).abs() < 1e-5, "{mi}");
+    }
+
+    #[test]
+    fn mi_of_constant_values_is_zero() {
+        let values = [0.5f32; 8];
+        let labels = [0usize, 1, 0, 1, 0, 1, 0, 1];
+        let mi = mi_values_labels(&values, &labels, 2, BinningConfig::default()).unwrap();
+        assert!(mi.abs() < 1e-6);
+    }
+
+    #[test]
+    fn mi_validation_errors() {
+        assert!(mi_values_labels(&[0.0], &[0, 1], 2, BinningConfig::default()).is_err());
+        assert!(mi_values_labels(&[], &[], 2, BinningConfig::default()).is_err());
+        assert!(mi_values_labels(&[0.0], &[2], 2, BinningConfig::default()).is_err());
+    }
+
+    #[test]
+    fn channel_mi_ranks_informative_channel_higher() {
+        // Channel 0 encodes the label, channel 1 is constant noise.
+        let n = 16;
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let features = Tensor::from_fn(&[n, 2, 2, 2], |idx| {
+            if idx[1] == 0 {
+                (idx[0] % 2) as f32
+            } else {
+                0.42
+            }
+        });
+        let scores = channel_label_mi(&features, &labels, 2, BinningConfig::new(8)).unwrap();
+        assert!(scores[0] > scores[1] + 0.5, "{scores:?}");
+    }
+
+    #[test]
+    fn pattern_entropy_bounds() {
+        // n distinct patterns → log2(n) bits; identical patterns → 0 bits.
+        let distinct = Tensor::from_fn(&[8, 2], |i| (i[0] * 2 + i[1]) as f32);
+        let h = binned_pattern_entropy(&distinct, BinningConfig::new(16)).unwrap();
+        assert!((h - 3.0).abs() < 1e-4, "{h}");
+        let same = Tensor::ones(&[8, 2]);
+        let h0 = binned_pattern_entropy(&same, BinningConfig::default()).unwrap();
+        assert!(h0.abs() < 1e-6);
+    }
+
+    #[test]
+    fn conditional_entropy_le_marginal() {
+        let t = Tensor::from_fn(&[12, 3], |i| ((i[0] * 7 + i[1] * 3) % 9) as f32);
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let h = binned_pattern_entropy(&t, BinningConfig::new(8)).unwrap();
+        let hc = conditional_pattern_entropy(&t, &labels, 3, BinningConfig::new(8)).unwrap();
+        assert!(hc <= h + 1e-5, "H(T|Y)={hc} > H(T)={h}");
+    }
+
+    #[test]
+    fn binning_config_floor() {
+        assert_eq!(BinningConfig::new(0).bins, 2);
+    }
+}

@@ -1,0 +1,56 @@
+use ibrar_autograd::AutogradError;
+use ibrar_tensor::TensorError;
+use std::fmt;
+
+/// Error type for information-theoretic estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfoError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// An autograd operation failed.
+    Autograd(AutogradError),
+    /// Inputs are inconsistent (batch sizes, label ranges, bin counts).
+    Invalid(String),
+}
+
+impl fmt::Display for InfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfoError::Tensor(e) => write!(f, "tensor error: {e}"),
+            InfoError::Autograd(e) => write!(f, "autograd error: {e}"),
+            InfoError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InfoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InfoError::Tensor(e) => Some(e),
+            InfoError::Autograd(e) => Some(e),
+            InfoError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for InfoError {
+    fn from(e: TensorError) -> Self {
+        InfoError::Tensor(e)
+    }
+}
+
+impl From<AutogradError> for InfoError {
+    fn from(e: AutogradError) -> Self {
+        InfoError::Autograd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!InfoError::Invalid("x".into()).to_string().is_empty());
+    }
+}

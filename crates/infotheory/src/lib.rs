@@ -1,0 +1,45 @@
+//! Mutual-information machinery for the IB-RAR reproduction.
+//!
+//! The paper replaces intractable mutual information `I(·,·)` with the
+//! Hilbert–Schmidt Independence Criterion (HSIC, Gretton et al. 2005) inside
+//! the loss, and uses simpler MI estimates where no gradient is needed:
+//!
+//! * [`hsic_var`] — the **differentiable** biased HSIC estimator, composed
+//!   from tape ops so it can serve as the `I(X, T_l)` / `I(Y, T_l)` terms of
+//!   the IB-RAR loss (paper Eq. 1).
+//! * [`hsic`] — the same estimator on raw tensors (diagnostics, tests).
+//! * [`channel_label_mi`] — binned MI between each feature channel and the
+//!   labels, used to build the unnecessary-feature mask (paper Eq. 3).
+//! * [`InfoPlane`] — the binned information-plane recorder behind paper
+//!   Fig. 5 (`I(X;T)` vs `I(Y;T)` over training).
+//!
+//! # Examples
+//!
+//! ```
+//! use ibrar_infotheory::{hsic, one_hot};
+//! use ibrar_tensor::Tensor;
+//!
+//! // Features identical to the one-hot labels: strong dependence.
+//! let y = one_hot(&[0, 1, 0, 1], 2)?;
+//! let dependent = hsic(&y, &y, 1.0, 1.0)?;
+//! let constant = Tensor::ones(&[4, 2]);
+//! let independent = hsic(&constant, &y, 1.0, 1.0)?;
+//! assert!(dependent > independent);
+//! # Ok::<(), ibrar_infotheory::InfoError>(())
+//! ```
+
+mod binned;
+mod error;
+mod hsic;
+mod plane;
+
+pub use binned::{
+    binned_pattern_entropy, channel_label_mi, conditional_pattern_entropy, mi_values_labels,
+    BinningConfig,
+};
+pub use error::InfoError;
+pub use hsic::{hsic, hsic_var, median_sigma, one_hot, one_hot_var};
+pub use plane::{InfoPlane, InfoPlanePoint};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, InfoError>;

@@ -1,0 +1,109 @@
+//! Information-plane tracking (paper Fig. 5).
+//!
+//! During training, periodically record `I(X;T)` and `I(Y;T)` for a chosen
+//! hidden layer. For a deterministic network, `I(X;T) = H(T)` and
+//! `I(Y;T) = H(T) − H(T|Y)` under the binned estimator.
+
+use crate::binned::{binned_pattern_entropy, conditional_pattern_entropy, BinningConfig};
+use crate::Result;
+use ibrar_tensor::Tensor;
+
+/// One recorded point on the information plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfoPlanePoint {
+    /// Training iteration at which the point was recorded.
+    pub iteration: usize,
+    /// Estimated `I(X;T)` in bits.
+    pub i_xt: f32,
+    /// Estimated `I(Y;T)` in bits.
+    pub i_yt: f32,
+}
+
+/// Accumulates information-plane points over a training run.
+#[derive(Debug, Clone)]
+pub struct InfoPlane {
+    config: BinningConfig,
+    num_classes: usize,
+    points: Vec<InfoPlanePoint>,
+}
+
+impl InfoPlane {
+    /// Creates a recorder for a `num_classes`-way task.
+    pub fn new(num_classes: usize, config: BinningConfig) -> Self {
+        InfoPlane {
+            config,
+            num_classes,
+            points: Vec::new(),
+        }
+    }
+
+    /// Estimates and stores a point from a hidden representation `t`
+    /// (`[n, ...]`) and its labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent shapes/labels.
+    pub fn record(&mut self, iteration: usize, t: &Tensor, labels: &[usize]) -> Result<InfoPlanePoint> {
+        let h_t = binned_pattern_entropy(t, self.config)?;
+        let h_t_given_y =
+            conditional_pattern_entropy(t, labels, self.num_classes, self.config)?;
+        let point = InfoPlanePoint {
+            iteration,
+            i_xt: h_t,
+            i_yt: (h_t - h_t_given_y).max(0.0),
+        };
+        self.points.push(point);
+        Ok(point)
+    }
+
+    /// All recorded points in order.
+    pub fn points(&self) -> &[InfoPlanePoint] {
+        &self.points
+    }
+
+    /// Whether any points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_points() {
+        let mut plane = InfoPlane::new(2, BinningConfig::new(8));
+        let t = Tensor::from_fn(&[8, 2], |i| (i[0] % 4) as f32);
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        plane.record(0, &t, &labels).unwrap();
+        plane.record(50, &t, &labels).unwrap();
+        assert_eq!(plane.len(), 2);
+        assert_eq!(plane.points()[1].iteration, 50);
+    }
+
+    #[test]
+    fn i_yt_bounded_by_i_xt() {
+        let mut plane = InfoPlane::new(3, BinningConfig::new(8));
+        let t = Tensor::from_fn(&[12, 3], |i| ((i[0] * 5 + i[1]) % 7) as f32);
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let p = plane.record(0, &t, &labels).unwrap();
+        assert!(p.i_yt <= p.i_xt + 1e-5);
+        assert!(p.i_yt >= 0.0);
+    }
+
+    #[test]
+    fn informative_representation_scores_high_iyt() {
+        let mut plane = InfoPlane::new(2, BinningConfig::new(8));
+        // T encodes the label exactly.
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let t = Tensor::from_fn(&[10, 1], |i| (i[0] % 2) as f32);
+        let p = plane.record(0, &t, &labels).unwrap();
+        assert!((p.i_yt - 1.0).abs() < 1e-4, "{p:?}");
+    }
+}

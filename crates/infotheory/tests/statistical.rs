@@ -1,0 +1,100 @@
+//! Statistical behaviour of the estimators across batch sizes and noise
+//! levels — the regimes the IB-RAR loss actually operates in.
+
+use ibrar_infotheory::{
+    binned_pattern_entropy, channel_label_mi, hsic, median_sigma, one_hot, BinningConfig,
+};
+use ibrar_tensor::{normal, NormalSampler, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Features = one-hot labels + noise; HSIC with labels must rise as the
+/// noise falls.
+#[test]
+fn hsic_tracks_signal_to_noise() {
+    let m = 32;
+    let labels: Vec<usize> = (0..m).map(|i| i % 4).collect();
+    let y = one_hot(&labels, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut values = Vec::new();
+    for noise in [2.0f32, 0.5, 0.1] {
+        let noise_t = normal(&[m, 4], 0.0, noise, &mut rng);
+        let x = y.add(&noise_t).unwrap();
+        let sx = median_sigma(&x);
+        values.push(hsic(&x, &y, sx, 1.0).unwrap());
+    }
+    assert!(
+        values[0] < values[1] && values[1] < values[2],
+        "HSIC not monotone in SNR: {values:?}"
+    );
+}
+
+/// HSIC of independent batches concentrates near zero as m grows (the
+/// biased estimator's O(1/m) bias shrinks).
+#[test]
+fn hsic_independent_shrinks_with_batch() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut estimate = |m: usize| {
+        let x = normal(&[m, 3], 0.0, 1.0, &mut rng);
+        let y = normal(&[m, 3], 0.0, 1.0, &mut rng);
+        hsic(&x, &y, 1.0, 1.0).unwrap()
+    };
+    // Average a few draws to reduce variance.
+    let small: f32 = (0..5).map(|_| estimate(8)).sum::<f32>() / 5.0;
+    let large: f32 = (0..5).map(|_| estimate(64)).sum::<f32>() / 5.0;
+    assert!(
+        large < small,
+        "bias did not shrink: m=8 -> {small}, m=64 -> {large}"
+    );
+}
+
+/// The channel-MI scorer ranks channels by informativeness even under
+/// substantial noise — the property the Eq. 3 mask depends on.
+#[test]
+fn channel_mi_ranking_is_noise_robust() {
+    let n = 64;
+    let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sampler = NormalSampler::new();
+    // Channel 0: strong label signal; channel 1: weak; channel 2: none.
+    let features = Tensor::from_fn(&[n, 3, 2, 2], |idx| {
+        let label_signal = (idx[0] % 4) as f32;
+        let noise = sampler.sample(&mut rng) * 0.3;
+        match idx[1] {
+            0 => label_signal + noise,
+            1 => 0.3 * label_signal + noise,
+            _ => noise,
+        }
+    });
+    let scores = channel_label_mi(&features, &labels, 4, BinningConfig::new(12)).unwrap();
+    assert!(scores[0] > scores[1], "{scores:?}");
+    assert!(scores[1] > scores[2], "{scores:?}");
+}
+
+/// Pattern entropy grows with representation diversity and is capped by
+/// log2(n).
+#[test]
+fn pattern_entropy_scales_with_diversity() {
+    let n = 32;
+    let collapsed = Tensor::ones(&[n, 8]);
+    let two_groups = Tensor::from_fn(&[n, 8], |i| (i[0] % 2) as f32);
+    let distinct = Tensor::from_fn(&[n, 8], |i| (i[0] * 8 + i[1]) as f32);
+    let cfg = BinningConfig::new(40);
+    let h0 = binned_pattern_entropy(&collapsed, cfg).unwrap();
+    let h1 = binned_pattern_entropy(&two_groups, cfg).unwrap();
+    let h2 = binned_pattern_entropy(&distinct, cfg).unwrap();
+    assert!(h0 < 1e-6);
+    assert!((h1 - 1.0).abs() < 1e-4);
+    assert!(h2 <= (n as f32).log2() + 1e-4);
+    assert!(h2 > h1);
+}
+
+/// Median sigma grows with the data scale (so HSIC stays scale-aware).
+#[test]
+fn median_sigma_scales_linearly() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = normal(&[16, 4], 0.0, 1.0, &mut rng);
+    let s1 = median_sigma(&x);
+    let s10 = median_sigma(&x.scale(10.0));
+    assert!((s10 / s1 - 10.0).abs() < 0.5, "{s1} vs {s10}");
+}

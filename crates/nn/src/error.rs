@@ -1,0 +1,67 @@
+use ibrar_autograd::AutogradError;
+use ibrar_tensor::TensorError;
+use std::fmt;
+
+/// Error type for layer, model, and optimizer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An autograd operation failed.
+    Autograd(AutogradError),
+    /// A raw tensor operation failed.
+    Tensor(TensorError),
+    /// A model/layer configuration is invalid.
+    Config(String),
+    /// Checkpoint loading failed.
+    Checkpoint(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Autograd(e) => write!(f, "autograd error: {e}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Autograd(e) => Some(e),
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutogradError> for NnError {
+    fn from(e: AutogradError) -> Self {
+        NnError::Autograd(e)
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let ae: NnError = AutogradError::ForeignVar.into();
+        assert!(matches!(ae, NnError::Autograd(_)));
+        let te: NnError = TensorError::Decode("x".into()).into();
+        assert!(matches!(te, NnError::Tensor(_)));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!NnError::Config("bad".into()).to_string().is_empty());
+    }
+}

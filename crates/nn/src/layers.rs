@@ -1,0 +1,286 @@
+//! Layer building blocks: [`Linear`], [`Conv2d`], and [`BatchNorm2d`].
+//!
+//! Layers own their [`Parameter`]s and expose a `forward(&self, sess, x)`
+//! method; they are plain structs rather than a trait so each can have the
+//! signature it needs (batch norm takes a [`Mode`]).
+
+use crate::model::Mode;
+use crate::{Parameter, Result, Session};
+use ibrar_autograd::Var;
+use ibrar_tensor::{kaiming_uniform, uniform, Conv2dSpec, Tensor};
+use parking_lot::Mutex;
+use rand::Rng;
+
+/// Fully-connected layer `y = xW + b` over `[n, in] → [n, out]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new(name: &str, in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let bound = 1.0 / (in_features as f32).sqrt();
+        Linear {
+            weight: Parameter::new(
+                format!("{name}.weight"),
+                kaiming_uniform(&[in_features, out_features], rng),
+            ),
+            bias: Parameter::new(
+                format!("{name}.bias"),
+                uniform(&[out_features], -bound, bound, rng),
+            ),
+        }
+    }
+
+    /// Applies the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    pub fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>) -> Result<Var<'t>> {
+        let w = sess.bind(&self.weight);
+        let b = sess.bind(&self.bias);
+        Ok(x.matmul(w)?.add(b)?)
+    }
+
+    /// The layer's parameters (weight, bias).
+    pub fn params(&self) -> Vec<Parameter> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape()[1]
+    }
+}
+
+/// 2-D convolution layer with optional bias.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    spec: Conv2dSpec,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    pub fn new(name: &str, spec: Conv2dSpec, bias: bool, rng: &mut impl Rng) -> Self {
+        let weight = Parameter::new(
+            format!("{name}.weight"),
+            kaiming_uniform(
+                &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                rng,
+            ),
+        );
+        let bias = bias.then(|| {
+            let bound = 1.0 / (spec.patch_len() as f32).sqrt();
+            Parameter::new(
+                format!("{name}.bias"),
+                uniform(&[spec.out_channels], -bound, bound, rng),
+            )
+        });
+        Conv2d { weight, bias, spec }
+    }
+
+    /// Applies the convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on geometry/shape mismatches.
+    pub fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>) -> Result<Var<'t>> {
+        let w = sess.bind(&self.weight);
+        let b = self.bias.as_ref().map(|p| sess.bind(p));
+        Ok(x.conv2d(w, b, self.spec)?)
+    }
+
+    /// The layer's parameters.
+    pub fn params(&self) -> Vec<Parameter> {
+        let mut out = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            out.push(b.clone());
+        }
+        out
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+}
+
+/// 2-D batch normalization with running statistics.
+///
+/// In [`Mode::Train`] the batch statistics are used (and folded into the
+/// running estimates with `momentum`); in [`Mode::Eval`] the frozen running
+/// statistics normalize via broadcast arithmetic.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Parameter,
+    beta: Parameter,
+    running_mean: Mutex<Tensor>,
+    running_var: Mutex<Tensor>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Parameter::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Parameter::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: Mutex::new(Tensor::zeros(&[channels])),
+            running_var: Mutex::new(Tensor::ones(&[channels])),
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies batch normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    pub fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<Var<'t>> {
+        let gamma = sess.bind(&self.gamma);
+        let beta = sess.bind(&self.beta);
+        match mode {
+            Mode::Train => {
+                let (y, stats) = x.batch_norm2d(gamma, beta, self.eps)?;
+                let m = self.momentum;
+                {
+                    let mut rm = self.running_mean.lock();
+                    *rm = rm.scale(1.0 - m).add(&stats.mean.scale(m))?;
+                }
+                {
+                    let mut rv = self.running_var.lock();
+                    *rv = rv.scale(1.0 - m).add(&stats.var.scale(m))?;
+                }
+                Ok(y)
+            }
+            Mode::Eval => {
+                // (x − μ̂)·inv_std̂·γ + β, all per-channel broadcasts.
+                let mean = sess.tape().leaf(self.running_mean.lock().clone());
+                let inv_std = sess.tape().leaf(
+                    self.running_var
+                        .lock()
+                        .map(|v| 1.0 / (v + self.eps).sqrt()),
+                );
+                Ok(x.sub(mean)?.mul(inv_std)?.mul(gamma)?.add(beta)?)
+            }
+        }
+    }
+
+    /// The affine parameters (γ, β).
+    pub fn params(&self) -> Vec<Parameter> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+
+    /// Snapshot of the running mean (for tests/diagnostics).
+    pub fn running_mean(&self) -> Tensor {
+        self.running_mean.lock().clone()
+    }
+
+    /// Snapshot of the running variance (for tests/diagnostics).
+    pub fn running_var(&self) -> Tensor {
+        self.running_var.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_autograd::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new("fc", 4, 3, &mut rng);
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::ones(&[2, 4]));
+        let y = layer.forward(&sess, x).unwrap();
+        assert_eq!(y.shape(), vec![2, 3]);
+        assert_eq!(layer.in_features(), 4);
+        assert_eq!(layer.out_features(), 3);
+        assert_eq!(layer.params().len(), 2);
+    }
+
+    #[test]
+    fn linear_gradients_reach_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new("fc", 3, 2, &mut rng);
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::ones(&[1, 3]));
+        let loss = layer.forward(&sess, x).unwrap().square().unwrap().sum().unwrap();
+        sess.backward(loss).unwrap();
+        for p in layer.params() {
+            assert!(p.grad().is_some(), "{} missing grad", p.name());
+        }
+    }
+
+    #[test]
+    fn conv_shapes_with_padding() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Conv2d::new("conv", Conv2dSpec::new(3, 8, 3, 1, 1), true, &mut rng);
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::zeros(&[2, 3, 8, 8]));
+        let y = layer.forward(&sess, x).unwrap();
+        assert_eq!(y.shape(), vec![2, 8, 8, 8]);
+        assert_eq!(layer.params().len(), 2);
+    }
+
+    #[test]
+    fn conv_without_bias_has_one_param() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Conv2d::new("conv", Conv2dSpec::new(1, 2, 3, 1, 1), false, &mut rng);
+        assert_eq!(layer.params().len(), 1);
+    }
+
+    #[test]
+    fn batchnorm_train_updates_running_stats() {
+        let bn = BatchNorm2d::new("bn", 2);
+        let before = bn.running_mean();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::from_fn(&[4, 2, 2, 2], |i| (i[1] * 10) as f32));
+        bn.forward(&sess, x, Mode::Train).unwrap();
+        let after = bn.running_mean();
+        assert!(before.max_abs_diff(&after).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let bn = BatchNorm2d::new("bn", 1);
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        // Fresh BN: running mean 0, var 1 → eval output equals input.
+        let x_val = Tensor::from_fn(&[1, 1, 2, 2], |i| i[3] as f32);
+        let x = tape.leaf(x_val.clone());
+        let y = bn.forward(&sess, x, Mode::Eval).unwrap();
+        assert!(y.value().max_abs_diff(&x_val).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn batchnorm_eval_is_deterministic() {
+        let bn = BatchNorm2d::new("bn", 2);
+        let run = || {
+            let tape = Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(Tensor::from_fn(&[2, 2, 2, 2], |i| (i[0] + i[3]) as f32));
+            bn.forward(&sess, x, Mode::Eval).unwrap().value()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,61 @@
+//! Neural-network layers, optimizers, and the model families used by the
+//! IB-RAR reproduction.
+//!
+//! Parameters live outside any tape as [`Parameter`] handles with interior
+//! mutability; each training step opens a [`Session`] (a thin wrapper over an
+//! [`ibrar_autograd::Tape`]) that binds parameters to tape variables, runs a
+//! forward pass, and deposits gradients back into the parameters on
+//! [`Session::backward`]. The [`Sgd`] optimizer then consumes those
+//! gradients.
+//!
+//! Three model families mirror the paper's architectures at laptop scale:
+//!
+//! * [`VggMini`] — five convolutional blocks plus two fully-connected layers,
+//!   matching the block structure that IB-RAR's robust-layer analysis
+//!   (paper Table 3) depends on;
+//! * [`ResNetMini`] — a ResNet-18-style residual network;
+//! * [`WideResNetMini`] — a WRN-28-10-style widened residual network.
+//!
+//! Every model implements [`ImageModel`], exposing its hidden-layer taps
+//! `T_l` so the IB-RAR loss can attach mutual-information regularizers.
+//!
+//! # Examples
+//!
+//! ```
+//! use ibrar_nn::{ImageModel, Mode, Session, VggMini, VggConfig};
+//! use ibrar_autograd::Tape;
+//! use ibrar_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+//! let tape = Tape::new();
+//! let sess = Session::new(&tape);
+//! let x = tape.leaf(Tensor::zeros(&[2, 3, 16, 16]));
+//! let out = model.forward(&sess, x, Mode::Eval)?;
+//! assert_eq!(out.logits.shape(), vec![2, 10]);
+//! assert_eq!(out.hidden.len(), 7); // 5 conv blocks + 2 FC taps
+//! # Ok::<(), ibrar_nn::NnError>(())
+//! ```
+
+mod error;
+mod layers;
+mod model;
+mod models;
+mod optim;
+mod param;
+mod session;
+
+pub use error::NnError;
+pub use layers::{BatchNorm2d, Conv2d, Linear};
+pub use model::{load_params, save_params, Hidden, ImageModel, LayerKind, Mode, ModelOutput};
+pub use models::residual::{BasicBlock, ResidualConfig, ResidualNet};
+pub use models::resnet::{ResNetConfig, ResNetMini};
+pub use models::vgg::{VggConfig, VggMini};
+pub use models::wrn::{WideResNetConfig, WideResNetMini};
+pub use optim::{Sgd, SgdConfig, StepLr};
+pub use param::Parameter;
+pub use session::Session;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,142 @@
+//! The [`ImageModel`] abstraction shared by every architecture.
+//!
+//! IB-RAR needs more from a model than logits: the loss attaches
+//! mutual-information regularizers to hidden representations `T_l`, and the
+//! feature-mask stage multiplies the last convolutional output by a
+//! per-channel mask. [`ModelOutput`] therefore carries named [`Hidden`] taps,
+//! and the trait exposes [`ImageModel::set_channel_mask`].
+
+use crate::{NnError, Parameter, Result, Session};
+use bytes::{BufMut, Bytes, BytesMut};
+use ibrar_autograd::Var;
+use ibrar_tensor::Tensor;
+
+/// Whether a forward pass uses batch statistics (training) or running
+/// statistics (evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training mode: batch-norm uses batch statistics and updates running
+    /// estimates.
+    Train,
+    /// Evaluation mode: frozen statistics, deterministic output.
+    Eval,
+}
+
+/// What kind of layer produced a hidden tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Convolutional block output `[n, c, h, w]`.
+    Conv,
+    /// Fully-connected output `[n, d]`.
+    Fc,
+}
+
+/// A named hidden representation `T_l` exposed for IB regularization.
+#[derive(Debug, Clone, Copy)]
+pub struct Hidden<'t> {
+    /// The tap's value on the tape.
+    pub var: Var<'t>,
+    /// Which kind of layer produced it.
+    pub kind: LayerKind,
+    /// Stable index of the layer within the model (0-based).
+    pub index: usize,
+}
+
+/// Result of a model forward pass.
+#[derive(Debug)]
+pub struct ModelOutput<'t> {
+    /// Unnormalized class scores `[n, num_classes]`.
+    pub logits: Var<'t>,
+    /// Hidden taps in network order (conv blocks first, then FC layers).
+    pub hidden: Vec<Hidden<'t>>,
+    /// An extra differentiable loss term the model asks trainers to add
+    /// (e.g. the VIB baseline's KL regularizer). `None` for plain models.
+    pub aux_loss: Option<Var<'t>>,
+}
+
+/// A classifier over image batches with IB-RAR's required hooks.
+///
+/// Implementations: [`VggMini`](crate::VggMini),
+/// [`ResNetMini`](crate::ResNetMini),
+/// [`WideResNetMini`](crate::WideResNetMini).
+pub trait ImageModel {
+    /// Runs the network on `[n, c, h, w]` input bound to `sess`'s tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<ModelOutput<'t>>;
+
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Parameter>;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Expected input shape `[c, h, w]`.
+    fn input_shape(&self) -> [usize; 3];
+
+    /// Number of channels produced by the last convolutional block (the
+    /// masking target of IB-RAR Eq. 3).
+    fn last_conv_channels(&self) -> usize;
+
+    /// Installs (or clears) the per-channel mask multiplied into the last
+    /// convolutional block's output on every subsequent forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the mask length differs from
+    /// [`ImageModel::last_conv_channels`].
+    fn set_channel_mask(&self, mask: Option<Tensor>) -> Result<()>;
+
+    /// The currently installed channel mask, if any.
+    fn channel_mask(&self) -> Option<Tensor>;
+
+    /// Human-readable architecture name.
+    fn name(&self) -> &str;
+
+    /// Names of the hidden taps, in the order `forward` emits them.
+    fn hidden_names(&self) -> Vec<String>;
+}
+
+/// Serializes a model's parameters into the workspace checkpoint format.
+pub fn save_params(model: &dyn ImageModel) -> Bytes {
+    let mut buf = BytesMut::new();
+    for p in model.params() {
+        buf.put_slice(&p.value().encode());
+    }
+    buf.freeze()
+}
+
+/// Restores parameters from [`save_params`] output (same architecture only).
+///
+/// # Errors
+///
+/// Returns [`NnError::Checkpoint`] on decode failures or shape mismatches.
+pub fn load_params(model: &dyn ImageModel, mut bytes: Bytes) -> Result<()> {
+    for p in model.params() {
+        let t = Tensor::decode(&mut bytes)
+            .map_err(|e| NnError::Checkpoint(format!("while loading {}: {e}", p.name())))?;
+        if t.shape() != p.shape() {
+            return Err(NnError::Checkpoint(format!(
+                "shape mismatch for {}: checkpoint {:?}, model {:?}",
+                p.name(),
+                t.shape(),
+                p.shape()
+            )));
+        }
+        p.set_value(t);
+    }
+    Ok(())
+}
+
+/// Validates a mask tensor against the model's last conv width.
+pub(crate) fn validate_mask(mask: &Tensor, channels: usize) -> Result<()> {
+    if mask.shape() != [channels] {
+        return Err(NnError::Config(format!(
+            "channel mask must be [{channels}], got {:?}",
+            mask.shape()
+        )));
+    }
+    Ok(())
+}

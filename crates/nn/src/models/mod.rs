@@ -1,0 +1,6 @@
+//! Model architectures: scaled-down VGG, ResNet, and WideResNet.
+
+pub mod residual;
+pub mod resnet;
+pub mod vgg;
+pub mod wrn;

@@ -1,0 +1,360 @@
+//! Shared residual-network core for [`ResNetMini`](crate::ResNetMini) and
+//! [`WideResNetMini`](crate::WideResNetMini).
+//!
+//! A stem convolution feeds a sequence of stages of [`BasicBlock`]s
+//! (conv–bn–relu–conv–bn plus identity/projection shortcut), followed by
+//! global average pooling and a linear classifier. The two public model
+//! types differ only in their stage widths and depths.
+
+use crate::model::{validate_mask, Hidden, ImageModel, LayerKind, Mode, ModelOutput};
+use crate::{BatchNorm2d, Conv2d, Linear, NnError, Parameter, Result, Session};
+use ibrar_autograd::Var;
+use ibrar_tensor::{Conv2dSpec, Tensor};
+use parking_lot::Mutex;
+use rand::Rng;
+
+/// A two-convolution residual block.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+}
+
+impl BasicBlock {
+    fn new(name: &str, in_ch: usize, out_ch: usize, stride: usize, rng: &mut impl Rng) -> Self {
+        let conv1 = Conv2d::new(
+            &format!("{name}.conv1"),
+            Conv2dSpec::new(in_ch, out_ch, 3, stride, 1),
+            false,
+            rng,
+        );
+        let bn1 = BatchNorm2d::new(&format!("{name}.bn1"), out_ch);
+        let conv2 = Conv2d::new(
+            &format!("{name}.conv2"),
+            Conv2dSpec::new(out_ch, out_ch, 3, 1, 1),
+            false,
+            rng,
+        );
+        let bn2 = BatchNorm2d::new(&format!("{name}.bn2"), out_ch);
+        let shortcut = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(
+                    &format!("{name}.shortcut"),
+                    Conv2dSpec::new(in_ch, out_ch, 1, stride, 0),
+                    false,
+                    rng,
+                ),
+                BatchNorm2d::new(&format!("{name}.shortcut_bn"), out_ch),
+            )
+        });
+        BasicBlock {
+            conv1,
+            bn1,
+            conv2,
+            bn2,
+            shortcut,
+        }
+    }
+
+    fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<Var<'t>> {
+        let h = self.bn1.forward(sess, self.conv1.forward(sess, x)?, mode)?.relu()?;
+        let h = self.bn2.forward(sess, self.conv2.forward(sess, h)?, mode)?;
+        let skip = match &self.shortcut {
+            Some((conv, bn)) => bn.forward(sess, conv.forward(sess, x)?, mode)?,
+            None => x,
+        };
+        Ok(h.add(skip)?.relu()?)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        let mut out = Vec::new();
+        out.extend(self.conv1.params());
+        out.extend(self.bn1.params());
+        out.extend(self.conv2.params());
+        out.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.shortcut {
+            out.extend(conv.params());
+            out.extend(bn.params());
+        }
+        out
+    }
+}
+
+/// Configuration of a residual network.
+#[derive(Debug, Clone)]
+pub struct ResidualConfig {
+    /// Architecture name reported by [`ImageModel::name`].
+    pub arch_name: String,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Input shape `[c, h, w]`.
+    pub input: [usize; 3],
+    /// Output channels of each stage.
+    pub stage_widths: Vec<usize>,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+}
+
+/// The shared residual network implementation.
+pub struct ResidualNet {
+    config: ResidualConfig,
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    stages: Vec<Vec<BasicBlock>>,
+    classifier: Linear,
+    mask: Mutex<Option<Tensor>>,
+}
+
+impl ResidualNet {
+    /// Builds a randomly initialized residual network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] for empty stage lists or zero depths.
+    pub fn new(config: ResidualConfig, rng: &mut impl Rng) -> Result<Self> {
+        if config.stage_widths.is_empty() || config.blocks_per_stage == 0 {
+            return Err(NnError::Config(
+                "residual net needs at least one stage and one block".into(),
+            ));
+        }
+        let [c, _, _] = config.input;
+        let stem_width = config.stage_widths[0];
+        let stem = Conv2d::new("stem", Conv2dSpec::new(c, stem_width, 3, 1, 1), false, rng);
+        let stem_bn = BatchNorm2d::new("stem_bn", stem_width);
+        let mut stages = Vec::with_capacity(config.stage_widths.len());
+        let mut in_ch = stem_width;
+        for (s, &width) in config.stage_widths.iter().enumerate() {
+            let mut blocks = Vec::with_capacity(config.blocks_per_stage);
+            for b in 0..config.blocks_per_stage {
+                // First block of stages ≥ 1 downsamples.
+                let stride = if s > 0 && b == 0 { 2 } else { 1 };
+                blocks.push(BasicBlock::new(
+                    &format!("stage{s}.block{b}"),
+                    in_ch,
+                    width,
+                    stride,
+                    rng,
+                ));
+                in_ch = width;
+            }
+            stages.push(blocks);
+        }
+        let classifier = Linear::new("classifier", in_ch, config.num_classes, rng);
+        Ok(ResidualNet {
+            config,
+            stem,
+            stem_bn,
+            stages,
+            classifier,
+            mask: Mutex::new(None),
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ResidualConfig {
+        &self.config
+    }
+}
+
+impl ImageModel for ResidualNet {
+    fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<ModelOutput<'t>> {
+        let mut hidden = Vec::with_capacity(self.stages.len() + 2);
+        let mut h = self
+            .stem_bn
+            .forward(sess, self.stem.forward(sess, x)?, mode)?
+            .relu()?;
+        hidden.push(Hidden {
+            var: h,
+            kind: LayerKind::Conv,
+            index: 0,
+        });
+        let last_stage = self.stages.len() - 1;
+        for (s, stage) in self.stages.iter().enumerate() {
+            for block in stage {
+                h = block.forward(sess, h, mode)?;
+            }
+            if s == last_stage {
+                if let Some(mask) = self.mask.lock().clone() {
+                    let m = sess.tape().leaf(mask);
+                    h = h.mul(m)?;
+                }
+            }
+            hidden.push(Hidden {
+                var: h,
+                kind: LayerKind::Conv,
+                index: s + 1,
+            });
+        }
+        let pooled = h.global_avg_pool()?;
+        hidden.push(Hidden {
+            var: pooled,
+            kind: LayerKind::Fc,
+            index: self.stages.len() + 1,
+        });
+        let logits = self.classifier.forward(sess, pooled)?;
+        Ok(ModelOutput {
+            logits,
+            hidden,
+            aux_loss: None,
+        })
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        let mut out = Vec::new();
+        out.extend(self.stem.params());
+        out.extend(self.stem_bn.params());
+        for stage in &self.stages {
+            for block in stage {
+                out.extend(block.params());
+            }
+        }
+        out.extend(self.classifier.params());
+        out
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.config.input
+    }
+
+    fn last_conv_channels(&self) -> usize {
+        *self
+            .config
+            .stage_widths
+            .last()
+            .expect("validated nonempty at construction")
+    }
+
+    fn set_channel_mask(&self, mask: Option<Tensor>) -> Result<()> {
+        if let Some(m) = &mask {
+            validate_mask(m, self.last_conv_channels())?;
+        }
+        *self.mask.lock() = mask;
+        Ok(())
+    }
+
+    fn channel_mask(&self) -> Option<Tensor> {
+        self.mask.lock().clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.config.arch_name
+    }
+
+    fn hidden_names(&self) -> Vec<String> {
+        let mut names = vec!["stem".to_string()];
+        for s in 0..self.stages.len() {
+            names.push(format!("stage{}", s + 1));
+        }
+        names.push("pooled".to_string());
+        names
+    }
+}
+
+impl std::fmt::Debug for ResidualNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidualNet")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_autograd::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_config() -> ResidualConfig {
+        ResidualConfig {
+            arch_name: "TestResNet".into(),
+            num_classes: 10,
+            input: [3, 16, 16],
+            stage_widths: vec![8, 16, 24],
+            blocks_per_stage: 1,
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_taps() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = ResidualNet::new(tiny_config(), &mut rng).unwrap();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::zeros(&[2, 3, 16, 16]));
+        let out = m.forward(&sess, x, Mode::Eval).unwrap();
+        assert_eq!(out.logits.shape(), vec![2, 10]);
+        // stem + 3 stages + pooled
+        assert_eq!(out.hidden.len(), 5);
+        assert_eq!(out.hidden[3].var.shape(), vec![2, 24, 4, 4]);
+        assert_eq!(out.hidden[4].var.shape(), vec![2, 24]);
+        assert_eq!(m.hidden_names().len(), 5);
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ResidualNet::new(tiny_config(), &mut rng).unwrap();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::full(&[2, 3, 16, 16], 0.1));
+        let out = m.forward(&sess, x, Mode::Train).unwrap();
+        let loss = out.logits.cross_entropy(&[0, 5]).unwrap();
+        sess.backward(loss).unwrap();
+        let missing: Vec<String> = m
+            .params()
+            .iter()
+            .filter(|p| p.grad().is_none())
+            .map(|p| p.name().to_string())
+            .collect();
+        assert!(missing.is_empty(), "params missing grads: {missing:?}");
+    }
+
+    #[test]
+    fn mask_applies_to_last_stage() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = ResidualNet::new(tiny_config(), &mut rng).unwrap();
+        m.set_channel_mask(Some(Tensor::zeros(&[24]))).unwrap();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::full(&[1, 3, 16, 16], 0.5));
+        let out = m.forward(&sess, x, Mode::Eval).unwrap();
+        assert_eq!(out.hidden[3].var.value().abs().max(), 0.0);
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cfg = tiny_config();
+        cfg.stage_widths.clear();
+        assert!(ResidualNet::new(cfg, &mut rng).is_err());
+        let mut cfg2 = tiny_config();
+        cfg2.blocks_per_stage = 0;
+        assert!(ResidualNet::new(cfg2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn eval_differs_from_train_batchnorm() {
+        // Fresh model: eval uses unit running stats, train uses batch stats.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = ResidualNet::new(tiny_config(), &mut rng).unwrap();
+        let x_val = Tensor::from_fn(&[4, 3, 16, 16], |i| ((i[0] + i[2] + i[3]) % 5) as f32);
+        let run = |mode: Mode| {
+            let tape = Tape::new();
+            let sess = Session::new(&tape);
+            let x = tape.leaf(x_val.clone());
+            m.forward(&sess, x, mode).unwrap().logits.value()
+        };
+        let train_out = run(Mode::Train);
+        // Forwarding in train mode mutated running stats; still, eval should
+        // now differ from the train-mode output.
+        let eval_out = run(Mode::Eval);
+        assert!(train_out.max_abs_diff(&eval_out).unwrap() > 1e-4);
+    }
+}

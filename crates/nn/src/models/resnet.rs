@@ -1,0 +1,135 @@
+//! `ResNetMini`: the workspace's ResNet-18 stand-in.
+
+use crate::model::{ImageModel, Mode, ModelOutput};
+use crate::models::residual::{ResidualConfig, ResidualNet};
+use crate::{Parameter, Result, Session};
+use ibrar_autograd::Var;
+use ibrar_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration for [`ResNetMini`].
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Input shape `[c, h, w]`.
+    pub input: [usize; 3],
+    /// Stage widths (defaults to `[16, 32, 64]`).
+    pub stage_widths: Vec<usize>,
+    /// Residual blocks per stage (ResNet-18 uses 2).
+    pub blocks_per_stage: usize,
+}
+
+impl ResNetConfig {
+    /// 3×16×16 inputs, three stages, two blocks each (ResNet-18 layout at
+    /// laptop scale).
+    pub fn tiny(num_classes: usize) -> Self {
+        ResNetConfig {
+            num_classes,
+            input: [3, 16, 16],
+            stage_widths: vec![16, 32, 64],
+            blocks_per_stage: 2,
+        }
+    }
+
+    /// A single-block variant for fast tests.
+    pub fn tiny_fast(num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks_per_stage: 1,
+            ..ResNetConfig::tiny(num_classes)
+        }
+    }
+}
+
+/// Scaled-down ResNet-18. See [`ResidualNet`] for the architecture.
+#[derive(Debug)]
+pub struct ResNetMini {
+    net: ResidualNet,
+}
+
+impl ResNetMini {
+    /// Builds a randomly initialized model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for empty stages/depths.
+    pub fn new(config: ResNetConfig, rng: &mut impl Rng) -> Result<Self> {
+        Ok(ResNetMini {
+            net: ResidualNet::new(
+                ResidualConfig {
+                    arch_name: "ResNetMini".into(),
+                    num_classes: config.num_classes,
+                    input: config.input,
+                    stage_widths: config.stage_widths,
+                    blocks_per_stage: config.blocks_per_stage,
+                },
+                rng,
+            )?,
+        })
+    }
+}
+
+impl ImageModel for ResNetMini {
+    fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<ModelOutput<'t>> {
+        self.net.forward(sess, x, mode)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        self.net.params()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.net.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.net.input_shape()
+    }
+
+    fn last_conv_channels(&self) -> usize {
+        self.net.last_conv_channels()
+    }
+
+    fn set_channel_mask(&self, mask: Option<Tensor>) -> Result<()> {
+        self.net.set_channel_mask(mask)
+    }
+
+    fn channel_mask(&self) -> Option<Tensor> {
+        self.net.channel_mask()
+    }
+
+    fn name(&self) -> &str {
+        self.net.name()
+    }
+
+    fn hidden_names(&self) -> Vec<String> {
+        self.net.hidden_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_autograd::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = ResNetMini::new(ResNetConfig::tiny_fast(10), &mut rng).unwrap();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::zeros(&[1, 3, 16, 16]));
+        let out = m.forward(&sess, x, Mode::Eval).unwrap();
+        assert_eq!(out.logits.shape(), vec![1, 10]);
+        assert_eq!(m.name(), "ResNetMini");
+        assert_eq!(m.last_conv_channels(), 64);
+    }
+
+    #[test]
+    fn default_depth_is_two_blocks() {
+        let cfg = ResNetConfig::tiny(10);
+        assert_eq!(cfg.blocks_per_stage, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! `WideResNetMini`: the workspace's WRN-28-10 stand-in.
+//!
+//! Wide residual networks trade depth for width; the widen factor multiplies
+//! every stage's channel count. The paper evaluates WRN-28-10 on CIFAR-100 —
+//! here the widen factor defaults to 2 and the depth to one block per stage
+//! so the `synth_cifar100` experiments run in seconds.
+
+use crate::model::{ImageModel, Mode, ModelOutput};
+use crate::models::residual::{ResidualConfig, ResidualNet};
+use crate::{Parameter, Result, Session};
+use ibrar_autograd::Var;
+use ibrar_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration for [`WideResNetMini`].
+#[derive(Debug, Clone)]
+pub struct WideResNetConfig {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Input shape `[c, h, w]`.
+    pub input: [usize; 3],
+    /// Channel multiplier applied to the base widths `[16, 32, 64]`.
+    pub widen_factor: usize,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+}
+
+impl WideResNetConfig {
+    /// 3×16×16 inputs, widen factor 2, one block per stage.
+    pub fn tiny(num_classes: usize) -> Self {
+        WideResNetConfig {
+            num_classes,
+            input: [3, 16, 16],
+            widen_factor: 2,
+            blocks_per_stage: 1,
+        }
+    }
+}
+
+/// Scaled-down WRN-28-10. See [`ResidualNet`] for the architecture.
+#[derive(Debug)]
+pub struct WideResNetMini {
+    net: ResidualNet,
+}
+
+impl WideResNetMini {
+    /// Builds a randomly initialized model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for a zero widen factor or depth.
+    pub fn new(config: WideResNetConfig, rng: &mut impl Rng) -> Result<Self> {
+        if config.widen_factor == 0 {
+            return Err(crate::NnError::Config(
+                "widen_factor must be at least 1".into(),
+            ));
+        }
+        let widths: Vec<usize> = [16usize, 32, 64]
+            .iter()
+            .map(|w| w * config.widen_factor)
+            .collect();
+        Ok(WideResNetMini {
+            net: ResidualNet::new(
+                ResidualConfig {
+                    arch_name: "WideResNetMini".into(),
+                    num_classes: config.num_classes,
+                    input: config.input,
+                    stage_widths: widths,
+                    blocks_per_stage: config.blocks_per_stage,
+                },
+                rng,
+            )?,
+        })
+    }
+}
+
+impl ImageModel for WideResNetMini {
+    fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<ModelOutput<'t>> {
+        self.net.forward(sess, x, mode)
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        self.net.params()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.net.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.net.input_shape()
+    }
+
+    fn last_conv_channels(&self) -> usize {
+        self.net.last_conv_channels()
+    }
+
+    fn set_channel_mask(&self, mask: Option<Tensor>) -> Result<()> {
+        self.net.set_channel_mask(mask)
+    }
+
+    fn channel_mask(&self) -> Option<Tensor> {
+        self.net.channel_mask()
+    }
+
+    fn name(&self) -> &str {
+        self.net.name()
+    }
+
+    fn hidden_names(&self) -> Vec<String> {
+        self.net.hidden_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_autograd::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn widen_factor_scales_channels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = WideResNetMini::new(WideResNetConfig::tiny(20), &mut rng).unwrap();
+        assert_eq!(m.last_conv_channels(), 128);
+        assert_eq!(m.name(), "WideResNetMini");
+    }
+
+    #[test]
+    fn forward_runs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = WideResNetMini::new(WideResNetConfig::tiny(20), &mut rng).unwrap();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.leaf(Tensor::zeros(&[1, 3, 16, 16]));
+        let out = m.forward(&sess, x, Mode::Eval).unwrap();
+        assert_eq!(out.logits.shape(), vec![1, 20]);
+    }
+
+    #[test]
+    fn zero_widen_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = WideResNetConfig::tiny(10);
+        cfg.widen_factor = 0;
+        assert!(WideResNetMini::new(cfg, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+use ibrar_tensor::Tensor;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A trainable tensor living outside any tape.
+///
+/// `Parameter` is a cheaply clonable handle (`Arc` inside); clones share the
+/// same storage, so layers can hand copies to optimizers and checkpointing
+/// code. Gradients accumulate across [`Session::backward`](crate::Session)
+/// calls until [`Parameter::zero_grad`] / the optimizer consumes them.
+#[derive(Clone)]
+pub struct Parameter {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    id: u64,
+    name: String,
+    value: Mutex<Tensor>,
+    grad: Mutex<Option<Tensor>>,
+}
+
+impl Parameter {
+    /// Creates a named parameter from an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Parameter {
+            inner: Arc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                name: name.into(),
+                value: Mutex::new(value),
+                grad: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Workspace-unique identifier (stable for the process lifetime).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The parameter's name (used in checkpoints and debugging).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Clones the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.value.lock().clone()
+    }
+
+    /// Shape of the current value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.value.lock().shape().to_vec()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.value.lock().len()
+    }
+
+    /// Whether the value has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replaces the value (used by optimizers and checkpoint loading).
+    pub fn set_value(&self, value: Tensor) {
+        *self.inner.value.lock() = value;
+    }
+
+    /// Clones the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.inner.grad.lock().clone()
+    }
+
+    /// Adds a gradient contribution (accumulating with any existing one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contribution's shape differs from the stored gradient.
+    pub fn accumulate_grad(&self, contribution: Tensor) {
+        let mut slot = self.inner.grad.lock();
+        match slot.as_mut() {
+            Some(existing) => {
+                *existing = existing
+                    .add(&contribution)
+                    .expect("gradient shapes must agree");
+            }
+            None => *slot = Some(contribution),
+        }
+    }
+
+    /// Removes and returns the accumulated gradient.
+    pub fn take_grad(&self) -> Option<Tensor> {
+        self.inner.grad.lock().take()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.lock() = None;
+    }
+
+    /// Applies `f` to the value in place (used by optimizer updates).
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.inner.value.lock());
+    }
+}
+
+impl std::fmt::Debug for Parameter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Parameter")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .field("shape", &self.shape())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Parameter::new("a", Tensor::zeros(&[1]));
+        let b = Parameter::new("b", Tensor::zeros(&[1]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Parameter::new("w", Tensor::zeros(&[2]));
+        let b = a.clone();
+        a.set_value(Tensor::ones(&[2]));
+        assert_eq!(b.value().data(), &[1.0, 1.0]);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn gradient_accumulates() {
+        let p = Parameter::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        p.accumulate_grad(Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap());
+        assert_eq!(p.grad().unwrap().data(), &[4.0, 6.0]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn take_grad_consumes() {
+        let p = Parameter::new("w", Tensor::zeros(&[1]));
+        p.accumulate_grad(Tensor::ones(&[1]));
+        assert!(p.take_grad().is_some());
+        assert!(p.take_grad().is_none());
+    }
+
+    #[test]
+    fn debug_shows_name_and_shape() {
+        let p = Parameter::new("conv1.w", Tensor::zeros(&[2, 3]));
+        let s = format!("{p:?}");
+        assert!(s.contains("conv1.w"));
+        assert!(s.contains('3'));
+    }
+}

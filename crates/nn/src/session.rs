@@ -1,0 +1,155 @@
+use crate::{Parameter, Result};
+use ibrar_autograd::{Tape, Var, VarId};
+use std::cell::RefCell;
+
+/// One forward/backward step: a tape plus the parameter bindings made on it.
+///
+/// Layers call [`Session::bind`] to register their parameters as
+/// differentiable tape variables; [`Session::backward`] runs the reverse pass
+/// and deposits each parameter's gradient back into the [`Parameter`].
+///
+/// # Examples
+///
+/// ```
+/// use ibrar_nn::{Parameter, Session};
+/// use ibrar_autograd::Tape;
+/// use ibrar_tensor::Tensor;
+///
+/// let w = Parameter::new("w", Tensor::scalar(3.0));
+/// let tape = Tape::new();
+/// let sess = Session::new(&tape);
+/// let wv = sess.bind(&w);
+/// let loss = wv.square()?; // L = w²
+/// sess.backward(loss)?;
+/// assert_eq!(w.grad().unwrap().data(), &[6.0]);
+/// # Ok::<(), ibrar_nn::NnError>(())
+/// ```
+pub struct Session<'t> {
+    tape: &'t Tape,
+    bindings: RefCell<Vec<(Parameter, VarId)>>,
+}
+
+impl<'t> Session<'t> {
+    /// Wraps a tape in a new session with no bindings.
+    pub fn new(tape: &'t Tape) -> Self {
+        Session {
+            tape,
+            bindings: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Registers `param` as a differentiable variable on the tape.
+    pub fn bind(&self, param: &Parameter) -> Var<'t> {
+        let var = self.tape.var(param.value());
+        self.bindings.borrow_mut().push((param.clone(), var.id()));
+        var
+    }
+
+    /// Number of parameter bindings made so far.
+    pub fn binding_count(&self) -> usize {
+        self.bindings.borrow().len()
+    }
+
+    /// Runs the backward pass from `loss` and accumulates each bound
+    /// parameter's gradient into its [`Parameter`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-scalar losses or foreign variables.
+    pub fn backward(&self, loss: Var<'t>) -> Result<()> {
+        let mut grads = self.tape.backward(loss)?;
+        for (param, id) in self.bindings.borrow().iter() {
+            if let Some(g) = grads.take_id(*id) {
+                param.accumulate_grad(g);
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Session::backward`] but also returns the gradient of `wrt`
+    /// (used by attacks that need input gradients).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-scalar losses or foreign variables.
+    pub fn backward_with_input_grad(
+        &self,
+        loss: Var<'t>,
+        wrt: Var<'t>,
+    ) -> Result<Option<ibrar_tensor::Tensor>> {
+        let mut grads = self.tape.backward(loss)?;
+        for (param, id) in self.bindings.borrow().iter() {
+            if let Some(g) = grads.take_id(*id) {
+                param.accumulate_grad(g);
+            }
+        }
+        Ok(grads.take_id(wrt.id()))
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("bindings", &self.binding_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_tensor::Tensor;
+
+    #[test]
+    fn backward_deposits_gradients() {
+        let w = Parameter::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let wv = sess.bind(&w);
+        let loss = wv.square().unwrap().sum().unwrap();
+        sess.backward(loss).unwrap();
+        assert_eq!(w.grad().unwrap().data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn two_sessions_accumulate() {
+        let w = Parameter::new("w", Tensor::scalar(1.0));
+        for _ in 0..2 {
+            let tape = Tape::new();
+            let sess = Session::new(&tape);
+            let wv = sess.bind(&w);
+            let loss = wv.square().unwrap();
+            sess.backward(loss).unwrap();
+        }
+        assert_eq!(w.grad().unwrap().data(), &[4.0]);
+    }
+
+    #[test]
+    fn input_gradient_returned() {
+        let w = Parameter::new("w", Tensor::scalar(2.0));
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let x = tape.var(Tensor::scalar(3.0));
+        let wv = sess.bind(&w);
+        let loss = x.mul(wv).unwrap();
+        let gx = sess.backward_with_input_grad(loss, x).unwrap().unwrap();
+        assert_eq!(gx.data(), &[2.0]);
+        assert_eq!(w.grad().unwrap().data(), &[3.0]);
+    }
+
+    #[test]
+    fn binding_count_tracks() {
+        let w = Parameter::new("w", Tensor::scalar(0.0));
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        assert_eq!(sess.binding_count(), 0);
+        sess.bind(&w);
+        sess.bind(&w);
+        assert_eq!(sess.binding_count(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! 2-D convolution support: geometry, `im2col` and `col2im`.
+//!
+//! The autograd crate implements `conv2d` as
+//! `im2col(input) × weightᵀ` (a single large matmul), and its backward pass
+//! as a matmul followed by [`col2im`]. Keeping the data-movement kernels here
+//! lets them be benchmarked and property-tested independently of the graph.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution or correlation.
+///
+/// # Examples
+///
+/// ```
+/// use ibrar_tensor::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 8, 3, 1, 1); // 3→8 channels, 3×3, stride 1, pad 1
+/// assert_eq!(spec.out_hw(16, 16)?, (16, 16));
+/// # Ok::<(), ibrar_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel edge.
+    pub kernel: usize,
+    /// Stride along both axes.
+    pub stride: usize,
+    /// Zero padding along both axes.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a convolution spec.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2dSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the kernel does not fit
+    /// the padded input or the stride is zero.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if self.kernel == 0 || self.kernel > ph || self.kernel > pw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{} does not fit padded input {}x{}",
+                self.kernel, self.kernel, ph, pw
+            )));
+        }
+        Ok((
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        ))
+    }
+
+    /// Number of columns in the `im2col` matrix (`c · k · k`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfolds an `[n, c, h, w]` input into an `[n·oh·ow, c·k·k]` patch matrix.
+///
+/// Row `((ni·oh)+oy)·ow+ox` contains the flattened receptive field of output
+/// pixel `(oy, ox)` of sample `ni`; out-of-bounds (padding) positions are 0.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4, its channel count does not
+/// match `spec`, or the geometry is invalid.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    input.shape_obj().expect_rank(4, "im2col")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: vec![spec.in_channels],
+            op: "im2col",
+        });
+    }
+    let (oh, ow) = spec.out_hw(h, w)?;
+    let k = spec.kernel;
+    let patch = spec.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let data = input.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                let mut col = 0usize;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            col += k;
+                            continue;
+                        }
+                        let base = chan + iy as usize * w;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix >= 0 && ix < w as isize {
+                                out[row + col] = data[base + ix as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, patch])
+}
+
+/// Folds a patch-gradient matrix back onto the input, accumulating
+/// overlapping contributions — the adjoint of [`im2col`].
+///
+/// # Errors
+///
+/// Returns an error when `cols` does not have the shape `im2col` would have
+/// produced for an `[n, c, h, w]` input under `spec`.
+pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) -> Result<Tensor> {
+    cols.shape_obj().expect_rank(2, "col2im")?;
+    let (oh, ow) = spec.out_hw(h, w)?;
+    let patch = spec.patch_len();
+    let c = spec.in_channels;
+    if cols.shape() != [n * oh * ow, patch] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.shape().to_vec(),
+            rhs: vec![n * oh * ow, patch],
+            op: "col2im",
+        });
+    }
+    let k = spec.kernel;
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+                let mut col = 0usize;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            col += k;
+                            continue;
+                        }
+                        let base = chan + iy as usize * w;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix >= 0 && ix < w as isize {
+                                out[base + ix as usize] += data[row + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_hw_basic() {
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        assert_eq!(spec.out_hw(8, 8).unwrap(), (8, 8));
+        let spec = Conv2dSpec::new(1, 1, 3, 2, 1);
+        assert_eq!(spec.out_hw(8, 8).unwrap(), (4, 4));
+        let spec = Conv2dSpec::new(1, 1, 2, 2, 0);
+        assert_eq!(spec.out_hw(8, 8).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn out_hw_rejects_bad_geometry() {
+        assert!(Conv2dSpec::new(1, 1, 9, 1, 0).out_hw(4, 4).is_err());
+        assert!(Conv2dSpec::new(1, 1, 3, 0, 1).out_hw(4, 4).is_err());
+        assert!(Conv2dSpec::new(1, 1, 0, 1, 0).out_hw(4, 4).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is a plain channel transpose.
+        let input = Tensor::from_fn(&[1, 2, 2, 2], |i| (i[1] * 4 + i[2] * 2 + i[3]) as f32);
+        let spec = Conv2dSpec::new(2, 1, 1, 1, 0);
+        let cols = im2col(&input, &spec).unwrap();
+        assert_eq!(cols.shape(), &[4, 2]);
+        // patch for pixel (0,0) = [chan0(0,0), chan1(0,0)] = [0, 4]
+        assert_eq!(cols.get(&[0, 0]), 0.0);
+        assert_eq!(cols.get(&[0, 1]), 4.0);
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        let cols = im2col(&input, &spec).unwrap();
+        // output 2x2, patch 9; top-left patch has 4 in-range ones
+        assert_eq!(cols.shape(), &[4, 9]);
+        let first: f32 = (0..9).map(|j| cols.get(&[0, j])).sum();
+        assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let spec = Conv2dSpec::new(2, 1, 3, 2, 1);
+        let (n, h, w) = (2, 5, 4);
+        let x = Tensor::from_fn(&[n, 2, h, w], |i| {
+            ((i[0] * 31 + i[1] * 17 + i[2] * 7 + i[3] * 3) % 13) as f32 * 0.21 - 1.0
+        });
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::from_fn(cols.shape(), |i| ((i[0] * 5 + i[1] * 11) % 7) as f32 * 0.4 - 1.0);
+        let lhs: f32 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, &spec, n, h, w).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_channel_mismatch_is_error() {
+        let input = Tensor::zeros(&[1, 3, 4, 4]);
+        let spec = Conv2dSpec::new(2, 1, 3, 1, 1);
+        assert!(im2col(&input, &spec).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Random tensor initializers.
+//!
+//! `rand` ships only uniform sampling, so normal variates come from a small
+//! Box–Muller sampler ([`NormalSampler`]) implemented here.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Box–Muller Gaussian sampler over any [`Rng`].
+///
+/// Generates pairs of independent standard normals and caches the spare one.
+///
+/// # Examples
+///
+/// ```
+/// use ibrar_tensor::NormalSampler;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut sampler = NormalSampler::new();
+/// let v = sampler.sample(&mut rng);
+/// assert!(v.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f32>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with no cached value.
+    pub fn new() -> Self {
+        NormalSampler { spare: None }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f32 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Box–Muller on (0, 1] uniforms; 1.0 - r keeps u strictly positive.
+        let u: f32 = 1.0 - rng.gen::<f32>();
+        let v: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * v;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Tensor with i.i.d. `U[lo, hi)` entries.
+pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let data = (0..volume).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+/// Tensor with i.i.d. `N(mean, std²)` entries.
+pub fn normal(dims: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let mut sampler = NormalSampler::new();
+    let data = (0..volume).map(|_| mean + std * sampler.sample(rng)).collect();
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+/// Kaiming (He) uniform initialization for ReLU networks.
+///
+/// Bound is `sqrt(6 / fan_in)`; `fan_in` is inferred from the shape
+/// (`[out, in]` for linear weights, `[oc, ic, kh, kw]` for conv kernels).
+pub fn kaiming_uniform(dims: &[usize], rng: &mut impl Rng) -> Tensor {
+    let fan_in = fan_in_of(dims).max(1);
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(dims, -bound, bound, rng)
+}
+
+/// Xavier (Glorot) uniform initialization.
+///
+/// Bound is `sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(dims: &[usize], rng: &mut impl Rng) -> Tensor {
+    let fan_in = fan_in_of(dims).max(1);
+    let fan_out = fan_out_of(dims).max(1);
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(dims, -bound, bound, rng)
+}
+
+fn fan_in_of(dims: &[usize]) -> usize {
+    match dims.len() {
+        0 | 1 => dims.iter().product(),
+        2 => dims[1],
+        _ => dims[1..].iter().product(),
+    }
+}
+
+fn fan_out_of(dims: &[usize]) -> usize {
+    match dims.len() {
+        0 | 1 => dims.iter().product(),
+        2 => dims[0],
+        _ => dims[0] * dims[2..].iter().product::<usize>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.max() < 0.5);
+        assert!(t.min() >= -0.5);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&[20_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = kaiming_uniform(&[4, 1000], &mut rng);
+        let narrow = kaiming_uniform(&[4, 10], &mut rng);
+        assert!(wide.abs().max() < narrow.abs().max());
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = normal(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = normal(&[32], 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_fan_in_uses_kernel_volume() {
+        assert_eq!(fan_in_of(&[8, 3, 3, 3]), 27);
+        assert_eq!(fan_out_of(&[8, 3, 3, 3]), 72);
+    }
+
+    #[test]
+    fn sampler_never_produces_nan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sampler = NormalSampler::new();
+        for _ in 0..10_000 {
+            assert!(sampler.sample(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A tiny binary (de)serialization format for tensors.
+//!
+//! Model checkpoints in this workspace are concatenations of encoded tensors.
+//! Layout (little-endian): magic `IBT1`, `u32` rank, `u64` per extent, then
+//! `f32` per element. No external serialization crates are needed.
+
+use crate::{Result, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"IBT1";
+
+impl Tensor {
+    /// Encodes the tensor into the workspace binary format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + 8 * self.rank() + 4 * self.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.rank() as u32);
+        for &d in self.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in self.data() {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one tensor from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Decode`] on a bad magic value, truncated input,
+    /// or an implausible shape.
+    pub fn decode(buf: &mut Bytes) -> Result<Tensor> {
+        if buf.remaining() < 8 {
+            return Err(TensorError::Decode("truncated header".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(TensorError::Decode(format!("bad magic {magic:?}")));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if rank > 8 {
+            return Err(TensorError::Decode(format!("implausible rank {rank}")));
+        }
+        if buf.remaining() < rank * 8 {
+            return Err(TensorError::Decode("truncated shape".into()));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u64_le() as usize);
+        }
+        let volume: usize = dims.iter().product();
+        if buf.remaining() < volume * 4 {
+            return Err(TensorError::Decode(format!(
+                "truncated data: need {} bytes, have {}",
+                volume * 4,
+                buf.remaining()
+            )));
+        }
+        let mut data = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            data.push(buf.get_f32_le());
+        }
+        Tensor::from_vec(data, &dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| (i[0] * 12 + i[1] * 4 + i[2]) as f32 * 0.5);
+        let mut bytes = t.encode();
+        let back = Tensor::decode(&mut bytes).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn multiple_tensors_in_one_buffer() {
+        let a = Tensor::full(&[3], 1.0);
+        let b = Tensor::full(&[2, 2], 2.0);
+        let mut buf = BytesMut::new();
+        buf.put_slice(&a.encode());
+        buf.put_slice(&b.encode());
+        let mut bytes = buf.freeze();
+        assert_eq!(Tensor::decode(&mut bytes).unwrap(), a);
+        assert_eq!(Tensor::decode(&mut bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Bytes::from_static(b"XXXX\x00\x00\x00\x00");
+        assert!(matches!(
+            Tensor::decode(&mut bytes),
+            Err(TensorError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let t = Tensor::full(&[4], 1.0);
+        let full = t.encode();
+        let mut cut = full.slice(0..full.len() - 4);
+        assert!(Tensor::decode(&mut cut).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(-2.5);
+        let mut bytes = t.encode();
+        assert_eq!(Tensor::decode(&mut bytes).unwrap(), t);
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense `f32` n-dimensional tensors for the IB-RAR reproduction.
+//!
+//! This crate is the lowest-level substrate of the workspace: every other
+//! crate (autograd, neural-net layers, attacks, HSIC estimators) is built on
+//! the [`Tensor`] type defined here.
+//!
+//! Design constraints:
+//!
+//! * **Always contiguous, row-major.** Ops that would produce strided views
+//!   (transpose, slicing) materialize a new tensor instead. This keeps every
+//!   kernel simple and predictable at the cost of some copies, which is the
+//!   right trade-off at the model sizes used by the reproduction.
+//! * **`f32` only.** The paper's models train in single precision.
+//! * **Batch-first `NCHW`** layout for image tensors.
+//!
+//! # Examples
+//!
+//! ```
+//! use ibrar_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data()[0], 1.5);
+//! # Ok::<(), ibrar_tensor::TensorError>(())
+//! ```
+
+mod conv;
+mod elementwise;
+mod error;
+mod init;
+mod io;
+mod matmul;
+mod pool;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use init::{kaiming_uniform, normal, uniform, xavier_uniform, NormalSampler};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Pool2dSpec};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

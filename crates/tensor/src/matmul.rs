@@ -1,0 +1,272 @@
+//! Matrix multiplication kernels.
+//!
+//! A cache-blocked, `ikj`-ordered kernel with a crossbeam-based row-parallel
+//! path for large products. Correctness of the blocked kernel is checked
+//! against a naive triple loop in the tests and by property tests.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Below this many output elements the parallel path is not worth spawning
+/// threads for.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Cache block edge (in elements) for the k dimension.
+const BLOCK_K: usize = 64;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDimMismatch`] when the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "matmul")?;
+        rhs.shape_obj().expect_rank(2, "matmul")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        if m * n >= PARALLEL_THRESHOLD && m >= 2 {
+            matmul_parallel(self.data(), rhs.data(), &mut out, m, k, n);
+        } else {
+            matmul_block(self.data(), rhs.data(), &mut out, m, k, n);
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self × rhsᵀ` without materializing the transpose: `[m, k] × [n, k]ᵀ → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::matmul`].
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "matmul_nt")?;
+        rhs.shape_obj().expect_rank(2, "matmul_nt")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    acc += arow[t] * brow[t];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ × rhs` without materializing the transpose: `[k, m]ᵀ × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::matmul`].
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "matmul_tn")?;
+        rhs.shape_obj().expect_rank(2, "matmul_tn")?;
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: m,
+                rhs_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        // ikj order over the transposed access pattern: accumulate row i of
+        // out from column i of a.
+        for t in 0..k {
+            let arow = &a[t * m..(t + 1) * m];
+            let brow = &b[t * n..(t + 1) * n];
+            for i in 0..m {
+                let av = arow[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `[m, k] × [k] → [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::matmul`].
+    pub fn matvec(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "matvec")?;
+        rhs.shape_obj().expect_rank(1, "matvec")?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        if rhs.len() != k {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: rhs.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out.push(row.iter().zip(rhs.data()).map(|(a, b)| a * b).sum());
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when lengths differ or ranks are not 1.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32> {
+        self.shape_obj().expect_rank(1, "dot")?;
+        rhs.shape_obj().expect_same(self.shape_obj(), "dot")?;
+        Ok(self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+}
+
+/// Blocked serial kernel, `i k j` loop order so the inner loop is a
+/// contiguous AXPY over the output row.
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for t in k0..k1 {
+                let av = a[i * k + t];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[t * n..(t + 1) * n];
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Splits output rows across scoped threads.
+fn matmul_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(m)
+        .max(1);
+    let rows_per = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let row0 = chunk_idx * rows_per;
+            let rows = out_chunk.len() / n;
+            let a_slice = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move |_| {
+                matmul_block(a_slice, b, out_chunk, rows, k, n);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        Tensor::from_fn(&[m, n], |idx| {
+            (0..k)
+                .map(|t| a.get(&[idx[0], t]) * b.get(&[t, idx[1]]))
+                .sum()
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::from_fn(&[7, 5], |i| (i[0] * 5 + i[1]) as f32 * 0.1);
+        let b = Tensor::from_fn(&[5, 9], |i| (i[0] as f32 - i[1] as f32) * 0.3);
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_fn(&[4, 4], |i| (i[0] + 2 * i[1]) as f32);
+        let i = Tensor::eye(4);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let a = Tensor::from_fn(&[3, 4], |i| (i[0] * 4 + i[1]) as f32);
+        let b = Tensor::from_fn(&[5, 4], |i| i[0] as f32 * 0.5 - i[1] as f32);
+        let expect = a.matmul(&b.transpose().unwrap()).unwrap();
+        let got = a.matmul_nt(&b).unwrap();
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let a = Tensor::from_fn(&[4, 3], |i| (i[0] * 3 + i[1]) as f32 * 0.2);
+        let b = Tensor::from_fn(&[4, 5], |i| i[0] as f32 - 0.3 * i[1] as f32);
+        let expect = a.transpose().unwrap().matmul(&b).unwrap();
+        let got = a.matmul_tn(&b).unwrap();
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Force the parallel path with a big output.
+        let a = Tensor::from_fn(&[300, 40], |i| ((i[0] * 7 + i[1]) % 13) as f32 * 0.05);
+        let b = Tensor::from_fn(&[40, 300], |i| ((i[0] + 3 * i[1]) % 11) as f32 * 0.07);
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        assert_eq!(a.matvec(&v).unwrap().data(), &[-1.0, -1.0]);
+        assert_eq!(v.dot(&v).unwrap(), 2.0);
+    }
+}

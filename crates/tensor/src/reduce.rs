@@ -1,0 +1,249 @@
+//! Reductions: full-tensor and per-axis sums, means, extrema, and the
+//! row/column reductions used by losses and batch statistics.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data().iter().map(|v| v * v).sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Sums a rank-2 tensor along axis 0, producing `[cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "sum_rows")?;
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j] += self.data()[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Sums a rank-2 tensor along axis 1, producing `[rows]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_cols(&self) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "sum_cols")?;
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; r];
+        for i in 0..r {
+            out[i] = self.data()[i * c..(i + 1) * c].iter().sum();
+        }
+        Tensor::from_vec(out, &[r])
+    }
+
+    /// Per-channel sum of an `[n, c, h, w]` tensor, producing `[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 tensors.
+    pub fn sum_channels(&self) -> Result<Tensor> {
+        self.shape_obj().expect_rank(4, "sum_channels")?;
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let plane = h * w;
+        let mut out = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                out[ci] += self.data()[base..base + plane].iter().sum::<f32>();
+            }
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Per-channel mean of an `[n, c, h, w]` tensor, producing `[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 tensors.
+    pub fn mean_channels(&self) -> Result<Tensor> {
+        let (n, h, w) = (self.shape()[0], self.shape()[2], self.shape()[3]);
+        let denom = (n * h * w) as f32;
+        Ok(self.sum_channels()?.scale(1.0 / denom))
+    }
+
+    /// Per-channel variance (biased) of an `[n, c, h, w]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 tensors.
+    pub fn var_channels(&self, mean: &Tensor) -> Result<Tensor> {
+        self.shape_obj().expect_rank(4, "var_channels")?;
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        if mean.shape() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: mean.shape().to_vec(),
+                op: "var_channels",
+            });
+        }
+        let plane = h * w;
+        let mut out = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let m = mean.data()[ci];
+                let base = (ni * c + ci) * plane;
+                for k in 0..plane {
+                    let d = self.data()[base + k] - m;
+                    out[ci] += d * d;
+                }
+            }
+        }
+        let denom = (n * plane) as f32;
+        for v in &mut out {
+            *v /= denom;
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Row-wise maximum of a rank-2 tensor, producing `[rows]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn max_cols(&self) -> Result<Tensor> {
+        self.shape_obj().expect_rank(2, "max_cols")?;
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            out.push(
+                self.data()[i * c..(i + 1) * c]
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max),
+            );
+        }
+        Tensor::from_vec(out, &[r])
+    }
+
+    /// Per-sample L2 norms of a `[n, ...]` tensor, producing `[n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors.
+    pub fn norms_per_sample(&self) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "norms_per_sample",
+            });
+        }
+        let n = self.shape()[0];
+        let row_len = if n == 0 { 0 } else { self.len() / n };
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = &self.data()[i * row_len..(i + 1) * row_len];
+            out.push(row.iter().map(|v| v * v).sum::<f32>().sqrt());
+        }
+        Tensor::from_vec(out, &[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn sum_rows_and_cols() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.sum_rows().unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_cols().unwrap().data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn channel_stats() {
+        // two samples, two channels of 1x2
+        let t = Tensor::from_vec(
+            vec![1.0, 3.0, 10.0, 10.0, 5.0, 7.0, 10.0, 10.0],
+            &[2, 2, 1, 2],
+        )
+        .unwrap();
+        let mean = t.mean_channels().unwrap();
+        assert_eq!(mean.data(), &[4.0, 10.0]);
+        let var = t.var_channels(&mean).unwrap();
+        assert_eq!(var.data(), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn max_cols_per_row() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, -1.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.max_cols().unwrap().data(), &[9.0, 4.0]);
+    }
+
+    #[test]
+    fn norms_per_sample_values() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]).unwrap();
+        assert_eq!(t.norms_per_sample().unwrap().data(), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_matches_manual() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(t.sq_norm(), 25.0);
+    }
+
+    #[test]
+    fn min_max_empty() {
+        let t = Tensor::zeros(&[0]);
+        assert_eq!(t.max(), f32::NEG_INFINITY);
+        assert_eq!(t.min(), f32::INFINITY);
+        assert_eq!(t.mean(), 0.0);
+    }
+}

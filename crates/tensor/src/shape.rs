@@ -1,0 +1,185 @@
+use crate::{Result, TensorError};
+
+/// The extents of a tensor along each axis.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that centralizes the index
+/// arithmetic (volume, row-major strides, flat offsets) used by every kernel
+/// in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use ibrar_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar shape (rank 0, volume 1).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Extents along each axis.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `index` has the wrong rank or any coordinate
+    /// is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(index[i] < self.0[i], "index out of range");
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Extent along `axis`, or an error if out of range.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.0.len(),
+            })
+    }
+
+    /// Returns `Ok(())` when `self` equals `other`, otherwise a
+    /// [`TensorError::ShapeMismatch`] labeled with `op`.
+    pub fn expect_same(&self, other: &Shape, op: &'static str) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                lhs: self.0.clone(),
+                rhs: other.0.clone(),
+                op,
+            })
+        }
+    }
+
+    /// Returns `Ok(())` when the shape has exactly `rank` axes.
+    pub fn expect_rank(&self, rank: usize, op: &'static str) -> Result<()> {
+        if self.rank() == rank {
+            Ok(())
+        } else {
+            Err(TensorError::RankMismatch {
+                expected: rank,
+                actual: self.rank(),
+                op,
+            })
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(Shape::scalar().volume(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[4, 1, 3]);
+        assert_eq!(s.strides(), vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        let mut seen = vec![false; s.volume()];
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    let off = s.offset(&[i, j, k]);
+                    assert!(!seen[off], "duplicate offset");
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dim_out_of_range_is_error() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.dim(2),
+            Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })
+        ));
+    }
+
+    #[test]
+    fn expect_same_reports_op() {
+        let a = Shape::new(&[1]);
+        let b = Shape::new(&[2]);
+        let err = a.expect_same(&b, "test_op").unwrap_err();
+        assert!(err.to_string().contains("test_op"));
+    }
+
+    #[test]
+    fn zero_extent_axis_gives_zero_volume() {
+        assert_eq!(Shape::new(&[3, 0, 2]).volume(), 0);
+    }
+}

@@ -1,0 +1,396 @@
+use crate::{Result, Shape, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// All operations allocate fresh output tensors; there are no strided views.
+/// See the crate-level docs for the rationale.
+///
+/// # Examples
+///
+/// ```
+/// use ibrar_tensor::Tensor;
+///
+/// let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f32);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// let r = t.reshape(&[3, 2])?;
+/// assert_eq!(r.shape(), &[3, 2]);
+/// # Ok::<(), ibrar_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
+    }
+
+    /// A rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let volume = shape.volume();
+        let mut data = Vec::with_capacity(volume);
+        let mut index = vec![0usize; dims.len()];
+        for _ in 0..volume {
+            data.push(f(&index));
+            // advance the row-major multi-index
+            for axis in (0..dims.len()).rev() {
+                index[axis] += 1;
+                if index[axis] < dims[axis] {
+                    break;
+                }
+                index[axis] = 0;
+            }
+        }
+        Tensor { data, shape }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        Tensor::from_fn(&[n, n], |idx| if idx[0] == idx[1] { 1.0 } else { 0.0 })
+    }
+
+    /// Raw data in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Axis extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The [`Shape`] object.
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the index is out of range.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the index is out of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Self {
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(&[self.data.len()]),
+        }
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Self> {
+        self.shape.expect_rank(2, "transpose")?;
+        let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or out-of-range rows.
+    pub fn row(&self, i: usize) -> Result<Self> {
+        self.shape.expect_rank(2, "row")?;
+        let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+        if i >= r {
+            return Err(TensorError::AxisOutOfRange { axis: i, rank: r });
+        }
+        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+    }
+
+    /// Stacks rank-`k` tensors with identical shapes into a rank-`k+1` tensor
+    /// along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Result<Self> {
+        let first = items
+            .first()
+            .ok_or_else(|| TensorError::InvalidGeometry("stack of zero tensors".into()))?;
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for item in items {
+            first.shape.expect_same(&item.shape, "stack")?;
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.shape());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Selects the sub-tensors at `indices` along the leading axis.
+    ///
+    /// For a `[n, ...]` tensor this gathers rows (in the general sense) and
+    /// returns a `[indices.len(), ...]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 tensors or out-of-range indices.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "select_rows",
+            });
+        }
+        let n = self.shape.dims()[0];
+        let row_len = self.len() / n.max(1);
+        let mut data = Vec::with_capacity(indices.len() * row_len);
+        for &i in indices {
+            if i >= n {
+                return Err(TensorError::AxisOutOfRange { axis: i, rank: n });
+            }
+            data.extend_from_slice(&self.data[i * row_len..(i + 1) * row_len]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&self.shape.dims()[1..]);
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Index of the maximum element in each row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        self.shape.expect_rank(2, "argmax_rows")?;
+        let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// `true` when every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        self.shape.expect_same(&other.shape, "max_abs_diff")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let t = Tensor::from_fn(&[3, 4], |idx| (idx[0] * 4 + idx[1]) as f32);
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn stack_and_select_roundtrip() {
+        let a = Tensor::full(&[2, 2], 1.0);
+        let b = Tensor::full(&[2, 2], 2.0);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        let sel = s.select_rows(&[1]).unwrap();
+        assert_eq!(sel.shape(), &[1, 2, 2]);
+        assert_eq!(sel.data(), b.reshape(&[1, 2, 2]).unwrap().data());
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.5, 0.7, 0.7], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.get(&[0, 0]), 1.0);
+        assert_eq!(i.get(&[0, 1]), 0.0);
+        assert_eq!(i.get(&[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn reshape_rejects_bad_volume() {
+        let t = Tensor::zeros(&[4]);
+        assert!(t.reshape(&[5]).is_err());
+        assert!(t.reshape(&[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::zeros(&[2]);
+        assert!(!format!("{t}").is_empty());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(t.all_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn select_rows_out_of_range() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.select_rows(&[2]).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor substrate.
+
+use ibrar_tensor::{col2im, im2col, Conv2dSpec, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in small_matrix()) {
+        let b = a.map(|v| v * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in small_matrix()) {
+        let b = a.map(|v| v * 0.25 + 2.0);
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn transpose_preserves_sum(a in small_matrix()) {
+        let t = a.transpose().unwrap();
+        prop_assert!((a.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = dims;
+        let gen = |s: u64, len: usize| -> Vec<f32> {
+            (0..len).map(|i| (((i as u64 * 2654435761 + s * 40503) % 1000) as f32 / 500.0) - 1.0).collect()
+        };
+        let a = Tensor::from_vec(gen(seed, m * k), &[m, k]).unwrap();
+        let b = Tensor::from_vec(gen(seed + 1, k * n), &[k, n]).unwrap();
+        let c = Tensor::from_vec(gen(seed + 2, k * n), &[k, n]).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in small_matrix()) {
+        let flat = a.flatten();
+        prop_assert_eq!(flat.data(), a.data());
+        let back = flat.reshape(a.shape()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn relu_is_idempotent(a in small_matrix()) {
+        let once = a.relu();
+        let twice = once.relu();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn clamp_is_within_bounds(a in small_matrix()) {
+        let c = a.clamp(-1.0, 1.0);
+        prop_assert!(c.max() <= 1.0);
+        prop_assert!(c.min() >= -1.0);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        hw in (3usize..7, 3usize..7),
+        c in 1usize..3,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let (h, w) = hw;
+        let spec = Conv2dSpec::new(c, 1, 3, stride, pad);
+        if spec.out_hw(h, w).is_err() {
+            return Ok(());
+        }
+        let x = Tensor::from_fn(&[1, c, h, w], |i| {
+            ((i[1] * 13 + i[2] * 5 + i[3] * 3) % 17) as f32 * 0.3 - 1.5
+        });
+        let cols = im2col(&x, &spec).unwrap();
+        let y = Tensor::from_fn(cols.shape(), |i| ((i[0] * 7 + i[1] * 11) % 9) as f32 * 0.2 - 0.8);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &spec, 1, h, w).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(a in small_matrix()) {
+        let mut bytes = a.encode();
+        let back = Tensor::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn norms_per_sample_nonnegative(a in small_matrix()) {
+        let norms = a.norms_per_sample().unwrap();
+        prop_assert!(norms.min() >= 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Adversarial training with and without IB-RAR (the paper's Table 1/2
+//! scenario at example scale): train PGD-AT twice — plain and with the IB
+//! regularizer + channel mask — and compare robustness across the full
+//! attack suite.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_training
+//! ```
+
+use ibrar::{IbLossConfig, LayerPolicy, MaskConfig, TrainMethod, Trainer, TrainerConfig};
+use ibrar_attacks::{
+    clean_accuracy, robust_accuracy, Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd, DEFAULT_ALPHA,
+    DEFAULT_EPS,
+};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_nn::{VggConfig, VggMini};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn train(
+    data: &SynthVision,
+    with_ibrar: bool,
+) -> Result<VggMini, Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(if with_ibrar { 1 } else { 2 });
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+    let method = TrainMethod::PgdAt {
+        eps: DEFAULT_EPS,
+        alpha: DEFAULT_ALPHA,
+        steps: 4,
+    };
+    let mut cfg = TrainerConfig::new(method).with_epochs(5).with_batch_size(32);
+    if with_ibrar {
+        cfg = cfg
+            .with_ib(IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust))
+            .with_mask(MaskConfig::default());
+    }
+    Trainer::new(cfg).train(&model, &data.train, &data.test)?;
+    Ok(model)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(512, 160);
+    let data = SynthVision::generate(&config, 3)?;
+
+    let plain = train(&data, false)?;
+    let ours = train(&data, true)?;
+
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Pgd::paper_default()),
+        Box::new(CwL2::paper_default().with_steps(20)),
+        Box::new(Fgsm::new(DEFAULT_EPS)),
+        Box::new(Fab::paper_default()),
+        Box::new(NiFgsm::new(DEFAULT_EPS, DEFAULT_ALPHA, 10)),
+    ];
+    let eval = data.test.take(96)?;
+
+    println!("{:<22} {:>10} {:>12}", "metric", "PGD-AT", "PGD-AT+IBRAR");
+    println!("{}", "-".repeat(48));
+    let nat_a = clean_accuracy(&plain, &data.test, 64)? * 100.0;
+    let nat_b = clean_accuracy(&ours, &data.test, 64)? * 100.0;
+    println!("{:<22} {nat_a:>9.2}% {nat_b:>11.2}%", "natural accuracy");
+    for attack in &attacks {
+        let a = robust_accuracy(&plain, attack.as_ref(), &eval, 32)? * 100.0;
+        let b = robust_accuracy(&ours, attack.as_ref(), &eval, 32)? * 100.0;
+        println!("{:<22} {a:>9.2}% {b:>11.2}%", attack.name());
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The information plane (paper Fig. 5 at example scale): watch `I(X;T)`
+//! and `I(Y;T)` of a hidden layer evolve during training with and without
+//! the MI loss. The MI-loss run compresses (`I(X;T)` falls) while keeping
+//! label information; the CE run does not compress.
+//!
+//! ```sh
+//! cargo run --release --example information_plane
+//! ```
+
+use ibrar::{IbLoss, IbLossConfig, LayerPolicy};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_infotheory::{BinningConfig, InfoPlane};
+use ibrar_nn::{ImageModel, Mode, Session, Sgd, SgdConfig, VggConfig, VggMini};
+use ibrar_tensor::normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(384, 96);
+    let data = SynthVision::generate(&config, 5)?;
+    let probe = data.train.take(96)?.as_batch();
+    // Coarse random projection: the pattern-hash estimator saturates on raw
+    // high-dimensional conv features (every sample unique).
+    let mut proj_rng = StdRng::seed_from_u64(99);
+    let directions = normal(&[192, 6], 0.0, (1.0f32 / 192.0).sqrt(), &mut proj_rng);
+
+    for (label, use_mi) in [("MI loss", true), ("CE only", false)] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+        let mut opt = Sgd::new(model.params(), SgdConfig::substrate());
+        let mut plane = InfoPlane::new(10, BinningConfig::new(4));
+        let ib = IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust);
+        let mut iteration = 0;
+        for epoch in 0..6u64 {
+            for batch in data.train.batches(32, epoch) {
+                if batch.len() < 2 {
+                    continue;
+                }
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let x = tape.leaf(batch.images.clone());
+                let out = model.forward(&sess, x, Mode::Train)?;
+                let mut loss = out.logits.cross_entropy(&batch.labels)?;
+                if use_mi {
+                    let reg =
+                        IbLoss::regularizer(&sess, x, &out.hidden, &batch.labels, 10, &ib)?;
+                    loss = loss.add(reg)?;
+                }
+                sess.backward(loss)?;
+                opt.step();
+                if iteration % 6 == 0 {
+                    let tape2 = ibrar_autograd::Tape::new();
+                    let sess2 = Session::new(&tape2);
+                    let xp = tape2.leaf(probe.images.clone());
+                    let out2 = model.forward(&sess2, xp, Mode::Eval)?;
+                    // conv block 4 — the layer the paper's Fig. 5 plots —
+                    // projected to 6 dims before binning
+                    let raw = out2.hidden[3].var.value();
+                    let n = raw.shape()[0];
+                    let flat = raw.reshape(&[n, raw.len() / n])?;
+                    let t4 = flat.matmul(&directions)?;
+                    plane.record(iteration, &t4, &probe.labels)?;
+                }
+                iteration += 1;
+            }
+        }
+        println!("== {label} ==");
+        println!("{:>10} {:>9} {:>9}", "iteration", "I(X;T)", "I(Y;T)");
+        for p in plane.points() {
+            println!("{:>10} {:>9.3} {:>9.3}", p.iteration, p.i_xt, p.i_yt);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Shared-feature recovery (the paper's §3.3 future-work direction): the
+//! SynthVision generator plants shared-feature pairs (car↔truck, cat↔dog,
+//! …); this example trains a classifier, ranks class pairs by penultimate
+//! feature similarity, and checks how many planted pairs are recovered.
+//!
+//! ```sh
+//! cargo run --release --example shared_features
+//! ```
+
+use ibrar::{TrainMethod, Trainer, TrainerConfig};
+use ibrar_analysis::{pair_recovery_rate, shared_feature_ranking};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SynthVisionConfig::cifar10_like().with_sizes(512, 160);
+    let data = SynthVision::generate(&config, 2)?;
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+    Trainer::new(
+        TrainerConfig::new(TrainMethod::Standard)
+            .with_epochs(8)
+            .with_batch_size(32),
+    )
+    .train(&model, &data.train, &data.test)?;
+
+    // Penultimate features of the test set.
+    let batch = data.test.as_batch();
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(batch.images.clone());
+    let out = model.forward(&sess, x, Mode::Eval)?;
+    let tap = out.hidden.last().expect("model has hidden taps").var.value();
+    let n = tap.shape()[0];
+    let features = tap.reshape(&[n, tap.len() / n])?;
+
+    let ranking = shared_feature_ranking(&features, &batch.labels, 10)?;
+    println!("class pairs ranked by feature similarity:");
+    for (rank, pair) in ranking.iter().take(8).enumerate() {
+        println!(
+            "  {:>2}. {:<6} <-> {:<6} score {:.3}",
+            rank + 1,
+            data.class_name(pair.a),
+            data.class_name(pair.b),
+            pair.score
+        );
+    }
+
+    let planted: Vec<(usize, usize)> = config
+        .shared_pairs
+        .iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+    let recovery = pair_recovery_rate(&ranking, &planted, planted.len() + 2);
+    println!("\nplanted pairs:");
+    for &(a, b) in &planted {
+        println!("  {} <-> {}", data.class_name(a), data.class_name(b));
+    }
+    println!(
+        "\nrecovery: {:.0}% of planted pairs appear in the top {} ranked pairs",
+        recovery * 100.0,
+        planted.len() + 2
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Inline recorded experiment outputs into EXPERIMENTS.md.
+
+Replaces each `<!-- RESULTS:<name> -->` marker with a fenced block holding
+`target/experiments/<name>.txt` (when present). Idempotent: re-running
+refreshes previously inlined blocks.
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = ROOT / "EXPERIMENTS.md"
+OUT = ROOT / "target" / "experiments"
+
+def main() -> None:
+    text = DOC.read_text()
+    # Strip previously inlined blocks (marker + fenced block).
+    text = re.sub(
+        r"<!-- RESULTS:(\w+) -->\n```text\n.*?```\n",
+        r"<!-- RESULTS:\1 -->\n",
+        text,
+        flags=re.S,
+    )
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        path = OUT / f"{name}.txt"
+        if not path.exists():
+            return match.group(0)
+        body = path.read_text().rstrip()
+        return f"<!-- RESULTS:{name} -->\n```text\n{body}\n```\n"
+    text = re.sub(r"<!-- RESULTS:(\w+) -->\n", replace, text)
+    DOC.write_text(text)
+    inlined = [p.stem for p in sorted(OUT.glob("*.txt"))]
+    print(f"inlined: {', '.join(inlined) if inlined else '(none)'}")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Re-records experiments at default scale in priority order, inlining each
+# into EXPERIMENTS.md as soon as it lands. Run after `cargo build --release`.
+for exp in table5 fig5 table6 table4 table3 fig3 fig4 fig2 table1 table2 fig6; do
+  echo "=== $exp ==="
+  ./target/release/$exp >/dev/null 2>&1
+  python3 scripts/fill_experiments.py
+done

@@ -1,0 +1,14 @@
+//! Facade crate for the IB-RAR reproduction.
+//!
+//! Re-exports every subsystem so examples and integration tests can depend on
+//! a single crate. See the workspace `README.md` for the architecture
+//! overview and `DESIGN.md` for the per-experiment index.
+
+pub use ibrar;
+pub use ibrar_analysis as analysis;
+pub use ibrar_attacks as attacks;
+pub use ibrar_autograd as autograd;
+pub use ibrar_data as data;
+pub use ibrar_infotheory as infotheory;
+pub use ibrar_nn as nn;
+pub use ibrar_tensor as tensor;

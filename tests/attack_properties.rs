@@ -1,0 +1,139 @@
+//! Cross-crate attack invariants against a genuinely trained model.
+
+use ibrar::{TrainMethod, Trainer, TrainerConfig};
+use ibrar_attacks::{
+    accuracy, robust_accuracy, Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd, DEFAULT_ALPHA, DEFAULT_EPS,
+};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_nn::{VggConfig, VggMini};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    model: VggMini,
+    data: SynthVision,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let data = SynthVision::generate(
+            &SynthVisionConfig::cifar10_like().with_sizes(320, 96),
+            777,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        Trainer::new(
+            TrainerConfig::new(TrainMethod::Standard)
+                .with_epochs(6)
+                .with_batch_size(32),
+        )
+        .train(&model, &data.train, &data.test)
+        .unwrap();
+        Fixture { model, data }
+    })
+}
+
+/// Every attack keeps pixels in the unit box, and L∞ attacks respect ε.
+#[test]
+fn all_attacks_respect_constraints() {
+    let f = fixture();
+    let batch = f.data.test.take(24).unwrap().as_batch();
+    let linf_attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Fgsm::new(DEFAULT_EPS)),
+        Box::new(Pgd::paper_default()),
+        Box::new(NiFgsm::new(DEFAULT_EPS, DEFAULT_ALPHA, 10)),
+        Box::new(Fab::paper_default()),
+    ];
+    for attack in &linf_attacks {
+        let adv = attack.perturb(&f.model, &batch.images, &batch.labels).unwrap();
+        let delta = adv.sub(&batch.images).unwrap().abs().max();
+        assert!(
+            delta <= DEFAULT_EPS + 1e-5,
+            "{} exceeded eps: {delta}",
+            attack.name()
+        );
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0, "{}", attack.name());
+    }
+    // CW minimizes L2 instead; box constraint still applies.
+    let adv = CwL2::paper_default()
+        .perturb(&f.model, &batch.images, &batch.labels)
+        .unwrap();
+    assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+}
+
+/// On a trained model, every attack must do real damage relative to clean
+/// accuracy, and PGD must be at least as strong as single-step FGSM.
+#[test]
+fn attack_strength_ordering() {
+    let f = fixture();
+    let eval = f.data.test.take(64).unwrap();
+    let clean = {
+        let batch = eval.as_batch();
+        accuracy(&f.model, &batch.images, &batch.labels).unwrap()
+    };
+    assert!(clean > 0.55, "fixture under-trained: clean {clean:.3}");
+    let fgsm = robust_accuracy(&f.model, &Fgsm::new(DEFAULT_EPS), &eval, 32).unwrap();
+    let pgd = robust_accuracy(&f.model, &Pgd::paper_default(), &eval, 32).unwrap();
+    assert!(fgsm < clean, "FGSM did no damage: {fgsm:.3} vs clean {clean:.3}");
+    assert!(
+        pgd <= fgsm + 0.05,
+        "PGD ({pgd:.3}) should not be weaker than FGSM ({fgsm:.3})"
+    );
+}
+
+/// More PGD steps never substantially weaken the attack (paper Fig. 2's
+/// convergence argument).
+#[test]
+fn pgd_monotone_in_steps() {
+    let f = fixture();
+    let eval = f.data.test.take(48).unwrap();
+    let acc_at = |steps: usize| {
+        let attack = Pgd::new(DEFAULT_EPS, DEFAULT_ALPHA, steps).without_random_start();
+        robust_accuracy(&f.model, &attack, &eval, 32).unwrap()
+    };
+    let one = acc_at(1);
+    let ten = acc_at(10);
+    let twenty = acc_at(20);
+    assert!(ten <= one + 0.05, "PGD10 {ten:.3} weaker than PGD1 {one:.3}");
+    assert!(
+        twenty <= ten + 0.05,
+        "PGD20 {twenty:.3} weaker than PGD10 {ten:.3}"
+    );
+}
+
+/// CW produces smaller L2 perturbations than PGD at a similar success rate
+/// budget (it is a minimal-distortion attack).
+#[test]
+fn cw_minimizes_distortion() {
+    let f = fixture();
+    let batch = f.data.test.take(24).unwrap().as_batch();
+    let pgd_adv = Pgd::paper_default()
+        .perturb(&f.model, &batch.images, &batch.labels)
+        .unwrap();
+    let cw_adv = CwL2::paper_default()
+        .perturb(&f.model, &batch.images, &batch.labels)
+        .unwrap();
+    let pgd_l2 = pgd_adv.sub(&batch.images).unwrap().norms_per_sample().unwrap().mean();
+    let cw_l2 = cw_adv.sub(&batch.images).unwrap().norms_per_sample().unwrap().mean();
+    assert!(
+        cw_l2 < pgd_l2 * 1.5,
+        "CW mean L2 {cw_l2:.4} not in the minimal-distortion regime vs PGD {pgd_l2:.4}"
+    );
+}
+
+/// An undefended CE model collapses under the default PGD attack — the
+/// baseline condition every defense row in the paper is measured against.
+#[test]
+fn ce_model_is_fragile_under_pgd() {
+    let f = fixture();
+    let eval = f.data.test.take(64).unwrap();
+    let pgd = robust_accuracy(&f.model, &Pgd::paper_default(), &eval, 32).unwrap();
+    assert!(
+        pgd < 0.4,
+        "CE model unexpectedly robust under PGD: {pgd:.3} (dataset too easy?)"
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-crate property-based tests on the reproduction's invariants.
+
+use ibrar::mask_from_scores;
+use ibrar_attacks::{Attack, Fgsm};
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_infotheory::{hsic, mi_values_labels, one_hot, BinningConfig};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seed and size yields pixels in [0,1] and balanced-ish labels.
+    #[test]
+    fn dataset_generation_invariants(seed in 0u64..500, size in 40usize..120) {
+        let config = SynthVisionConfig::cifar10_like().with_sizes(size, 20);
+        let d = SynthVision::generate(&config, seed).unwrap();
+        prop_assert!(d.train.images().min() >= 0.0);
+        prop_assert!(d.train.images().max() <= 1.0);
+        prop_assert_eq!(d.train.len(), size);
+        let mut counts = vec![0usize; 10];
+        for &l in d.train.labels() {
+            prop_assert!(l < 10);
+            counts[l] += 1;
+        }
+        // Balanced floor: every class appears at least size/10 times.
+        prop_assert!(counts.iter().all(|&c| c >= size / 10));
+    }
+
+    /// FGSM respects any ε and the pixel box, for arbitrary budgets.
+    #[test]
+    fn fgsm_budget_holds_for_any_eps(eps in 0.0f32..0.2) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(4), &mut rng).unwrap();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.5);
+        let adv = Fgsm::new(eps).perturb(&model, &x, &[0, 1]).unwrap();
+        prop_assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-5);
+        prop_assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    /// HSIC is symmetric and non-negative (up to estimator noise) for
+    /// arbitrary feature matrices.
+    #[test]
+    fn hsic_symmetric_nonnegative(seed in 0u64..200) {
+        let x = Tensor::from_fn(&[8, 3], |i| {
+            (((i[0] as u64 * 31 + i[1] as u64 * 17 + seed) % 13) as f32) * 0.3
+        });
+        let y = one_hot(&(0..8).map(|i| i % 3).collect::<Vec<_>>(), 3).unwrap();
+        let a = hsic(&x, &y, 1.0, 1.0).unwrap();
+        let b = hsic(&y, &x, 1.0, 1.0).unwrap();
+        prop_assert!((a - b).abs() < 1e-5);
+        prop_assert!(a > -1e-4, "HSIC strongly negative: {a}");
+    }
+
+    /// Binned MI is bounded by log2(num_classes).
+    #[test]
+    fn binned_mi_bounded(seed in 0u64..200, k in 2usize..6) {
+        let n = 40;
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u64 * 7 + seed * 13) % 29) as f32) * 0.1)
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let mi = mi_values_labels(&values, &labels, k, BinningConfig::new(10)).unwrap();
+        prop_assert!(mi >= 0.0);
+        prop_assert!(mi <= (k as f32).log2() + 1e-4, "MI {mi} exceeds H(Y)");
+    }
+
+    /// Mask construction removes exactly floor(fraction·C) channels for any
+    /// score vector (capped at C−1).
+    #[test]
+    fn mask_removes_exact_fraction(
+        scores in proptest::collection::vec(0.0f32..1.0, 4..64),
+        fraction in 0.0f32..1.0,
+    ) {
+        let mask = mask_from_scores(&scores, fraction).unwrap();
+        let c = scores.len();
+        let expect_removed = ((c as f32 * fraction) as usize).min(c - 1);
+        let removed = c - mask.sum() as usize;
+        prop_assert_eq!(removed, expect_removed);
+        // Mask is strictly 0/1.
+        prop_assert!(mask.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    /// Model forward is deterministic in eval mode for any input batch.
+    #[test]
+    fn eval_forward_deterministic(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = VggMini::new(VggConfig::tiny(4), &mut rng).unwrap();
+        let x = Tensor::from_fn(&[2, 3, 16, 16], |i| {
+            (((i[0] as u64 + i[1] as u64 * 3 + i[2] as u64 * 5 + i[3] as u64 * 7 + seed) % 11)
+                as f32)
+                / 11.0
+        });
+        let run = || {
+            let tape = ibrar_autograd::Tape::new();
+            let sess = Session::new(&tape);
+            let xv = tape.leaf(x.clone());
+            model.forward(&sess, xv, Mode::Eval).unwrap().logits.value()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
