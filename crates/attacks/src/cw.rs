@@ -3,6 +3,7 @@
 
 use crate::{Attack, AttackError, Result};
 use ibrar_nn::{ImageModel, Mode, Session};
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 
 /// Optimization-based minimal-L2 attack.
@@ -58,6 +59,12 @@ impl Attack for CwL2 {
                 self.c, self.lr
             )));
         }
+        let _s = tel::span!("cw");
+        tel::counter("attack.cw.calls", 1);
+        tel::counter("attack.cw.iterations", self.steps as u64);
+        // CW drives its own tape (one forward + one backward per step).
+        tel::counter("attack.forward", self.steps as u64);
+        tel::counter("attack.backward", self.steps as u64);
         let n = *images
             .shape()
             .first()

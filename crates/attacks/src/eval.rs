@@ -3,7 +3,9 @@
 use crate::{Attack, Result};
 use ibrar_data::Dataset;
 use ibrar_nn::{ImageModel, Mode, Session};
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
+use std::time::Instant;
 
 /// Fraction of `labels` matched by the model's argmax predictions on
 /// `images`.
@@ -18,6 +20,7 @@ pub fn accuracy(model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Re
     let tape = ibrar_autograd::Tape::new();
     let sess = Session::new(&tape);
     let x = tape.leaf(images.clone());
+    tel::counter("eval.forward", 1);
     let out = model.forward(&sess, x, Mode::Eval)?;
     let preds = out.logits.value().argmax_rows()?;
     let correct = preds
@@ -37,12 +40,24 @@ pub fn clean_accuracy(model: &dyn ImageModel, dataset: &Dataset, batch_size: usi
     if dataset.is_empty() {
         return Ok(0.0);
     }
+    let _s = tel::span!("clean_accuracy");
+    let start = Instant::now();
     let mut correct = 0usize;
     for batch in dataset.batches_sequential(batch_size) {
         let acc = accuracy(model, &batch.images, &batch.labels)?;
         correct += (acc * batch.len() as f32).round() as usize;
     }
-    Ok(correct as f32 / dataset.len() as f32)
+    let acc = correct as f32 / dataset.len() as f32;
+    tel::event(
+        tel::Level::Info,
+        "eval.clean",
+        &[
+            ("examples", dataset.len().into()),
+            ("acc", acc.into()),
+            ("secs", start.elapsed().as_secs_f64().into()),
+        ],
+    );
+    Ok(acc)
 }
 
 /// Adversarial accuracy: the attack perturbs every batch, then the model is
@@ -60,13 +75,28 @@ pub fn robust_accuracy(
     if dataset.is_empty() {
         return Ok(0.0);
     }
+    let _s = tel::span!("robust_accuracy");
+    let start = Instant::now();
     let mut correct = 0usize;
     for batch in dataset.batches_sequential(batch_size) {
         let adv = attack.perturb(model, &batch.images, &batch.labels)?;
         let acc = accuracy(model, &adv, &batch.labels)?;
         correct += (acc * batch.len() as f32).round() as usize;
     }
-    Ok(correct as f32 / dataset.len() as f32)
+    let acc = correct as f32 / dataset.len() as f32;
+    tel::event(
+        tel::Level::Info,
+        "eval.robust",
+        &[
+            ("attack", attack.name().into()),
+            ("examples", dataset.len().into()),
+            ("acc", acc.into()),
+            // Fraction of examples the attack flipped or kept wrong.
+            ("success_rate", (1.0 - acc).into()),
+            ("secs", start.elapsed().as_secs_f64().into()),
+        ],
+    );
+    Ok(acc)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 
 use crate::{Attack, AttackError, Result};
 use ibrar_nn::{ImageModel, Mode, Session};
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 
 /// Simplified boundary-projection attack with an L∞ budget.
@@ -56,6 +57,12 @@ impl Attack for Fab {
         if self.eps < 0.0 {
             return Err(AttackError::Config(format!("negative eps {}", self.eps)));
         }
+        let _s = tel::span!("fab");
+        tel::counter("attack.fab.calls", 1);
+        tel::counter("attack.fab.iterations", self.steps as u64);
+        // FAB drives its own tape (one forward + one backward per step).
+        tel::counter("attack.forward", self.steps as u64);
+        tel::counter("attack.backward", self.steps as u64);
         let n = *images
             .shape()
             .first()

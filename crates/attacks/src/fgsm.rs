@@ -3,6 +3,7 @@
 use crate::objective::{input_gradient, CeObjective, Objective};
 use crate::{Attack, AttackError, Result};
 use ibrar_nn::ImageModel;
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 use std::sync::Arc;
 
@@ -43,6 +44,8 @@ impl Attack for Fgsm {
         if self.eps < 0.0 {
             return Err(AttackError::Config(format!("negative eps {}", self.eps)));
         }
+        let _s = tel::span!("fgsm");
+        tel::counter("attack.fgsm.calls", 1);
         let grad = input_gradient(model, self.objective.as_ref(), images, labels)?;
         let step = grad.signum().scale(self.eps);
         Ok(images.add(&step)?.clamp(0.0, 1.0))

@@ -7,6 +7,7 @@
 use crate::objective::{input_gradient, CeObjective, Objective};
 use crate::{Attack, AttackError, Result};
 use ibrar_nn::ImageModel;
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 use std::sync::Arc;
 
@@ -62,6 +63,9 @@ impl Attack for NiFgsm {
                 self.eps, self.alpha
             )));
         }
+        let _s = tel::span!("nifgsm");
+        tel::counter("attack.nifgsm.calls", 1);
+        tel::counter("attack.nifgsm.iterations", self.steps as u64);
         let mut x = images.clone();
         let mut momentum = Tensor::zeros(images.shape());
         let lookahead_scale = self.alpha * self.decay;

@@ -9,6 +9,7 @@
 use crate::{AttackError, Result};
 use ibrar_autograd::Var;
 use ibrar_nn::{ImageModel, Mode, ModelOutput, Session};
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 
 /// A differentiable scalar objective built from a model's forward pass.
@@ -69,9 +70,11 @@ pub fn input_gradient(
     let tape = ibrar_autograd::Tape::new();
     let sess = Session::new(&tape);
     let x = tape.var(images.clone());
+    tel::counter("attack.forward", 1);
     let out = model.forward(&sess, x, Mode::Eval)?;
     let loss = objective.loss(&sess, x, &out, labels)?;
     // Use the tape directly: parameter gradients are intentionally dropped.
+    tel::counter("attack.backward", 1);
     let mut grads = tape.backward(loss)?;
     grads.take_id(x.id()).ok_or(AttackError::NoGradient)
 }

@@ -3,6 +3,7 @@
 use crate::objective::{input_gradient, CeObjective, Objective};
 use crate::{Attack, AttackError, Result};
 use ibrar_nn::ImageModel;
+use ibrar_telemetry as tel;
 use ibrar_tensor::{uniform, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,6 +76,9 @@ impl Attack for Pgd {
                 self.eps, self.alpha
             )));
         }
+        let _s = tel::span!("pgd");
+        tel::counter("attack.pgd.calls", 1);
+        tel::counter("attack.pgd.iterations", self.steps as u64);
         let mut x = if self.random_start && self.eps > 0.0 {
             let seed = self.seed.fetch_add(1, Ordering::Relaxed);
             let mut rng = StdRng::seed_from_u64(seed);

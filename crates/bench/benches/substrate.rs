@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of the substrate kernels: matmul, im2col
 //! convolution, HSIC estimation (both kernel-width strategies — the
-//! DESIGN.md ablation), pooling, and a full model forward/backward.
+//! DESIGN.md ablation), pooling, a full model forward/backward, and the
+//! overhead of disabled telemetry instrumentation (which must stay in the
+//! few-nanosecond range so hot loops can be instrumented unconditionally).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibrar_autograd::Tape;
@@ -99,6 +101,35 @@ fn bench_model_step(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The global recorder is disabled by default in this process (no
+    // IBRAR_TELEMETRY in the bench environment), so these measure the
+    // cost instrumented code pays when observability is off: one relaxed
+    // atomic load per call. A local enabled recorder gives the "on" cost
+    // for comparison.
+    assert!(
+        !ibrar_telemetry::enabled(),
+        "run this bench without IBRAR_TELEMETRY set"
+    );
+    c.bench_function("telemetry_disabled_counter", |bench| {
+        bench.iter(|| ibrar_telemetry::counter(black_box("bench.counter"), 1))
+    });
+    c.bench_function("telemetry_disabled_span", |bench| {
+        bench.iter(|| {
+            let _s = ibrar_telemetry::span!(black_box("bench.span"));
+        })
+    });
+    let rec = ibrar_telemetry::Recorder::new_enabled();
+    c.bench_function("telemetry_enabled_counter", |bench| {
+        bench.iter(|| rec.counter(black_box("bench.counter"), 1))
+    });
+    c.bench_function("telemetry_enabled_span", |bench| {
+        bench.iter(|| {
+            let _s = rec.span(black_box("bench.span"));
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(10)
 }
@@ -106,6 +137,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_matmul, bench_conv, bench_hsic, bench_model_step
+    targets = bench_matmul, bench_conv, bench_hsic, bench_model_step, bench_telemetry_overhead
 }
 criterion_main!(benches);

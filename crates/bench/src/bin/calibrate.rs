@@ -33,38 +33,40 @@ fn measure(
 fn main() -> ExpResult<()> {
     let scale = Scale::from_args();
     let sweep = std::env::args().any(|a| a == "--contrast-sweep");
-    let mut table = TextTable::new(vec!["Dataset", "Contrast", "Natural %", "PGD^10 %"]);
-    if sweep {
-        for contrast in [1.0f32, 0.6, 0.45, 0.35, 0.25, 0.18] {
-            let config = SynthVisionConfig::cifar10_like()
-                .with_sizes(scale.train, scale.test)
-                .with_contrast(contrast);
-            let (nat, adv) = measure(&config, Arch::Vgg, &scale)?;
-            table.row(vec![
-                config.name.clone(),
-                format!("{contrast}"),
-                format!("{nat:.2}"),
-                format!("{adv:.2}"),
-            ]);
+    ibrar_bench::run_binary("calibrate", &scale, |scale| {
+        let mut table =
+            TextTable::new(vec!["Dataset", "Contrast", "Natural %", "PGD^10 %"]);
+        if sweep {
+            for contrast in [1.0f32, 0.6, 0.45, 0.35, 0.25, 0.18] {
+                let config = SynthVisionConfig::cifar10_like()
+                    .with_sizes(scale.train, scale.test)
+                    .with_contrast(contrast);
+                let (nat, adv) = measure(&config, Arch::Vgg, scale)?;
+                table.row(vec![
+                    config.name.clone(),
+                    format!("{contrast}"),
+                    format!("{nat:.2}"),
+                    format!("{adv:.2}"),
+                ]);
+            }
+        } else {
+            let presets = [
+                (SynthVisionConfig::cifar10_like(), Arch::Vgg),
+                (SynthVisionConfig::cifar100_like(), Arch::Wrn),
+                (SynthVisionConfig::svhn_like(), Arch::Vgg),
+                (SynthVisionConfig::tiny_imagenet_like(), Arch::Vgg32),
+            ];
+            for (config, arch) in presets {
+                let config = config.with_sizes(scale.train, scale.test);
+                let (nat, adv) = measure(&config, arch, scale)?;
+                table.row(vec![
+                    config.name.clone(),
+                    format!("{}", config.contrast),
+                    format!("{nat:.2}"),
+                    format!("{adv:.2}"),
+                ]);
+            }
         }
-    } else {
-        let presets = [
-            (SynthVisionConfig::cifar10_like(), Arch::Vgg),
-            (SynthVisionConfig::cifar100_like(), Arch::Wrn),
-            (SynthVisionConfig::svhn_like(), Arch::Vgg),
-            (SynthVisionConfig::tiny_imagenet_like(), Arch::Vgg32),
-        ];
-        for (config, arch) in presets {
-            let config = config.with_sizes(scale.train, scale.test);
-            let (nat, adv) = measure(&config, arch, &scale)?;
-            table.row(vec![
-                config.name.clone(),
-                format!("{}", config.contrast),
-                format!("{nat:.2}"),
-                format!("{adv:.2}"),
-            ]);
-        }
-    }
-    println!("{table}");
-    Ok(())
+        Ok(table.to_string())
+    })
 }

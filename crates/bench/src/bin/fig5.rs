@@ -1,12 +1,10 @@
 //! Regenerates paper fig5 (see EXPERIMENTS.md). Flags: --quick | --full |
 //! --train N | --test N | --epochs N | --seeds N | --eval N.
+//!
+//! Set `IBRAR_LOG` / `IBRAR_TELEMETRY` to capture telemetry (see README
+//! "Observability"); a run manifest is written next to the output table.
 
 fn main() -> ibrar_bench::ExpResult<()> {
     let scale = ibrar_bench::Scale::from_args();
-    eprintln!("[fig5] running at {scale:?}");
-    let started = std::time::Instant::now();
-    let out = ibrar_bench::experiments::fig5::run(&scale)?;
-    ibrar_bench::write_output("fig5", &out);
-    eprintln!("[fig5] done in {:.1?}", started.elapsed());
-    Ok(())
+    ibrar_bench::run_binary("fig5", &scale, ibrar_bench::experiments::fig5::run)
 }

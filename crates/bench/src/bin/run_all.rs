@@ -21,14 +21,9 @@ fn main() -> ibrar_bench::ExpResult<()> {
     ];
     let total = std::time::Instant::now();
     for (name, run) in experiments {
-        let started = std::time::Instant::now();
         eprintln!("=== {name} ===");
-        match run(&scale) {
-            Ok(out) => {
-                ibrar_bench::write_output(name, &out);
-                eprintln!("[{name}] done in {:.1?}", started.elapsed());
-            }
-            Err(e) => eprintln!("[{name}] FAILED: {e}"),
+        if let Err(e) = ibrar_bench::run_binary(name, &scale, run) {
+            eprintln!("[{name}] FAILED: {e}");
         }
     }
     eprintln!("[run_all] total {:.1?}", total.elapsed());

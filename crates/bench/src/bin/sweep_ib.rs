@@ -15,6 +15,10 @@ use ibrar_data::{SynthVision, SynthVisionConfig};
 
 fn main() -> ExpResult<()> {
     let scale = Scale::from_args();
+    ibrar_bench::run_binary("sweep_ib", &scale, run)
+}
+
+fn run(scale: &Scale) -> ExpResult<String> {
     let config = SynthVisionConfig::cifar10_like().with_sizes(scale.train, scale.test);
     let data = SynthVision::generate(&config, 7)?;
     let grid: Vec<(f32, f32)> = vec![
@@ -55,6 +59,5 @@ fn main() -> ExpResult<()> {
             ]);
         }
     }
-    println!("{table}");
-    Ok(())
+    Ok(table.to_string())
 }

@@ -1,12 +1,10 @@
 //! Regenerates paper table1 (see EXPERIMENTS.md). Flags: --quick | --full |
 //! --train N | --test N | --epochs N | --seeds N | --eval N.
+//!
+//! Set `IBRAR_LOG` / `IBRAR_TELEMETRY` to capture telemetry (see README
+//! "Observability"); a run manifest is written next to the output table.
 
 fn main() -> ibrar_bench::ExpResult<()> {
     let scale = ibrar_bench::Scale::from_args();
-    eprintln!("[table1] running at {scale:?}");
-    let started = std::time::Instant::now();
-    let out = ibrar_bench::experiments::table1::run(&scale)?;
-    ibrar_bench::write_output("table1", &out);
-    eprintln!("[table1] done in {:.1?}", started.elapsed());
-    Ok(())
+    ibrar_bench::run_binary("table1", &scale, ibrar_bench::experiments::table1::run)
 }

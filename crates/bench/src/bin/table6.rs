@@ -1,12 +1,10 @@
 //! Regenerates paper table6 (see EXPERIMENTS.md). Flags: --quick | --full |
 //! --train N | --test N | --epochs N | --seeds N | --eval N.
+//!
+//! Set `IBRAR_LOG` / `IBRAR_TELEMETRY` to capture telemetry (see README
+//! "Observability"); a run manifest is written next to the output table.
 
 fn main() -> ibrar_bench::ExpResult<()> {
     let scale = ibrar_bench::Scale::from_args();
-    eprintln!("[table6] running at {scale:?}");
-    let started = std::time::Instant::now();
-    let out = ibrar_bench::experiments::table6::run(&scale)?;
-    ibrar_bench::write_output("table6", &out);
-    eprintln!("[table6] done in {:.1?}", started.elapsed());
-    Ok(())
+    ibrar_bench::run_binary("table6", &scale, ibrar_bench::experiments::table6::run)
 }

@@ -17,6 +17,10 @@ use ibrar_nn::{SgdConfig, StepLr};
 
 fn main() -> ExpResult<()> {
     let scale = Scale::from_args();
+    ibrar_bench::run_binary("tune_sgd", &scale, run)
+}
+
+fn run(scale: &Scale) -> ExpResult<String> {
     let config = SynthVisionConfig::cifar10_like().with_sizes(scale.train, scale.test);
     let data = SynthVision::generate(&config, 7)?;
     let mut table = TextTable::new(vec!["wd", "lr", "epochs", "Natural %", "PGD %"]);
@@ -48,6 +52,5 @@ fn main() -> ExpResult<()> {
             }
         }
     }
-    println!("{table}");
-    Ok(())
+    Ok(table.to_string())
 }

@@ -10,6 +10,7 @@ use ibrar_data::Dataset;
 use ibrar_nn::{
     ImageModel, ResNetConfig, ResNetMini, VggConfig, VggMini, WideResNetConfig, WideResNetMini,
 };
+use ibrar_telemetry as tel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -208,6 +209,60 @@ pub fn write_output(name: &str, content: &str) {
     } else {
         eprintln!("[saved {}]", path.display());
     }
+}
+
+/// Standard wrapper for experiment binaries.
+///
+/// Initializes telemetry from the `IBRAR_LOG` / `IBRAR_TELEMETRY`
+/// environment variables, runs the experiment inside a top-level span named
+/// after it, writes its output via [`write_output`], and finishes a
+/// [`tel::RunManifest`] (scale as config, wall time as metric) — emitted to
+/// the JSONL sink and, when telemetry is on, written next to the output as
+/// `target/experiments/<name>.manifest.json` together with the timing
+/// report on stderr.
+///
+/// # Errors
+///
+/// Propagates the experiment's error (no output or manifest is written in
+/// that case).
+pub fn run_binary(
+    name: &str,
+    scale: &Scale,
+    run: impl FnOnce(&Scale) -> ExpResult<String>,
+) -> ExpResult<()> {
+    tel::init_from_env();
+    eprintln!("[{name}] running at {scale:?}");
+    let started = std::time::Instant::now();
+    let mut manifest = tel::RunManifest::new(name);
+    manifest
+        .config("train", scale.train)
+        .config("test", scale.test)
+        .config("eval", scale.eval)
+        .config("epochs", scale.epochs)
+        .config("at_steps", scale.at_steps)
+        .config("cw_steps", scale.cw_steps)
+        .config("seeds", scale.seeds)
+        .config("batch", scale.batch);
+    let out = {
+        let _s = tel::span!(name);
+        run(scale)?
+    };
+    write_output(name, &out);
+    manifest.metric("output_lines", out.lines().count());
+    let json = manifest.finish();
+    if tel::enabled() {
+        let report = tel::report();
+        if !report.is_empty() {
+            eprintln!("== telemetry [{name}] ==");
+            eprint!("{report}");
+        }
+        let path = output_dir().join(format!("{name}.manifest.json"));
+        if std::fs::write(&path, &json).is_ok() {
+            eprintln!("[manifest {}]", path.display());
+        }
+    }
+    eprintln!("[{name}] done in {:.1?}", started.elapsed());
+    Ok(())
 }
 
 /// Lowers the training method's inner-PGD cost to the scale's budget.

@@ -26,11 +26,11 @@
 //!
 //! # Examples
 //!
-//! Train a small model with the IB-RAR loss and mask, then evaluate under
-//! PGD:
+//! Train a small model with the IB-RAR loss, then evaluate under PGD (sized
+//! down so the example runs as a doctest):
 //!
-//! ```no_run
-//! use ibrar::{IbLossConfig, LayerPolicy, MaskConfig, Trainer, TrainerConfig, TrainMethod};
+//! ```
+//! use ibrar::{IbLossConfig, LayerPolicy, Trainer, TrainerConfig, TrainMethod};
 //! use ibrar_data::{SynthVision, SynthVisionConfig};
 //! use ibrar_nn::{VggMini, VggConfig};
 //! use ibrar_attacks::{robust_accuracy, Pgd};
@@ -38,14 +38,17 @@
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
-//! let data = SynthVision::generate(&SynthVisionConfig::cifar10_like(), 0)?;
+//! let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(64, 32), 0)?;
 //! let config = TrainerConfig::new(TrainMethod::Standard)
-//!     .with_epochs(5)
-//!     .with_ib(IbLossConfig::new(1.0, 0.1).with_policy(LayerPolicy::Robust))
-//!     .with_mask(MaskConfig::default());
+//!     .with_epochs(2)
+//!     .with_batch_size(16)
+//!     .with_ib(IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust));
 //! let report = Trainer::new(config).train(&model, &data.train, &data.test)?;
-//! let adv_acc = robust_accuracy(&model, &Pgd::paper_default(), &data.test, 50)?;
-//! println!("natural {:.2}% adversarial {:.2}%", report.final_natural_acc() * 100.0, adv_acc * 100.0);
+//! assert_eq!(report.epochs.len(), 2);
+//! assert!(report.final_loss().is_finite());
+//! assert!((0.0..=1.0).contains(&report.final_natural_acc()));
+//! let adv_acc = robust_accuracy(&model, &Pgd::paper_default(), &data.test.take(16)?, 16)?;
+//! assert!((0.0..=1.0).contains(&adv_acc));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -61,7 +64,7 @@ pub use adaptive::AdaptiveIbObjective;
 pub use baselines::VibBaseline;
 pub use error::IbrarError;
 pub use layer_select::{discover_robust_layers, robust_indices, LayerReport, RobustLayerConfig};
-pub use loss::{IbLoss, IbLossConfig, LayerPolicy};
+pub use loss::{IbLayerTerm, IbLoss, IbLossConfig, LayerPolicy};
 pub use mask::{compute_channel_mask, mask_from_scores, MaskConfig};
 pub use trainer::{EpochMetrics, TrainMethod, TrainReport, Trainer, TrainerConfig};
 

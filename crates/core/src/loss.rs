@@ -128,6 +128,21 @@ impl IbLossConfig {
     }
 }
 
+/// Per-layer readout of the IB regularizer: the raw (unweighted) HSIC
+/// estimates behind one `Σ_l` summand. These are exactly the information-
+/// plane coordinates of the paper's Fig. 5, surfaced so the trainer can
+/// stream them as telemetry without recomputing the kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IbLayerTerm {
+    /// Tap index of the hidden layer.
+    pub layer: usize,
+    /// `I(X, T_l)` before the `α` weight (None when `α = 0`, the term is
+    /// not built).
+    pub hsic_xt: Option<f32>,
+    /// `I(Y, T_l)` before the `β` weight (None when `β = 0`).
+    pub hsic_yt: Option<f32>,
+}
+
 /// A built IB regularizer term, ready to be added to a base loss.
 #[derive(Debug)]
 pub struct IbLoss;
@@ -150,6 +165,25 @@ impl IbLoss {
         num_classes: usize,
         config: &IbLossConfig,
     ) -> Result<Var<'t>> {
+        Self::regularizer_with_terms(sess, x, hidden, labels, num_classes, config)
+            .map(|(var, _)| var)
+    }
+
+    /// [`IbLoss::regularizer`] plus the per-layer raw HSIC estimates that
+    /// make up the sum (one [`IbLayerTerm`] per selected layer, in policy
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid layer selections or estimator failures.
+    pub fn regularizer_with_terms<'t>(
+        sess: &Session<'t>,
+        x: Var<'t>,
+        hidden: &[Hidden<'t>],
+        labels: &[usize],
+        num_classes: usize,
+        config: &IbLossConfig,
+    ) -> Result<(Var<'t>, Vec<IbLayerTerm>)> {
         let indices = config.policy.resolve(hidden.len())?;
         let tape = sess.tape();
         let x_flat = x.flatten_batch()?;
@@ -157,22 +191,32 @@ impl IbLoss {
         let y = one_hot_var(tape, labels, num_classes)?;
         let sigma_y = median_sigma(&y.value());
 
+        let mut terms = Vec::with_capacity(indices.len());
         let mut total: Option<Var<'t>> = None;
         for &i in &indices {
             let t_flat = hidden[i].var.flatten_batch()?;
             let sigma_t = median_sigma(&t_flat.value());
+            let mut layer_term = IbLayerTerm {
+                layer: i,
+                hsic_xt: None,
+                hsic_yt: None,
+            };
             let mut term: Option<Var<'t>> = None;
             if config.alpha != 0.0 {
-                let ixt = hsic_var(x_flat, t_flat, sigma_x, sigma_t)?.scale(config.alpha);
-                term = Some(ixt);
+                let ixt_raw = hsic_var(x_flat, t_flat, sigma_x, sigma_t)?;
+                layer_term.hsic_xt = Some(ixt_raw.value().data()[0]);
+                term = Some(ixt_raw.scale(config.alpha));
             }
             if config.beta != 0.0 {
-                let iyt = hsic_var(y, t_flat, sigma_y, sigma_t)?.scale(-config.beta);
+                let iyt_raw = hsic_var(y, t_flat, sigma_y, sigma_t)?;
+                layer_term.hsic_yt = Some(iyt_raw.value().data()[0]);
+                let iyt = iyt_raw.scale(-config.beta);
                 term = Some(match term {
                     Some(t) => t.add(iyt)?,
                     None => iyt,
                 });
             }
+            terms.push(layer_term);
             if let Some(t) = term {
                 total = Some(match total {
                     Some(acc) => acc.add(t)?,
@@ -180,11 +224,12 @@ impl IbLoss {
                 });
             }
         }
-        match total {
-            Some(t) => Ok(t),
+        let var = match total {
+            Some(t) => t,
             // α = β = 0: contribute nothing.
-            None => Ok(tape.leaf(ibrar_tensor::Tensor::scalar(0.0))),
-        }
+            None => tape.leaf(ibrar_tensor::Tensor::scalar(0.0)),
+        };
+        Ok((var, terms))
     }
 }
 
@@ -299,6 +344,51 @@ mod tests {
         )
         .unwrap();
         assert_eq!(reg.value().data(), &[0.0]);
+    }
+
+    #[test]
+    fn with_terms_reports_raw_hsic_per_layer() {
+        let m = model();
+        let (x, labels) = batch();
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let xv = tape.leaf(x);
+        let out = m.forward(&sess, xv, Mode::Eval).unwrap();
+        let cfg = IbLossConfig::paper_vgg();
+        let (var, terms) =
+            IbLoss::regularizer_with_terms(&sess, xv, &out.hidden, &labels, 4, &cfg).unwrap();
+        let expected = LayerPolicy::Robust.resolve(out.hidden.len()).unwrap();
+        assert_eq!(
+            terms.iter().map(|t| t.layer).collect::<Vec<_>>(),
+            expected
+        );
+        // Both HSIC estimates are present, nonnegative, and recombine into
+        // the regularizer value under (α, β).
+        let mut recombined = 0.0f32;
+        for t in &terms {
+            let xt = t.hsic_xt.expect("α ≠ 0 term");
+            let yt = t.hsic_yt.expect("β ≠ 0 term");
+            assert!(xt >= 0.0 && xt.is_finite());
+            assert!(yt >= 0.0 && yt.is_finite());
+            recombined += cfg.alpha * xt - cfg.beta * yt;
+        }
+        let direct = var.value().data()[0];
+        assert!(
+            (recombined - direct).abs() <= 1e-4 * direct.abs().max(1.0),
+            "{recombined} vs {direct}"
+        );
+        // Disabled terms stay None.
+        let (_, a_only) = IbLoss::regularizer_with_terms(
+            &sess,
+            xv,
+            &out.hidden,
+            &labels,
+            4,
+            &cfg.clone().compression_only(),
+        )
+        .unwrap();
+        assert!(a_only.iter().all(|t| t.hsic_yt.is_none()));
+        assert!(a_only.iter().all(|t| t.hsic_xt.is_some()));
     }
 
     #[test]

@@ -14,12 +14,13 @@
 //! trained network after the final epoch and installed into the model
 //! (`T_last = T_last * mask` on every subsequent forward pass).
 
-use crate::loss::{IbLoss, IbLossConfig};
+use crate::loss::{IbLayerTerm, IbLoss, IbLossConfig};
 use crate::mask::{compute_channel_mask, MaskConfig};
 use crate::{IbrarError, Result};
 use ibrar_attacks::{clean_accuracy, robust_accuracy, Attack, Objective, Pgd};
 use ibrar_data::Dataset;
 use ibrar_nn::{ImageModel, Mode, Session, Sgd, SgdConfig, StepLr};
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 
 /// The training method (paper benchmarks).
@@ -293,24 +294,64 @@ impl Trainer {
             return Err(IbrarError::Config("empty training set".into()));
         }
         let cfg = &self.config;
+        let _train_span = tel::span!("train");
         let mut opt = Sgd::new(model.params(), cfg.sgd);
         let mut epochs = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
+            let _epoch_span = tel::span!("epoch");
             cfg.schedule.apply(&mut opt, epoch);
+            tel::gauge("train.lr", f64::from(opt.lr()));
             let ib_active = cfg.ib.is_some() && (!cfg.ib_first_epoch_only || epoch == 0);
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
+            // Per-layer HSIC accumulators for this epoch's information-plane
+            // telemetry: (tap index, Σ I(X,T), count, Σ I(Y,T), count).
+            let mut hsic_acc: Vec<(usize, f64, u64, f64, u64)> = Vec::new();
             for batch in train.batches(cfg.batch_size, cfg.seed.wrapping_add(epoch as u64)) {
                 if batch.len() < 2 {
                     continue; // HSIC needs ≥2 samples; skip ragged tails of 1
                 }
-                let loss = self.train_step(model, &batch.images, &batch.labels, ib_active)?;
+                let (loss, terms) =
+                    self.train_step(model, &batch.images, &batch.labels, ib_active)?;
                 opt.step();
+                if tel::enabled() {
+                    tel::counter("train.batches", 1);
+                    tel::event(
+                        tel::Level::Debug,
+                        "train.batch",
+                        &[
+                            ("epoch", epoch.into()),
+                            ("batch", batches.into()),
+                            ("loss", loss.into()),
+                        ],
+                    );
+                    for t in &terms {
+                        let slot = match hsic_acc.iter_mut().find(|(l, ..)| *l == t.layer) {
+                            Some(slot) => slot,
+                            None => {
+                                hsic_acc.push((t.layer, 0.0, 0, 0.0, 0));
+                                hsic_acc.last_mut().unwrap()
+                            }
+                        };
+                        if let Some(xt) = t.hsic_xt {
+                            slot.1 += f64::from(xt);
+                            slot.2 += 1;
+                        }
+                        if let Some(yt) = t.hsic_yt {
+                            slot.3 += f64::from(yt);
+                            slot.4 += 1;
+                        }
+                    }
+                }
                 loss_sum += loss;
                 batches += 1;
             }
-            let natural_acc = clean_accuracy(model, test, cfg.batch_size.max(32))?;
+            let natural_acc = {
+                let _s = tel::span!("eval_clean");
+                clean_accuracy(model, test, cfg.batch_size.max(32))?
+            };
             let adversarial_acc = if cfg.track_adversarial {
+                let _s = tel::span!("eval_adv");
                 let subset = test.take(64.min(test.len()))?;
                 Some(robust_accuracy(
                     model,
@@ -321,13 +362,39 @@ impl Trainer {
             } else {
                 None
             };
+            let train_loss = if batches > 0 {
+                loss_sum / batches as f32
+            } else {
+                f32::NAN
+            };
+            if tel::enabled() {
+                let mut fields: Vec<tel::Field<'_>> = vec![
+                    ("epoch", epoch.into()),
+                    ("method", cfg.method.name().into()),
+                    ("loss", train_loss.into()),
+                    ("natural_acc", natural_acc.into()),
+                    ("lr", opt.lr().into()),
+                    ("batches", batches.into()),
+                ];
+                if let Some(adv) = adversarial_acc {
+                    fields.push(("adversarial_acc", adv.into()));
+                }
+                tel::event(tel::Level::Info, "train.epoch", &fields);
+                for (layer, xt_sum, xt_n, yt_sum, yt_n) in &hsic_acc {
+                    let mut fields: Vec<tel::Field<'_>> =
+                        vec![("epoch", epoch.into()), ("layer", (*layer).into())];
+                    if *xt_n > 0 {
+                        fields.push(("hsic_xt", (xt_sum / *xt_n as f64).into()));
+                    }
+                    if *yt_n > 0 {
+                        fields.push(("hsic_yt", (yt_sum / *yt_n as f64).into()));
+                    }
+                    tel::event(tel::Level::Info, "train.hsic", &fields);
+                }
+            }
             epochs.push(EpochMetrics {
                 epoch,
-                train_loss: if batches > 0 {
-                    loss_sum / batches as f32
-                } else {
-                    f32::NAN
-                },
+                train_loss,
                 natural_acc,
                 adversarial_acc,
             });
@@ -342,28 +409,34 @@ impl Trainer {
         Ok(TrainReport { epochs })
     }
 
-    /// One optimizer step; returns the scalar loss.
+    /// One optimizer step; returns the scalar loss and (when the IB loss is
+    /// active) the per-layer raw HSIC estimates behind it.
     fn train_step(
         &self,
         model: &dyn ImageModel,
         images: &Tensor,
         labels: &[usize],
         ib_active: bool,
-    ) -> Result<f32> {
+    ) -> Result<(f32, Vec<IbLayerTerm>)> {
         let cfg = &self.config;
+        let mut terms = Vec::new();
         match cfg.method {
             TrainMethod::Standard => {
                 let tape = ibrar_autograd::Tape::new();
                 let sess = Session::new(&tape);
                 let x = tape.leaf(images.clone());
-                let out = model.forward(&sess, x, Mode::Train)?;
+                let out = {
+                    let _s = tel::span!("forward");
+                    model.forward(&sess, x, Mode::Train)?
+                };
                 let mut loss = out.logits.cross_entropy(labels)?;
                 if let Some(aux) = out.aux_loss {
                     loss = loss.add(aux)?;
                 }
                 if ib_active {
                     if let Some(ib) = &cfg.ib {
-                        let reg = IbLoss::regularizer(
+                        let _s = tel::span!("ib_reg");
+                        let (reg, t) = IbLoss::regularizer_with_terms(
                             &sess,
                             x,
                             &out.hidden,
@@ -371,30 +444,41 @@ impl Trainer {
                             model.num_classes(),
                             ib,
                         )?;
+                        terms = t;
                         loss = loss.add(reg)?;
                     }
                 }
                 let value = loss.value().data()[0];
-                sess.backward(loss)?;
-                Ok(value)
+                {
+                    let _s = tel::span!("backward");
+                    sess.backward(loss)?;
+                }
+                Ok((value, terms))
             }
             TrainMethod::PgdAt { eps, alpha, steps } => {
                 let attack = Pgd::new(eps, alpha, steps);
-                let adv = attack.perturb(model, images, labels)?;
+                let adv = {
+                    let _s = tel::span!("advgen");
+                    attack.perturb(model, images, labels)?
+                };
                 let tape = ibrar_autograd::Tape::new();
                 let sess = Session::new(&tape);
                 let xadv = tape.leaf(adv);
-                let out_adv = model.forward(&sess, xadv, Mode::Train)?;
+                let out_adv = {
+                    let _s = tel::span!("forward");
+                    model.forward(&sess, xadv, Mode::Train)?
+                };
                 let mut loss = out_adv.logits.cross_entropy(labels)?;
                 if let Some(aux) = out_adv.aux_loss {
                     loss = loss.add(aux)?;
                 }
                 if ib_active {
                     if let Some(ib) = &cfg.ib {
-                        let reg = if cfg.ib_on_adversarial {
+                        let _s = tel::span!("ib_reg");
+                        let (reg, t) = if cfg.ib_on_adversarial {
                             // I(X+δ, T) variant (§3.1.1): reuse the
                             // adversarial forward's taps.
-                            IbLoss::regularizer(
+                            IbLoss::regularizer_with_terms(
                                 &sess,
                                 xadv,
                                 &out_adv.hidden,
@@ -408,7 +492,7 @@ impl Trainer {
                             // update only once.
                             let xclean = tape.leaf(images.clone());
                             let out_clean = model.forward(&sess, xclean, Mode::Eval)?;
-                            IbLoss::regularizer(
+                            IbLoss::regularizer_with_terms(
                                 &sess,
                                 xclean,
                                 &out_clean.hidden,
@@ -417,12 +501,16 @@ impl Trainer {
                                 ib,
                             )?
                         };
+                        terms = t;
                         loss = loss.add(reg)?;
                     }
                 }
                 let value = loss.value().data()[0];
-                sess.backward(loss)?;
-                Ok(value)
+                {
+                    let _s = tel::span!("backward");
+                    sess.backward(loss)?;
+                }
+                Ok((value, terms))
             }
             TrainMethod::Trades {
                 beta,
@@ -431,23 +519,30 @@ impl Trainer {
                 steps,
             } => {
                 // Inner maximization on KL with frozen clean logits.
-                let clean_logits = {
-                    let tape = ibrar_autograd::Tape::new();
-                    let sess = Session::new(&tape);
-                    let x = tape.leaf(images.clone());
-                    model.forward(&sess, x, Mode::Eval)?.logits.value()
+                let adv = {
+                    let _s = tel::span!("advgen");
+                    let clean_logits = {
+                        let tape = ibrar_autograd::Tape::new();
+                        let sess = Session::new(&tape);
+                        let x = tape.leaf(images.clone());
+                        model.forward(&sess, x, Mode::Eval)?.logits.value()
+                    };
+                    let attack = Pgd::new(eps, alpha, steps).with_objective(
+                        std::sync::Arc::new(TradesKlObjective { clean_logits }),
+                    );
+                    attack.perturb(model, images, labels)?
                 };
-                let attack = Pgd::new(eps, alpha, steps).with_objective(std::sync::Arc::new(
-                    TradesKlObjective { clean_logits },
-                ));
-                let adv = attack.perturb(model, images, labels)?;
 
                 let tape = ibrar_autograd::Tape::new();
                 let sess = Session::new(&tape);
                 let xclean = tape.leaf(images.clone());
-                let out_clean = model.forward(&sess, xclean, Mode::Train)?;
-                let xadv = tape.leaf(adv);
-                let out_adv = model.forward(&sess, xadv, Mode::Eval)?;
+                let (out_clean, out_adv) = {
+                    let _s = tel::span!("forward");
+                    let out_clean = model.forward(&sess, xclean, Mode::Train)?;
+                    let xadv = tape.leaf(adv);
+                    let out_adv = model.forward(&sess, xadv, Mode::Eval)?;
+                    (out_clean, out_adv)
+                };
                 let ce = out_clean.logits.cross_entropy(labels)?;
                 let kl = out_clean.logits.kl_div_to(out_adv.logits)?;
                 let mut loss = ce.add(kl.scale(beta))?;
@@ -456,7 +551,8 @@ impl Trainer {
                 }
                 if ib_active {
                     if let Some(ib) = &cfg.ib {
-                        let reg = IbLoss::regularizer(
+                        let _s = tel::span!("ib_reg");
+                        let (reg, t) = IbLoss::regularizer_with_terms(
                             &sess,
                             xclean,
                             &out_clean.hidden,
@@ -464,12 +560,16 @@ impl Trainer {
                             model.num_classes(),
                             ib,
                         )?;
+                        terms = t;
                         loss = loss.add(reg)?;
                     }
                 }
                 let value = loss.value().data()[0];
-                sess.backward(loss)?;
-                Ok(value)
+                {
+                    let _s = tel::span!("backward");
+                    sess.backward(loss)?;
+                }
+                Ok((value, terms))
             }
             TrainMethod::Mart {
                 beta,
@@ -478,13 +578,20 @@ impl Trainer {
                 steps,
             } => {
                 let attack = Pgd::new(eps, alpha, steps);
-                let adv = attack.perturb(model, images, labels)?;
+                let adv = {
+                    let _s = tel::span!("advgen");
+                    attack.perturb(model, images, labels)?
+                };
                 let tape = ibrar_autograd::Tape::new();
                 let sess = Session::new(&tape);
                 let xadv = tape.leaf(adv);
-                let out_adv = model.forward(&sess, xadv, Mode::Train)?;
                 let xclean = tape.leaf(images.clone());
-                let out_clean = model.forward(&sess, xclean, Mode::Eval)?;
+                let (out_adv, out_clean) = {
+                    let _s = tel::span!("forward");
+                    let out_adv = model.forward(&sess, xadv, Mode::Train)?;
+                    let out_clean = model.forward(&sess, xclean, Mode::Eval)?;
+                    (out_adv, out_clean)
+                };
                 let k = model.num_classes();
 
                 // Boosted CE: −log p_y(x') − log(1 − max_{j≠y} p_j(x')).
@@ -511,7 +618,8 @@ impl Trainer {
                 }
                 if ib_active {
                     if let Some(ib) = &cfg.ib {
-                        let reg = IbLoss::regularizer(
+                        let _s = tel::span!("ib_reg");
+                        let (reg, t) = IbLoss::regularizer_with_terms(
                             &sess,
                             xclean,
                             &out_clean.hidden,
@@ -519,12 +627,16 @@ impl Trainer {
                             model.num_classes(),
                             ib,
                         )?;
+                        terms = t;
                         loss = loss.add(reg)?;
                     }
                 }
                 let value = loss.value().data()[0];
-                sess.backward(loss)?;
-                Ok(value)
+                {
+                    let _s = tel::span!("backward");
+                    sess.backward(loss)?;
+                }
+                Ok((value, terms))
             }
         }
     }

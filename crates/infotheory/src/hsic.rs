@@ -6,6 +6,7 @@
 
 use crate::{InfoError, Result};
 use ibrar_autograd::Var;
+use ibrar_telemetry as tel;
 use ibrar_tensor::Tensor;
 
 /// Median-of-pairwise-distances kernel-width heuristic.
@@ -102,8 +103,11 @@ pub fn hsic_var<'t>(x: Var<'t>, y: Var<'t>, sigma_x: f32, sigma_y: f32) -> Resul
     }
     let tape = x.tape();
     let h = tape.leaf(centering(m));
-    let kx = x.gaussian_kernel(sigma_x)?;
-    let ky = y.gaussian_kernel(sigma_y)?;
+    let (kx, ky) = {
+        let _s = tel::span!("hsic.kernel");
+        (x.gaussian_kernel(sigma_x)?, y.gaussian_kernel(sigma_y)?)
+    };
+    let _s = tel::span!("hsic.center");
     // tr(Kx H Ky H) = sum((Kx H) ⊙ (Ky H)ᵀ)
     let kxh = kx.matmul(h)?;
     let kyh = ky.matmul(h)?;

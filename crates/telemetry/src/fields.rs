@@ -1,0 +1,151 @@
+//! Event levels and typed field values.
+
+use std::fmt;
+
+/// Event severity, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-iteration detail (PGD steps, kernel timings).
+    Trace = 0,
+    /// Per-batch detail.
+    Debug = 1,
+    /// Per-epoch / per-attack summaries.
+    Info = 2,
+    /// Recoverable anomalies (NaN losses, clamped inputs).
+    Warn = 3,
+    /// Failures surfaced to the caller anyway.
+    Error = 4,
+}
+
+impl Level {
+    /// Lower-case name used by both sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses `trace|debug|info|warn|error` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed event-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (epochs, counts, layer indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (losses, accuracies, HSIC terms, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form string (method names, attack names).
+    Str(String),
+}
+
+impl FieldValue {
+    /// Serializes the value as a JSON fragment into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => crate::json::write_f64(*v, out),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(s) => crate::json::write_string(s, out),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.6}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A named field, as passed to [`crate::event`].
+pub type Field<'a> = (&'a str, FieldValue);
+
+macro_rules! from_impl {
+    ($t:ty, $variant:ident, $conv:expr) => {
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant($conv(v))
+            }
+        }
+    };
+}
+
+from_impl!(u64, U64, |v| v);
+from_impl!(u32, U64, |v| v as u64);
+from_impl!(usize, U64, |v| v as u64);
+from_impl!(i64, I64, |v| v);
+from_impl!(i32, I64, |v| v as i64);
+from_impl!(f64, F64, |v| v);
+from_impl!(f32, F64, |v: f32| v as f64);
+from_impl!(bool, Bool, |v| v);
+from_impl!(String, Str, |v| v);
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-2i32), FieldValue::I64(-2));
+        assert_eq!(FieldValue::from(0.5f32), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+    }
+
+    #[test]
+    fn json_fragments() {
+        let mut out = String::new();
+        FieldValue::from("a\"b").write_json(&mut out);
+        assert_eq!(out, "\"a\\\"b\"");
+        out.clear();
+        FieldValue::F64(f64::NAN).write_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,248 @@
+//! Log-bucketed histogram with fixed geometric bucket boundaries.
+//!
+//! Buckets are spaced four per octave (boundary `i` sits at
+//! `2^(i/4 − 32)`), which bounds the relative quantile error at
+//! `2^(1/8) − 1 ≈ 9%` while keeping the whole histogram a flat 256-slot
+//! array — no allocation per observation, O(buckets) readout. The covered
+//! range, `[2⁻³² , 2³²] ≈ [2.3e-10, 4.3e9]`, spans nanosecond spans to
+//! hour-long runs; out-of-range values clamp to the edge buckets (and are
+//! still exact in `count`/`sum`/`min`/`max`).
+
+/// Number of buckets in every histogram.
+pub const NUM_BUCKETS: usize = 256;
+
+/// Buckets per octave (power of two).
+const SUB_BUCKETS: f64 = 4.0;
+
+/// Exponent of the lowest bucket boundary (`2^MIN_EXP`).
+const MIN_EXP: f64 = -32.0;
+
+/// A log-bucketed histogram of nonnegative `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored; values ≤ 0
+    /// land in the lowest bucket (count/sum/min/max stay exact).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// The bucket an observation falls into.
+    pub fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let idx = ((v.log2() - MIN_EXP) * SUB_BUCKETS).floor();
+        idx.clamp(0.0, (NUM_BUCKETS - 1) as f64) as usize
+    }
+
+    /// Lower boundary of bucket `i`.
+    pub fn bucket_lower(i: usize) -> f64 {
+        2f64.powf(MIN_EXP + i as f64 / SUB_BUCKETS)
+    }
+
+    /// Upper boundary of bucket `i` (the lower boundary of `i + 1`).
+    pub fn bucket_upper(i: usize) -> f64 {
+        Self::bucket_lower(i + 1)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` from the bucket counts: the
+    /// geometric midpoint of the bucket holding the `⌈q·count⌉`-th
+    /// observation, clamped to the exact `[min, max]` envelope. Relative
+    /// error is bounded by half a bucket width (≈ 9%).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let mid = (Self::bucket_lower(i) * Self::bucket_upper(i)).sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condensed readout used by snapshots and reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
+        }
+    }
+}
+
+/// `count`/`sum`/`p50`/`p95`/`max` readout of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_geometric() {
+        // Four buckets per octave: the boundary ratio is 2^(1/4).
+        let ratio = Histogram::bucket_lower(5) / Histogram::bucket_lower(4);
+        assert!((ratio - 2f64.powf(0.25)).abs() < 1e-12);
+        // Doubling a value advances exactly SUB_BUCKETS buckets.
+        let i = Histogram::bucket_index(0.001);
+        let j = Histogram::bucket_index(0.002);
+        assert_eq!(j - i, 4);
+        // Values sit inside their bucket's [lower, upper) range.
+        for v in [1e-9, 3.7e-4, 0.5, 1.0, 123.456, 9e8] {
+            let b = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_lower(b) <= v * (1.0 + 1e-12), "{v}");
+            assert!(v < Histogram::bucket_upper(b) * (1.0 + 1e-12), "{v}");
+        }
+    }
+
+    #[test]
+    fn edge_values_clamp_to_edge_buckets() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(1e-300), 0);
+        assert_eq!(Histogram::bucket_index(1e300), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_stats_and_ignored_nonfinite() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_tolerance() {
+        let mut h = Histogram::new();
+        // 1..=1000 milliseconds, uniformly.
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        // True p50 = 0.5, p95 = 0.95; bucket resolution is ~9%.
+        assert!((p50 - 0.5).abs() / 0.5 < 0.10, "p50 {p50}");
+        assert!((p95 - 0.95).abs() / 0.95 < 0.10, "p95 {p95}");
+        // Quantiles never escape the exact envelope.
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(0.125);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0.125);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.mean().is_nan());
+        assert_eq!(h.count(), 0);
+    }
+}

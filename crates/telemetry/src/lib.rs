@@ -1,0 +1,120 @@
+//! **ibrar-telemetry** — the observability substrate for the IB-RAR
+//! reproduction.
+//!
+//! The paper's evidence is almost entirely trajectories: per-epoch HSIC
+//! terms for the information plane (Fig. 5), convergence curves (Fig. 4),
+//! and per-attack robust accuracy (Tables 1–2). This crate makes those
+//! measurements (and the wall-time breakdowns behind every perf PR)
+//! first-class outputs without adding any external dependency:
+//!
+//! * [`Recorder`] — counters, gauges, and log-bucketed [`Histogram`]s with
+//!   `count`/`sum`/`p50`/`p95`/`max` readout.
+//! * RAII span timers ([`span!`]) that nest through a thread-local stack and
+//!   feed a tree-shaped timing report ([`report`]).
+//! * Leveled structured events ([`event`]) with two sinks: human-readable
+//!   stderr and machine-readable JSONL.
+//! * [`RunManifest`] — config, seed, method name, wall time, and final
+//!   metrics emitted as a JSON line at the end of each run.
+//!
+//! # Configuration
+//!
+//! Everything defaults to **off** (a single relaxed atomic load per call
+//! site — see the `telemetry` group in `crates/bench/benches/substrate.rs`).
+//! Two environment variables, read on first use, turn it on:
+//!
+//! * `IBRAR_LOG=trace|debug|info|warn|error` — enables the recorder and the
+//!   human-readable stderr sink at the given level.
+//! * `IBRAR_TELEMETRY=jsonl:<path>` — enables the recorder and streams every
+//!   event and manifest as one JSON object per line to `<path>`.
+//!   `IBRAR_TELEMETRY=on` enables metric collection without a JSONL file;
+//!   `IBRAR_TELEMETRY=off` forces everything off.
+//!
+//! # Examples
+//!
+//! ```
+//! use ibrar_telemetry as tel;
+//!
+//! let rec = tel::Recorder::new_enabled();
+//! rec.counter("attack.forward", 1);
+//! rec.gauge("train.lr", 0.01);
+//! {
+//!     let _outer = rec.span("train");
+//!     let _inner = rec.span("epoch"); // recorded under "train/epoch"
+//! }
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("attack.forward"), Some(1));
+//! assert!(snap.span("train/epoch").is_some());
+//! ```
+
+mod fields;
+mod histogram;
+pub mod json;
+mod manifest;
+mod recorder;
+mod span;
+
+pub use fields::{Field, FieldValue, Level};
+pub use histogram::{Histogram, HistogramSummary};
+pub use manifest::RunManifest;
+pub use recorder::{global, init_from_env, BufferSink, Recorder, Snapshot};
+pub use span::{span_depth, Span};
+
+/// Increments a named counter on the global recorder (no-op when disabled).
+pub fn counter(name: &str, delta: u64) {
+    global().counter(name, delta);
+}
+
+/// Sets a named gauge on the global recorder (no-op when disabled).
+pub fn gauge(name: &str, value: f64) {
+    global().gauge(name, value);
+}
+
+/// Records a histogram observation on the global recorder (no-op when
+/// disabled).
+pub fn observe(name: &str, value: f64) {
+    global().observe(name, value);
+}
+
+/// Emits a structured event on the global recorder (no-op when disabled).
+pub fn event(level: Level, name: &str, fields: &[Field<'_>]) {
+    global().event(level, name, fields);
+}
+
+/// Opens a timing span on the global recorder. Prefer the [`span!`] macro.
+pub fn span(name: &str) -> Span<'static> {
+    global().span(name)
+}
+
+/// Whether the global recorder is collecting anything.
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Human-readable summary (counters, gauges, histograms, span tree) of the
+/// global recorder. Empty string when disabled or nothing was recorded.
+pub fn report() -> String {
+    global().report()
+}
+
+/// Snapshot of the global recorder's metrics.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Flushes the global JSONL sink, if any.
+pub fn flush() {
+    global().flush();
+}
+
+/// RAII span timer on the global recorder:
+/// `let _s = ibrar_telemetry::span!("pgd.inner_loop");`
+///
+/// Spans opened while another span guard is alive on the same thread nest:
+/// the inner span is recorded under `outer/inner` and the timing report
+/// renders the tree.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

@@ -1,0 +1,169 @@
+//! Run manifests: one JSON object that makes a benchmark run reproducible.
+
+use crate::fields::FieldValue;
+use crate::recorder::{now_ms, Recorder};
+use std::time::Instant;
+
+/// Accumulates the identity of a run — name, seed, method, configuration —
+/// plus its final metrics, and serializes everything (with wall time) as a
+/// single JSON object at the end.
+///
+/// Bench binaries create one at startup, fill metrics as results arrive,
+/// and call [`RunManifest::finish`] last; the JSON line lands in the global
+/// JSONL sink (when configured) and is also returned for printing or
+/// writing alongside the run's output file.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    name: String,
+    seed: Option<u64>,
+    method: Option<String>,
+    config: Vec<(String, FieldValue)>,
+    metrics: Vec<(String, FieldValue)>,
+    started: Instant,
+}
+
+impl RunManifest {
+    /// Starts a manifest for the run called `name`; the wall-time clock
+    /// starts now.
+    pub fn new(name: &str) -> Self {
+        RunManifest {
+            name: name.to_string(),
+            seed: None,
+            method: None,
+            config: Vec::new(),
+            metrics: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Records the training / defense method name (`"ib-rar"`, `"pgd-at"`…).
+    pub fn with_method(mut self, method: &str) -> Self {
+        self.method = Some(method.to_string());
+        self
+    }
+
+    /// Adds (or overwrites) one configuration entry.
+    pub fn config(&mut self, key: &str, value: impl Into<FieldValue>) -> &mut Self {
+        Self::upsert(&mut self.config, key, value.into());
+        self
+    }
+
+    /// Adds (or overwrites) one result metric.
+    pub fn metric(&mut self, key: &str, value: impl Into<FieldValue>) -> &mut Self {
+        Self::upsert(&mut self.metrics, key, value.into());
+        self
+    }
+
+    fn upsert(list: &mut Vec<(String, FieldValue)>, key: &str, value: FieldValue) {
+        match list.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => list.push((key.to_string(), value)),
+        }
+    }
+
+    /// Serializes the manifest as one JSON object (`"type":"manifest"`),
+    /// with wall time measured up to this call.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"ts_ms\":");
+        out.push_str(&now_ms().to_string());
+        out.push_str(",\"type\":\"manifest\",\"name\":");
+        crate::json::write_string(&self.name, &mut out);
+        if let Some(seed) = self.seed {
+            out.push_str(",\"seed\":");
+            out.push_str(&seed.to_string());
+        }
+        if let Some(method) = &self.method {
+            out.push_str(",\"method\":");
+            crate::json::write_string(method, &mut out);
+        }
+        out.push_str(",\"wall_secs\":");
+        crate::json::write_f64(self.started.elapsed().as_secs_f64(), &mut out);
+        for (section, entries) in [("config", &self.config), ("metrics", &self.metrics)] {
+            out.push(',');
+            crate::json::write_string(section, &mut out);
+            out.push_str(":{");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::json::write_string(k, &mut out);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serializes the manifest, emits it to `rec`'s JSONL sink (if any),
+    /// and returns the JSON string.
+    pub fn finish_with(&self, rec: &Recorder) -> String {
+        let json = self.to_json();
+        if rec.is_enabled() {
+            rec.write_jsonl_line(&json);
+            rec.flush();
+        }
+        json
+    }
+
+    /// [`RunManifest::finish_with`] against the global recorder.
+    pub fn finish(&self) -> String {
+        self.finish_with(crate::global())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::recorder::BufferSink;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let mut m = RunManifest::new("table1").with_seed(42).with_method("ib-rar");
+        m.config("epochs", 10u64).config("alpha", 0.05f64);
+        m.metric("natural_acc", 0.91f64);
+        m.metric("natural_acc", 0.92f64); // overwrite wins
+        let v = Json::parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("manifest"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("table1"));
+        assert_eq!(v.get("seed").unwrap().as_f64(), Some(42.0));
+        assert_eq!(v.get("method").unwrap().as_str(), Some("ib-rar"));
+        assert!(v.get("wall_secs").unwrap().as_f64().unwrap() >= 0.0);
+        let config = v.get("config").unwrap();
+        assert_eq!(config.get("epochs").unwrap().as_f64(), Some(10.0));
+        assert_eq!(config.get("alpha").unwrap().as_f64(), Some(0.05));
+        let metrics = v.get("metrics").unwrap();
+        assert_eq!(metrics.get("natural_acc").unwrap().as_f64(), Some(0.92));
+    }
+
+    #[test]
+    fn finish_emits_to_jsonl_sink() {
+        let rec = Recorder::new_enabled();
+        let sink = BufferSink::new();
+        rec.set_jsonl_sink(Some(Box::new(sink.clone())));
+        let m = RunManifest::new("quickstart");
+        let json = m.finish_with(&rec);
+        let written = sink.contents();
+        assert_eq!(written.trim(), json);
+        assert!(Json::parse(written.trim()).is_ok());
+    }
+
+    #[test]
+    fn disabled_recorder_still_returns_json() {
+        let rec = Recorder::new_disabled();
+        let sink = BufferSink::new();
+        rec.set_jsonl_sink(Some(Box::new(sink.clone())));
+        let json = RunManifest::new("silent").finish_with(&rec);
+        assert!(Json::parse(&json).is_ok());
+        assert!(sink.contents().is_empty(), "disabled sink must stay silent");
+    }
+}

@@ -1,0 +1,536 @@
+//! The metric registry and event router.
+
+use crate::fields::{Field, Level};
+use crate::histogram::{Histogram, HistogramSummary};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Sentinel for "stderr sink off".
+const STDERR_OFF: u8 = u8::MAX;
+
+/// Collects counters, gauges, histograms, and span timings, and routes
+/// structured events to the stderr and JSONL sinks.
+///
+/// All methods take `&self`; the global instance (see [`global`]) is shared
+/// freely across threads. When disabled, every recording method returns
+/// after a single relaxed atomic load.
+pub struct Recorder {
+    enabled: AtomicBool,
+    stderr_level: AtomicU8,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, f64>>,
+    histograms: Mutex<HashMap<String, Histogram>>,
+    pub(crate) spans: Mutex<HashMap<String, Histogram>>,
+    jsonl: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new_disabled()
+    }
+}
+
+impl Recorder {
+    /// Creates a disabled recorder (every call is a no-op until
+    /// [`Recorder::enable`]).
+    pub fn new_disabled() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            stderr_level: AtomicU8::new(STDERR_OFF),
+            counters: Mutex::new(HashMap::new()),
+            gauges: Mutex::new(HashMap::new()),
+            histograms: Mutex::new(HashMap::new()),
+            spans: Mutex::new(HashMap::new()),
+            jsonl: Mutex::new(None),
+        }
+    }
+
+    /// Creates an enabled recorder with no sinks (metrics collection only) —
+    /// the main constructor for tests.
+    pub fn new_enabled() -> Self {
+        let r = Recorder::new_disabled();
+        r.enable();
+        r
+    }
+
+    /// Turns metric collection on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns everything off (sinks stay attached but silent).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the recorder is collecting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables the human-readable stderr sink for events at `level` and
+    /// above (`None` turns it off).
+    pub fn set_stderr_level(&self, level: Option<Level>) {
+        let v = level.map(|l| l as u8).unwrap_or(STDERR_OFF);
+        self.stderr_level.store(v, Ordering::Relaxed);
+    }
+
+    /// Attaches (or detaches) the machine-readable JSONL sink.
+    pub fn set_jsonl_sink(&self, sink: Option<Box<dyn Write + Send>>) {
+        *self.jsonl.lock() = sink;
+    }
+
+    /// Opens `path` (created/truncated) as the JSONL sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn set_jsonl_path(&self, path: &str) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.set_jsonl_sink(Some(Box::new(std::io::BufWriter::new(file))));
+        Ok(())
+    }
+
+    /// Applies `IBRAR_LOG` / `IBRAR_TELEMETRY` to this recorder. Invalid or
+    /// unset variables leave the current configuration untouched, except
+    /// `IBRAR_TELEMETRY=off|0` which force-disables everything.
+    pub fn configure_from_env(&self) {
+        if let Ok(spec) = std::env::var("IBRAR_LOG") {
+            if let Some(level) = Level::parse(&spec) {
+                self.set_stderr_level(Some(level));
+                self.enable();
+            } else if !spec.is_empty() {
+                eprintln!(
+                    "ibrar-telemetry: unrecognized IBRAR_LOG level {spec:?} \
+                     (expected trace|debug|info|warn|error)"
+                );
+            }
+        }
+        if let Ok(spec) = std::env::var("IBRAR_TELEMETRY") {
+            match spec.as_str() {
+                "off" | "0" | "" => {
+                    self.disable();
+                    self.set_stderr_level(None);
+                }
+                "on" | "1" | "metrics" => self.enable(),
+                other => {
+                    if let Some(path) = other.strip_prefix("jsonl:") {
+                        match self.set_jsonl_path(path) {
+                            Ok(()) => self.enable(),
+                            Err(e) => {
+                                eprintln!("ibrar-telemetry: cannot open {path}: {e}")
+                            }
+                        }
+                    } else {
+                        eprintln!(
+                            "ibrar-telemetry: unrecognized IBRAR_TELEMETRY value {other:?} \
+                             (expected off|on|jsonl:<path>)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds `delta` to a named monotonic counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        *self.counters.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a named gauge to its latest value.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Records one observation into a named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a completed span (called by the [`crate::Span`] guard).
+    pub(crate) fn observe_span(&self, path: &str, secs: f64) {
+        self.spans
+            .lock()
+            .entry(path.to_string())
+            .or_default()
+            .record(secs);
+    }
+
+    /// Emits a structured event to the configured sinks.
+    pub fn event(&self, level: Level, name: &str, fields: &[Field<'_>]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let stderr_level = self.stderr_level.load(Ordering::Relaxed);
+        if stderr_level != STDERR_OFF && level as u8 >= stderr_level {
+            let mut line = format!("[{level:>5}] {name}");
+            for (k, v) in fields {
+                let _ = write!(line, " {k}={v}");
+            }
+            eprintln!("{line}");
+        }
+        if self.jsonl.lock().is_some() {
+            let mut line = String::with_capacity(96);
+            let _ = write!(
+                line,
+                "{{\"ts_ms\":{},\"type\":\"event\",\"level\":\"{}\",\"name\":",
+                now_ms(),
+                level.name()
+            );
+            crate::json::write_string(name, &mut line);
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                crate::json::write_string(k, &mut line);
+                line.push(':');
+                v.write_json(&mut line);
+            }
+            line.push_str("}}");
+            self.write_jsonl_line(&line);
+        }
+    }
+
+    /// Writes one pre-serialized JSON object as a JSONL line (no-op without
+    /// a sink). Used for events and manifests.
+    pub(crate) fn write_jsonl_line(&self, line: &str) {
+        if let Some(w) = self.jsonl.lock().as_mut() {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+        }
+    }
+
+    /// Flushes the JSONL sink, if any.
+    pub fn flush(&self) {
+        if let Some(w) = self.jsonl.lock().as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    /// Clears all collected metrics (sinks and enablement are untouched).
+    pub fn reset_metrics(&self) {
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.histograms.lock().clear();
+        self.spans.lock().clear();
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<_> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<_> = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<_> = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut spans: Vec<_> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        spans.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Human-readable summary: counters, gauges, histogram quantiles, and
+    /// the span tree. Empty string when nothing was recorded.
+    pub fn report(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        if !snap.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &snap.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !snap.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &snap.gauges {
+                let _ = writeln!(out, "  {name:<40} {v:.6}");
+            }
+        }
+        if !snap.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &snap.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} n={} mean={:.4} p50={:.4} p95={:.4} max={:.4}",
+                    h.count, h.mean, h.p50, h.p95, h.max
+                );
+            }
+        }
+        if !snap.spans.is_empty() {
+            out.push_str("spans (wall time):\n");
+            // Lexicographic order puts parents directly before children, so
+            // indenting by path depth renders the tree.
+            for (path, h) in &snap.spans {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{:<width$} {:>5}× total {} p50 {} p95 {} max {}",
+                    "",
+                    name,
+                    h.count,
+                    fmt_secs(h.sum),
+                    fmt_secs(h.p50),
+                    fmt_secs(h.p95),
+                    fmt_secs(h.max),
+                    indent = depth * 2,
+                    width = 38usize.saturating_sub(depth * 2),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time copy of a [`Recorder`]'s metrics.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// `(path, summary)` span timings, sorted by path.
+    pub spans: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Span summary by full path (e.g. `"train/epoch/advgen"`).
+    pub fn span(&self, path: &str) -> Option<&HistogramSummary> {
+        self.spans.iter().find(|(k, _)| k == path).map(|(_, v)| v)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+/// An in-memory JSONL sink for tests: cloneable handle over a shared buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BufferSink(Arc<Mutex<Vec<u8>>>);
+
+impl BufferSink {
+    /// Creates an empty buffer sink.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// The UTF-8 contents written so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock()).into_owned()
+    }
+}
+
+impl Write for BufferSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Milliseconds since the Unix epoch.
+pub(crate) fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// Compact human duration.
+fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "-".to_string()
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder. First access applies the `IBRAR_LOG` /
+/// `IBRAR_TELEMETRY` environment variables; with neither set it stays
+/// disabled and every instrumentation call is a single atomic load.
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(|| {
+        let r = Recorder::new_disabled();
+        r.configure_from_env();
+        r
+    })
+}
+
+/// Forces environment configuration to be applied now (binaries call this
+/// at startup so the `IBRAR_*` variables take effect before the first
+/// instrumented call).
+pub fn init_from_env() {
+    let _ = global();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let r = Recorder::new_disabled();
+        r.counter("c", 5);
+        r.gauge("g", 1.0);
+        r.observe("h", 0.5);
+        r.event(Level::Info, "e", &[("k", 1u64.into())]);
+        {
+            let _s = r.span("s");
+        }
+        let snap = r.snapshot();
+        assert!(snap.is_empty(), "{snap:?}");
+        assert_eq!(r.report(), "");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_collect() {
+        let r = Recorder::new_enabled();
+        r.counter("queries", 2);
+        r.counter("queries", 3);
+        r.gauge("lr", 0.1);
+        r.gauge("lr", 0.01);
+        for i in 1..=10 {
+            r.observe("loss", i as f64);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("queries"), Some(5));
+        assert_eq!(snap.gauge("lr"), Some(0.01));
+        let h = snap.histogram("loss").unwrap();
+        assert_eq!(h.count, 10);
+        assert_eq!(h.max, 10.0);
+        assert!(h.p50 >= 4.0 && h.p50 <= 6.0, "{h:?}");
+    }
+
+    #[test]
+    fn jsonl_sink_receives_events() {
+        let r = Recorder::new_enabled();
+        let sink = BufferSink::new();
+        r.set_jsonl_sink(Some(Box::new(sink.clone())));
+        r.event(
+            Level::Info,
+            "train.epoch",
+            &[("epoch", 3u64.into()), ("loss", 0.25f64.into())],
+        );
+        let line = sink.contents();
+        let v = crate::json::Json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("event"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("train.epoch"));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("epoch").unwrap().as_f64(), Some(3.0));
+        assert_eq!(fields.get("loss").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn report_renders_span_tree() {
+        let r = Recorder::new_enabled();
+        {
+            let _a = r.span("train");
+            let _b = r.span("epoch");
+        }
+        let report = r.report();
+        assert!(report.contains("train"), "{report}");
+        assert!(report.contains("  epoch") || report.contains("epoch"), "{report}");
+        let snap = r.snapshot();
+        assert!(snap.span("train/epoch").is_some());
+    }
+
+    #[test]
+    fn reset_clears_metrics_only() {
+        let r = Recorder::new_enabled();
+        r.counter("c", 1);
+        r.reset_metrics();
+        assert!(r.snapshot().is_empty());
+        assert!(r.is_enabled());
+    }
+}

@@ -1,0 +1,138 @@
+//! RAII span timers with thread-local nesting.
+
+use crate::recorder::Recorder;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    // Each entry is the FULL path of an open span; the last entry is the
+    // innermost, so a child's path is `last + "/" + name`.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of spans currently open on this thread.
+pub fn span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// An open timing span. Dropping it records the elapsed wall time into the
+/// owning recorder's span histograms under the nested path
+/// (`"outer/inner"`).
+#[must_use = "a span records time only when it is dropped; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span<'r> {
+    rec: Option<&'r Recorder>,
+    start: Option<Instant>,
+    path: String,
+}
+
+impl Recorder {
+    /// Opens a span named `name`, nested under any span already open on
+    /// this thread. When the recorder is disabled this returns an inert
+    /// guard without reading the clock.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span {
+                rec: None,
+                start: None,
+                path: String::new(),
+            };
+        }
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            rec: Some(self),
+            start: Some(Instant::now()),
+            path,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let (Some(rec), Some(start)) = (self.rec, self.start) {
+            let secs = start.elapsed().as_secs_f64();
+            STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Pop our own entry. Guards drop in reverse creation order
+                // within a scope, so the top of the stack is ours; being
+                // defensive about out-of-order drops keeps the stack sane.
+                if stack.last() == Some(&self.path) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                    stack.remove(pos);
+                }
+            });
+            rec.observe_span(&self.path, secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths_and_depth() {
+        let r = Recorder::new_enabled();
+        assert_eq!(span_depth(), 0);
+        {
+            let _a = r.span("outer");
+            assert_eq!(span_depth(), 1);
+            {
+                let _b = r.span("middle");
+                let _c = r.span("inner");
+                assert_eq!(span_depth(), 3);
+            }
+            assert_eq!(span_depth(), 1);
+        }
+        assert_eq!(span_depth(), 0);
+        let snap = r.snapshot();
+        assert!(snap.span("outer").is_some());
+        assert!(snap.span("outer/middle").is_some());
+        assert!(snap.span("outer/middle/inner").is_some());
+        assert_eq!(snap.span("outer/middle/inner").unwrap().count, 1);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let r = Recorder::new_enabled();
+        for _ in 0..5 {
+            let _s = r.span("step");
+        }
+        assert_eq!(r.snapshot().span("step").unwrap().count, 5);
+    }
+
+    #[test]
+    fn disabled_spans_do_not_touch_the_stack() {
+        let r = Recorder::new_disabled();
+        let _s = r.span("ghost");
+        assert_eq!(span_depth(), 0);
+        drop(_s);
+        assert!(r.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent_path() {
+        let r = Recorder::new_enabled();
+        {
+            let _p = r.span("parent");
+            {
+                let _a = r.span("a");
+            }
+            {
+                let _b = r.span("b");
+            }
+        }
+        let snap = r.snapshot();
+        assert!(snap.span("parent/a").is_some());
+        assert!(snap.span("parent/b").is_some());
+    }
+}

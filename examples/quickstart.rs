@@ -4,6 +4,14 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With telemetry enabled the run also emits per-epoch / per-layer-HSIC
+//! events as JSON lines plus a final run manifest, and prints the timing
+//! and counter report:
+//!
+//! ```sh
+//! IBRAR_TELEMETRY=jsonl:quickstart.jsonl cargo run --release --example quickstart
+//! ```
 
 use ibrar::{IbLossConfig, LayerPolicy, MaskConfig, TrainMethod, Trainer, TrainerConfig};
 use ibrar_attacks::{robust_accuracy, Pgd};
@@ -13,6 +21,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 0. Observability: honor IBRAR_LOG / IBRAR_TELEMETRY (off by default).
+    ibrar_telemetry::init_from_env();
+    let mut manifest = ibrar_telemetry::RunManifest::new("quickstart")
+        .with_seed(42)
+        .with_method("standard+ib+mask");
+
     // 1. Generate a synthetic dataset with planted shared features.
     let config = SynthVisionConfig::cifar10_like().with_sizes(512, 128);
     let data = SynthVision::generate(&config, 42)?;
@@ -61,6 +75,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|m| m.sum() as usize)
         .unwrap_or_default();
     println!("channel mask: {kept}/64 channels kept (bottom 5% by MI removed)");
+
+    // 5. Emit the run manifest (JSONL sink when enabled) and, with
+    //    telemetry on, the counter/span report.
+    manifest
+        .config("epochs", report.epochs.len())
+        .config("batch", 32usize)
+        .metric("final_loss", f64::from(report.final_loss()))
+        .metric("natural_acc", f64::from(report.final_natural_acc()))
+        .metric("pgd_acc", f64::from(adv_acc))
+        .metric("mask_channels_kept", kept);
+    manifest.finish();
+    if ibrar_telemetry::enabled() {
+        eprint!("\n== telemetry ==\n{}", ibrar_telemetry::report());
+        ibrar_telemetry::flush();
+    }
     Ok(())
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and lint gates.
+#
+#   scripts/ci.sh            # build + test + clippy (telemetry) + fmt check
+#
+# The clippy gate is scoped to ibrar-telemetry (the newest crate, kept
+# warning-free); widen it as other crates are brought up to -D warnings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+echo "== clippy (ibrar-telemetry, -D warnings) =="
+cargo clippy -p ibrar-telemetry --all-targets -- -D warnings
+
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "== fmt check (telemetry) =="
+    cargo fmt -p ibrar-telemetry --check
+fi
+
+echo "ci: all gates passed"

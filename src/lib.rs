@@ -11,4 +11,5 @@ pub use ibrar_autograd as autograd;
 pub use ibrar_data as data;
 pub use ibrar_infotheory as infotheory;
 pub use ibrar_nn as nn;
+pub use ibrar_telemetry as telemetry;
 pub use ibrar_tensor as tensor;
