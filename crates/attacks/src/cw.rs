@@ -116,8 +116,8 @@ impl Attack for CwL2 {
         }
         // Samples never misclassified keep the final iterate (strongest try).
         let x_final = w.tanh().scale(0.5).add_scalar(0.5);
-        for i in 0..n {
-            if best_dist[i].is_infinite() {
+        for (i, dist) in best_dist.iter().enumerate() {
+            if dist.is_infinite() {
                 let dst = &mut best.data_mut()[i * row_len..(i + 1) * row_len];
                 dst.copy_from_slice(&x_final.data()[i * row_len..(i + 1) * row_len]);
             }

@@ -16,6 +16,13 @@ pub enum AttackError {
     Config(String),
     /// The model produced no input gradient (e.g. a constant objective).
     NoGradient,
+    /// The label slice disagrees with the image batch's leading dimension.
+    LabelMismatch {
+        /// Leading dimension of the image batch.
+        examples: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -26,6 +33,10 @@ impl fmt::Display for AttackError {
             AttackError::Autograd(e) => write!(f, "autograd error: {e}"),
             AttackError::Config(msg) => write!(f, "invalid attack config: {msg}"),
             AttackError::NoGradient => write!(f, "objective produced no input gradient"),
+            AttackError::LabelMismatch { examples, labels } => write!(
+                f,
+                "batch has {examples} examples but {labels} labels"
+            ),
         }
     }
 }

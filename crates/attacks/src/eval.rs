@@ -1,21 +1,39 @@
 //! Accuracy evaluation: clean and under attack.
+//!
+//! Accuracies are accumulated as integer correct counts (never as rounded
+//! per-batch fractions), and independent mini-batches are evaluated on
+//! worker threads via [`ibrar_tensor::parallel`]. Integer counts summed in
+//! batch order make the reported numbers exact and identical for any thread
+//! count.
 
-use crate::{Attack, Result};
+use crate::{Attack, AttackError, Result};
 use ibrar_data::Dataset;
 use ibrar_nn::{ImageModel, Mode, Session};
 use ibrar_telemetry as tel;
-use ibrar_tensor::Tensor;
+use ibrar_tensor::{parallel, Tensor};
 use std::time::Instant;
 
-/// Fraction of `labels` matched by the model's argmax predictions on
+/// Number of `labels` matched exactly by the model's argmax predictions on
 /// `images`.
 ///
 /// # Errors
 ///
-/// Returns an error on shape mismatches.
-pub fn accuracy(model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<f32> {
+/// Returns [`AttackError::LabelMismatch`] when `labels.len()` disagrees with
+/// the image batch's leading dimension, or any model forward error.
+pub fn correct_count(
+    model: &dyn ImageModel,
+    images: &Tensor,
+    labels: &[usize],
+) -> Result<usize> {
+    let examples = images.shape().first().copied().unwrap_or(0);
+    if examples != labels.len() {
+        return Err(AttackError::LabelMismatch {
+            examples,
+            labels: labels.len(),
+        });
+    }
     if labels.is_empty() {
-        return Ok(0.0);
+        return Ok(0);
     }
     let tape = ibrar_autograd::Tape::new();
     let sess = Session::new(&tape);
@@ -23,12 +41,40 @@ pub fn accuracy(model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Re
     tel::counter("eval.forward", 1);
     let out = model.forward(&sess, x, Mode::Eval)?;
     let preds = out.logits.value().argmax_rows()?;
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, y)| p == y)
-        .count();
+    Ok(preds.iter().zip(labels).filter(|(p, y)| p == y).count())
+}
+
+/// Fraction of `labels` matched by the model's argmax predictions on
+/// `images`.
+///
+/// # Errors
+///
+/// Same conditions as [`correct_count`].
+pub fn accuracy(model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<f32> {
+    let correct = correct_count(model, images, labels)?;
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
     Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Sums per-batch correct counts, evaluating batches on worker threads.
+/// Counts are integers and are folded in batch order, so the total (and any
+/// error propagated — always the first in batch order) is identical for any
+/// thread count.
+fn count_batches<F>(dataset: &Dataset, batch_size: usize, per_batch: F) -> Result<usize>
+where
+    F: Fn(&ibrar_data::Batch) -> Result<usize> + Sync,
+{
+    let batches: Vec<_> = dataset.batches_sequential(batch_size).collect();
+    let threads = parallel::num_threads().min(batches.len()).max(1);
+    tel::counter("eval.batches", batches.len() as u64);
+    let counts = parallel::par_map(batches.len(), threads, |i| per_batch(&batches[i]));
+    let mut correct = 0usize;
+    for count in counts {
+        correct += count?;
+    }
+    Ok(correct)
 }
 
 /// Clean test accuracy over a dataset, evaluated in mini-batches.
@@ -42,17 +88,16 @@ pub fn clean_accuracy(model: &dyn ImageModel, dataset: &Dataset, batch_size: usi
     }
     let _s = tel::span!("clean_accuracy");
     let start = Instant::now();
-    let mut correct = 0usize;
-    for batch in dataset.batches_sequential(batch_size) {
-        let acc = accuracy(model, &batch.images, &batch.labels)?;
-        correct += (acc * batch.len() as f32).round() as usize;
-    }
+    let correct = count_batches(dataset, batch_size, |batch| {
+        correct_count(model, &batch.images, &batch.labels)
+    })?;
     let acc = correct as f32 / dataset.len() as f32;
     tel::event(
         tel::Level::Info,
         "eval.clean",
         &[
             ("examples", dataset.len().into()),
+            ("correct", correct.into()),
             ("acc", acc.into()),
             ("secs", start.elapsed().as_secs_f64().into()),
         ],
@@ -77,22 +122,22 @@ pub fn robust_accuracy(
     }
     let _s = tel::span!("robust_accuracy");
     let start = Instant::now();
-    let mut correct = 0usize;
-    for batch in dataset.batches_sequential(batch_size) {
+    let correct = count_batches(dataset, batch_size, |batch| {
         let adv = attack.perturb(model, &batch.images, &batch.labels)?;
-        let acc = accuracy(model, &adv, &batch.labels)?;
-        correct += (acc * batch.len() as f32).round() as usize;
-    }
-    let acc = correct as f32 / dataset.len() as f32;
+        correct_count(model, &adv, &batch.labels)
+    })?;
+    let total = dataset.len();
+    let acc = correct as f32 / total as f32;
     tel::event(
         tel::Level::Info,
         "eval.robust",
         &[
             ("attack", attack.name().into()),
-            ("examples", dataset.len().into()),
+            ("examples", total.into()),
+            ("correct", correct.into()),
             ("acc", acc.into()),
-            // Fraction of examples the attack flipped or kept wrong.
-            ("success_rate", (1.0 - acc).into()),
+            // Exact fraction of examples the attack flipped or kept wrong.
+            ("success_rate", ((total - correct) as f32 / total as f32).into()),
             ("secs", start.elapsed().as_secs_f64().into()),
         ],
     );
@@ -141,6 +186,47 @@ mod tests {
         let (model, test) = setup();
         let empty = test.subset(&[]).unwrap();
         assert_eq!(clean_accuracy(&model, &empty, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_label_count_rejected() {
+        let (model, test) = setup();
+        let batch = test.as_batch();
+        let short = &batch.labels[..batch.labels.len() - 1];
+        let err = accuracy(&model, &batch.images, short).unwrap_err();
+        assert!(
+            matches!(err, AttackError::LabelMismatch { .. }),
+            "expected LabelMismatch, got {err}"
+        );
+        assert!(correct_count(&model, &batch.images, &[]).is_err());
+    }
+
+    #[test]
+    fn correct_count_matches_accuracy_fraction() {
+        let (model, test) = setup();
+        let batch = test.as_batch();
+        let count = correct_count(&model, &batch.images, &batch.labels).unwrap();
+        let acc = accuracy(&model, &batch.images, &batch.labels).unwrap();
+        assert_eq!(acc, count as f32 / batch.len() as f32);
+    }
+
+    #[test]
+    fn accuracies_bitwise_across_thread_counts() {
+        let (model, test) = setup();
+        // Batch size 7 leaves a ragged final batch, exercising uneven chunks.
+        let run = |threads: usize| {
+            let _g = parallel::with_threads(threads);
+            (
+                clean_accuracy(&model, &test, 7).unwrap(),
+                robust_accuracy(&model, &Fgsm::new(0.05), &test, 7).unwrap(),
+            )
+        };
+        let (clean1, robust1) = run(1);
+        for threads in [2, 4] {
+            let (clean_n, robust_n) = run(threads);
+            assert_eq!(clean1.to_bits(), clean_n.to_bits(), "{threads} threads");
+            assert_eq!(robust1.to_bits(), robust_n.to_bits(), "{threads} threads");
+        }
     }
 
     #[test]

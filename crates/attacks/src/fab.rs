@@ -69,6 +69,9 @@ impl Attack for Fab {
             .ok_or_else(|| AttackError::Config("empty batch".into()))?;
         let row_len = images.len() / n.max(1);
         let mut x = images.clone();
+        // ε-ball bounds are loop-invariant: build once.
+        let lo = images.add_scalar(-self.eps);
+        let hi = images.add_scalar(self.eps);
         for _ in 0..self.steps {
             // Margin of the strongest competitor: m = z_{j*} − z_y.
             let tape = ibrar_autograd::Tape::new();
@@ -108,8 +111,6 @@ impl Attack for Fab {
                 }
             }
             // Project into the ε-ball and pixel box.
-            let lo = images.add_scalar(-self.eps);
-            let hi = images.add_scalar(self.eps);
             x = next.maximum(&lo)?.minimum(&hi)?.clamp(0.0, 1.0);
         }
         Ok(x)

@@ -45,7 +45,7 @@ mod pgd;
 
 pub use cw::CwL2;
 pub use error::AttackError;
-pub use eval::{accuracy, clean_accuracy, robust_accuracy};
+pub use eval::{accuracy, clean_accuracy, correct_count, robust_accuracy};
 pub use fab::Fab;
 pub use fgsm::Fgsm;
 pub use nifgsm::NiFgsm;
@@ -59,7 +59,11 @@ use ibrar_tensor::Tensor;
 pub type Result<T> = std::result::Result<T, AttackError>;
 
 /// A white-box evasion attack.
-pub trait Attack {
+///
+/// `Send + Sync` is a supertrait so evaluation can perturb independent
+/// mini-batches on worker threads; implementations keep any per-call state
+/// in atomics (see `Pgd::seed`).
+pub trait Attack: Send + Sync {
     /// Produces adversarial versions of `images` (shape preserved, pixels
     /// clamped to `[0, 1]`).
     ///

@@ -69,6 +69,9 @@ impl Attack for NiFgsm {
         let mut x = images.clone();
         let mut momentum = Tensor::zeros(images.shape());
         let lookahead_scale = self.alpha * self.decay;
+        // ε-ball bounds are loop-invariant: build once.
+        let lo = images.add_scalar(-self.eps);
+        let hi = images.add_scalar(self.eps);
         for _ in 0..self.steps {
             let x_nes = x
                 .add(&momentum.scale(lookahead_scale))?
@@ -78,8 +81,6 @@ impl Attack for NiFgsm {
             let l1 = grad.abs().sum().max(1e-12);
             momentum = momentum.scale(self.decay).add(&grad.scale(1.0 / l1))?;
             let stepped = x.add(&momentum.signum().scale(self.alpha))?;
-            let lo = images.add_scalar(-self.eps);
-            let hi = images.add_scalar(self.eps);
             x = stepped.maximum(&lo)?.minimum(&hi)?.clamp(0.0, 1.0);
         }
         Ok(x)

@@ -87,12 +87,14 @@ impl Attack for Pgd {
         } else {
             images.clone()
         };
+        // The ε-ball bounds depend only on the original images; build them
+        // once rather than re-allocating two full-batch tensors per step.
+        let lo = images.add_scalar(-self.eps);
+        let hi = images.add_scalar(self.eps);
         for _ in 0..self.steps {
             let grad = input_gradient(model, self.objective.as_ref(), &x, labels)?;
             let stepped = x.add(&grad.signum().scale(self.alpha))?;
             // Project back onto the ε-ball around the original images.
-            let lo = images.add_scalar(-self.eps);
-            let hi = images.add_scalar(self.eps);
             x = stepped.maximum(&lo)?.minimum(&hi)?.clamp(0.0, 1.0);
         }
         Ok(x)

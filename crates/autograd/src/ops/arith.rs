@@ -35,6 +35,8 @@ impl<'t> Var<'t> {
     /// # Errors
     ///
     /// Returns an error on incompatible shapes or mixed tapes.
+    // Not `std::ops::Add`: these are fallible and record onto the tape.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Var<'t>) -> Result<Var<'t>> {
         self.same_tape(&other)?;
         let a = self.value();
@@ -55,6 +57,7 @@ impl<'t> Var<'t> {
     /// # Errors
     ///
     /// Returns an error on incompatible shapes or mixed tapes.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Var<'t>) -> Result<Var<'t>> {
         self.same_tape(&other)?;
         let a = self.value();
@@ -75,6 +78,7 @@ impl<'t> Var<'t> {
     /// # Errors
     ///
     /// Returns an error on incompatible shapes or mixed tapes.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Var<'t>) -> Result<Var<'t>> {
         self.same_tape(&other)?;
         let a = self.value();
@@ -108,6 +112,7 @@ impl<'t> Var<'t> {
     }
 
     /// Elementwise negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Var<'t> {
         self.scale(-1.0)
     }

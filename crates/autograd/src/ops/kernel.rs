@@ -7,7 +7,7 @@
 
 use crate::tape::BackwardFn;
 use crate::{Result, Var};
-use ibrar_tensor::Tensor;
+use ibrar_tensor::{parallel, Tensor};
 
 impl<'t> Var<'t> {
     /// Pairwise squared Euclidean distances of the rows of a `[m, d]` matrix,
@@ -26,16 +26,39 @@ impl<'t> Var<'t> {
         {
             let xd = x.data();
             let od = out.data_mut();
-            for i in 0..m {
-                for j in (i + 1)..m {
-                    let mut acc = 0.0f32;
-                    for t in 0..d {
-                        let diff = xd[i * d + t] - xd[j * d + t];
-                        acc += diff * diff;
+            let threads = parallel::threads_for(m * m * d);
+            if threads == 1 {
+                // Half-matrix fill: each distance is computed once and
+                // mirrored across the diagonal.
+                for i in 0..m {
+                    for j in (i + 1)..m {
+                        let mut acc = 0.0f32;
+                        for t in 0..d {
+                            let diff = xd[i * d + t] - xd[j * d + t];
+                            acc += diff * diff;
+                        }
+                        od[i * m + j] = acc;
+                        od[j * m + i] = acc;
                     }
-                    od[i * m + j] = acc;
-                    od[j * m + i] = acc;
                 }
+            } else {
+                // Full-row fill so each worker writes only its own rows (the
+                // mirrored write would cross chunk boundaries). Bitwise equal
+                // to the half-matrix path: `(x_j − x_i)² ≡ (x_i − x_j)²`
+                // under IEEE-754 and the inner `t` order is unchanged.
+                parallel::par_items_mut(od, m, threads, |i, orow| {
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        let mut acc = 0.0f32;
+                        for t in 0..d {
+                            let diff = xd[i * d + t] - xd[j * d + t];
+                            acc += diff * diff;
+                        }
+                        *o = acc;
+                    }
+                });
             }
         }
         let backward: BackwardFn = Box::new(move |grad| {
@@ -43,17 +66,21 @@ impl<'t> Var<'t> {
             let gd = grad.data();
             let mut dx = Tensor::zeros(&[m, d]);
             let dd = dx.data_mut();
-            for i in 0..m {
+            // Row `i` of `dx` depends only on row/column `i` of the incoming
+            // gradient, so rows split cleanly across threads with the serial
+            // `j` accumulation order preserved inside each row.
+            let threads = parallel::threads_for(m * m * d);
+            parallel::par_items_mut(dd, d, threads, |i, drow| {
                 for j in 0..m {
                     let g = gd[i * m + j] + gd[j * m + i];
                     if g == 0.0 {
                         continue;
                     }
-                    for t in 0..d {
-                        dd[i * d + t] += 2.0 * g * (xd[i * d + t] - xd[j * d + t]);
+                    for (t, dr) in drow.iter_mut().enumerate() {
+                        *dr += 2.0 * g * (xd[i * d + t] - xd[j * d + t]);
                     }
                 }
-            }
+            });
             vec![(self.id, dx)]
         });
         Ok(self.record_unary(out, backward))

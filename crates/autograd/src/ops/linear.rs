@@ -65,7 +65,7 @@ impl<'t> Var<'t> {
         let n = *shape.first().ok_or_else(|| {
             crate::AutogradError::Invalid("flatten_batch on rank-0 value".into())
         })?;
-        let d = if n == 0 { 0 } else { self.len() / n };
+        let d = self.len().checked_div(n).unwrap_or(0);
         self.reshape(&[n, d])
     }
 }

@@ -16,8 +16,8 @@ fn softmax_rows(logits: &Tensor) -> Tensor {
         for &v in row {
             denom += (v - max).exp();
         }
-        for j in 0..k {
-            out.data_mut()[i * k + j] = (row[j] - max).exp() / denom;
+        for (o, &v) in out.data_mut()[i * k..(i + 1) * k].iter_mut().zip(row) {
+            *o = (v - max).exp() / denom;
         }
     }
     out
@@ -31,8 +31,8 @@ fn log_softmax_rows(logits: &Tensor) -> Tensor {
         let row = &logits.data()[i * k..(i + 1) * k];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
-        for j in 0..k {
-            out.data_mut()[i * k + j] = row[j] - lse;
+        for (o, &v) in out.data_mut()[i * k..(i + 1) * k].iter_mut().zip(row) {
+            *o = v - lse;
         }
     }
     out
@@ -157,10 +157,10 @@ impl<'t> Var<'t> {
         let logp = log_softmax_rows(&zp);
         let logq = log_softmax_rows(&zq);
         let mut per_sample = vec![0.0f32; n];
-        for i in 0..n {
+        for (i, ps) in per_sample.iter_mut().enumerate() {
             for j in 0..k {
                 let idx = i * k + j;
-                per_sample[i] += p.data()[idx] * (logp.data()[idx] - logq.data()[idx]);
+                *ps += p.data()[idx] * (logp.data()[idx] - logq.data()[idx]);
             }
         }
         let loss = per_sample.iter().sum::<f32>() / n as f32;
@@ -169,12 +169,12 @@ impl<'t> Var<'t> {
             let g = grad.data()[0] / n as f32;
             let mut dzp = Tensor::zeros(&[n, k]);
             let mut dzq = Tensor::zeros(&[n, k]);
-            for i in 0..n {
+            for (i, &ps) in per_sample.iter().enumerate() {
                 for j in 0..k {
                     let idx = i * k + j;
                     let pv = p.data()[idx];
                     let diff = logp.data()[idx] - logq.data()[idx];
-                    dzp.data_mut()[idx] = g * pv * (diff - per_sample[i]);
+                    dzp.data_mut()[idx] = g * pv * (diff - ps);
                     dzq.data_mut()[idx] = g * (q.data()[idx] - pv);
                 }
             }

@@ -62,10 +62,8 @@ impl<'t> Var<'t> {
             let xd = x.data();
             let xh = xhat.data_mut();
             for ni in 0..n {
-                for ci in 0..c {
+                for (ci, (&is, &mu)) in inv_std.iter().zip(mean.data()).enumerate() {
                     let base = (ni * c + ci) * plane;
-                    let mu = mean.data()[ci];
-                    let is = inv_std[ci];
                     for k in 0..plane {
                         xh[base + k] = (xd[base + k] - mu) * is;
                     }

@@ -101,6 +101,58 @@ fn bench_model_step(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel(c: &mut Criterion) {
+    // Serial-vs-parallel comparisons for every loop split by
+    // `ibrar_tensor::parallel`. `with_threads` pins the worker count, so
+    // "par4" rows show the speedup on a ≥4-core machine and match "serial"
+    // bitwise everywhere (the determinism guarantee).
+    use ibrar_attacks::{robust_accuracy, Fgsm};
+    use ibrar_data::{SynthVision, SynthVisionConfig};
+    use ibrar_tensor::parallel;
+
+    let x = Tensor::from_fn(&[16, 8, 16, 16], |i| ((i[0] + i[1] + i[2] + i[3]) % 7) as f32);
+    let spec = Conv2dSpec::new(8, 16, 3, 1, 1);
+    let w = Tensor::from_fn(&[16, 8, 3, 3], |i| (i[0] + i[1]) as f32 * 0.01);
+    let conv_fwd = |threads: usize| {
+        let _g = parallel::with_threads(threads);
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let wv = tape.leaf(w.clone());
+        black_box(xv.conv2d(wv, None, spec).unwrap().value())
+    };
+    c.bench_function("conv2d_fwd_serial", |bench| bench.iter(|| conv_fwd(1)));
+    c.bench_function("conv2d_fwd_par4", |bench| bench.iter(|| conv_fwd(4)));
+
+    let feats = Tensor::from_fn(&[64, 128], |i| ((i[0] * 13 + i[1] * 7) % 17) as f32 * 0.1);
+    let sigma = |threads: usize| {
+        let _g = parallel::with_threads(threads);
+        black_box(median_sigma(&feats))
+    };
+    c.bench_function("median_sigma_serial", |bench| bench.iter(|| sigma(1)));
+    c.bench_function("median_sigma_par4", |bench| bench.iter(|| sigma(4)));
+
+    let labels = one_hot(&(0..64).map(|i| i % 10).collect::<Vec<_>>(), 10).unwrap();
+    let hsic_run = |threads: usize| {
+        let _g = parallel::with_threads(threads);
+        black_box(hsic(&feats, &labels, 1.0, 1.0).unwrap())
+    };
+    c.bench_function("hsic_serial", |bench| bench.iter(|| hsic_run(1)));
+    c.bench_function("hsic_par4", |bench| bench.iter(|| hsic_run(4)));
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let test = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(40, 32), 1)
+        .unwrap()
+        .test;
+    let attack = Fgsm::new(8.0 / 255.0);
+    let robust = |threads: usize| {
+        let _g = parallel::with_threads(threads);
+        black_box(robust_accuracy(&model, &attack, &test, 8).unwrap())
+    };
+    c.bench_function("robust_accuracy_serial", |bench| bench.iter(|| robust(1)));
+    c.bench_function("robust_accuracy_par4", |bench| bench.iter(|| robust(4)));
+}
+
 fn bench_telemetry_overhead(c: &mut Criterion) {
     // The global recorder is disabled by default in this process (no
     // IBRAR_TELEMETRY in the bench environment), so these measure the
@@ -137,6 +189,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_matmul, bench_conv, bench_hsic, bench_model_step, bench_telemetry_overhead
+    targets = bench_matmul, bench_conv, bench_hsic, bench_model_step, bench_parallel, bench_telemetry_overhead
 }
 criterion_main!(benches);

@@ -7,8 +7,9 @@
 
 use crate::{IbrarError, Result};
 use ibrar_autograd::Var;
-use ibrar_infotheory::{hsic_var, median_sigma, one_hot_var};
+use ibrar_infotheory::{hsic_var, median_sigma, one_hot};
 use ibrar_nn::{Hidden, Session};
+use ibrar_tensor::parallel;
 
 /// Which hidden layers receive IB regularizers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,15 +188,31 @@ impl IbLoss {
         let indices = config.policy.resolve(hidden.len())?;
         let tape = sess.tape();
         let x_flat = x.flatten_batch()?;
-        let sigma_x = median_sigma(&x_flat.value());
-        let y = one_hot_var(tape, labels, num_classes)?;
-        let sigma_y = median_sigma(&y.value());
+        let y_hot = one_hot(labels, num_classes)?;
+        // Kernel-width prepass: `median_sigma` is O(m²·d) per tensor and
+        // needs only the tap *values* (plain tensors), so the widths for x,
+        // y, and every selected layer are computed concurrently. The
+        // differentiable HSIC graph below must stay serial — the tape is a
+        // single-threaded structure — and is built in policy order with
+        // these precomputed widths, so the loss is bitwise identical to a
+        // fully serial build. (`median_sigma` reads `[m, ...]` tensors
+        // batch-major, so flattening first is unnecessary.)
+        let sigma_inputs: Vec<ibrar_tensor::Tensor> = std::iter::once(x.value())
+            .chain(std::iter::once(y_hot.clone()))
+            .chain(indices.iter().map(|&i| hidden[i].var.value()))
+            .collect();
+        let threads = parallel::num_threads().min(sigma_inputs.len());
+        let sigmas = parallel::par_map(sigma_inputs.len(), threads, |i| {
+            median_sigma(&sigma_inputs[i])
+        });
+        let (sigma_x, sigma_y) = (sigmas[0], sigmas[1]);
+        let y = tape.leaf(y_hot);
 
         let mut terms = Vec::with_capacity(indices.len());
         let mut total: Option<Var<'t>> = None;
-        for &i in &indices {
+        for (pos, &i) in indices.iter().enumerate() {
             let t_flat = hidden[i].var.flatten_batch()?;
-            let sigma_t = median_sigma(&t_flat.value());
+            let sigma_t = sigmas[2 + pos];
             let mut layer_term = IbLayerTerm {
                 layer: i,
                 hsic_xt: None,

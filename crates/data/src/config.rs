@@ -173,7 +173,7 @@ impl SynthVisionConfig {
         if self.num_classes == 0 {
             return Err(DataError::Config("num_classes must be positive".into()));
         }
-        if self.image.iter().any(|&d| d == 0) {
+        if self.image.contains(&0) {
             return Err(DataError::Config(format!(
                 "image dims must be positive, got {:?}",
                 self.image

@@ -135,10 +135,9 @@ pub fn channel_label_mi(
     let mut scores = Vec::with_capacity(c);
     let mut values = vec![0.0f32; n];
     for ci in 0..c {
-        for ni in 0..n {
+        for (ni, v) in values.iter_mut().enumerate() {
             let base = (ni * c + ci) * plane;
-            values[ni] =
-                features.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
+            *v = features.data()[base..base + plane].iter().sum::<f32>() / plane as f32;
         }
         scores.push(mi_values_labels(&values, labels, num_classes, config)?);
     }

@@ -7,7 +7,7 @@
 use crate::{InfoError, Result};
 use ibrar_autograd::Var;
 use ibrar_telemetry as tel;
-use ibrar_tensor::Tensor;
+use ibrar_tensor::{parallel, Tensor};
 
 /// Median-of-pairwise-distances kernel-width heuristic.
 ///
@@ -20,17 +20,28 @@ pub fn median_sigma(x: &Tensor) -> f32 {
     }
     let d = x.len() / m;
     let data = x.data();
-    let mut dists = Vec::with_capacity(m * (m - 1) / 2);
-    for i in 0..m {
-        for j in (i + 1)..m {
-            let mut acc = 0.0f32;
-            for t in 0..d {
-                let diff = data[i * d + t] - data[j * d + t];
-                acc += diff * diff;
+    // The O(m²·d) pairwise loop is chunked by leading row `i`; per-chunk
+    // distance vectors are concatenated in chunk order, which reproduces the
+    // serial `(i, j)` push order exactly, so the sorted median is bitwise
+    // identical for any thread count.
+    let threads = parallel::threads_for(m * m * d / 2);
+    let mut dists: Vec<f32> = parallel::run_chunked(m, threads, |rows| {
+        let mut part = Vec::new();
+        for i in rows {
+            for j in (i + 1)..m {
+                let mut acc = 0.0f32;
+                for t in 0..d {
+                    let diff = data[i * d + t] - data[j * d + t];
+                    acc += diff * diff;
+                }
+                part.push(acc.sqrt());
             }
-            dists.push(acc.sqrt());
         }
-    }
+        part
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     dists.sort_by(f32::total_cmp);
     dists[dists.len() / 2].max(1e-3)
 }
@@ -134,7 +145,7 @@ fn flatten_to_matrix(t: &Tensor) -> Result<Tensor> {
         .shape()
         .first()
         .ok_or_else(|| InfoError::Invalid("rank-0 tensor".into()))?;
-    let d = if n == 0 { 0 } else { t.len() / n };
+    let d = t.len().checked_div(n).unwrap_or(0);
     Ok(t.reshape(&[n, d])?)
 }
 
@@ -208,6 +219,22 @@ mod tests {
         assert!(median_sigma(&Tensor::ones(&[4, 2])) >= 1e-3);
         // single sample falls back to 1
         assert_eq!(median_sigma(&Tensor::ones(&[1, 2])), 1.0);
+    }
+
+    #[test]
+    fn median_sigma_bitwise_across_thread_counts() {
+        let x = Tensor::from_fn(&[17, 6], |i| ((i[0] * 13 + i[1] * 7) % 23) as f32 * 0.37 - 2.0);
+        let serial = {
+            let _g = parallel::with_threads(1);
+            median_sigma(&x)
+        };
+        for threads in [2, 4, 8] {
+            let par = {
+                let _g = parallel::with_threads(threads);
+                median_sigma(&x)
+            };
+            assert_eq!(serial.to_bits(), par.to_bits(), "{threads} threads");
+        }
     }
 
     #[test]

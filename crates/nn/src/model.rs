@@ -59,7 +59,11 @@ pub struct ModelOutput<'t> {
 /// Implementations: [`VggMini`](crate::VggMini),
 /// [`ResNetMini`](crate::ResNetMini),
 /// [`WideResNetMini`](crate::WideResNetMini).
-pub trait ImageModel {
+///
+/// `Send + Sync` is a supertrait so a shared `&dyn ImageModel` can be
+/// evaluated from worker threads (forward is `&self`; parameters live
+/// behind `Arc` + `Mutex`).
+pub trait ImageModel: Send + Sync {
     /// Runs the network on `[n, c, h, w]` input bound to `sess`'s tape.
     ///
     /// # Errors

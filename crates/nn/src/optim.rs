@@ -92,7 +92,7 @@ impl Sgd {
                 let vel = self
                     .velocity
                     .entry(p.id())
-                    .or_insert_with(|| Tensor::zeros(&g.shape().to_vec()));
+                    .or_insert_with(|| Tensor::zeros(g.shape()));
                 *vel = vel
                     .scale(self.config.momentum)
                     .add(&g)

@@ -5,7 +5,7 @@
 //! as a matmul followed by [`col2im`]. Keeping the data-movement kernels here
 //! lets them be benchmarked and property-tested independently of the graph.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{parallel, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution or correlation.
 ///
@@ -109,10 +109,14 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let patch = spec.patch_len();
     let mut out = vec![0.0f32; n * oh * ow * patch];
     let data = input.data();
-    for ni in 0..n {
+    // Each sample's patch rows occupy a contiguous, disjoint region of the
+    // output, so splitting across the batch dimension is write-race-free and
+    // bitwise identical for any thread count.
+    let threads = parallel::threads_for(n * oh * ow * patch);
+    parallel::par_items_mut(&mut out, oh * ow * patch, threads, |ni, sample| {
         for oy in 0..oh {
             for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * patch;
+                let row = (oy * ow + ox) * patch;
                 let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
                 let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
                 let mut col = 0usize;
@@ -128,7 +132,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
                         for kx in 0..k {
                             let ix = ix0 + kx as isize;
                             if ix >= 0 && ix < w as isize {
-                                out[row + col] = data[base + ix as usize];
+                                sample[row + col] = data[base + ix as usize];
                             }
                             col += 1;
                         }
@@ -136,7 +140,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n * oh * ow, patch])
 }
 
@@ -162,7 +166,11 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
     let k = spec.kernel;
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
-    for ni in 0..n {
+    // Overlapping patches only ever accumulate into their own sample's
+    // `c·h·w` region, and within a sample the accumulation order is the
+    // same serial loop as before — bitwise identical for any thread count.
+    let threads = parallel::threads_for(n * oh * ow * patch);
+    parallel::par_items_mut(&mut out, c * h * w, threads, |ni, sample| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((ni * oh + oy) * ow + ox) * patch;
@@ -170,7 +178,7 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
                 let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
                 let mut col = 0usize;
                 for ci in 0..c {
-                    let chan = (ni * c + ci) * h * w;
+                    let chan = ci * h * w;
                     for ky in 0..k {
                         let iy = iy0 + ky as isize;
                         if iy < 0 || iy >= h as isize {
@@ -181,7 +189,7 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
                         for kx in 0..k {
                             let ix = ix0 + kx as isize;
                             if ix >= 0 && ix < w as isize {
-                                out[base + ix as usize] += data[row + col];
+                                sample[base + ix as usize] += data[row + col];
                             }
                             col += 1;
                         }
@@ -189,7 +197,7 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, h, w])
 }
 

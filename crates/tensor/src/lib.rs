@@ -32,6 +32,7 @@ mod error;
 mod init;
 mod io;
 mod matmul;
+pub mod parallel;
 mod pool;
 mod reduce;
 mod shape;

@@ -1,10 +1,13 @@
 //! Matrix multiplication kernels.
 //!
-//! A cache-blocked, `ikj`-ordered kernel with a crossbeam-based row-parallel
-//! path for large products. Correctness of the blocked kernel is checked
-//! against a naive triple loop in the tests and by property tests.
+//! A cache-blocked, `ikj`-ordered kernel with a row-parallel path (via
+//! [`crate::parallel`]) for large products. Output rows are split into
+//! contiguous chunks and each chunk's accumulation order matches the serial
+//! kernel, so results are bitwise identical for any thread count.
+//! Correctness of the blocked kernel is checked against a naive triple loop
+//! in the tests and by property tests.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{parallel, Result, Tensor, TensorError};
 
 /// Below this many output elements the parallel path is not worth spawning
 /// threads for.
@@ -33,7 +36,7 @@ impl Tensor {
         }
         let mut out = vec![0.0f32; m * n];
         if m * n >= PARALLEL_THRESHOLD && m >= 2 {
-            matmul_parallel(self.data(), rhs.data(), &mut out, m, k, n);
+            matmul_parallel(self.data(), rhs.data(), &mut out, k, n);
         } else {
             matmul_block(self.data(), rhs.data(), &mut out, m, k, n);
         }
@@ -59,17 +62,21 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = rhs.data();
-        for i in 0..m {
+        // Each output row is an independent batch of dot products; split
+        // rows across threads (this is the conv-forward workhorse:
+        // `im2col(x) × Wᵀ`).
+        let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
+        parallel::par_items_mut(&mut out, n, threads, |i, orow| {
             let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
+            for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &b[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
                 for t in 0..k {
                     acc += arow[t] * brow[t];
                 }
-                out[i * n + j] = acc;
+                *o = acc;
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -93,21 +100,24 @@ impl Tensor {
         let a = self.data();
         let b = rhs.data();
         // ikj order over the transposed access pattern: accumulate row i of
-        // out from column i of a.
-        for t in 0..k {
-            let arow = &a[t * m..(t + 1) * m];
-            let brow = &b[t * n..(t + 1) * n];
-            for i in 0..m {
-                let av = arow[i];
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += av * brow[j];
+        // out from column i of a. Row chunks keep the per-row accumulation
+        // order (t ascending) identical to the serial kernel.
+        let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
+        parallel::par_chunks_mut(&mut out, n, threads, |rows, region| {
+            for t in 0..k {
+                let arow = &a[t * m..(t + 1) * m];
+                let brow = &b[t * n..(t + 1) * n];
+                for (ii, orow) in region.chunks_mut(n).enumerate() {
+                    let av = arow[rows.start + ii];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += av * brow[j];
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -172,25 +182,14 @@ fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
     }
 }
 
-/// Splits output rows across scoped threads.
-fn matmul_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(m)
-        .max(1);
-    let rows_per = m.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
-            let row0 = chunk_idx * rows_per;
-            let rows = out_chunk.len() / n;
-            let a_slice = &a[row0 * k..(row0 + rows) * k];
-            scope.spawn(move |_| {
-                matmul_block(a_slice, b, out_chunk, rows, k, n);
-            });
-        }
-    })
-    .expect("matmul worker panicked");
+/// Splits output rows across scoped threads (thread count from
+/// [`crate::parallel`], so `IBRAR_THREADS` governs this path too).
+fn matmul_parallel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let threads = parallel::num_threads();
+    parallel::par_chunks_mut(out, n, threads, |rows, out_chunk| {
+        let a_slice = &a[rows.start * k..rows.end * k];
+        matmul_block(a_slice, b, out_chunk, rows.len(), k, n);
+    });
 }
 
 #[cfg(test)]

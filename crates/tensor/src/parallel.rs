@@ -1,0 +1,335 @@
+//! Deterministic work-splitting across scoped threads.
+//!
+//! Every hot loop in the workspace that fans out across threads goes through
+//! this module so the policy lives in one place:
+//!
+//! * **Thread count.** [`num_threads`] honors an `IBRAR_THREADS` environment
+//!   override (read once per process), falling back to
+//!   `std::thread::available_parallelism`. Tests and benchmarks can force a
+//!   count for the current thread with [`with_threads`].
+//! * **Fixed chunk boundaries, no reduction-order dependence.** Work is
+//!   split into contiguous index ranges; each worker writes only to its own
+//!   disjoint output region (or returns a per-chunk value that the caller
+//!   combines *sequentially in index order*). Because chunks are contiguous
+//!   and in-order, the flattened item sequence is identical for any thread
+//!   count — so callers that follow the contract below get **bitwise
+//!   identical** results whether `IBRAR_THREADS` is 1, 4, or unset.
+//!
+//! # Caller contract
+//!
+//! Per-item work must depend only on the item index and shared read-only
+//! inputs. Floating-point accumulation **across** items must never happen
+//! inside a chunk-sized partial sum that is later combined (that would make
+//! results depend on chunk boundaries); instead return per-item values from
+//! [`par_map`] and fold them serially, or accumulate exactly-representable
+//! values (integers, disjoint writes).
+//!
+//! # Examples
+//!
+//! ```
+//! use ibrar_tensor::parallel;
+//!
+//! let doubled = parallel::par_map(4, parallel::num_threads(), |i| i * 2);
+//! assert_eq!(doubled, vec![0, 2, 4, 6]);
+//!
+//! let _guard = parallel::with_threads(3);
+//! assert_eq!(parallel::num_threads(), 3);
+//! ```
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use ibrar_telemetry as tel;
+
+/// Below roughly this many "work units" (caller-estimated scalar operations)
+/// per extra thread, spawning is not worth it; see [`threads_for`].
+pub const MIN_WORK_PER_THREAD: usize = 32 * 1024;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let n = match std::env::var("IBRAR_THREADS") {
+            Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1),
+            Err(_) => None,
+        }
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
+        tel::gauge("parallel.threads", n as f64);
+        n
+    })
+}
+
+/// The worker-thread budget for the current thread: the innermost
+/// [`with_threads`] override if one is active, else `IBRAR_THREADS`, else
+/// the machine's available parallelism. Always ≥ 1.
+pub fn num_threads() -> usize {
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_threads)
+        .max(1)
+}
+
+/// Thread budget scaled to a caller-estimated amount of work: small jobs run
+/// serially rather than paying thread-spawn latency. An active
+/// [`with_threads`] override is returned unscaled so tests and benchmarks
+/// can force the parallel path on small fixtures.
+pub fn threads_for(work: usize) -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    let cap = 1 + work / MIN_WORK_PER_THREAD;
+    env_threads().min(cap).max(1)
+}
+
+/// RAII guard restoring the previous thread-count override on drop.
+#[derive(Debug)]
+pub struct ThreadScope {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadScope {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.prev));
+    }
+}
+
+/// Overrides [`num_threads`] for the current thread until the returned guard
+/// is dropped. Nests; `0` is treated as `1`.
+#[must_use = "the override ends when the guard drops"]
+pub fn with_threads(n: usize) -> ThreadScope {
+    let prev = OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    ThreadScope { prev }
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks, runs `f` on each
+/// chunk (on scoped worker threads when `threads > 1`), and returns the
+/// per-chunk results **in chunk order**.
+///
+/// Chunks are contiguous and in order, so concatenating per-chunk sequences
+/// reproduces item order `0..n` exactly, for any thread count.
+pub fn run_chunked<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let chunk = n.div_ceil(threads);
+    let nchunks = n.div_ceil(chunk);
+    if threads == 1 {
+        tel::counter("parallel.serial", 1);
+        return (0..nchunks)
+            .map(|c| f(c * chunk..((c + 1) * chunk).min(n)))
+            .collect();
+    }
+    tel::counter("parallel.scopes", 1);
+    tel::counter("parallel.chunks", nchunks as u64);
+    let mut slots: Vec<Option<R>> = (0..nchunks).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (c, slot) in slots.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(c * chunk..((c + 1) * chunk).min(n)));
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk ran"))
+        .collect()
+}
+
+/// Maps each index in `0..n` to a value on worker threads; results are
+/// returned **in index order**. The per-item closure must not depend on any
+/// cross-item state (see the module contract).
+pub fn par_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_chunked(n, threads, |range| range.map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Splits `out` into consecutive per-item regions of `item_len` elements,
+/// groups the items into at most `threads` contiguous chunks, and calls
+/// `f(item_range, chunk_region)` for each chunk (on scoped worker threads
+/// when `threads > 1`). Chunk regions are disjoint, so writes cannot race.
+///
+/// `out.len()` must be a multiple of `item_len`.
+pub fn par_chunks_mut<T, F>(out: &mut [T], item_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    if out.is_empty() || item_len == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % item_len, 0, "out must be item-aligned");
+    let n = out.len() / item_len;
+    let threads = threads.clamp(1, n);
+    let chunk = n.div_ceil(threads);
+    if threads == 1 {
+        tel::counter("parallel.serial", 1);
+        f(0..n, out);
+        return;
+    }
+    tel::counter("parallel.scopes", 1);
+    tel::counter("parallel.chunks", n.div_ceil(chunk) as u64);
+    crossbeam::thread::scope(|scope| {
+        for (c, region) in out.chunks_mut(chunk * item_len).enumerate() {
+            let f = &f;
+            let start = c * chunk;
+            scope.spawn(move |_| {
+                let items = region.len() / item_len;
+                f(start..start + items, region);
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Splits `out` into consecutive per-item regions of `item_len` elements and
+/// calls `f(item_index, item_region)` for every item, fanning contiguous
+/// item chunks out to worker threads. Item regions are disjoint, so writes
+/// cannot race and results are identical for any thread count.
+///
+/// `out.len()` must be a multiple of `item_len`.
+pub fn par_items_mut<T, F>(out: &mut [T], item_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut(out, item_len, threads, |range, region| {
+        for (k, item) in region.chunks_mut(item_len).enumerate() {
+            f(range.start + k, item);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 3, 7] {
+            let got = par_map(10, threads, |i| i * i);
+            assert_eq!(got, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_chunked_concatenation_is_item_order() {
+        for threads in [1, 2, 4] {
+            let flat: Vec<usize> = run_chunked(9, threads, |r| r.collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(flat, (0..9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_items_mut_writes_disjoint_regions() {
+        for threads in [1, 2, 4] {
+            let mut out = vec![0.0f32; 12];
+            par_items_mut(&mut out, 3, threads, |i, item| {
+                for (k, v) in item.iter_mut().enumerate() {
+                    *v = (i * 10 + k) as f32;
+                }
+            });
+            let expect: Vec<f32> = (0..4)
+                .flat_map(|i| (0..3).map(move |k| (i * 10 + k) as f32))
+                .collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_items_once() {
+        for threads in [1, 2, 3, 5] {
+            let mut out = vec![0u32; 20]; // 10 items of length 2
+            par_chunks_mut(&mut out, 2, threads, |range, region| {
+                assert_eq!(region.len(), range.len() * 2);
+                for (k, item) in region.chunks_mut(2).enumerate() {
+                    item[0] += (range.start + k) as u32;
+                    item[1] += 1;
+                }
+            });
+            for (i, item) in out.chunks(2).enumerate() {
+                assert_eq!(item, &[i as u32, 1], "item {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert!(run_chunked(0, 4, |r| r.len()).is_empty());
+        let mut empty: Vec<f32> = Vec::new();
+        par_items_mut(&mut empty, 4, 4, |_, _| panic!("no items"));
+        let mut some = vec![1.0f32; 4];
+        par_items_mut(&mut some, 0, 4, |_, _| panic!("zero item_len"));
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let base = num_threads();
+        {
+            let _g = with_threads(5);
+            assert_eq!(num_threads(), 5);
+            assert_eq!(threads_for(1), 5, "override bypasses work scaling");
+            {
+                let _inner = with_threads(2);
+                assert_eq!(num_threads(), 2);
+            }
+            assert_eq!(num_threads(), 5);
+        }
+        assert_eq!(num_threads(), base);
+    }
+
+    #[test]
+    fn with_threads_zero_clamps_to_one() {
+        let _g = with_threads(0);
+        assert_eq!(num_threads(), 1);
+    }
+
+    #[test]
+    fn threads_for_scales_with_work() {
+        // Without an override, tiny jobs stay serial.
+        assert_eq!(threads_for(0), 1);
+        assert!(threads_for(usize::MAX / 2) >= threads_for(0));
+    }
+
+    #[test]
+    fn results_bitwise_equal_across_thread_counts() {
+        // A float-heavy per-item computation: identical bits for any split.
+        let compute = |threads: usize| {
+            par_map(33, threads, |i| {
+                let mut acc = 0.0f32;
+                for t in 0..100 {
+                    acc += ((i * 31 + t) as f32).sin() * 0.01;
+                }
+                acc
+            })
+        };
+        let one = compute(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(one, compute(threads));
+        }
+    }
+}

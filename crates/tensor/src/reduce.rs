@@ -48,8 +48,9 @@ impl Tensor {
         let (r, c) = (self.shape()[0], self.shape()[1]);
         let mut out = vec![0.0f32; c];
         for i in 0..r {
-            for j in 0..c {
-                out[j] += self.data()[i * c + j];
+            let row = &self.data()[i * c..(i + 1) * c];
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[c])
@@ -64,8 +65,8 @@ impl Tensor {
         self.shape_obj().expect_rank(2, "sum_cols")?;
         let (r, c) = (self.shape()[0], self.shape()[1]);
         let mut out = vec![0.0f32; r];
-        for i in 0..r {
-            out[i] = self.data()[i * c..(i + 1) * c].iter().sum();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data()[i * c..(i + 1) * c].iter().sum();
         }
         Tensor::from_vec(out, &[r])
     }
@@ -86,9 +87,9 @@ impl Tensor {
         let plane = h * w;
         let mut out = vec![0.0f32; c];
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, o) in out.iter_mut().enumerate() {
                 let base = (ni * c + ci) * plane;
-                out[ci] += self.data()[base..base + plane].iter().sum::<f32>();
+                *o += self.data()[base..base + plane].iter().sum::<f32>();
             }
         }
         Tensor::from_vec(out, &[c])
@@ -128,12 +129,12 @@ impl Tensor {
         let plane = h * w;
         let mut out = vec![0.0f32; c];
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, o) in out.iter_mut().enumerate() {
                 let m = mean.data()[ci];
                 let base = (ni * c + ci) * plane;
                 for k in 0..plane {
                     let d = self.data()[base + k] - m;
-                    out[ci] += d * d;
+                    *o += d * d;
                 }
             }
         }
@@ -178,7 +179,7 @@ impl Tensor {
             });
         }
         let n = self.shape()[0];
-        let row_len = if n == 0 { 0 } else { self.len() / n };
+        let row_len = self.len().checked_div(n).unwrap_or(0);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let row = &self.data()[i * row_len..(i + 1) * row_len];

@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and lint gates.
+# Tier-1 verification: release build, the full test suite under both the
+# default thread count and IBRAR_THREADS=1 (the determinism guarantee says
+# the two runs must see identical numbers), and lint gates.
 #
-#   scripts/ci.sh            # build + test + clippy (telemetry) + fmt check
+#   scripts/ci.sh            # build + tests (2 thread configs) + clippy + fmt
 #
-# The clippy gate is scoped to ibrar-telemetry (the newest crate, kept
-# warning-free); widen it as other crates are brought up to -D warnings.
+# The clippy gate covers the crates touched by the parallelism work, all
+# kept at -D warnings; widen it as the remaining crates are brought up.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
 cargo build --release
 
-echo "== test =="
+echo "== test (default thread count) =="
 cargo test -q
 
-echo "== clippy (ibrar-telemetry, -D warnings) =="
-cargo clippy -p ibrar-telemetry --all-targets -- -D warnings
+echo "== test (IBRAR_THREADS=1) =="
+IBRAR_THREADS=1 cargo test -q
+
+echo "== clippy (parallelism-touched crates, -D warnings) =="
+cargo clippy -p ibrar-telemetry -p ibrar-tensor -p ibrar-autograd \
+    -p ibrar-infotheory -p ibrar-nn -p ibrar-attacks -p ibrar \
+    --all-targets -- -D warnings
 
 if command -v rustfmt >/dev/null 2>&1; then
     echo "== fmt check (telemetry) =="

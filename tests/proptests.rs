@@ -5,7 +5,7 @@ use ibrar_attacks::{Attack, Fgsm};
 use ibrar_data::{SynthVision, SynthVisionConfig};
 use ibrar_infotheory::{hsic, mi_values_labels, one_hot, BinningConfig};
 use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
-use ibrar_tensor::Tensor;
+use ibrar_tensor::{parallel, Conv2dSpec, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -101,5 +101,63 @@ proptest! {
             model.forward(&sess, xv, Mode::Eval).unwrap().logits.value()
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// The parallel conv2d forward matches a naive direct convolution for
+    /// arbitrary geometry, and is bitwise identical across thread counts.
+    #[test]
+    fn parallel_conv_matches_serial_reference(
+        n in 1usize..4,
+        cin in 1usize..3,
+        cout in 1usize..3,
+        h in 4usize..9,
+        w in 4usize..9,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        // Geometry is always valid for these ranges: k ≤ 3 < h + 2·padding.
+        let spec = Conv2dSpec::new(cin, cout, k, stride, padding);
+        let s = seed as usize;
+        let x = Tensor::from_fn(&[n, cin, h, w], |i| {
+            (((i[0] * 131 + i[1] * 37 + i[2] * 11 + i[3] * 3 + s) % 23) as f32) * 0.17 - 1.5
+        });
+        let wt = Tensor::from_fn(&[cout, cin, k, k], |i| {
+            (((i[0] * 41 + i[1] * 13 + i[2] * 5 + i[3] + s) % 17) as f32) * 0.09 - 0.6
+        });
+        let forward = |threads: usize| {
+            let _g = parallel::with_threads(threads);
+            let tape = ibrar_autograd::Tape::new();
+            let xv = tape.var(x.clone());
+            let wv = tape.var(wt.clone());
+            xv.conv2d(wv, None, spec).unwrap().value()
+        };
+        let serial = forward(1);
+        prop_assert_eq!(&forward(4), &serial, "thread count changed conv output bits");
+        // Naive direct convolution as the reference.
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let naive = Tensor::from_fn(&[n, cout, oh, ow], |idx| {
+            let (ni, oc, oy, ox) = (idx[0], idx[1], idx[2], idx[3]);
+            let mut acc = 0.0f32;
+            for ci in 0..cin {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        acc += x.get(&[ni, ci, iy as usize, ix as usize])
+                            * wt.get(&[oc, ci, ky, kx]);
+                    }
+                }
+            }
+            acc
+        });
+        prop_assert!(
+            serial.max_abs_diff(&naive).unwrap() < 1e-4,
+            "im2col conv deviates from direct convolution"
+        );
     }
 }
