@@ -103,21 +103,11 @@ mod tests {
     fn builds_rows_for_every_class() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-        let data = SynthVision::generate(
-            &SynthVisionConfig::cifar10_like().with_sizes(40, 30),
-            2,
-        )
-        .unwrap();
+        let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(40, 30), 2)
+            .unwrap();
         let names: Vec<String> = (0..10).map(|i| data.class_name(i)).collect();
-        let table = tendency_table(
-            &model,
-            &Fgsm::new(8.0 / 255.0),
-            &data.test,
-            &names,
-            4,
-            16,
-        )
-        .unwrap();
+        let table =
+            tendency_table(&model, &Fgsm::new(8.0 / 255.0), &data.test, &names, 4, 16).unwrap();
         assert_eq!(table.rows.len(), 10);
         for row in &table.rows {
             assert!(row.top.len() <= 4);
@@ -130,15 +120,10 @@ mod tests {
     fn name_count_validated() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-        let data = SynthVision::generate(
-            &SynthVisionConfig::cifar10_like().with_sizes(20, 10),
-            2,
-        )
-        .unwrap();
+        let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(20, 10), 2)
+            .unwrap();
         let too_few = vec!["a".to_string()];
-        assert!(
-            tendency_table(&model, &Fgsm::new(0.03), &data.test, &too_few, 4, 16).is_err()
-        );
+        assert!(tendency_table(&model, &Fgsm::new(0.03), &data.test, &too_few, 4, 16).is_err());
     }
 
     #[test]

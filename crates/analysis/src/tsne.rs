@@ -102,7 +102,11 @@ pub fn tsne(features: &Tensor, config: &TsneConfig) -> Result<Tensor> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+                beta = if hi.is_finite() {
+                    (beta + hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;

@@ -21,7 +21,12 @@ pub struct CwL2 {
 impl CwL2 {
     /// Creates a CW-L2 attack.
     pub fn new(c: f32, kappa: f32, steps: usize, lr: f32) -> Self {
-        CwL2 { c, kappa, steps, lr }
+        CwL2 {
+            c,
+            kappa,
+            steps,
+            lr,
+        }
     }
 
     /// The paper's setting (c=1, κ=0, 200 steps) scaled to 50 steps for
@@ -47,12 +52,7 @@ fn atanh(v: f32) -> f32 {
 }
 
 impl Attack for CwL2 {
-    fn perturb(
-        &self,
-        model: &dyn ImageModel,
-        images: &Tensor,
-        labels: &[usize],
-    ) -> Result<Tensor> {
+    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<Tensor> {
         if self.c < 0.0 || self.lr <= 0.0 {
             return Err(AttackError::Config(format!(
                 "invalid c/lr: {} / {}",
@@ -146,7 +146,9 @@ mod tests {
     fn output_in_pixel_box() {
         let m = model();
         let x = Tensor::full(&[2, 3, 16, 16], 0.5);
-        let adv = CwL2::new(1.0, 0.0, 5, 0.05).perturb(&m, &x, &[0, 1]).unwrap();
+        let adv = CwL2::new(1.0, 0.0, 5, 0.05)
+            .perturb(&m, &x, &[0, 1])
+            .unwrap();
         assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
         assert_eq!(adv.shape(), x.shape());
     }

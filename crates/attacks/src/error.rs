@@ -33,10 +33,9 @@ impl fmt::Display for AttackError {
             AttackError::Autograd(e) => write!(f, "autograd error: {e}"),
             AttackError::Config(msg) => write!(f, "invalid attack config: {msg}"),
             AttackError::NoGradient => write!(f, "objective produced no input gradient"),
-            AttackError::LabelMismatch { examples, labels } => write!(
-                f,
-                "batch has {examples} examples but {labels} labels"
-            ),
+            AttackError::LabelMismatch { examples, labels } => {
+                write!(f, "batch has {examples} examples but {labels} labels")
+            }
         }
     }
 }

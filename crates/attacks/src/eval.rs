@@ -20,11 +20,7 @@ use std::time::Instant;
 ///
 /// Returns [`AttackError::LabelMismatch`] when `labels.len()` disagrees with
 /// the image batch's leading dimension, or any model forward error.
-pub fn correct_count(
-    model: &dyn ImageModel,
-    images: &Tensor,
-    labels: &[usize],
-) -> Result<usize> {
+pub fn correct_count(model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<usize> {
     let examples = images.shape().first().copied().unwrap_or(0);
     if examples != labels.len() {
         return Err(AttackError::LabelMismatch {
@@ -137,7 +133,10 @@ pub fn robust_accuracy(
             ("correct", correct.into()),
             ("acc", acc.into()),
             // Exact fraction of examples the attack flipped or kept wrong.
-            ("success_rate", ((total - correct) as f32 / total as f32).into()),
+            (
+                "success_rate",
+                ((total - correct) as f32 / total as f32).into(),
+            ),
             ("secs", start.elapsed().as_secs_f64().into()),
         ],
     );
@@ -156,11 +155,8 @@ mod tests {
     fn setup() -> (VggMini, Dataset) {
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-        let data = SynthVision::generate(
-            &SynthVisionConfig::cifar10_like().with_sizes(40, 20),
-            1,
-        )
-        .unwrap();
+        let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(40, 20), 1)
+            .unwrap();
         (model, data.test)
     }
 
@@ -240,7 +236,11 @@ mod tests {
             let x = tape.leaf(batch.images.clone());
             let out = model.forward(&sess, x, Mode::Eval).unwrap();
             let preds = out.logits.value().argmax_rows().unwrap();
-            preds.iter().zip(&batch.labels).filter(|(p, y)| p == y).count() as f32
+            preds
+                .iter()
+                .zip(&batch.labels)
+                .filter(|(p, y)| p == y)
+                .count() as f32
                 / batch.len() as f32
         };
         assert!((acc - manual).abs() < 1e-6);

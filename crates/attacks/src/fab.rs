@@ -48,12 +48,7 @@ impl Fab {
 }
 
 impl Attack for Fab {
-    fn perturb(
-        &self,
-        model: &dyn ImageModel,
-        images: &Tensor,
-        labels: &[usize],
-    ) -> Result<Tensor> {
+    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<Tensor> {
         if self.eps < 0.0 {
             return Err(AttackError::Config(format!("negative eps {}", self.eps)));
         }
@@ -171,6 +166,9 @@ mod tests {
         let before = margin_of(&x);
         let adv = Fab::new(0.1, 8).perturb(&m, &x, &labels).unwrap();
         let after = margin_of(&adv);
-        assert!(after >= before - 1e-3, "margin got worse: {before} -> {after}");
+        assert!(
+            after >= before - 1e-3,
+            "margin got worse: {before} -> {after}"
+        );
     }
 }

@@ -35,12 +35,7 @@ impl Fgsm {
 }
 
 impl Attack for Fgsm {
-    fn perturb(
-        &self,
-        model: &dyn ImageModel,
-        images: &Tensor,
-        labels: &[usize],
-    ) -> Result<Tensor> {
+    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<Tensor> {
         if self.eps < 0.0 {
             return Err(AttackError::Config(format!("negative eps {}", self.eps)));
         }

@@ -71,8 +71,7 @@ pub trait Attack: Send + Sync {
     ///
     /// Returns an error on shape mismatches between images, labels, and the
     /// model's expected input.
-    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize])
-        -> Result<Tensor>;
+    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<Tensor>;
 
     /// Short attack name for tables.
     fn name(&self) -> String;

@@ -34,7 +34,11 @@ impl NiFgsm {
 
     /// The paper's default budget: ε=8/255, α=2/255, 10 steps.
     pub fn paper_default() -> Self {
-        NiFgsm::new(crate::DEFAULT_EPS, crate::DEFAULT_ALPHA, crate::DEFAULT_STEPS)
+        NiFgsm::new(
+            crate::DEFAULT_EPS,
+            crate::DEFAULT_ALPHA,
+            crate::DEFAULT_STEPS,
+        )
     }
 
     /// Overrides the momentum decay μ (builder style).
@@ -51,12 +55,7 @@ impl NiFgsm {
 }
 
 impl Attack for NiFgsm {
-    fn perturb(
-        &self,
-        model: &dyn ImageModel,
-        images: &Tensor,
-        labels: &[usize],
-    ) -> Result<Tensor> {
+    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<Tensor> {
         if self.eps < 0.0 || self.alpha < 0.0 {
             return Err(AttackError::Config(format!(
                 "negative eps/alpha: {} / {}",
@@ -73,9 +72,7 @@ impl Attack for NiFgsm {
         let lo = images.add_scalar(-self.eps);
         let hi = images.add_scalar(self.eps);
         for _ in 0..self.steps {
-            let x_nes = x
-                .add(&momentum.scale(lookahead_scale))?
-                .clamp(0.0, 1.0);
+            let x_nes = x.add(&momentum.scale(lookahead_scale))?.clamp(0.0, 1.0);
             let grad = input_gradient(model, self.objective.as_ref(), &x_nes, labels)?;
             // L1 normalization per batch (the standard MI/NI-FGSM recipe).
             let l1 = grad.abs().sum().max(1e-12);
@@ -151,7 +148,9 @@ mod tests {
             out.logits.cross_entropy(&labels).unwrap().value().data()[0]
         };
         let before = loss_of(&x);
-        let adv = NiFgsm::new(0.05, 0.0125, 8).perturb(&m, &x, &labels).unwrap();
+        let adv = NiFgsm::new(0.05, 0.0125, 8)
+            .perturb(&m, &x, &labels)
+            .unwrap();
         assert!(loss_of(&adv) >= before);
     }
 }

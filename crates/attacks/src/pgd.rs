@@ -36,7 +36,11 @@ impl Pgd {
 
     /// The paper's default budget: ε=8/255, α=2/255, 10 steps.
     pub fn paper_default() -> Self {
-        Pgd::new(crate::DEFAULT_EPS, crate::DEFAULT_ALPHA, crate::DEFAULT_STEPS)
+        Pgd::new(
+            crate::DEFAULT_EPS,
+            crate::DEFAULT_ALPHA,
+            crate::DEFAULT_STEPS,
+        )
     }
 
     /// Replaces the objective (builder style). Used by the adaptive attack.
@@ -64,12 +68,7 @@ impl Pgd {
 }
 
 impl Attack for Pgd {
-    fn perturb(
-        &self,
-        model: &dyn ImageModel,
-        images: &Tensor,
-        labels: &[usize],
-    ) -> Result<Tensor> {
+    fn perturb(&self, model: &dyn ImageModel, images: &Tensor, labels: &[usize]) -> Result<Tensor> {
         if self.eps < 0.0 || self.alpha < 0.0 {
             return Err(AttackError::Config(format!(
                 "negative eps/alpha: {} / {}",
@@ -137,7 +136,9 @@ mod tests {
         let m = model();
         let x = Tensor::full(&[2, 3, 16, 16], 0.5);
         let eps = 8.0 / 255.0;
-        let adv = Pgd::new(eps, 2.0 / 255.0, 5).perturb(&m, &x, &[0, 1]).unwrap();
+        let adv = Pgd::new(eps, 2.0 / 255.0, 5)
+            .perturb(&m, &x, &[0, 1])
+            .unwrap();
         assert!(adv.sub(&x).unwrap().abs().max() <= eps + 1e-6);
         assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
     }

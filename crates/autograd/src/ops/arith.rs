@@ -119,8 +119,7 @@ impl<'t> Var<'t> {
 
     pub(crate) fn record_unary(self, out: Tensor, backward: BackwardFn) -> Var<'t> {
         let requires = self.requires_grad();
-        self.tape
-            .push(out, requires, requires.then_some(backward))
+        self.tape.push(out, requires, requires.then_some(backward))
     }
 
     pub(crate) fn record_binary(
@@ -130,8 +129,7 @@ impl<'t> Var<'t> {
         backward: BackwardFn,
     ) -> Var<'t> {
         let requires = self.requires_grad() || other.requires_grad();
-        self.tape
-            .push(out, requires, requires.then_some(backward))
+        self.tape.push(out, requires, requires.then_some(backward))
     }
 }
 

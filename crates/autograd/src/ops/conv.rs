@@ -66,7 +66,14 @@ impl<'t> Var<'t> {
         let w = weight.value();
         x.shape_obj().expect_rank(4, "conv2d")?;
         w.shape_obj().expect_rank(4, "conv2d weight")?;
-        if w.shape() != [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel] {
+        if w.shape()
+            != [
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ]
+        {
             return Err(AutogradError::Invalid(format!(
                 "conv2d weight shape {:?} does not match spec {:?}",
                 w.shape(),
@@ -88,7 +95,12 @@ impl<'t> Var<'t> {
             let dw = grad_rows
                 .matmul_tn(&cols)
                 .expect("forward fixed shapes")
-                .reshape(&[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel])
+                .reshape(&[
+                    spec.out_channels,
+                    spec.in_channels,
+                    spec.kernel,
+                    spec.kernel,
+                ])
                 .expect("volume preserved");
             // dX = col2im(G · Wmat).
             let dcols = grad_rows.matmul(&wmat).expect("forward fixed shapes");
@@ -114,8 +126,7 @@ impl<'t> Var<'t> {
         let backward: BackwardFn = Box::new(move |grad| {
             vec![(
                 self.id,
-                max_pool2d_backward(grad, &argmax, &input_shape)
-                    .expect("forward fixed geometry"),
+                max_pool2d_backward(grad, &argmax, &input_shape).expect("forward fixed geometry"),
             )]
         });
         Ok(self.record_unary(out, backward))

@@ -62,9 +62,9 @@ impl<'t> Var<'t> {
     /// Returns an error for rank-0 values.
     pub fn flatten_batch(self) -> Result<Var<'t>> {
         let shape = self.shape();
-        let n = *shape.first().ok_or_else(|| {
-            crate::AutogradError::Invalid("flatten_batch on rank-0 value".into())
-        })?;
+        let n = *shape
+            .first()
+            .ok_or_else(|| crate::AutogradError::Invalid("flatten_batch on rank-0 value".into()))?;
         let d = self.len().checked_div(n).unwrap_or(0);
         self.reshape(&[n, d])
     }

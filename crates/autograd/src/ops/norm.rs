@@ -135,7 +135,9 @@ impl<'t> Var<'t> {
             ]
         });
         let requires = self.requires_grad() || gamma.requires_grad() || beta.requires_grad();
-        let out_var = self.tape().push(out, requires, requires.then_some(backward));
+        let out_var = self
+            .tape()
+            .push(out, requires, requires.then_some(backward));
         Ok((out_var, stats))
     }
 }

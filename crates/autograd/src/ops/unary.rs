@@ -8,9 +8,8 @@ impl<'t> Var<'t> {
     pub fn exp(self) -> Var<'t> {
         let out = self.value().exp();
         let out_clone = out.clone();
-        let backward: BackwardFn = Box::new(move |grad| {
-            vec![(self.id, grad.mul(&out_clone).expect("same shape"))]
-        });
+        let backward: BackwardFn =
+            Box::new(move |grad| vec![(self.id, grad.mul(&out_clone).expect("same shape"))]);
         self.record_unary(out, backward)
     }
 
@@ -23,10 +22,7 @@ impl<'t> Var<'t> {
         let input = self.value();
         let out = input.ln();
         let backward: BackwardFn = Box::new(move |grad| {
-            vec![(
-                self.id,
-                grad.zip(&input, |g, x| g / x).expect("same shape"),
-            )]
+            vec![(self.id, grad.zip(&input, |g, x| g / x).expect("same shape"))]
         });
         self.record_unary(out, backward)
     }
@@ -81,7 +77,8 @@ impl<'t> Var<'t> {
         let backward: BackwardFn = Box::new(move |grad| {
             vec![(
                 self.id,
-                grad.zip(&out_clone, |g, y| g / (2.0 * y)).expect("same shape"),
+                grad.zip(&out_clone, |g, y| g / (2.0 * y))
+                    .expect("same shape"),
             )]
         });
         self.record_unary(out, backward)

@@ -1,0 +1,177 @@
+//! Differential tests: autograd forward/backward kernels vs the
+//! `ibrar-oracle` direct reference implementations.
+//!
+//! The optimized conv path is im2col + matmul + col2im; the oracle walks
+//! the convolution loops directly, so agreement here rules out indexing
+//! and layout bugs in the fast path. Backward passes are compared by
+//! seeding an explicit upstream gradient `G` (loss = ⟨out, G⟩) so the
+//! tape's gradients can be matched against the oracle's closed-form ones.
+
+use ibrar_autograd::Tape;
+use ibrar_oracle::{compare, kernels, Gen, Tolerance};
+use ibrar_tensor::{Conv2dSpec, Tensor};
+
+const CASES: usize = 100;
+
+/// Random valid conv geometry: kernel always fits the padded input.
+fn conv_case(g: &mut Gen) -> (Tensor, Tensor, Tensor, Conv2dSpec) {
+    let n = g.usize_in(1, 3);
+    let c = g.usize_in(1, 3);
+    let oc = g.usize_in(1, 4);
+    let k = g.usize_in(1, 3);
+    let stride = g.usize_in(1, 2);
+    let padding = g.usize_in(0, 1);
+    let h = g.usize_in(k, 6);
+    let w = g.usize_in(k, 6);
+    let spec = Conv2dSpec::new(c, oc, k, stride, padding);
+    let x = g.tensor(&[n, c, h, w], -1.0, 1.0);
+    let weight = g.tensor(&[oc, c, k, k], -1.0, 1.0);
+    let bias = g.tensor(&[oc], -0.5, 0.5);
+    (x, weight, bias, spec)
+}
+
+#[test]
+fn conv2d_forward_matches_direct_oracle() {
+    let mut g = Gen::new(0xB001);
+    for case in 0..CASES {
+        let (x, weight, bias, spec) = conv_case(&mut g);
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let wv = tape.var(weight.clone());
+        let bv = tape.var(bias.clone());
+        let got = xv.conv2d(wv, Some(bv), spec).unwrap().value();
+        let want = kernels::conv2d(&x, &weight, Some(&bias), &spec);
+        compare(
+            &format!("conv2d fwd case {case}"),
+            &got,
+            &want,
+            Tolerance::reduction(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn conv2d_backward_matches_direct_oracle() {
+    let mut g = Gen::new(0xB002);
+    for case in 0..CASES {
+        let (x, weight, bias, spec) = conv_case(&mut g);
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        let (oh, ow) = spec.out_hw(h, w).unwrap();
+        let upstream = g.tensor(&[x.shape()[0], spec.out_channels, oh, ow], -1.0, 1.0);
+
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let wv = tape.var(weight.clone());
+        let bv = tape.var(bias.clone());
+        let out = xv.conv2d(wv, Some(bv), spec).unwrap();
+        // loss = ⟨out, G⟩ seeds the backward pass with exactly G.
+        let seed = tape.leaf(upstream.clone());
+        let loss = out.mul(seed).unwrap().sum().unwrap();
+        let grads = tape.backward(loss).unwrap();
+
+        let (dx, dw, db) = kernels::conv2d_backward(&x, &weight, &upstream, &spec);
+        let tol = Tolerance::reduction();
+        compare(
+            &format!("conv2d dx case {case}"),
+            grads.get(xv).unwrap(),
+            &dx,
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        compare(
+            &format!("conv2d dw case {case}"),
+            grads.get(wv).unwrap(),
+            &dw,
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        compare(
+            &format!("conv2d db case {case}"),
+            grads.get(bv).unwrap(),
+            &db,
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn softmax_family_matches_oracle() {
+    let mut g = Gen::new(0xB003);
+    for case in 0..CASES {
+        let n = g.usize_in(1, 8);
+        let k = g.usize_in(2, 10);
+        let logits = g.tensor(&[n, k], -4.0, 4.0);
+        let labels = g.labels(n, k);
+
+        let tape = Tape::new();
+        let lv = tape.var(logits.clone());
+        let tol = Tolerance::reduction();
+
+        let got_sm = lv.softmax().unwrap().value();
+        compare(
+            &format!("softmax case {case}"),
+            &got_sm,
+            &kernels::softmax(&logits),
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+
+        let got_lsm = lv.log_softmax().unwrap().value();
+        compare(
+            &format!("log_softmax case {case}"),
+            &got_lsm,
+            &kernels::log_softmax(&logits),
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+
+        let ce = lv.cross_entropy(&labels).unwrap();
+        let got_ce = ce.value().data()[0];
+        let want_ce = kernels::cross_entropy(&logits, &labels);
+        assert!(
+            tol.accepts(got_ce, want_ce),
+            "cross_entropy case {case}: {got_ce} vs oracle {want_ce}"
+        );
+
+        // Backward of mean CE has the closed form (softmax − onehot)/n.
+        let grads = tape.backward(ce).unwrap();
+        compare(
+            &format!("cross_entropy grad case {case}"),
+            grads.get(lv).unwrap(),
+            &kernels::cross_entropy_grad(&logits, &labels),
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn kernel_matrix_ops_match_oracle() {
+    let mut g = Gen::new(0xB004);
+    for case in 0..CASES {
+        let m = g.usize_in(2, 8);
+        let d = g.usize_in(1, 6);
+        let x = g.tensor(&[m, d], -2.0, 2.0);
+        let sigma = g.f32_in(0.5, 2.5);
+
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let tol = Tolerance::reduction();
+        compare(
+            &format!("pairwise_sqdist case {case}"),
+            &xv.pairwise_sqdist().unwrap().value(),
+            &kernels::pairwise_sqdist(&x),
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        compare(
+            &format!("gaussian_kernel case {case}"),
+            &xv.gaussian_kernel(sigma).unwrap().value(),
+            &kernels::gaussian_kernel(&x, sigma),
+            tol,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+}

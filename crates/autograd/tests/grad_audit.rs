@@ -1,0 +1,262 @@
+//! Finite-difference audit of **every** registered autograd op.
+//!
+//! Each case builds a scalar loss from the op under test (a weighted sum
+//! against a fixed pseudo-random tensor, so transposition/permutation
+//! bugs cannot cancel out), takes the tape gradient, and checks it
+//! against central differences of the same loss. Multi-input ops are
+//! audited once per differentiable operand, with the others held as
+//! constants.
+//!
+//! Finite-difference caveats are handled per op: relu inputs are bounded
+//! away from zero, ln/sqrt inputs are positive, max_pool and
+//! max_other_class inputs have value gaps wider than the probe step so
+//! the argmax cannot flip.
+
+use ibrar_autograd::{check_gradients, Tape, Var};
+use ibrar_oracle::Gen;
+use ibrar_tensor::{Conv2dSpec, Pool2dSpec, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 1e-2;
+
+/// Audits d(loss)/d(x0) for the scalar loss built by `build`.
+fn audit(name: &str, x0: &Tensor, build: impl for<'a> Fn(&'a Tape, Var<'a>) -> Var<'a>) {
+    let tape = Tape::new();
+    let xv = tape.var(x0.clone());
+    let loss = build(&tape, xv);
+    assert_eq!(loss.len(), 1, "{name}: audit loss must be scalar");
+    let grads = tape.backward(loss).unwrap();
+    let analytic = grads
+        .get(xv)
+        .unwrap_or_else(|| panic!("{name}: no gradient reached the input"))
+        .clone();
+    let report = check_gradients(x0, &analytic, EPS, |t| {
+        let tp = Tape::new();
+        let v = tp.var(t.clone());
+        Ok(build(&tp, v).value().data()[0])
+    })
+    .unwrap();
+    assert!(
+        report.passes(TOL),
+        "{name}: gradient audit failed: {report:?}"
+    );
+}
+
+/// Weighted-sum readout: ⟨v, w⟩ with a constant weight tensor, collapsing
+/// any output shape to a scalar without uniform-weight blind spots.
+fn ws<'a>(tape: &'a Tape, v: Var<'a>, weights: &Tensor) -> Var<'a> {
+    let w = tape.leaf(weights.clone());
+    v.mul(w).unwrap().sum().unwrap()
+}
+
+fn pseudo(seed: u64, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    Gen::new(seed).tensor(dims, lo, hi)
+}
+
+/// Pseudo tensor with |v| ≥ 0.25, for relu-style kinks.
+fn pseudo_away_from_zero(seed: u64, dims: &[usize]) -> Tensor {
+    pseudo(seed, dims, -1.0, 1.0).map(|v| if v.abs() < 0.25 { v + 0.5 } else { v })
+}
+
+/// Distinct values with gaps of 0.05 > 2·EPS, so ±EPS probes cannot
+/// reorder any pair (used for argmax-based ops).
+fn pseudo_gapped(dims: &[usize]) -> Tensor {
+    let mut i = 0u64;
+    Tensor::from_fn(dims, |_| {
+        i += 1;
+        ((i * 37) % 101) as f32 * 0.05
+    })
+}
+
+#[test]
+fn arithmetic_ops() {
+    let a = pseudo(1, &[2, 3], -1.0, 1.0);
+    let b = pseudo(2, &[2, 3], -1.0, 1.0);
+    let w = pseudo(3, &[2, 3], 0.5, 1.5);
+
+    audit("add", &a, |t, v| {
+        ws(t, v.add(t.leaf(b.clone())).unwrap(), &w)
+    });
+    audit("sub lhs", &a, |t, v| {
+        ws(t, v.sub(t.leaf(b.clone())).unwrap(), &w)
+    });
+    audit("sub rhs", &b, |t, v| {
+        ws(t, t.leaf(a.clone()).sub(v).unwrap(), &w)
+    });
+    audit("mul lhs", &a, |t, v| {
+        ws(t, v.mul(t.leaf(b.clone())).unwrap(), &w)
+    });
+    audit("mul rhs", &b, |t, v| {
+        ws(t, t.leaf(a.clone()).mul(v).unwrap(), &w)
+    });
+    audit("scale", &a, |t, v| ws(t, v.scale(1.7), &w));
+    audit("add_scalar", &a, |t, v| ws(t, v.add_scalar(0.3), &w));
+    audit("neg", &a, |t, v| ws(t, v.neg(), &w));
+}
+
+#[test]
+fn unary_ops() {
+    let a = pseudo(10, &[2, 3], -1.0, 1.0);
+    let pos = pseudo(11, &[2, 3], 0.5, 2.0);
+    let w = pseudo(12, &[2, 3], 0.5, 1.5);
+
+    audit("exp", &a, |t, v| ws(t, v.exp(), &w));
+    audit("ln", &pos, |t, v| ws(t, v.ln(), &w));
+    audit("relu", &pseudo_away_from_zero(13, &[2, 3]), |t, v| {
+        ws(t, v.relu().unwrap(), &w)
+    });
+    audit("tanh", &a, |t, v| ws(t, v.tanh(), &w));
+    audit("square", &a, |t, v| ws(t, v.square().unwrap(), &w));
+    audit("sqrt", &pos, |t, v| ws(t, v.sqrt(), &w));
+    audit("sigmoid", &a, |t, v| ws(t, v.sigmoid(), &w));
+}
+
+#[test]
+fn linear_and_shape_ops() {
+    let a = pseudo(20, &[3, 4], -1.0, 1.0);
+    let b = pseudo(21, &[4, 2], -1.0, 1.0);
+    let w_mm = pseudo(22, &[3, 2], 0.5, 1.5);
+    let w_t = pseudo(23, &[4, 3], 0.5, 1.5);
+    let w_flat = pseudo(24, &[12], 0.5, 1.5);
+
+    audit("matmul lhs", &a, |t, v| {
+        ws(t, v.matmul(t.leaf(b.clone())).unwrap(), &w_mm)
+    });
+    audit("matmul rhs", &b, |t, v| {
+        ws(t, t.leaf(a.clone()).matmul(v).unwrap(), &w_mm)
+    });
+    audit("transpose", &a, |t, v| ws(t, v.transpose().unwrap(), &w_t));
+    audit("reshape", &a, |t, v| {
+        ws(t, v.reshape(&[12]).unwrap(), &w_flat)
+    });
+    let x4 = pseudo(25, &[2, 3, 1, 2], -1.0, 1.0);
+    let w4 = pseudo(26, &[2, 6], 0.5, 1.5);
+    audit("flatten_batch", &x4, |t, v| {
+        ws(t, v.flatten_batch().unwrap(), &w4)
+    });
+}
+
+#[test]
+fn reduction_ops() {
+    let a = pseudo(30, &[3, 4], -1.0, 1.0);
+    let w_rows = pseudo(31, &[3], 0.5, 1.5);
+
+    audit("sum", &a, |_, v| v.sum().unwrap());
+    audit("mean", &a, |_, v| v.mean().unwrap());
+    audit("mean_rows", &a, |t, v| {
+        ws(t, v.mean_rows().unwrap(), &w_rows)
+    });
+}
+
+#[test]
+fn classification_loss_ops() {
+    let logits = pseudo(40, &[3, 5], -2.0, 2.0);
+    let other = pseudo(41, &[3, 5], -2.0, 2.0);
+    let labels = [0usize, 3, 1];
+    let w_rows = pseudo(42, &[3, 5], 0.5, 1.5);
+    let w_n = pseudo(43, &[3], 0.5, 1.5);
+
+    audit("softmax", &logits, |t, v| {
+        ws(t, v.softmax().unwrap(), &w_rows)
+    });
+    audit("log_softmax", &logits, |t, v| {
+        ws(t, v.log_softmax().unwrap(), &w_rows)
+    });
+    audit("cross_entropy", &logits, |_, v| {
+        v.cross_entropy(&labels).unwrap()
+    });
+    audit("kl_div_to lhs", &logits, |t, v| {
+        v.kl_div_to(t.leaf(other.clone())).unwrap()
+    });
+    audit("kl_div_to rhs", &other, |t, v| {
+        t.leaf(logits.clone()).kl_div_to(v).unwrap()
+    });
+    audit("gather_classes", &logits, |t, v| {
+        ws(t, v.gather_classes(&labels).unwrap(), &w_n)
+    });
+    // Gap-separated logits keep the non-label argmax stable under ±EPS.
+    audit("max_other_class", &pseudo_gapped(&[3, 5]), |t, v| {
+        ws(t, v.max_other_class(&labels).unwrap(), &w_n)
+    });
+}
+
+#[test]
+fn conv_ops() {
+    let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+    let x = pseudo(50, &[2, 2, 4, 4], -1.0, 1.0);
+    let weight = pseudo(51, &[3, 2, 3, 3], -0.5, 0.5);
+    let bias = pseudo(52, &[3], -0.5, 0.5);
+    let w_out = pseudo(53, &[2, 3, 4, 4], 0.5, 1.5);
+
+    audit("conv2d x", &x, |t, v| {
+        let wv = t.leaf(weight.clone());
+        let bv = t.leaf(bias.clone());
+        ws(t, v.conv2d(wv, Some(bv), spec).unwrap(), &w_out)
+    });
+    audit("conv2d weight", &weight, |t, v| {
+        let xv = t.leaf(x.clone());
+        let bv = t.leaf(bias.clone());
+        ws(t, xv.conv2d(v, Some(bv), spec).unwrap(), &w_out)
+    });
+    audit("conv2d bias", &bias, |t, v| {
+        let xv = t.leaf(x.clone());
+        let wv = t.leaf(weight.clone());
+        ws(t, xv.conv2d(wv, Some(v), spec).unwrap(), &w_out)
+    });
+}
+
+#[test]
+fn pooling_ops() {
+    let pool = Pool2dSpec::new(2, 2);
+    let w_half = pseudo(60, &[1, 2, 2, 2], 0.5, 1.5);
+    let w_gap = pseudo(61, &[1, 2], 0.5, 1.5);
+
+    // Gap-separated input: ±EPS probes cannot flip any pooling-window max.
+    audit("max_pool2d", &pseudo_gapped(&[1, 2, 4, 4]), |t, v| {
+        ws(t, v.max_pool2d(pool).unwrap(), &w_half)
+    });
+    let x = pseudo(62, &[1, 2, 4, 4], -1.0, 1.0);
+    audit("avg_pool2d", &x, |t, v| {
+        ws(t, v.avg_pool2d(pool).unwrap(), &w_half)
+    });
+    audit("global_avg_pool", &x, |t, v| {
+        ws(t, v.global_avg_pool().unwrap(), &w_gap)
+    });
+}
+
+#[test]
+fn batch_norm_op() {
+    let x = pseudo(70, &[2, 3, 2, 2], -1.0, 1.0);
+    let gamma = pseudo(71, &[3], 0.5, 1.5);
+    let beta = pseudo(72, &[3], -0.5, 0.5);
+    let w_out = pseudo(73, &[2, 3, 2, 2], 0.5, 1.5);
+
+    audit("batch_norm2d x", &x, |t, v| {
+        let g = t.leaf(gamma.clone());
+        let b = t.leaf(beta.clone());
+        ws(t, v.batch_norm2d(g, b, 1e-5).unwrap().0, &w_out)
+    });
+    audit("batch_norm2d gamma", &gamma, |t, v| {
+        let xv = t.leaf(x.clone());
+        let b = t.leaf(beta.clone());
+        ws(t, xv.batch_norm2d(v, b, 1e-5).unwrap().0, &w_out)
+    });
+    audit("batch_norm2d beta", &beta, |t, v| {
+        let xv = t.leaf(x.clone());
+        let g = t.leaf(gamma.clone());
+        ws(t, xv.batch_norm2d(g, v, 1e-5).unwrap().0, &w_out)
+    });
+}
+
+#[test]
+fn kernel_matrix_ops() {
+    let x = pseudo(80, &[4, 3], -1.0, 1.0);
+    let w_mm = pseudo(81, &[4, 4], 0.5, 1.5);
+
+    audit("pairwise_sqdist", &x, |t, v| {
+        ws(t, v.pairwise_sqdist().unwrap(), &w_mm)
+    });
+    audit("gaussian_kernel", &x, |t, v| {
+        ws(t, v.gaussian_kernel(1.2).unwrap(), &w_mm)
+    });
+}

@@ -28,7 +28,12 @@ fn conv2d_input_gradient() {
         let tape = Tape::new();
         let xvar = tape.var(xv.clone());
         let wvar = tape.leaf(w.clone());
-        Ok(xvar.conv2d(wvar, None, spec)?.square()?.sum()?.value().data()[0])
+        Ok(xvar
+            .conv2d(wvar, None, spec)?
+            .square()?
+            .sum()?
+            .value()
+            .data()[0])
     };
     let tape = Tape::new();
     let xvar = tape.var(x.clone());

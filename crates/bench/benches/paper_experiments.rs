@@ -28,11 +28,8 @@ struct Fixture {
 fn fixture() -> Fixture {
     let mut rng = StdRng::seed_from_u64(0);
     let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-    let data = SynthVision::generate(
-        &SynthVisionConfig::cifar10_like().with_sizes(64, 32),
-        0,
-    )
-    .unwrap();
+    let data =
+        SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(64, 32), 0).unwrap();
     let batch = data.train.take(16).unwrap().as_batch();
     Fixture {
         model,
@@ -73,7 +70,12 @@ fn bench_table3(c: &mut Criterion) {
             let out = f.model.forward(&sess, x, Mode::Train).unwrap();
             let cfg = IbLossConfig::paper_vgg().with_policy(LayerPolicy::Single(4));
             let reg = IbLoss::regularizer(&sess, x, &out.hidden, &f.labels, 10, &cfg).unwrap();
-            let loss = out.logits.cross_entropy(&f.labels).unwrap().add(reg).unwrap();
+            let loss = out
+                .logits
+                .cross_entropy(&f.labels)
+                .unwrap()
+                .add(reg)
+                .unwrap();
             sess.backward(loss).unwrap();
             for p in f.model.params() {
                 p.zero_grad();
@@ -102,8 +104,7 @@ fn bench_table5(c: &mut Criterion) {
     c.bench_function("table5_tendency", |b| {
         b.iter(|| {
             black_box(
-                tendency_table(&f.model, &Fgsm::new(8.0 / 255.0), &subset, &names, 4, 16)
-                    .unwrap(),
+                tendency_table(&f.model, &Fgsm::new(8.0 / 255.0), &subset, &names, 4, 16).unwrap(),
             )
         })
     });

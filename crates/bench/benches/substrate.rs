@@ -25,7 +25,9 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_conv(c: &mut Criterion) {
-    let x = Tensor::from_fn(&[8, 16, 16, 16], |i| ((i[0] + i[1] + i[2] + i[3]) % 7) as f32);
+    let x = Tensor::from_fn(&[8, 16, 16, 16], |i| {
+        ((i[0] + i[1] + i[2] + i[3]) % 7) as f32
+    });
     let spec = Conv2dSpec::new(16, 32, 3, 1, 1);
     c.bench_function("im2col_8x16x16x16", |bench| {
         bench.iter(|| black_box(im2col(&x, &spec).unwrap()))
@@ -76,7 +78,9 @@ fn bench_hsic(c: &mut Criterion) {
 fn bench_model_step(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-    let x = Tensor::from_fn(&[16, 3, 16, 16], |i| ((i[0] + i[1] + i[3]) % 9) as f32 / 9.0);
+    let x = Tensor::from_fn(&[16, 3, 16, 16], |i| {
+        ((i[0] + i[1] + i[3]) % 9) as f32 / 9.0
+    });
     let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
     c.bench_function("vgg_forward_eval", |bench| {
         bench.iter(|| {
@@ -110,7 +114,9 @@ fn bench_parallel(c: &mut Criterion) {
     use ibrar_data::{SynthVision, SynthVisionConfig};
     use ibrar_tensor::parallel;
 
-    let x = Tensor::from_fn(&[16, 8, 16, 16], |i| ((i[0] + i[1] + i[2] + i[3]) % 7) as f32);
+    let x = Tensor::from_fn(&[16, 8, 16, 16], |i| {
+        ((i[0] + i[1] + i[2] + i[3]) % 7) as f32
+    });
     let spec = Conv2dSpec::new(8, 16, 3, 1, 1);
     let w = Tensor::from_fn(&[16, 8, 3, 3], |i| (i[0] + i[1]) as f32 * 0.01);
     let conv_fwd = |threads: usize| {

@@ -13,11 +13,7 @@ use ibrar_attacks::{clean_accuracy, robust_accuracy, Pgd};
 use ibrar_bench::{Arch, ExpResult, Scale};
 use ibrar_data::{SynthVision, SynthVisionConfig};
 
-fn measure(
-    config: &SynthVisionConfig,
-    arch: Arch,
-    scale: &Scale,
-) -> ExpResult<(f32, f32)> {
+fn measure(config: &SynthVisionConfig, arch: Arch, scale: &Scale) -> ExpResult<(f32, f32)> {
     let data = SynthVision::generate(config, 7)?;
     let model = arch.build(config.num_classes, 0)?;
     let cfg = TrainerConfig::new(TrainMethod::Standard)
@@ -34,8 +30,7 @@ fn main() -> ExpResult<()> {
     let scale = Scale::from_args();
     let sweep = std::env::args().any(|a| a == "--contrast-sweep");
     ibrar_bench::run_binary("calibrate", &scale, |scale| {
-        let mut table =
-            TextTable::new(vec!["Dataset", "Contrast", "Natural %", "PGD^10 %"]);
+        let mut table = TextTable::new(vec!["Dataset", "Contrast", "Natural %", "PGD^10 %"]);
         if sweep {
             for contrast in [1.0f32, 0.6, 0.45, 0.35, 0.25, 0.18] {
                 let config = SynthVisionConfig::cifar10_like()

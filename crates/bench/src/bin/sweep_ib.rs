@@ -39,9 +39,7 @@ fn run(scale: &Scale) -> ExpResult<String> {
                 .with_epochs(scale.epochs)
                 .with_batch_size(scale.batch);
             if alpha > 0.0 || beta > 0.0 {
-                cfg = cfg.with_ib(
-                    IbLossConfig::new(alpha, beta).with_policy(LayerPolicy::Robust),
-                );
+                cfg = cfg.with_ib(IbLossConfig::new(alpha, beta).with_policy(LayerPolicy::Robust));
             }
             if mask {
                 cfg = cfg.with_mask(MaskConfig::default());

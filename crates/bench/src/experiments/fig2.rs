@@ -58,8 +58,11 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
     // HBaR (HSIC bottleneck on all layers).
     {
         let model = Arch::Vgg.build(k, 12)?;
-        Trainer::new(trainer_base(Some(IbLossConfig::hbar()), false))
-            .train(model.as_ref(), &data.train, &data.test)?;
+        Trainer::new(trainer_base(Some(IbLossConfig::hbar()), false)).train(
+            model.as_ref(),
+            &data.train,
+            &data.test,
+        )?;
         models.push(("HBaR".into(), model));
     }
     // IB-RAR(all).
@@ -96,8 +99,7 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
             let mut points = Vec::new();
             for &s in &steps {
                 let attack = attack_for(s);
-                let acc =
-                    robust_accuracy(model.as_ref(), attack.as_ref(), &eval_set, 32)? * 100.0;
+                let acc = robust_accuracy(model.as_ref(), attack.as_ref(), &eval_set, 32)? * 100.0;
                 points.push((s as f32, acc));
             }
             all.push(Series::new(name.clone(), points));

@@ -12,10 +12,7 @@ use ibrar_nn::{ImageModel, Mode, Session};
 use ibrar_tensor::Tensor;
 
 /// Extracts penultimate (last hidden tap) features for a test subset.
-fn penultimate_features(
-    model: &dyn ImageModel,
-    images: &Tensor,
-) -> ExpResult<Tensor> {
+fn penultimate_features(model: &dyn ImageModel, images: &Tensor) -> ExpResult<Tensor> {
     let tape = ibrar_autograd::Tape::new();
     let sess = Session::new(&tape);
     let x = tape.leaf(images.clone());
@@ -36,12 +33,12 @@ fn ascii_scatter(embedding: &Tensor, labels: &[usize], rows: usize, cols: usize)
     let n = labels.len();
     let xs: Vec<f32> = (0..n).map(|i| embedding.get(&[i, 0])).collect();
     let ys: Vec<f32> = (0..n).map(|i| embedding.get(&[i, 1])).collect();
-    let (xmin, xmax) = xs.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
-    let (ymin, ymax) = ys.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (xmin, xmax) = xs
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (ymin, ymax) = ys
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let mut grid = vec![vec![' '; cols]; rows];
     for i in 0..n {
         let cx = (((xs[i] - xmin) / (xmax - xmin).max(1e-6)) * (cols - 1) as f32) as usize;
@@ -80,9 +77,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
         ..TsneConfig::default()
     };
 
-    let mut out = String::from(
-        "Figure 3: t-SNE cluster geometry (penultimate features, synth_cifar10)\n\n",
-    );
+    let mut out =
+        String::from("Figure 3: t-SNE cluster geometry (penultimate features, synth_cifar10)\n\n");
     let mut seps = Vec::new();
     for (i, (name, method, ib)) in variants.iter().enumerate() {
         let model = Arch::Vgg.build(k, 20 + i as u64)?;

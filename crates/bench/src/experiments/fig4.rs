@@ -38,8 +38,7 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
             .with_batch_size(scale.batch)
             .with_adversarial_tracking();
         if *ib_first {
-            cfg = cfg
-                .with_ib(IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust));
+            cfg = cfg.with_ib(IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust));
             if name.contains("first epoch") {
                 cfg = cfg.with_ib_first_epoch_only();
             }
@@ -63,7 +62,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
         ));
     }
 
-    let mut out = String::from("Figure 4: convergence on synth_svhn (VGG16, accuracy % per epoch)\n\n");
+    let mut out =
+        String::from("Figure 4: convergence on synth_svhn (VGG16, accuracy % per epoch)\n\n");
     out.push_str("Natural accuracy:\n");
     out.push_str(&render_series("epoch", &natural_series));
     out.push_str("\nAdversarial (PGD^10) accuracy:\n");

@@ -54,11 +54,15 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
         let t = out.hidden[3].var.value();
         t.len() / t.shape()[0]
     };
-    let directions = normal(&[feature_dim, 6], 0.0, (1.0 / feature_dim as f32).sqrt(), &mut proj_rng);
-
-    let mut out = String::from(
-        "Figure 5: information plane of conv block 4 (VGG16, synth_cifar10)\n\n",
+    let directions = normal(
+        &[feature_dim, 6],
+        0.0,
+        (1.0 / feature_dim as f32).sqrt(),
+        &mut proj_rng,
     );
+
+    let mut out =
+        String::from("Figure 5: information plane of conv block 4 (VGG16, synth_cifar10)\n\n");
     let mut all_series = Vec::new();
     for (name, use_mi_loss) in [("MI loss", true), ("CE only", false)] {
         let model = Arch::Vgg.build(k, 40)?;
@@ -83,7 +87,7 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
                 }
                 sess.backward(loss)?;
                 opt.step();
-                if iteration % record_every == 0 {
+                if iteration.is_multiple_of(record_every) {
                     // Probe conv block 4 (tap index 3) on a fixed batch.
                     let tape2 = ibrar_autograd::Tape::new();
                     let sess2 = Session::new(&tape2);

@@ -46,9 +46,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
             .collect();
         let mut natural = Series::new("Natural", Vec::new());
         for &beta in &betas {
-            let ib = (beta > 0.0).then(|| {
-                IbLossConfig::new(0.1 * beta, beta).with_policy(LayerPolicy::Robust)
-            });
+            let ib = (beta > 0.0)
+                .then(|| IbLossConfig::new(0.1 * beta, beta).with_policy(LayerPolicy::Robust));
             let result = train_and_eval(
                 arch,
                 method,

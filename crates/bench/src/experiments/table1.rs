@@ -15,7 +15,11 @@ use ibrar_data::{SynthVision, SynthVisionConfig};
 pub fn run(scale: &Scale) -> ExpResult<String> {
     let mut out = String::from("Table 1: adversarial training benchmarks ± IB-RAR (VGG16)\n\n");
     let datasets = [
-        (SynthVisionConfig::cifar10_like(), Arch::Vgg, "synth_cifar10 (CIFAR-10 stand-in)"),
+        (
+            SynthVisionConfig::cifar10_like(),
+            Arch::Vgg,
+            "synth_cifar10 (CIFAR-10 stand-in)",
+        ),
         (
             SynthVisionConfig::tiny_imagenet_like(),
             Arch::Vgg32,
@@ -35,9 +39,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
             TrainMethod::mart_default(),
         ] {
             let method = scaled_method(method, scale);
-            let plain = train_and_eval(
-                arch, method, None, false, &data.train, &data.test, scale, k,
-            )?;
+            let plain =
+                train_and_eval(arch, method, None, false, &data.train, &data.test, scale, k)?;
             table.row(attack_row(method.name(), &plain));
             let ib = arch.paper_ib().with_policy(LayerPolicy::Robust);
             let ours = train_and_eval(

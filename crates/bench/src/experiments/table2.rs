@@ -40,9 +40,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
             TrainMethod::mart_default(),
         ] {
             let method = scaled_method(method, scale);
-            let plain = train_and_eval(
-                arch, method, None, false, &data.train, &data.test, scale, k,
-            )?;
+            let plain =
+                train_and_eval(arch, method, None, false, &data.train, &data.test, scale, k)?;
             table.row(attack_row(method.name(), &plain));
             let ib = arch.paper_ib().with_policy(LayerPolicy::Robust);
             let ours = train_and_eval(

@@ -78,9 +78,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
     }
 
     let discovered = robust_indices(&reports);
-    let mut out = String::from(
-        "Table 3: single-layer IB robustness (VGG16, synth_cifar10, PGD^10 eval)\n\n",
-    );
+    let mut out =
+        String::from("Table 3: single-layer IB robustness (VGG16, synth_cifar10, PGD^10 eval)\n\n");
     out.push_str(&table.render());
     out.push_str(&format!(
         "\nDiscovered robust layers (margin {:.1}pp over CE): {:?}\n",

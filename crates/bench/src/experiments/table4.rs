@@ -12,9 +12,15 @@ fn ablation_row(name: &str, r: &EvalResult) -> Vec<String> {
     vec![
         name.to_string(),
         format!("{:.2}", r.natural),
-        r.attack_acc("PGD").map(|a| format!("{a:.2}")).unwrap_or_default(),
-        r.attack_acc("NIFGSM").map(|a| format!("{a:.2}")).unwrap_or_default(),
-        r.attack_acc("FGSM").map(|a| format!("{a:.2}")).unwrap_or_default(),
+        r.attack_acc("PGD")
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_default(),
+        r.attack_acc("NIFGSM")
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_default(),
+        r.attack_acc("FGSM")
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_default(),
     ]
 }
 
@@ -34,8 +40,16 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
         let rows: Vec<(&str, Option<IbLossConfig>, bool)> = vec![
             ("(1) CE", None, false),
             ("(2) L", Some(ib.clone()), false),
-            ("(3) CE + a*I(X,T)", Some(ib.clone().compression_only()), false),
-            ("(4) CE - b*I(Y,T)", Some(ib.clone().relevance_only()), false),
+            (
+                "(3) CE + a*I(X,T)",
+                Some(ib.clone().compression_only()),
+                false,
+            ),
+            (
+                "(4) CE - b*I(Y,T)",
+                Some(ib.clone().relevance_only()),
+                false,
+            ),
             ("(5) CE + FC", None, true),
             ("(6) L + FC (IB-RAR)", Some(ib.clone()), true),
         ];

@@ -64,9 +64,8 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
         }
     }
 
-    let mut out = String::from(
-        "Table 5: adversarial misclassification tendency (VGG16 + CE, PGD^10)\n\n",
-    );
+    let mut out =
+        String::from("Table 5: adversarial misclassification tendency (VGG16 + CE, PGD^10)\n\n");
     out.push_str(&text.render());
     out.push_str(&format!(
         "\nPlanted shared-feature pairs found in top-4 confusions: {hits}/{total}\n{pair_lines}"

@@ -6,8 +6,7 @@
 
 use crate::{scaled_method, Arch, ExpResult, Scale};
 use ibrar::{
-    AdaptiveIbObjective, IbLossConfig, LayerPolicy, MaskConfig, TrainMethod, Trainer,
-    TrainerConfig,
+    AdaptiveIbObjective, IbLossConfig, LayerPolicy, MaskConfig, TrainMethod, Trainer, TrainerConfig,
 };
 use ibrar_analysis::TextTable;
 use ibrar_attacks::{robust_accuracy, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
@@ -52,7 +51,15 @@ pub fn run(scale: &Scale) -> ExpResult<String> {
     let rows: Vec<(&str, Box<dyn ImageModel>)> = vec![
         (
             "plain (IB-RAR)",
-            train_model(scale, &data.train, &data.test, k, TrainMethod::Standard, true, 1)?,
+            train_model(
+                scale,
+                &data.train,
+                &data.test,
+                k,
+                TrainMethod::Standard,
+                true,
+                1,
+            )?,
         ),
         (
             "AT",

@@ -106,11 +106,7 @@ impl EvalResult {
 /// # Errors
 ///
 /// Propagates attack/evaluation errors.
-pub fn eval_model(
-    model: &dyn ImageModel,
-    test: &Dataset,
-    scale: &Scale,
-) -> ExpResult<EvalResult> {
+pub fn eval_model(model: &dyn ImageModel, test: &Dataset, scale: &Scale) -> ExpResult<EvalResult> {
     let natural = clean_accuracy(model, test, 64)? * 100.0;
     let eval_set = test.take(scale.eval)?;
     let mut attacks = Vec::new();

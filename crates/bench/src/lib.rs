@@ -11,8 +11,8 @@ mod harness;
 mod scale;
 
 pub use harness::{
-    attack_row, attack_suite, eval_model, output_dir, run_binary, scaled_method,
-    train_and_eval, write_output, Arch, EvalResult,
+    attack_row, attack_suite, eval_model, output_dir, run_binary, scaled_method, train_and_eval,
+    write_output, Arch, EvalResult,
 };
 pub use scale::Scale;
 

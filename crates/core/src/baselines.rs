@@ -9,9 +9,9 @@
 //!   [`ModelOutput::aux_loss`].
 
 use crate::Result;
+use ibrar_autograd::Var;
 use ibrar_nn::{ImageModel, Linear, Mode, ModelOutput, NnError, Parameter, Session};
 use ibrar_tensor::{normal, Tensor};
-use ibrar_autograd::Var;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,7 +48,9 @@ impl<M: ImageModel> VibBaseline<M> {
         rng: &mut impl rand::Rng,
     ) -> Result<Self> {
         if bottleneck == 0 {
-            return Err(crate::IbrarError::Config("bottleneck width must be positive".into()));
+            return Err(crate::IbrarError::Config(
+                "bottleneck width must be positive".into(),
+            ));
         }
         Ok(VibBaseline {
             mu_head: Linear::new("vib.mu", feature_dim, bottleneck, rng),

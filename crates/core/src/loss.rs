@@ -274,7 +274,10 @@ mod tests {
 
     #[test]
     fn policy_resolution() {
-        assert_eq!(LayerPolicy::All.resolve(7).unwrap(), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            LayerPolicy::All.resolve(7).unwrap(),
+            vec![0, 1, 2, 3, 4, 5, 6]
+        );
         assert_eq!(LayerPolicy::Robust.resolve(7).unwrap(), vec![4, 5, 6]);
         assert_eq!(LayerPolicy::Single(2).resolve(7).unwrap(), vec![2]);
         assert_eq!(
@@ -375,10 +378,7 @@ mod tests {
         let (var, terms) =
             IbLoss::regularizer_with_terms(&sess, xv, &out.hidden, &labels, 4, &cfg).unwrap();
         let expected = LayerPolicy::Robust.resolve(out.hidden.len()).unwrap();
-        assert_eq!(
-            terms.iter().map(|t| t.layer).collect::<Vec<_>>(),
-            expected
-        );
+        assert_eq!(terms.iter().map(|t| t.layer).collect::<Vec<_>>(), expected);
         // Both HSIC estimates are present, nonnegative, and recombine into
         // the regularizer value under (α, β).
         let mut recombined = 0.0f32;

@@ -85,11 +85,7 @@ pub fn compute_channel_mask(
     result
 }
 
-fn score_and_mask(
-    model: &dyn ImageModel,
-    data: &Dataset,
-    config: &MaskConfig,
-) -> Result<Tensor> {
+fn score_and_mask(model: &dyn ImageModel, data: &Dataset, config: &MaskConfig) -> Result<Tensor> {
     let subset = data.take(config.sample_budget.max(2))?;
     let batch = subset.as_batch();
     let tape = ibrar_autograd::Tape::new();
@@ -154,11 +150,8 @@ mod tests {
     fn compute_mask_end_to_end() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-        let data = SynthVision::generate(
-            &SynthVisionConfig::cifar10_like().with_sizes(64, 16),
-            1,
-        )
-        .unwrap();
+        let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(64, 16), 1)
+            .unwrap();
         let mask = compute_channel_mask(&model, &data.train, &MaskConfig::default()).unwrap();
         assert_eq!(mask.shape(), &[64]);
         // 5% of 64 = 3 channels removed.
@@ -171,11 +164,8 @@ mod tests {
     fn scoring_ignores_installed_mask_but_restores_it() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-        let data = SynthVision::generate(
-            &SynthVisionConfig::cifar10_like().with_sizes(64, 16),
-            1,
-        )
-        .unwrap();
+        let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(64, 16), 1)
+            .unwrap();
         let installed = Tensor::zeros(&[64]);
         model.set_channel_mask(Some(installed.clone())).unwrap();
         let mask = compute_channel_mask(&model, &data.train, &MaskConfig::default()).unwrap();

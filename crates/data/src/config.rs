@@ -180,7 +180,9 @@ impl SynthVisionConfig {
             )));
         }
         if self.train_size == 0 || self.test_size == 0 {
-            return Err(DataError::Config("train/test sizes must be positive".into()));
+            return Err(DataError::Config(
+                "train/test sizes must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.contrast) || self.contrast == 0.0 {
             return Err(DataError::Config(format!(
@@ -241,7 +243,8 @@ mod tests {
             SynthVisionConfig::svhn_like(),
             SynthVisionConfig::tiny_imagenet_like(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

@@ -67,13 +67,7 @@ impl SynthVision {
             }
         }
 
-        let train = synthesize_split(
-            config,
-            &prototypes,
-            &shared,
-            config.train_size,
-            &mut rng,
-        )?;
+        let train = synthesize_split(config, &prototypes, &shared, config.train_size, &mut rng)?;
         let test = synthesize_split(config, &prototypes, &shared, config.test_size, &mut rng)?;
         Ok(SynthVision {
             config: config.clone(),

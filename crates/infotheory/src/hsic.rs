@@ -171,7 +171,10 @@ mod tests {
         let x = Tensor::ones(&[6, 3]);
         let y = Tensor::from_fn(&[6, 2], |i| i[0] as f32);
         let v = hsic(&x, &y, 1.0, 1.0).unwrap();
-        assert!(v.abs() < 1e-5, "constant input should carry no information: {v}");
+        assert!(
+            v.abs() < 1e-5,
+            "constant input should carry no information: {v}"
+        );
     }
 
     #[test]
@@ -223,7 +226,9 @@ mod tests {
 
     #[test]
     fn median_sigma_bitwise_across_thread_counts() {
-        let x = Tensor::from_fn(&[17, 6], |i| ((i[0] * 13 + i[1] * 7) % 23) as f32 * 0.37 - 2.0);
+        let x = Tensor::from_fn(&[17, 6], |i| {
+            ((i[0] * 13 + i[1] * 7) % 23) as f32 * 0.37 - 2.0
+        });
         let serial = {
             let _g = parallel::with_threads(1);
             median_sigma(&x)

@@ -43,10 +43,14 @@ impl InfoPlane {
     /// # Errors
     ///
     /// Returns an error for inconsistent shapes/labels.
-    pub fn record(&mut self, iteration: usize, t: &Tensor, labels: &[usize]) -> Result<InfoPlanePoint> {
+    pub fn record(
+        &mut self,
+        iteration: usize,
+        t: &Tensor,
+        labels: &[usize],
+    ) -> Result<InfoPlanePoint> {
         let h_t = binned_pattern_entropy(t, self.config)?;
-        let h_t_given_y =
-            conditional_pattern_entropy(t, labels, self.num_classes, self.config)?;
+        let h_t_given_y = conditional_pattern_entropy(t, labels, self.num_classes, self.config)?;
         let point = InfoPlanePoint {
             iteration,
             i_xt: h_t,

@@ -1,0 +1,137 @@
+//! Differential tests: the optimized HSIC estimator vs the
+//! `ibrar-oracle` literal `tr(KₓH KᵧH)/(m−1)²` implementation, plus a
+//! finite-difference audit of the differentiable `hsic_var` graph.
+//!
+//! `median_sigma` is compared **bitwise**: the optimized implementation
+//! performs the same operation sequence as the oracle (pairwise
+//! distances, sort, midpoint), so any divergence is a real behavior
+//! change, not accumulation noise.
+
+use ibrar_autograd::{check_gradients, Tape};
+use ibrar_infotheory::{hsic, hsic_var, median_sigma, one_hot};
+use ibrar_oracle::{compare_scalar, kernels, Gen, Tolerance};
+
+const CASES: usize = 100;
+
+/// HSIC rewrites the trace as `Σ (KₓH) ⊙ (KᵧH)ᵀ` instead of four chained
+/// matmuls, so the accumulation pattern differs entirely from the oracle;
+/// values are O(1e-3..1e-1), hence a modest absolute floor.
+fn hsic_tol() -> Tolerance {
+    Tolerance {
+        abs: 1e-5,
+        rel: 5e-4,
+        ulp: 32,
+    }
+}
+
+#[test]
+fn hsic_matches_literal_oracle() {
+    let mut g = Gen::new(0xC001);
+    for case in 0..CASES {
+        let m = g.usize_in(2, 9);
+        let dx = g.usize_in(1, 5);
+        let dy = g.usize_in(1, 5);
+        let x = g.tensor(&[m, dx], -2.0, 2.0);
+        let y = g.tensor(&[m, dy], -2.0, 2.0);
+        let sx = g.f32_in(0.5, 2.5);
+        let sy = g.f32_in(0.5, 2.5);
+        let got = hsic(&x, &y, sx, sy).unwrap();
+        let want = kernels::hsic(&x, &y, sx, sy);
+        compare_scalar(&format!("hsic case {case} (m={m})"), got, want, hsic_tol())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn hsic_on_one_hot_labels_matches_oracle() {
+    // The relevance term I(Y, T) runs HSIC against one-hot label matrices;
+    // exercise that exact input family too.
+    let mut g = Gen::new(0xC002);
+    for case in 0..CASES {
+        let m = g.usize_in(2, 9);
+        let k = g.usize_in(2, 5);
+        let d = g.usize_in(1, 5);
+        let t = g.tensor(&[m, d], -2.0, 2.0);
+        let y = one_hot(&g.labels(m, k), k).unwrap();
+        let st = g.f32_in(0.5, 2.5);
+        let sy = g.f32_in(0.5, 2.5);
+        let got = hsic(&y, &t, sy, st).unwrap();
+        let want = kernels::hsic(&y, &t, sy, st);
+        compare_scalar(&format!("hsic one-hot case {case}"), got, want, hsic_tol())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn median_sigma_matches_oracle_bitwise() {
+    let mut g = Gen::new(0xC003);
+    for case in 0..CASES {
+        let m = g.usize_in(1, 12); // includes the m < 2 fallback
+        let d = g.usize_in(1, 6);
+        let x = g.tensor(&[m, d], -3.0, 3.0);
+        let got = median_sigma(&x);
+        let want = kernels::median_sigma(&x);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "median_sigma case {case} (m={m}): {got} vs oracle {want}"
+        );
+    }
+}
+
+#[test]
+fn hsic_var_forward_agrees_with_plain_hsic() {
+    let mut g = Gen::new(0xC004);
+    for case in 0..CASES {
+        let m = g.usize_in(2, 8);
+        let x = g.tensor(&[m, 4], -2.0, 2.0);
+        let y = g.tensor(&[m, 3], -2.0, 2.0);
+        let (sx, sy) = (g.f32_in(0.5, 2.0), g.f32_in(0.5, 2.0));
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let yv = tape.var(y.clone());
+        let graph = hsic_var(xv, yv, sx, sy).unwrap().value().data()[0];
+        let plain = hsic(&x, &y, sx, sy).unwrap();
+        // Same estimator built from graph ops vs fused tensor ops.
+        compare_scalar(
+            &format!("hsic_var fwd case {case}"),
+            graph,
+            plain,
+            hsic_tol(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn hsic_var_gradient_audit() {
+    // σ is a constant hyper-parameter of the graph (the trainer computes it
+    // in a stop-gradient prepass), so it is held fixed across FD probes.
+    let x0 = Gen::new(0xC005).tensor(&[5, 3], -1.5, 1.5);
+    let y0 = Gen::new(0xC006).tensor(&[5, 2], -1.5, 1.5);
+    let (sx, sy) = (1.1f32, 0.9f32);
+
+    let tape = Tape::new();
+    let xv = tape.var(x0.clone());
+    let yv = tape.var(y0.clone());
+    let loss = hsic_var(xv, yv, sx, sy).unwrap();
+    let grads = tape.backward(loss).unwrap();
+
+    for (name, var, base, other, x_side) in [
+        ("hsic_var d/dx", xv, &x0, &y0, true),
+        ("hsic_var d/dy", yv, &y0, &x0, false),
+    ] {
+        let analytic = grads.get(var).unwrap().clone();
+        let report = check_gradients(base, &analytic, 1e-3, |t| {
+            let tp = Tape::new();
+            let (a, b) = if x_side {
+                (tp.var(t.clone()), tp.var(other.clone()))
+            } else {
+                (tp.var(other.clone()), tp.var(t.clone()))
+            };
+            Ok(hsic_var(a, b, sx, sy).unwrap().value().data()[0])
+        })
+        .unwrap();
+        assert!(report.passes(1e-2), "{name}: {report:?}");
+    }
+}

@@ -75,7 +75,12 @@ impl Conv2d {
         let weight = Parameter::new(
             format!("{name}.weight"),
             kaiming_uniform(
-                &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                &[
+                    spec.out_channels,
+                    spec.in_channels,
+                    spec.kernel,
+                    spec.kernel,
+                ],
                 rng,
             ),
         );
@@ -168,11 +173,9 @@ impl BatchNorm2d {
             Mode::Eval => {
                 // (x − μ̂)·inv_std̂·γ + β, all per-channel broadcasts.
                 let mean = sess.tape().leaf(self.running_mean.lock().clone());
-                let inv_std = sess.tape().leaf(
-                    self.running_var
-                        .lock()
-                        .map(|v| 1.0 / (v + self.eps).sqrt()),
-                );
+                let inv_std = sess
+                    .tape()
+                    .leaf(self.running_var.lock().map(|v| 1.0 / (v + self.eps).sqrt()));
                 Ok(x.sub(mean)?.mul(inv_std)?.mul(gamma)?.add(beta)?)
             }
         }
@@ -222,7 +225,13 @@ mod tests {
         let tape = Tape::new();
         let sess = Session::new(&tape);
         let x = tape.leaf(Tensor::ones(&[1, 3]));
-        let loss = layer.forward(&sess, x).unwrap().square().unwrap().sum().unwrap();
+        let loss = layer
+            .forward(&sess, x)
+            .unwrap()
+            .square()
+            .unwrap()
+            .sum()
+            .unwrap();
         sess.backward(loss).unwrap();
         for p in layer.params() {
             assert!(p.grad().is_some(), "{} missing grad", p.name());

@@ -59,7 +59,10 @@ impl BasicBlock {
     }
 
     fn forward<'t>(&self, sess: &Session<'t>, x: Var<'t>, mode: Mode) -> Result<Var<'t>> {
-        let h = self.bn1.forward(sess, self.conv1.forward(sess, x)?, mode)?.relu()?;
+        let h = self
+            .bn1
+            .forward(sess, self.conv1.forward(sess, x)?, mode)?
+            .relu()?;
         let h = self.bn2.forward(sess, self.conv2.forward(sess, h)?, mode)?;
         let skip = match &self.shortcut {
             Some((conv, bn)) => bn.forward(sess, conv.forward(sess, x)?, mode)?,

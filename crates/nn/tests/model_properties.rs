@@ -2,8 +2,8 @@
 
 use ibrar_autograd::Tape;
 use ibrar_nn::{
-    load_params, save_params, ImageModel, Mode, ResNetConfig, ResNetMini, Session, Sgd,
-    SgdConfig, VggConfig, VggMini, WideResNetConfig, WideResNetMini,
+    load_params, save_params, ImageModel, Mode, ResNetConfig, ResNetMini, Session, Sgd, SgdConfig,
+    VggConfig, VggMini, WideResNetConfig, WideResNetMini,
 };
 use ibrar_tensor::Tensor;
 use proptest::prelude::*;
@@ -87,14 +87,24 @@ fn checkpoint_roundtrip_all_models() {
     let a = VggMini::new(VggConfig::tiny(5), &mut rng_a).unwrap();
     let b = VggMini::new(VggConfig::tiny(5), &mut rng_b).unwrap();
     load_params(&b, save_params(&a)).unwrap();
-    assert!(eval_logits(&a, &x).max_abs_diff(&eval_logits(&b, &x)).unwrap() < 1e-6);
+    assert!(
+        eval_logits(&a, &x)
+            .max_abs_diff(&eval_logits(&b, &x))
+            .unwrap()
+            < 1e-6
+    );
 
     let a = ResNetMini::new(ResNetConfig::tiny_fast(5), &mut rng_a).unwrap();
     let b = ResNetMini::new(ResNetConfig::tiny_fast(5), &mut rng_b).unwrap();
     load_params(&b, save_params(&a)).unwrap();
     // Residual nets also carry running stats; fresh models share the
     // defaults, so outputs still agree.
-    assert!(eval_logits(&a, &x).max_abs_diff(&eval_logits(&b, &x)).unwrap() < 1e-5);
+    assert!(
+        eval_logits(&a, &x)
+            .max_abs_diff(&eval_logits(&b, &x))
+            .unwrap()
+            < 1e-5
+    );
 }
 
 /// Loading a checkpoint from a different architecture fails cleanly.

@@ -1,0 +1,264 @@
+//! Tolerance policy and tensor comparison for differential tests.
+//!
+//! An element passes when **any** of the three criteria holds:
+//!
+//! - absolute: `|got − want| ≤ abs`
+//! - relative: `|got − want| ≤ rel · |want|`
+//! - ULP: the two bit patterns are within `ulp` representable floats
+//!
+//! The OR combination mirrors the gradcheck helper: absolute tolerance
+//! covers values near zero where relative error blows up, relative/ULP
+//! cover large magnitudes where a fixed absolute threshold is too strict.
+
+use ibrar_tensor::Tensor;
+
+/// Pass thresholds for a differential comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Absolute error bound.
+    pub abs: f32,
+    /// Relative error bound (w.r.t. the oracle value).
+    pub rel: f32,
+    /// Units-in-the-last-place bound.
+    pub ulp: u32,
+}
+
+impl Tolerance {
+    /// Bitwise equality only.
+    pub const EXACT: Tolerance = Tolerance {
+        abs: 0.0,
+        rel: 0.0,
+        ulp: 0,
+    };
+
+    /// Absolute + relative bounds, no ULP allowance.
+    pub fn abs_rel(abs: f32, rel: f32) -> Self {
+        Tolerance { abs, rel, ulp: 0 }
+    }
+
+    /// Pure ULP bound.
+    pub fn ulps(ulp: u32) -> Self {
+        Tolerance {
+            abs: 0.0,
+            rel: 0.0,
+            ulp,
+        }
+    }
+
+    /// The workspace default for reduction kernels (matmul, conv, HSIC):
+    /// accumulation reordering costs at most a few ULPs per term, so allow
+    /// a small relative error plus an absolute floor for near-zero sums.
+    pub fn reduction() -> Self {
+        Tolerance {
+            abs: 1e-5,
+            rel: 1e-5,
+            ulp: 16,
+        }
+    }
+
+    /// Whether a single got/want pair is within tolerance.
+    pub fn accepts(&self, got: f32, want: f32) -> bool {
+        if got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()) {
+            return true;
+        }
+        let abs_err = (got - want).abs();
+        abs_err <= self.abs
+            || abs_err <= self.rel * want.abs()
+            || ulp_distance(got, want) <= self.ulp
+    }
+}
+
+/// Distance between two floats in representable steps.
+///
+/// Returns `u32::MAX` for NaNs or opposite-sign pairs (other than the two
+/// zeros, which are 0 apart by convention).
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    if a == b {
+        return 0; // covers +0.0 vs -0.0
+    }
+    if (a < 0.0) != (b < 0.0) {
+        return u32::MAX;
+    }
+    let (ia, ib) = (a.abs().to_bits(), b.abs().to_bits());
+    ia.abs_diff(ib)
+}
+
+/// A failed comparison, pinpointing the worst element.
+#[derive(Debug, Clone)]
+pub struct DiffError {
+    /// Comparison label (kernel + case id).
+    pub label: String,
+    /// Flat index of the worst element.
+    pub index: usize,
+    /// Optimized value at that index.
+    pub got: f32,
+    /// Oracle value at that index.
+    pub want: f32,
+    /// Absolute error there.
+    pub abs_err: f32,
+    /// ULP distance there.
+    pub ulp: u32,
+    /// How many elements failed in total.
+    pub failures: usize,
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} element(s) out of tolerance; worst at [{}]: got {} (bits {:#010x}) vs oracle {} (bits {:#010x}), abs err {:e}, {} ulp",
+            self.label,
+            self.failures,
+            self.index,
+            self.got,
+            self.got.to_bits(),
+            self.want,
+            self.want.to_bits(),
+            self.abs_err,
+            self.ulp,
+        )
+    }
+}
+
+/// Compares an optimized tensor against its oracle counterpart.
+///
+/// # Errors
+///
+/// Returns a [`DiffError`] naming the worst element when shapes disagree
+/// or any element exceeds the tolerance.
+pub fn compare(label: &str, got: &Tensor, want: &Tensor, tol: Tolerance) -> Result<(), DiffError> {
+    if got.shape() != want.shape() {
+        return Err(DiffError {
+            label: format!(
+                "{label}: shape mismatch {:?} vs oracle {:?}",
+                got.shape(),
+                want.shape()
+            ),
+            index: 0,
+            got: f32::NAN,
+            want: f32::NAN,
+            abs_err: f32::NAN,
+            ulp: u32::MAX,
+            failures: 0,
+        });
+    }
+    let mut worst: Option<DiffError> = None;
+    let mut failures = 0usize;
+    for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+        if tol.accepts(g, w) {
+            continue;
+        }
+        failures += 1;
+        let abs_err = (g - w).abs();
+        let replace = worst
+            .as_ref()
+            .map(|prev| abs_err > prev.abs_err || !abs_err.is_finite())
+            .unwrap_or(true);
+        if replace {
+            worst = Some(DiffError {
+                label: label.to_string(),
+                index: i,
+                got: g,
+                want: w,
+                abs_err,
+                ulp: ulp_distance(g, w),
+                failures: 0,
+            });
+        }
+    }
+    match worst {
+        Some(mut e) => {
+            e.failures = failures;
+            Err(e)
+        }
+        None => Ok(()),
+    }
+}
+
+/// Scalar variant of [`compare`].
+///
+/// # Errors
+///
+/// Returns a [`DiffError`] when the pair is out of tolerance.
+pub fn compare_scalar(label: &str, got: f32, want: f32, tol: Tolerance) -> Result<(), DiffError> {
+    if tol.accepts(got, want) {
+        return Ok(());
+    }
+    Err(DiffError {
+        label: label.to_string(),
+        index: 0,
+        got,
+        want,
+        abs_err: (got - want).abs(),
+        ulp: ulp_distance(got, want),
+        failures: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, -1.0), u32::MAX);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn exact_tolerance_requires_bit_equality() {
+        let t = Tolerance::EXACT;
+        assert!(t.accepts(0.1, 0.1));
+        assert!(!t.accepts(0.1, 0.1 + 1e-7));
+    }
+
+    #[test]
+    fn abs_tolerance_covers_near_zero() {
+        let t = Tolerance::abs_rel(1e-6, 0.0);
+        assert!(t.accepts(1e-7, 0.0));
+        assert!(!t.accepts(1e-5, 0.0));
+    }
+
+    #[test]
+    fn rel_tolerance_scales_with_magnitude() {
+        let t = Tolerance::abs_rel(0.0, 1e-6);
+        assert!(t.accepts(1e6, 1e6 + 0.5));
+        assert!(!t.accepts(1.0, 1.1));
+    }
+
+    #[test]
+    fn compare_reports_worst_element() {
+        let got = Tensor::from_vec(vec![1.0, 2.0, 3.5], &[3]).unwrap();
+        let want = Tensor::from_vec(vec![1.0, 2.1, 3.0], &[3]).unwrap();
+        let err = compare("t", &got, &want, Tolerance::abs_rel(0.05, 0.0)).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.failures, 2);
+        assert!(err.to_string().contains("worst at [2]"));
+    }
+
+    #[test]
+    fn compare_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(compare("t", &a, &b, Tolerance::reduction()).is_err());
+    }
+
+    #[test]
+    fn compare_accepts_identical() {
+        let a = Tensor::from_fn(&[5], |i| i[0] as f32 * 0.3);
+        assert!(compare("t", &a, &a.clone(), Tolerance::EXACT).is_ok());
+    }
+
+    #[test]
+    fn nan_pairs_accepted_nan_mismatch_rejected() {
+        let t = Tolerance::reduction();
+        assert!(t.accepts(f32::NAN, f32::NAN));
+        assert!(!t.accepts(f32::NAN, 1.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Finite-difference gradient auditing.
+//!
+//! Central differences against an arbitrary scalar loss closure over a
+//! flat parameter slice. The full variant perturbs every coordinate; the
+//! sampled variant walks a deterministic coordinate subset so expensive
+//! losses (a whole model forward per evaluation) stay tractable while the
+//! subset itself stays reproducible.
+
+use crate::gen::Gen;
+
+/// Central-difference gradient of `f` at `x`, all coordinates.
+pub fn fd_gradient(f: &mut dyn FnMut(&[f32]) -> f32, x: &[f32], eps: f32) -> Vec<f32> {
+    let mut probe = x.to_vec();
+    let mut grad = vec![0.0f32; x.len()];
+    for i in 0..x.len() {
+        let orig = probe[i];
+        probe[i] = orig + eps;
+        let plus = f(&probe);
+        probe[i] = orig - eps;
+        let minus = f(&probe);
+        probe[i] = orig;
+        grad[i] = (plus - minus) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Central-difference gradient at selected coordinates only.
+///
+/// Returns `(coordinate, derivative)` pairs in the order given.
+pub fn fd_gradient_sampled(
+    f: &mut dyn FnMut(&[f32]) -> f32,
+    x: &[f32],
+    eps: f32,
+    coords: &[usize],
+) -> Vec<(usize, f32)> {
+    let mut probe = x.to_vec();
+    coords
+        .iter()
+        .map(|&i| {
+            let orig = probe[i];
+            probe[i] = orig + eps;
+            let plus = f(&probe);
+            probe[i] = orig - eps;
+            let minus = f(&probe);
+            probe[i] = orig;
+            (i, (plus - minus) / (2.0 * eps))
+        })
+        .collect()
+}
+
+/// Deterministically samples up to `max` distinct coordinates of a
+/// `len`-element vector (all of them when `len ≤ max`).
+pub fn sample_coords(len: usize, max: usize, seed: u64) -> Vec<usize> {
+    if len <= max {
+        return (0..len).collect();
+    }
+    let mut g = Gen::new(seed);
+    let mut picked = Vec::with_capacity(max);
+    let mut seen = vec![false; len];
+    while picked.len() < max {
+        let i = g.usize_in(0, len - 1);
+        if !seen[i] {
+            seen[i] = true;
+            picked.push(i);
+        }
+    }
+    picked
+}
+
+/// Outcome of a gradient audit.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Largest absolute analytic-vs-numeric error.
+    pub max_abs_err: f32,
+    /// Largest relative error (w.r.t. `max(|analytic|, |numeric|)`).
+    pub max_rel_err: f32,
+    /// Coordinate where the worst error occurred.
+    pub worst_coord: usize,
+    /// Analytic value there.
+    pub analytic: f32,
+    /// Numeric value there.
+    pub numeric: f32,
+    /// Number of coordinates checked.
+    pub checked: usize,
+}
+
+impl AuditReport {
+    /// Whether every coordinate met the absolute **or** relative bound.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Audits an analytic gradient against central differences of `f`.
+///
+/// Checks the coordinates in `coords` (use [`sample_coords`] or
+/// `(0..len).collect()`); `analytic` must hold the full-length analytic
+/// gradient.
+///
+/// # Panics
+///
+/// Panics when `analytic` is shorter than a sampled coordinate — that is
+/// a bug in the test, not a gradient failure.
+pub fn audit_gradient(
+    f: &mut dyn FnMut(&[f32]) -> f32,
+    x: &[f32],
+    analytic: &[f32],
+    eps: f32,
+    coords: &[usize],
+) -> AuditReport {
+    assert_eq!(
+        x.len(),
+        analytic.len(),
+        "analytic gradient length must match input"
+    );
+    let numeric = fd_gradient_sampled(f, x, eps, coords);
+    let mut report = AuditReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        worst_coord: 0,
+        analytic: 0.0,
+        numeric: 0.0,
+        checked: numeric.len(),
+    };
+    for (i, num) in numeric {
+        let ana = analytic[i];
+        let abs_err = (ana - num).abs();
+        let scale = ana.abs().max(num.abs()).max(1e-12);
+        let rel_err = abs_err / scale;
+        // Track the coordinate whose *joint* criterion is worst: a
+        // coordinate only threatens `passes` through min(abs, rel).
+        let joint = abs_err.min(rel_err);
+        let prev_joint = report.max_abs_err.min(report.max_rel_err);
+        if joint > prev_joint || !joint.is_finite() {
+            report.max_abs_err = abs_err;
+            report.max_rel_err = rel_err;
+            report.worst_coord = i;
+            report.analytic = ana;
+            report.numeric = num;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_matches_quadratic() {
+        // f(x) = Σ xᵢ² → ∇f = 2x.
+        let x = [0.5f32, -1.5, 2.0];
+        let mut f = |v: &[f32]| v.iter().map(|a| a * a).sum::<f32>();
+        let g = fd_gradient(&mut f, &x, 1e-3);
+        for (gi, xi) in g.iter().zip(&x) {
+            assert!((gi - 2.0 * xi).abs() < 1e-3, "{gi} vs {}", 2.0 * xi);
+        }
+    }
+
+    #[test]
+    fn sampled_subset_of_full() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let mut f = |v: &[f32]| v.iter().product::<f32>();
+        let full = fd_gradient(&mut f, &x, 1e-3);
+        let sampled = fd_gradient_sampled(&mut f, &x, 1e-3, &[1, 3]);
+        assert_eq!(sampled.len(), 2);
+        assert_eq!(sampled[0].0, 1);
+        assert!((sampled[0].1 - full[1]).abs() < 1e-6);
+        assert!((sampled[1].1 - full[3]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_coords_distinct_and_deterministic() {
+        let a = sample_coords(100, 10, 5);
+        let b = sample_coords(100, 10, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "coordinates must be distinct");
+        // small vectors are covered exhaustively
+        assert_eq!(sample_coords(5, 10, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn audit_passes_correct_gradient() {
+        let x = [0.3f32, -0.7, 1.1];
+        let analytic: Vec<f32> = x.iter().map(|v| 2.0 * v).collect();
+        let mut f = |v: &[f32]| v.iter().map(|a| a * a).sum::<f32>();
+        let coords: Vec<usize> = (0..x.len()).collect();
+        let report = audit_gradient(&mut f, &x, &analytic, 1e-3, &coords);
+        assert!(report.passes(1e-3), "{report:?}");
+        assert_eq!(report.checked, 3);
+    }
+
+    #[test]
+    fn audit_flags_wrong_gradient() {
+        let x = [0.3f32, -0.7, 1.1];
+        let mut wrong: Vec<f32> = x.iter().map(|v| 2.0 * v).collect();
+        wrong[1] = 5.0;
+        let mut f = |v: &[f32]| v.iter().map(|a| a * a).sum::<f32>();
+        let coords: Vec<usize> = (0..x.len()).collect();
+        let report = audit_gradient(&mut f, &x, &wrong, 1e-3, &coords);
+        assert!(!report.passes(1e-3));
+        assert_eq!(report.worst_coord, 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Bitwise-exact golden snapshots.
+//!
+//! A [`Snapshot`] is an ordered list of named values. Floats are stored
+//! as their `f32::to_bits` patterns (with a human-readable `approx`
+//! field alongside), so "matches the golden file" means *bit-identical*,
+//! not approximately equal — decimal round-tripping never enters the
+//! comparison. 64-bit hashes are stored as decimal strings because JSON
+//! numbers cannot carry a full u64 exactly.
+//!
+//! Regeneration flow: run the golden tests with `IBRAR_BLESS=1` to
+//! rewrite every snapshot from the current build, then commit the diff.
+//! Without the variable a missing or mismatching snapshot is a test
+//! failure that names the first divergent entry.
+
+use ibrar_telemetry::json::{write_string, Json};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One recorded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An f32, stored by bit pattern.
+    F32(u32),
+    /// A vector of f32 bit patterns.
+    F32s(Vec<u32>),
+    /// An unsigned 64-bit value (hashes, counts).
+    U64(u64),
+    /// A string (names, shapes).
+    Str(String),
+}
+
+/// An ordered collection of named golden values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    name: String,
+    entries: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new(name: impl Into<String>) -> Self {
+        Snapshot {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The snapshot name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The recorded entries in insertion order.
+    pub fn entries(&self) -> &[(String, Value)] {
+        &self.entries
+    }
+
+    /// Records an f32 by bit pattern.
+    pub fn push_f32(&mut self, key: impl Into<String>, v: f32) {
+        self.entries.push((key.into(), Value::F32(v.to_bits())));
+    }
+
+    /// Records a slice of f32s by bit pattern.
+    pub fn push_f32s(&mut self, key: impl Into<String>, vs: &[f32]) {
+        self.entries.push((
+            key.into(),
+            Value::F32s(vs.iter().map(|v| v.to_bits()).collect()),
+        ));
+    }
+
+    /// Records a u64 (stored as a decimal string in JSON).
+    pub fn push_u64(&mut self, key: impl Into<String>, v: u64) {
+        self.entries.push((key.into(), Value::U64(v)));
+    }
+
+    /// Records a string.
+    pub fn push_str(&mut self, key: impl Into<String>, v: impl Into<String>) {
+        self.entries.push((key.into(), Value::Str(v.into())));
+    }
+
+    /// Serializes to the golden JSON format (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"name\": ");
+        write_string(&self.name, &mut out);
+        out.push_str(",\n  \"entries\": [");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"key\": ");
+            write_string(key, &mut out);
+            match value {
+                Value::F32(bits) => {
+                    let _ = write!(
+                        out,
+                        ", \"type\": \"f32\", \"bits\": {bits}, \"approx\": \"{}\"",
+                        f32::from_bits(*bits)
+                    );
+                }
+                Value::F32s(bits) => {
+                    out.push_str(", \"type\": \"f32s\", \"bits\": [");
+                    for (j, b) in bits.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push(']');
+                }
+                Value::U64(v) => {
+                    let _ = write!(out, ", \"type\": \"u64\", \"value\": \"{v}\"");
+                }
+                Value::Str(s) => {
+                    out.push_str(", \"type\": \"str\", \"value\": ");
+                    write_string(s, &mut out);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses the golden JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed element.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let root = Json::parse(text)?;
+        let name = root
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("snapshot missing \"name\"")?
+            .to_string();
+        let mut snap = Snapshot::new(name);
+        let entries = root
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("snapshot missing \"entries\" array")?;
+        for (i, entry) in entries.iter().enumerate() {
+            let key = entry
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i} missing \"key\""))?
+                .to_string();
+            let ty = entry
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i} missing \"type\""))?;
+            let value = match ty {
+                "f32" => {
+                    let bits = entry
+                        .get("bits")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("entry {i} missing \"bits\""))?;
+                    Value::F32(bits as u32)
+                }
+                "f32s" => {
+                    let arr = entry
+                        .get("bits")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| format!("entry {i} missing \"bits\" array"))?;
+                    let bits = arr
+                        .iter()
+                        .map(|v| v.as_f64().map(|f| f as u32))
+                        .collect::<Option<Vec<u32>>>()
+                        .ok_or_else(|| format!("entry {i} has non-numeric bits"))?;
+                    Value::F32s(bits)
+                }
+                "u64" => {
+                    let s = entry
+                        .get("value")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("entry {i} missing \"value\""))?;
+                    Value::U64(
+                        s.parse::<u64>()
+                            .map_err(|e| format!("entry {i}: bad u64 {s:?}: {e}"))?,
+                    )
+                }
+                "str" => Value::Str(
+                    entry
+                        .get("value")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("entry {i} missing \"value\""))?
+                        .to_string(),
+                ),
+                other => return Err(format!("entry {i} has unknown type {other:?}")),
+            };
+            snap.entries.push((key, value));
+        }
+        Ok(snap)
+    }
+
+    /// First entry (by insertion order) where `self` and `other` disagree.
+    fn first_divergence(&self, other: &Snapshot) -> Option<String> {
+        if self.name != other.name {
+            return Some(format!(
+                "snapshot name {:?} vs golden {:?}",
+                self.name, other.name
+            ));
+        }
+        for (i, (mine, theirs)) in self.entries.iter().zip(&other.entries).enumerate() {
+            if mine != theirs {
+                return Some(format!(
+                    "entry {i} diverges: computed {mine:?} vs golden {theirs:?}"
+                ));
+            }
+        }
+        if self.entries.len() != other.entries.len() {
+            return Some(format!(
+                "entry count {} vs golden {}",
+                self.entries.len(),
+                other.entries.len()
+            ));
+        }
+        None
+    }
+}
+
+/// FNV-1a hash of a float slice's bit patterns.
+///
+/// Collapses a large tensor into one golden entry; any single-bit change
+/// in any element changes the digest.
+pub fn hash_bits(vals: &[f32]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Whether the `IBRAR_BLESS=1` regeneration flow is active.
+pub fn bless_requested() -> bool {
+    std::env::var("IBRAR_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Checks `snap` against the golden file at `path`, or rewrites it under
+/// `IBRAR_BLESS=1`.
+///
+/// # Errors
+///
+/// Returns a message when the file is missing (with bless instructions),
+/// unreadable, unparsable, or when any entry's bits diverge.
+pub fn check_snapshot(path: &Path, snap: &Snapshot) -> Result<(), String> {
+    if bless_requested() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, snap.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "golden snapshot {} unreadable ({e}); run the golden tests once with \
+             IBRAR_BLESS=1 to (re)generate it, then commit the file",
+            path.display()
+        )
+    })?;
+    let golden = Snapshot::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    match snap.first_divergence(&golden) {
+        None => Ok(()),
+        Some(msg) => Err(format!(
+            "{}: {msg}. If the change is intentional, rebless with IBRAR_BLESS=1",
+            path.display()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new("sample");
+        s.push_f32("loss", 0.125);
+        s.push_f32s("row", &[1.0, -2.5, 0.0]);
+        s.push_u64("hash", u64::MAX - 7);
+        s.push_str("attack", "FGSM");
+        s
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = sample();
+        let parsed = Snapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn round_trip_preserves_awkward_floats() {
+        let mut s = Snapshot::new("awkward");
+        for (i, v) in [
+            f32::MIN_POSITIVE,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            1.0 + f32::EPSILON,
+            -3.4028235e38,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            s.push_f32(format!("v{i}"), v);
+        }
+        let parsed = Snapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(s, parsed, "bit patterns must survive the round trip");
+    }
+
+    #[test]
+    fn u64_survives_beyond_f64_precision() {
+        let mut s = Snapshot::new("big");
+        s.push_u64("h", (1 << 63) + 1); // not representable in f64
+        let parsed = Snapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn divergence_names_first_bad_entry() {
+        let a = sample();
+        let mut b = sample();
+        b.entries[1].1 = Value::F32s(vec![1.0f32.to_bits()]);
+        let msg = a.first_divergence(&b).unwrap();
+        assert!(msg.contains("entry 1"), "{msg}");
+    }
+
+    #[test]
+    fn check_snapshot_missing_file_mentions_bless() {
+        let dir = std::env::temp_dir().join("ibrar-oracle-golden-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = check_snapshot(&dir.join("nope.json"), &sample()).unwrap_err();
+        assert!(err.contains("IBRAR_BLESS=1"), "{err}");
+    }
+
+    #[test]
+    fn check_snapshot_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("ibrar-oracle-golden-rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.json");
+        let s = sample();
+        std::fs::write(&path, s.to_json()).unwrap();
+        assert!(check_snapshot(&path, &s).is_ok());
+        let mut other = sample();
+        other.push_f32("extra", 1.0);
+        let err = check_snapshot(&path, &other).unwrap_err();
+        assert!(err.contains("rebless"), "{err}");
+    }
+
+    #[test]
+    fn hash_bits_is_bit_sensitive() {
+        let base = vec![1.0f32, -2.5, 0.0];
+        let mut tweaked = base.clone();
+        tweaked[1] = f32::from_bits(tweaked[1].to_bits() ^ 1);
+        assert_ne!(hash_bits(&base), hash_bits(&tweaked));
+        assert_eq!(hash_bits(&base), hash_bits(&base.clone()));
+        // +0.0 and -0.0 are different bit patterns, so different digests.
+        assert_ne!(hash_bits(&[0.0]), hash_bits(&[-0.0]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Snapshot::parse("{}").is_err());
+        assert!(Snapshot::parse("{\"name\": \"x\"}").is_err());
+        assert!(Snapshot::parse("{\"name\": \"x\", \"entries\": [{\"key\": \"k\"}]}").is_err());
+    }
+}

@@ -128,7 +128,9 @@ mod tests {
 
     #[test]
     fn manifest_round_trips_through_json() {
-        let mut m = RunManifest::new("table1").with_seed(42).with_method("ib-rar");
+        let mut m = RunManifest::new("table1")
+            .with_seed(42)
+            .with_method("ib-rar");
         m.config("epochs", 10u64).config("alpha", 0.05f64);
         m.metric("natural_acc", 0.91f64);
         m.metric("natural_acc", 0.92f64); // overwrite wins

@@ -358,10 +358,7 @@ impl Snapshot {
 
     /// Gauge value by name.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| *v)
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
     /// Histogram summary by name.
@@ -520,7 +517,10 @@ mod tests {
         }
         let report = r.report();
         assert!(report.contains("train"), "{report}");
-        assert!(report.contains("  epoch") || report.contains("epoch"), "{report}");
+        assert!(
+            report.contains("  epoch") || report.contains("epoch"),
+            "{report}"
+        );
         let snap = r.snapshot();
         assert!(snap.span("train/epoch").is_some());
     }

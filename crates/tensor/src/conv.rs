@@ -58,7 +58,9 @@ impl Conv2dSpec {
     /// the padded input or the stride is zero.
     pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
         if self.stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be nonzero".into(),
+            ));
         }
         let ph = h + 2 * self.padding;
         let pw = w + 2 * self.padding;
@@ -254,13 +256,10 @@ mod tests {
             ((i[0] * 31 + i[1] * 17 + i[2] * 7 + i[3] * 3) % 13) as f32 * 0.21 - 1.0
         });
         let cols = im2col(&x, &spec).unwrap();
-        let y = Tensor::from_fn(cols.shape(), |i| ((i[0] * 5 + i[1] * 11) % 7) as f32 * 0.4 - 1.0);
-        let lhs: f32 = cols
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(a, b)| a * b)
-            .sum();
+        let y = Tensor::from_fn(cols.shape(), |i| {
+            ((i[0] * 5 + i[1] * 11) % 7) as f32 * 0.4 - 1.0
+        });
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let back = col2im(&y, &spec, n, h, w).unwrap();
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");

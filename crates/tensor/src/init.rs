@@ -58,7 +58,9 @@ pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
 pub fn normal(dims: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
     let volume: usize = dims.iter().product();
     let mut sampler = NormalSampler::new();
-    let data = (0..volume).map(|_| mean + std * sampler.sample(rng)).collect();
+    let data = (0..volume)
+        .map(|_| mean + std * sampler.sample(rng))
+        .collect();
     Tensor::from_vec(data, dims).expect("volume matches by construction")
 }
 

@@ -152,12 +152,7 @@ impl Tensor {
     pub fn dot(&self, rhs: &Tensor) -> Result<f32> {
         self.shape_obj().expect_rank(1, "dot")?;
         rhs.shape_obj().expect_same(self.shape_obj(), "dot")?;
-        Ok(self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data().iter().zip(rhs.data()).map(|(a, b)| a * b).sum())
     }
 }
 

@@ -71,10 +71,7 @@ fn env_threads() -> usize {
 /// [`with_threads`] override if one is active, else `IBRAR_THREADS`, else
 /// the machine's available parallelism. Always ≥ 1.
 pub fn num_threads() -> usize {
-    OVERRIDE
-        .with(Cell::get)
-        .unwrap_or_else(env_threads)
-        .max(1)
+    OVERRIDE.with(Cell::get).unwrap_or_else(env_threads).max(1)
 }
 
 /// Thread budget scaled to a caller-estimated amount of work: small jobs run

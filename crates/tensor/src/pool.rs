@@ -29,7 +29,9 @@ impl Pool2dSpec {
     /// or the stride is zero.
     pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
         if self.stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be nonzero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be nonzero".into(),
+            ));
         }
         if self.kernel == 0 || self.kernel > h || self.kernel > w {
             return Err(TensorError::InvalidGeometry(format!(
@@ -37,7 +39,10 @@ impl Pool2dSpec {
                 self.kernel, h, w
             )));
         }
-        Ok(((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1))
+        Ok((
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        ))
     }
 }
 
@@ -209,7 +214,10 @@ mod tests {
     #[test]
     fn max_pool_picks_window_max() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -315,7 +315,12 @@ impl std::fmt::Display for Tensor {
             .take(8)
             .map(|v| format!("{v:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.len() > 8 { ", …" } else { "" }
+        )
     }
 }
 

@@ -7,8 +7,7 @@
 //! ```
 
 use ibrar::{
-    AdaptiveIbObjective, IbLossConfig, LayerPolicy, MaskConfig, TrainMethod, Trainer,
-    TrainerConfig,
+    AdaptiveIbObjective, IbLossConfig, LayerPolicy, MaskConfig, TrainMethod, Trainer, TrainerConfig,
 };
 use ibrar_attacks::{robust_accuracy, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
 use ibrar_data::{SynthVision, SynthVisionConfig};

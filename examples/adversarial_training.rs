@@ -17,10 +17,7 @@ use ibrar_nn::{VggConfig, VggMini};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn train(
-    data: &SynthVision,
-    with_ibrar: bool,
-) -> Result<VggMini, Box<dyn std::error::Error>> {
+fn train(data: &SynthVision, with_ibrar: bool) -> Result<VggMini, Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(if with_ibrar { 1 } else { 2 });
     let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
     let method = TrainMethod::PgdAt {
@@ -28,7 +25,9 @@ fn train(
         alpha: DEFAULT_ALPHA,
         steps: 4,
     };
-    let mut cfg = TrainerConfig::new(method).with_epochs(5).with_batch_size(32);
+    let mut cfg = TrainerConfig::new(method)
+        .with_epochs(5)
+        .with_batch_size(32);
     if with_ibrar {
         cfg = cfg
             .with_ib(IbLossConfig::substrate_vgg().with_policy(LayerPolicy::Robust))

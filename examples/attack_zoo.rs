@@ -7,9 +7,7 @@
 //! ```
 
 use ibrar::{TrainMethod, Trainer, TrainerConfig};
-use ibrar_attacks::{
-    accuracy, Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd, DEFAULT_ALPHA, DEFAULT_EPS,
-};
+use ibrar_attacks::{accuracy, Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
 use ibrar_data::{SynthVision, SynthVisionConfig};
 use ibrar_nn::{VggConfig, VggMini};
 use rand::rngs::StdRng;
@@ -57,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             elapsed
         );
     }
-    println!("\nL∞ attacks stay within eps = {:.4}; CW/FAB minimize distortion instead.", DEFAULT_EPS);
+    println!(
+        "\nL∞ attacks stay within eps = {:.4}; CW/FAB minimize distortion instead.",
+        DEFAULT_EPS
+    );
     Ok(())
 }

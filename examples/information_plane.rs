@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let out = model.forward(&sess, x, Mode::Train)?;
                 let mut loss = out.logits.cross_entropy(&batch.labels)?;
                 if use_mi {
-                    let reg =
-                        IbLoss::regularizer(&sess, x, &out.hidden, &batch.labels, 10, &ib)?;
+                    let reg = IbLoss::regularizer(&sess, x, &out.hidden, &batch.labels, 10, &ib)?;
                     loss = loss.add(reg)?;
                 }
                 sess.backward(loss)?;

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("probing {} layers (one short training run each)...", 7);
     let reports = discover_robust_layers(&factory, &data.train, &data.test, &cfg)?;
 
-    println!("\n{:<14} {:>9} {:>9}  robust?", "layer", "adv acc", "test acc");
+    println!(
+        "\n{:<14} {:>9} {:>9}  robust?",
+        "layer", "adv acc", "test acc"
+    );
     println!("{}", "-".repeat(44));
     for r in &reports {
         println!(

@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sess = Session::new(&tape);
     let x = tape.leaf(batch.images.clone());
     let out = model.forward(&sess, x, Mode::Eval)?;
-    let tap = out.hidden.last().expect("model has hidden taps").var.value();
+    let tap = out
+        .hidden
+        .last()
+        .expect("model has hidden taps")
+        .var
+        .value();
     let n = tap.shape()[0];
     let features = tap.reshape(&[n, tap.len() / n])?;
 
@@ -48,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let planted: Vec<(usize, usize)> = config
-        .shared_pairs
-        .iter()
-        .map(|p| (p.a, p.b))
-        .collect();
+    let planted: Vec<(usize, usize)> = config.shared_pairs.iter().map(|p| (p.a, p.b)).collect();
     let recovery = pair_recovery_rate(&ranking, &planted, planted.len() + 2);
     println!("\nplanted pairs:");
     for &(a, b) in &planted {

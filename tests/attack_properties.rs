@@ -19,11 +19,9 @@ static FIXTURE: OnceLock<Fixture> = OnceLock::new();
 
 fn fixture() -> &'static Fixture {
     FIXTURE.get_or_init(|| {
-        let data = SynthVision::generate(
-            &SynthVisionConfig::cifar10_like().with_sizes(320, 96),
-            777,
-        )
-        .unwrap();
+        let data =
+            SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(320, 96), 777)
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
         Trainer::new(
@@ -35,6 +33,61 @@ fn fixture() -> &'static Fixture {
         .unwrap();
         Fixture { model, data }
     })
+}
+
+/// Every L∞ attack stays inside the ε-ball and the unit pixel box for
+/// arbitrary random budgets, and ε = 0 collapses to the exact identity.
+/// Runs on an untrained model: the constraints are properties of the
+/// projection steps, not of what the gradients point at.
+#[test]
+fn eps_ball_box_and_zero_eps_identity_for_every_attack() {
+    use ibrar_oracle::Gen;
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = VggMini::new(VggConfig::tiny(4), &mut rng).unwrap();
+    let mut g = Gen::new(0xAB);
+    let x = g.tensor(&[3, 3, 16, 16], 0.0, 1.0);
+    let labels = g.labels(3, 4);
+
+    type Factory = Box<dyn Fn(f32) -> Box<dyn Attack>>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("FGSM", Box::new(|e| Box::new(Fgsm::new(e)))),
+        (
+            "PGD",
+            Box::new(|e| Box::new(Pgd::new(e, e / 3.0, 5).without_random_start())),
+        ),
+        (
+            "PGD(random-start)",
+            Box::new(|e| Box::new(Pgd::new(e, e / 3.0, 5))),
+        ),
+        ("NIFGSM", Box::new(|e| Box::new(NiFgsm::new(e, e / 3.0, 5)))),
+        ("FAB", Box::new(|e| Box::new(Fab::new(e, 5)))),
+    ];
+    for (name, make) in &factories {
+        for case in 0..5 {
+            let eps = if case == 0 { 0.0 } else { g.f32_in(0.0, 0.15) };
+            let adv = make(eps).perturb(&model, &x, &labels).unwrap();
+            let delta = adv.sub(&x).unwrap().abs().max();
+            assert!(
+                delta <= eps + 1e-6,
+                "{name} eps={eps}: escaped the ball, delta {delta}"
+            );
+            assert!(
+                adv.min() >= 0.0 && adv.max() <= 1.0,
+                "{name} eps={eps}: left the pixel box"
+            );
+            if eps == 0.0 {
+                assert_eq!(adv, x, "{name} at eps=0 must be the identity");
+            }
+        }
+    }
+    // CW-L2 minimizes distortion with no ε concept; box constraint only.
+    let adv = CwL2::new(1.0, 0.0, 10, 0.01)
+        .perturb(&model, &x, &labels)
+        .unwrap();
+    assert!(
+        adv.min() >= 0.0 && adv.max() <= 1.0,
+        "CW left the pixel box"
+    );
 }
 
 /// Every attack keeps pixels in the unit box, and L∞ attacks respect ε.
@@ -49,7 +102,9 @@ fn all_attacks_respect_constraints() {
         Box::new(Fab::paper_default()),
     ];
     for attack in &linf_attacks {
-        let adv = attack.perturb(&f.model, &batch.images, &batch.labels).unwrap();
+        let adv = attack
+            .perturb(&f.model, &batch.images, &batch.labels)
+            .unwrap();
         let delta = adv.sub(&batch.images).unwrap().abs().max();
         assert!(
             delta <= DEFAULT_EPS + 1e-5,
@@ -78,7 +133,10 @@ fn attack_strength_ordering() {
     assert!(clean > 0.55, "fixture under-trained: clean {clean:.3}");
     let fgsm = robust_accuracy(&f.model, &Fgsm::new(DEFAULT_EPS), &eval, 32).unwrap();
     let pgd = robust_accuracy(&f.model, &Pgd::paper_default(), &eval, 32).unwrap();
-    assert!(fgsm < clean, "FGSM did no damage: {fgsm:.3} vs clean {clean:.3}");
+    assert!(
+        fgsm < clean,
+        "FGSM did no damage: {fgsm:.3} vs clean {clean:.3}"
+    );
     assert!(
         pgd <= fgsm + 0.05,
         "PGD ({pgd:.3}) should not be weaker than FGSM ({fgsm:.3})"
@@ -98,7 +156,10 @@ fn pgd_monotone_in_steps() {
     let one = acc_at(1);
     let ten = acc_at(10);
     let twenty = acc_at(20);
-    assert!(ten <= one + 0.05, "PGD10 {ten:.3} weaker than PGD1 {one:.3}");
+    assert!(
+        ten <= one + 0.05,
+        "PGD10 {ten:.3} weaker than PGD1 {one:.3}"
+    );
     assert!(
         twenty <= ten + 0.05,
         "PGD20 {twenty:.3} weaker than PGD10 {ten:.3}"
@@ -117,8 +178,18 @@ fn cw_minimizes_distortion() {
     let cw_adv = CwL2::paper_default()
         .perturb(&f.model, &batch.images, &batch.labels)
         .unwrap();
-    let pgd_l2 = pgd_adv.sub(&batch.images).unwrap().norms_per_sample().unwrap().mean();
-    let cw_l2 = cw_adv.sub(&batch.images).unwrap().norms_per_sample().unwrap().mean();
+    let pgd_l2 = pgd_adv
+        .sub(&batch.images)
+        .unwrap()
+        .norms_per_sample()
+        .unwrap()
+        .mean();
+    let cw_l2 = cw_adv
+        .sub(&batch.images)
+        .unwrap()
+        .norms_per_sample()
+        .unwrap()
+        .mean();
     assert!(
         cw_l2 < pgd_l2 * 1.5,
         "CW mean L2 {cw_l2:.4} not in the minimal-distortion regime vs PGD {pgd_l2:.4}"

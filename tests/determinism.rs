@@ -71,8 +71,12 @@ fn conv_forward_and_backward_bitwise_invariant() {
 #[test]
 fn matmul_bitwise_invariant() {
     // Big enough to cross the matmul parallel threshold (m·n ≥ 64·1024).
-    let a = Tensor::from_fn(&[260, 64], |i| ((i[0] * 7 + i[1] * 3) % 31) as f32 * 0.13 - 2.0);
-    let b = Tensor::from_fn(&[64, 260], |i| ((i[0] * 11 + i[1]) % 29) as f32 * 0.07 - 1.0);
+    let a = Tensor::from_fn(&[260, 64], |i| {
+        ((i[0] * 7 + i[1] * 3) % 31) as f32 * 0.13 - 2.0
+    });
+    let b = Tensor::from_fn(&[64, 260], |i| {
+        ((i[0] * 11 + i[1]) % 29) as f32 * 0.07 - 1.0
+    });
     assert_invariant("matmul", || a.matmul(&b).unwrap());
     assert_invariant("matmul_nt", || a.matmul_nt(&a).unwrap());
     assert_invariant("matmul_tn", || b.matmul_tn(&b).unwrap());
@@ -80,7 +84,9 @@ fn matmul_bitwise_invariant() {
 
 #[test]
 fn hsic_and_median_sigma_bitwise_invariant() {
-    let x = Tensor::from_fn(&[19, 12], |i| ((i[0] * 29 + i[1] * 13) % 41) as f32 * 0.11 - 2.0);
+    let x = Tensor::from_fn(&[19, 12], |i| {
+        ((i[0] * 29 + i[1] * 13) % 41) as f32 * 0.11 - 2.0
+    });
     let y = one_hot(&(0..19).map(|i| i % 5).collect::<Vec<_>>(), 5).unwrap();
     assert_invariant("median_sigma", || median_sigma(&x).to_bits());
     assert_invariant("hsic", || {

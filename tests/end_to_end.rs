@@ -13,11 +13,8 @@ fn data() -> (Dataset, Dataset) {
     // Seed 7 / 512-sample training matches the regime documented in
     // EXPERIMENTS.md (the `sweep_ib` calibration); the headline ordering
     // below is noise-sensitive at smaller budgets.
-    let d = SynthVision::generate(
-        &SynthVisionConfig::cifar10_like().with_sizes(512, 192),
-        7,
-    )
-    .unwrap();
+    let d =
+        SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(512, 192), 7).unwrap();
     (d.train, d.test)
 }
 
@@ -126,13 +123,7 @@ fn adversarial_training_composes_with_ibrar() {
 fn mask_installed_with_configured_fraction() {
     let (train, test) = data();
     let train = train.take(128).unwrap();
-    let model = train_vgg(
-        &train,
-        &test,
-        Some(IbLossConfig::substrate_vgg()),
-        true,
-        11,
-    );
+    let model = train_vgg(&train, &test, Some(IbLossConfig::substrate_vgg()), true, 11);
     let mask = model.channel_mask().expect("mask installed");
     assert_eq!(mask.shape(), &[64]);
     assert_eq!(mask.sum(), 61.0); // 5% of 64 → 3 channels removed

@@ -1,0 +1,146 @@
+//! Golden snapshot tests: a tiny fixed-seed training run and one attack
+//! of every family, checked **bitwise** against JSON snapshots under
+//! `tests/golden/`.
+//!
+//! Regeneration: `IBRAR_BLESS=1 cargo test --test golden` rewrites every
+//! snapshot from the current build; commit the diff. Without the
+//! variable, any bit-level divergence (or a missing file) fails the test
+//! and names the first divergent entry.
+//!
+//! Environment independence: every input is derived from the oracle's
+//! `Gen` stream (model parameters are overwritten after construction,
+//! batches iterate sequentially, PGD runs without its random start), so
+//! no `rand` RNG stream ever feeds the recorded numbers, and the worker
+//! pool is pinned to one thread so accumulation order is fixed. The same
+//! files must therefore verify under any `IBRAR_THREADS` setting and any
+//! `rand` implementation.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ibrar::{IbLossConfig, TrainMethod, Trainer, TrainerConfig};
+use ibrar_attacks::{Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd};
+use ibrar_autograd::Tape;
+use ibrar_data::Dataset;
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_oracle::{check_snapshot, hash_bits, Gen, Snapshot};
+use ibrar_tensor::{parallel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serializes the golden tests: `with_threads` is thread-local, but the
+/// trainer and attacks share model state and telemetry, so overlapping
+/// runs would interleave in ways that are pointless to reason about.
+static GOLDEN_LOCK: Mutex<()> = Mutex::new(());
+
+const NUM_CLASSES: usize = 4;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Model whose parameters all come from the oracle `Gen` stream: the
+/// `rand`-based constructor values are overwritten wholesale, and the
+/// batch-norm running statistics start at their deterministic 0/1 init.
+fn pseudo_model(seed: u64) -> VggMini {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng).unwrap();
+    let mut g = Gen::new(seed);
+    for p in model.params() {
+        let shape = p.shape();
+        let fan = shape.iter().skip(1).product::<usize>().max(1) as f32;
+        let bound = (1.0 / fan).sqrt();
+        p.set_value(g.tensor(&shape, -bound, bound));
+    }
+    model
+}
+
+fn pseudo_dataset(seed: u64, n: usize) -> Dataset {
+    let mut g = Gen::new(seed);
+    let images = g.tensor(&[n, 3, 16, 16], 0.0, 1.0);
+    let labels = g.labels(n, NUM_CLASSES);
+    Dataset::new(images, labels).unwrap()
+}
+
+fn all_param_bits(model: &dyn ImageModel) -> u64 {
+    let mut h = 0u64;
+    for p in model.params() {
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hash_bits(p.value().data());
+    }
+    h
+}
+
+fn logits_on(model: &dyn ImageModel, images: &Tensor) -> Tensor {
+    let tape = Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.var(images.clone());
+    model.forward(&sess, x, Mode::Eval).unwrap().logits.value()
+}
+
+#[test]
+fn training_run_matches_golden() {
+    let _guard = GOLDEN_LOCK.lock().unwrap();
+    let _threads = parallel::with_threads(1);
+
+    let model = pseudo_model(0x90_0001);
+    let train = pseudo_dataset(0x90_0002, 24);
+    let test = pseudo_dataset(0x90_0003, 12);
+    let config = TrainerConfig::new(TrainMethod::Standard)
+        .with_epochs(2)
+        .with_batch_size(8)
+        .with_ib(IbLossConfig::paper_vgg())
+        .with_sequential_batches();
+    let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+
+    let mut snap = Snapshot::new("training-standard-ib");
+    snap.push_str("method", "Standard + IB(paper_vgg)");
+    snap.push_u64("epochs", report.epochs.len() as u64);
+    for e in &report.epochs {
+        snap.push_f32(format!("epoch{}.train_loss", e.epoch), e.train_loss);
+        snap.push_f32(format!("epoch{}.natural_acc", e.epoch), e.natural_acc);
+    }
+    snap.push_u64("params.hash", all_param_bits(&model));
+    let probe = test.take(4).unwrap();
+    snap.push_f32s("logits.head", logits_on(&model, probe.images()).data());
+
+    check_snapshot(&golden_dir().join("training.json"), &snap).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// One attack per family, all on the same untrained pseudo model and the
+/// same batch, each snapshotting a digest of the full adversarial tensor
+/// plus its leading values and the L∞ distortion actually used.
+#[test]
+fn attacks_match_golden() {
+    let _guard = GOLDEN_LOCK.lock().unwrap();
+    let _threads = parallel::with_threads(1);
+
+    let model = pseudo_model(0x90_0010);
+    let mut g = Gen::new(0x90_0011);
+    let x = g.tensor(&[4, 3, 16, 16], 0.0, 1.0);
+    let labels = g.labels(4, NUM_CLASSES);
+    let eps = 8.0 / 255.0;
+
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        ("fgsm", Box::new(Fgsm::new(eps))),
+        (
+            "pgd",
+            Box::new(Pgd::new(eps, 2.0 / 255.0, 5).without_random_start()),
+        ),
+        ("nifgsm", Box::new(NiFgsm::new(eps, 2.0 / 255.0, 5))),
+        ("cw", Box::new(CwL2::new(1.0, 0.0, 10, 0.01))),
+        ("fab", Box::new(Fab::new(eps, 5))),
+    ];
+
+    for (name, attack) in attacks {
+        let adv = attack.perturb(&model, &x, &labels).unwrap();
+        let mut snap = Snapshot::new(format!("attack-{name}"));
+        snap.push_str("attack", attack.name());
+        snap.push_u64("adv.hash", hash_bits(adv.data()));
+        snap.push_f32s("adv.head", &adv.data()[..8]);
+        snap.push_f32("linf", adv.sub(&x).unwrap().abs().max());
+        check_snapshot(&golden_dir().join(format!("{name}.json")), &snap)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}

@@ -21,7 +21,7 @@ proptest! {
         prop_assert!(d.train.images().min() >= 0.0);
         prop_assert!(d.train.images().max() <= 1.0);
         prop_assert_eq!(d.train.len(), size);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &l in d.train.labels() {
             prop_assert!(l < 10);
             counts[l] += 1;
@@ -66,6 +66,54 @@ proptest! {
         let mi = mi_values_labels(&values, &labels, k, BinningConfig::new(10)).unwrap();
         prop_assert!(mi >= 0.0);
         prop_assert!(mi <= (k as f32).log2() + 1e-4, "MI {mi} exceeds H(Y)");
+    }
+
+    /// Binned MI is non-negative, symmetric when the binning is lossless,
+    /// and exactly zero for constant values.
+    #[test]
+    fn binned_mi_nonneg_symmetric_zero_for_constants(
+        pairs in proptest::collection::vec((0usize..8, 0usize..4), 10..60),
+    ) {
+        let mut vs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let mut ys: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        // Pin both ranges so integer values map one-to-one onto bins in
+        // either direction (8 bins over [0,7], 4 bins over [0,3]) and the
+        // two MI computations histogram the *same* joint distribution.
+        vs.extend([0, 7]);
+        ys.extend([0, 3]);
+        let v_f: Vec<f32> = vs.iter().map(|&v| v as f32).collect();
+        let y_f: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
+        let forward = mi_values_labels(&v_f, &ys, 4, BinningConfig::new(8)).unwrap();
+        let backward = mi_values_labels(&y_f, &vs, 8, BinningConfig::new(4)).unwrap();
+        prop_assert!(forward >= 0.0, "MI negative: {forward}");
+        prop_assert!(
+            (forward - backward).abs() < 1e-4,
+            "I(V;Y)={forward} != I(Y;V)={backward}"
+        );
+        // A constant carries no information about any labeling.
+        let constant = vec![0.7f32; ys.len()];
+        let mi0 = mi_values_labels(&constant, &ys, 4, BinningConfig::new(8)).unwrap();
+        prop_assert_eq!(mi0, 0.0);
+    }
+
+    /// The channel mask is strictly 0/1 and therefore idempotent: applying
+    /// it twice to any feature map equals applying it once.
+    #[test]
+    fn mask_is_idempotent(
+        scores in proptest::collection::vec(0.0f32..1.0, 4..64),
+        fraction in 0.0f32..1.0,
+    ) {
+        let mask = mask_from_scores(&scores, fraction).unwrap();
+        prop_assert_eq!(mask.mul(&mask).unwrap(), mask.clone());
+        // Masking a masked feature map changes nothing further.
+        let c = scores.len();
+        let features = Tensor::from_fn(&[2, c, 3, 3], |i| {
+            ((i[0] * 131 + i[1] * 37 + i[2] * 11 + i[3]) % 19) as f32 * 0.21 - 1.0
+        });
+        let broadcast = Tensor::from_fn(&[2, c, 3, 3], |i| mask.data()[i[1]]);
+        let once = features.mul(&broadcast).unwrap();
+        let twice = once.mul(&broadcast).unwrap();
+        prop_assert_eq!(once, twice);
     }
 
     /// Mask construction removes exactly floor(fraction·C) channels for any
