@@ -1,0 +1,106 @@
+//! Criterion comparison of the serving engine's two extremes: a
+//! per-request engine (`max_batch = 1`, every image is its own forward)
+//! versus a coalescing engine (`max_batch = 8`). Both process the same
+//! 32-image wave; the batched engine amortises queue/dispatch overhead and
+//! lets the row-parallel conv/matmul kernels spread a batch across cores,
+//! so on a multi-core machine it should clear 2x the per-request
+//! throughput (the ISSUE acceptance bar for `ibrar-serve`).
+//!
+//! A third benchmark times the bare single-image forward on the caller's
+//! thread, isolating how much the engine machinery itself costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_serve::{BatchEngine, EngineConfig};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAVE: usize = 32;
+
+fn model() -> Arc<dyn ImageModel> {
+    let mut rng = StdRng::seed_from_u64(42);
+    Arc::new(VggMini::new(VggConfig::tiny(10), &mut rng).unwrap())
+}
+
+fn images() -> Vec<Tensor> {
+    (0..WAVE)
+        .map(|i| {
+            Tensor::from_fn(&[3, 16, 16], |idx| {
+                ((idx[0] * 29 + idx[1] * 5 + idx[2] * 11 + i * 3) % 23) as f32 / 23.0
+            })
+        })
+        .collect()
+}
+
+fn engine(model: &Arc<dyn ImageModel>, max_batch: usize) -> BatchEngine {
+    BatchEngine::new(
+        Arc::clone(model),
+        EngineConfig {
+            max_batch,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 2 * WAVE,
+            workers: 1,
+        },
+    )
+    .unwrap()
+}
+
+/// Submit the whole wave, then wait for every reply.
+fn drive_wave(engine: &BatchEngine, images: &[Tensor]) {
+    let pending: Vec<_> = images
+        .iter()
+        .map(|img| engine.submit(img.clone(), None).unwrap())
+        .collect();
+    for p in pending {
+        black_box(p.wait().unwrap());
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let model = model();
+    let images = images();
+
+    let per_request = engine(&model, 1);
+    drive_wave(&per_request, &images); // warm-up: threads spawned, caches hot
+    c.bench_function("serve_wave32_per_request", |b| {
+        b.iter(|| drive_wave(&per_request, &images))
+    });
+    per_request.shutdown();
+
+    let batched = engine(&model, 8);
+    drive_wave(&batched, &images);
+    c.bench_function("serve_wave32_batched8", |b| {
+        b.iter(|| drive_wave(&batched, &images))
+    });
+    batched.shutdown();
+}
+
+fn bench_bare_forward(c: &mut Criterion) {
+    let model = model();
+    let images = images();
+    c.bench_function("serve_wave32_bare_forward", |b| {
+        b.iter(|| {
+            for img in &images {
+                let tape = ibrar_autograd::Tape::new();
+                let sess = Session::new(&tape);
+                let x = tape.leaf(Tensor::stack(std::slice::from_ref(img)).unwrap());
+                black_box(model.forward(&sess, x, Mode::Eval).unwrap());
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_serve_throughput, bench_bare_forward
+}
+criterion_main!(benches);

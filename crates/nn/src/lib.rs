@@ -48,7 +48,10 @@ mod session;
 
 pub use error::NnError;
 pub use layers::{BatchNorm2d, Conv2d, Linear};
-pub use model::{load_params, save_params, Hidden, ImageModel, LayerKind, Mode, ModelOutput};
+pub use model::{
+    architecture_fingerprint, load_params, save_params, Hidden, ImageModel, LayerKind, Mode,
+    ModelOutput,
+};
 pub use models::residual::{BasicBlock, ResidualConfig, ResidualNet};
 pub use models::resnet::{ResNetConfig, ResNetMini};
 pub use models::vgg::{VggConfig, VggMini};

@@ -114,11 +114,19 @@ pub fn save_params(model: &dyn ImageModel) -> Bytes {
 
 /// Restores parameters from [`save_params`] output (same architecture only).
 ///
+/// Decoded tensors are staged and only installed once the whole payload
+/// validates, so a failed load never leaves the model half-restored.
+///
 /// # Errors
 ///
-/// Returns [`NnError::Checkpoint`] on decode failures or shape mismatches.
+/// Returns [`NnError::Checkpoint`] on decode failures, shape mismatches, or
+/// trailing bytes left over after every parameter has been restored (a
+/// truncation/concatenation bug upstream, or a checkpoint from a larger
+/// architecture).
 pub fn load_params(model: &dyn ImageModel, mut bytes: Bytes) -> Result<()> {
-    for p in model.params() {
+    let params = model.params();
+    let mut staged = Vec::with_capacity(params.len());
+    for p in &params {
         let t = Tensor::decode(&mut bytes)
             .map_err(|e| NnError::Checkpoint(format!("while loading {}: {e}", p.name())))?;
         if t.shape() != p.shape() {
@@ -129,9 +137,50 @@ pub fn load_params(model: &dyn ImageModel, mut bytes: Bytes) -> Result<()> {
                 p.shape()
             )));
         }
+        staged.push(t);
+    }
+    if !bytes.is_empty() {
+        return Err(NnError::Checkpoint(format!(
+            "{} trailing byte(s) after restoring {} parameter(s); checkpoint \
+             does not match architecture {}",
+            bytes.len(),
+            params.len(),
+            model.name()
+        )));
+    }
+    for (p, t) in params.iter().zip(staged) {
         p.set_value(t);
     }
     Ok(())
+}
+
+/// A stable 64-bit fingerprint of a model's architecture: FNV-1a over the
+/// model name plus every parameter's name and shape, in `params()` order.
+///
+/// Two model instances share a fingerprint iff they agree on architecture
+/// and widths, regardless of weight values. Checkpoint headers embed this so
+/// loading into the wrong architecture fails fast with a clear message
+/// instead of a mid-stream shape error.
+pub fn architecture_fingerprint(model: &dyn ImageModel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    mix(model.name().as_bytes());
+    mix(&[0xff]);
+    for p in model.params() {
+        mix(p.name().as_bytes());
+        mix(&[0xfe]);
+        let shape = p.shape();
+        mix(&(shape.len() as u64).to_le_bytes());
+        for d in shape {
+            mix(&(d as u64).to_le_bytes());
+        }
+    }
+    h
 }
 
 /// Validates a mask tensor against the model's last conv width.

@@ -2,8 +2,8 @@
 
 use ibrar_autograd::Tape;
 use ibrar_nn::{
-    load_params, save_params, ImageModel, Mode, ResNetConfig, ResNetMini, Session, Sgd, SgdConfig,
-    VggConfig, VggMini, WideResNetConfig, WideResNetMini,
+    architecture_fingerprint, load_params, save_params, ImageModel, Mode, ResNetConfig, ResNetMini,
+    Session, Sgd, SgdConfig, VggConfig, VggMini, WideResNetConfig, WideResNetMini,
 };
 use ibrar_tensor::Tensor;
 use proptest::prelude::*;
@@ -115,6 +115,71 @@ fn checkpoint_arch_mismatch_rejected() {
     let resnet = ResNetMini::new(ResNetConfig::tiny_fast(5), &mut rng).unwrap();
     let bytes = save_params(&vgg);
     assert!(load_params(&resnet, bytes).is_err());
+}
+
+/// Trailing bytes after the last parameter are a checkpoint error, and the
+/// failed load leaves the model's weights untouched.
+#[test]
+fn checkpoint_trailing_bytes_rejected() {
+    use bytes::{BufMut, BytesMut};
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let donor = VggMini::new(VggConfig::tiny(5), &mut rng).unwrap();
+    let target = VggMini::new(VggConfig::tiny(5), &mut rng).unwrap();
+    let before: Vec<Vec<f32>> = target
+        .params()
+        .iter()
+        .map(|p| p.value().data().to_vec())
+        .collect();
+
+    let mut buf = BytesMut::new();
+    buf.put_slice(&save_params(&donor));
+    buf.put_slice(&[0u8; 7]);
+    let err = load_params(&target, buf.freeze()).unwrap_err();
+    assert!(
+        err.to_string().contains("trailing"),
+        "unexpected error: {err}"
+    );
+
+    // Atomicity: nothing was written into the target model.
+    for (p, old) in target.params().iter().zip(&before) {
+        assert_eq!(
+            p.value().data().to_vec(),
+            *old,
+            "param {} mutated",
+            p.name()
+        );
+    }
+}
+
+/// Fingerprints separate architectures and widths but ignore weight values.
+#[test]
+fn architecture_fingerprint_discriminates() {
+    let mut rng_a = StdRng::seed_from_u64(1);
+    let mut rng_b = StdRng::seed_from_u64(2);
+    let vgg_a = VggMini::new(VggConfig::tiny(5), &mut rng_a).unwrap();
+    let vgg_b = VggMini::new(VggConfig::tiny(5), &mut rng_b).unwrap();
+    let vgg_wide = VggMini::new(VggConfig::tiny(10), &mut rng_a).unwrap();
+    let resnet = ResNetMini::new(ResNetConfig::tiny_fast(5), &mut rng_a).unwrap();
+    let wrn = WideResNetMini::new(WideResNetConfig::tiny(5), &mut rng_a).unwrap();
+
+    // Same architecture, different weights: same fingerprint.
+    assert_eq!(
+        architecture_fingerprint(&vgg_a),
+        architecture_fingerprint(&vgg_b)
+    );
+    // Different head width or family: distinct fingerprints.
+    let prints = [
+        architecture_fingerprint(&vgg_a),
+        architecture_fingerprint(&vgg_wide),
+        architecture_fingerprint(&resnet),
+        architecture_fingerprint(&wrn),
+    ];
+    for i in 0..prints.len() {
+        for j in (i + 1)..prints.len() {
+            assert_ne!(prints[i], prints[j], "fingerprint collision {i}/{j}");
+        }
+    }
 }
 
 /// Hidden tap count stays in sync with `hidden_names` for every model.

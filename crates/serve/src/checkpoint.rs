@@ -1,0 +1,285 @@
+//! Versioned on-disk checkpoint format.
+//!
+//! [`ibrar_nn::save_params`] produces a bare concatenation of encoded
+//! tensors — fine for in-process round-trips, useless for a registry that
+//! must refuse to load the wrong file into the wrong architecture. This
+//! module wraps that payload in a self-describing header:
+//!
+//! ```text
+//! magic   b"IBSC"                      4 bytes
+//! version u32 le                       format revision (currently 1)
+//! fprint  u64 le                       architecture_fingerprint(model)
+//! arch    u32 le len + utf8 bytes      human-readable model name
+//! params  u32 le count, then per parameter:
+//!           u32 le name len + utf8 bytes
+//!           u32 le rank + u64 le per extent
+//! payload u64 le len + bytes           save_params(model) output
+//! ```
+//!
+//! Everything is little-endian, mirroring the tensor wire format
+//! (`IBT1`). The architecture fingerprint fails fast with a clear message
+//! when a checkpoint targets a different model family or width; the param
+//! manifest turns "shape mismatch somewhere in the stream" into "parameter
+//! `block2.conv.weight` expected `[32, 16, 3, 3]`".
+
+use crate::{Result, ServeError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ibrar_nn::{architecture_fingerprint, load_params, save_params, ImageModel};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"IBSC";
+
+/// Current checkpoint format revision.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Sanity caps on header fields so a corrupt file cannot trigger huge
+/// allocations before validation.
+const MAX_NAME_LEN: usize = 4096;
+const MAX_PARAMS: usize = 1 << 20;
+const MAX_RANK: usize = 8;
+
+/// One entry of the checkpoint's parameter manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name as reported by [`ibrar_nn::Parameter::name`].
+    pub name: String,
+    /// Parameter shape at save time.
+    pub shape: Vec<usize>,
+}
+
+/// Decoded checkpoint header (everything before the payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Format revision the file was written with.
+    pub version: u32,
+    /// [`architecture_fingerprint`] of the saved model.
+    pub fingerprint: u64,
+    /// Human-readable architecture name of the saved model.
+    pub arch: String,
+    /// Per-parameter manifest, in `params()` order.
+    pub params: Vec<ParamSpec>,
+}
+
+impl CheckpointHeader {
+    fn for_model(model: &dyn ImageModel) -> Self {
+        CheckpointHeader {
+            version: FORMAT_VERSION,
+            fingerprint: architecture_fingerprint(model),
+            arch: model.name().to_string(),
+            params: model
+                .params()
+                .iter()
+                .map(|p| ParamSpec {
+                    name: p.name().to_string(),
+                    shape: p.shape().to_vec(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes, what: &str) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(ServeError::Checkpoint(format!("truncated {what} length")));
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_NAME_LEN {
+        return Err(ServeError::Checkpoint(format!(
+            "implausible {what} length {len}"
+        )));
+    }
+    if buf.remaining() < len {
+        return Err(ServeError::Checkpoint(format!("truncated {what}")));
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| ServeError::Checkpoint(format!("{what} is not utf-8")))
+}
+
+/// Serializes `model` into the versioned checkpoint format.
+pub fn encode_checkpoint(model: &dyn ImageModel) -> Bytes {
+    let header = CheckpointHeader::for_model(model);
+    let payload = save_params(model);
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(header.version);
+    buf.put_u64_le(header.fingerprint);
+    put_str(&mut buf, &header.arch);
+    buf.put_u32_le(header.params.len() as u32);
+    for p in &header.params {
+        put_str(&mut buf, &p.name);
+        buf.put_u32_le(p.shape.len() as u32);
+        for &d in &p.shape {
+            buf.put_u64_le(d as u64);
+        }
+    }
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Decodes the header from the front of `buf`, advancing it to the payload.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Checkpoint`] on bad magic, an unsupported version,
+/// or any truncated / implausible field.
+pub fn decode_header(buf: &mut Bytes) -> Result<CheckpointHeader> {
+    if buf.remaining() < 16 {
+        return Err(ServeError::Checkpoint("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ServeError::Checkpoint(format!(
+            "bad magic {magic:?} (expected IBSC; raw save_params payloads \
+             have no header — re-save with save_to_path)"
+        )));
+    }
+    let version = buf.get_u32_le();
+    if version != FORMAT_VERSION {
+        return Err(ServeError::Checkpoint(format!(
+            "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let fingerprint = buf.get_u64_le();
+    let arch = get_str(buf, "architecture name")?;
+    if buf.remaining() < 4 {
+        return Err(ServeError::Checkpoint("truncated param count".into()));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > MAX_PARAMS {
+        return Err(ServeError::Checkpoint(format!(
+            "implausible param count {count}"
+        )));
+    }
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = get_str(buf, "param name")?;
+        if buf.remaining() < 4 {
+            return Err(ServeError::Checkpoint(format!("truncated rank of {name}")));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if rank > MAX_RANK {
+            return Err(ServeError::Checkpoint(format!(
+                "implausible rank {rank} for {name}"
+            )));
+        }
+        if buf.remaining() < rank * 8 {
+            return Err(ServeError::Checkpoint(format!("truncated shape of {name}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(buf.get_u64_le() as usize);
+        }
+        params.push(ParamSpec { name, shape });
+    }
+    Ok(CheckpointHeader {
+        version,
+        fingerprint,
+        arch,
+        params,
+    })
+}
+
+/// Decodes a full checkpoint into `model`, verifying the header first.
+///
+/// The fingerprint is checked before a single tensor is decoded, so loading
+/// a VGG checkpoint into a ResNet fails with both architecture names in the
+/// message rather than a mid-stream shape error. On success the model's
+/// parameters are replaced atomically (see [`ibrar_nn::load_params`]).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Checkpoint`] on any header, fingerprint, manifest,
+/// or payload mismatch.
+pub fn decode_checkpoint(model: &dyn ImageModel, mut bytes: Bytes) -> Result<CheckpointHeader> {
+    let header = decode_header(&mut bytes)?;
+    let expect = architecture_fingerprint(model);
+    if header.fingerprint != expect {
+        return Err(ServeError::Checkpoint(format!(
+            "architecture mismatch: checkpoint was saved from `{}` \
+             (fingerprint {:#018x}), target model is `{}` (fingerprint {:#018x})",
+            header.arch,
+            header.fingerprint,
+            model.name(),
+            expect
+        )));
+    }
+    // The manifest is redundant with the fingerprint for well-formed files;
+    // checking it anyway catches hand-edited or bit-rotted checkpoints with
+    // a message naming the exact parameter.
+    let params = model.params();
+    if header.params.len() != params.len() {
+        return Err(ServeError::Checkpoint(format!(
+            "manifest lists {} params, model `{}` has {}",
+            header.params.len(),
+            model.name(),
+            params.len()
+        )));
+    }
+    for (spec, p) in header.params.iter().zip(&params) {
+        if spec.name != p.name() || spec.shape != p.shape() {
+            return Err(ServeError::Checkpoint(format!(
+                "manifest mismatch: checkpoint has `{}` {:?}, model expects `{}` {:?}",
+                spec.name,
+                spec.shape,
+                p.name(),
+                p.shape()
+            )));
+        }
+    }
+    if bytes.remaining() < 8 {
+        return Err(ServeError::Checkpoint("truncated payload length".into()));
+    }
+    let payload_len = bytes.get_u64_le() as usize;
+    if bytes.remaining() != payload_len {
+        return Err(ServeError::Checkpoint(format!(
+            "payload length mismatch: header says {payload_len} bytes, file has {}",
+            bytes.remaining()
+        )));
+    }
+    load_params(model, bytes).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+    Ok(header)
+}
+
+/// Writes `model`'s parameters to `path` in the versioned format.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on filesystem failures.
+pub fn save_to_path(model: &dyn ImageModel, path: &Path) -> Result<()> {
+    std::fs::write(path, encode_checkpoint(model))
+        .map_err(|e| ServeError::Io(format!("writing {}: {e}", path.display())))
+}
+
+/// Loads a checkpoint file from `path` into `model`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on filesystem failures and
+/// [`ServeError::Checkpoint`] on any format or architecture mismatch.
+pub fn load_from_path(model: &dyn ImageModel, path: &Path) -> Result<CheckpointHeader> {
+    let raw = std::fs::read(path)
+        .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
+    decode_checkpoint(model, Bytes::from(raw)).map_err(|e| match e {
+        ServeError::Checkpoint(msg) => ServeError::Checkpoint(format!("{}: {msg}", path.display())),
+        other => other,
+    })
+}
+
+/// Reads only the header of a checkpoint file (for listing / inspection).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] or [`ServeError::Checkpoint`] as above.
+pub fn read_header(path: &Path) -> Result<CheckpointHeader> {
+    let raw = std::fs::read(path)
+        .map_err(|e| ServeError::Io(format!("reading {}: {e}", path.display())))?;
+    decode_header(&mut Bytes::from(raw))
+}

@@ -1,0 +1,153 @@
+//! Blocking TCP client for the serving protocol.
+//!
+//! One [`Client`] wraps one connection and issues strictly sequential
+//! request/response exchanges. Typed server-side rejections come back as
+//! the same [`ServeError`] variants the engine produces locally:
+//! [`ServeError::QueueFull`] and [`ServeError::DeadlineExceeded`] survive
+//! the wire, so retry logic is identical for in-process and remote callers.
+
+use crate::protocol::{
+    decode_response, encode_request, error_for, read_frame, write_frame, Opcode, ProbeReport,
+    ProbeSpec, Request, Response,
+};
+use crate::{Result, ServeError};
+use ibrar_tensor::Tensor;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a serve endpoint.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Applies a read timeout to all subsequent calls (`None` blocks
+    /// forever, the default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the socket rejects the option.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Liveness round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] / [`ServeError::Protocol`] on transport
+    /// failures.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Classifies one `[c, h, w]` image; returns the argmax label.
+    ///
+    /// `deadline_ms == 0` means no deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's typed rejection ([`ServeError::QueueFull`],
+    /// [`ServeError::DeadlineExceeded`], [`ServeError::UnknownModel`], …)
+    /// or a transport error.
+    pub fn classify(&mut self, model: &str, image: &Tensor, deadline_ms: u64) -> Result<u32> {
+        let req = Request::Classify {
+            model: model.to_string(),
+            deadline_ms,
+            image: image.clone(),
+            with_logits: false,
+        };
+        match self.call(&req)? {
+            Response::Classified { label, .. } => Ok(label),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Like [`Client::classify`], also returning the raw logits row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::classify`].
+    pub fn classify_with_logits(
+        &mut self,
+        model: &str,
+        image: &Tensor,
+        deadline_ms: u64,
+    ) -> Result<(u32, Vec<f32>)> {
+        let req = Request::Classify {
+            model: model.to_string(),
+            deadline_ms,
+            image: image.clone(),
+            with_logits: true,
+        };
+        match self.call(&req)? {
+            Response::Classified {
+                label,
+                logits: Some(row),
+            } => Ok((label, row)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a server-side robustness probe on one labeled image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::classify`], plus attack failures
+    /// surfaced as [`ServeError::Io`] with the server's message.
+    pub fn robustness_probe(
+        &mut self,
+        model: &str,
+        image: &Tensor,
+        label: u32,
+        spec: ProbeSpec,
+    ) -> Result<ProbeReport> {
+        let req = Request::RobustnessProbe {
+            model: model.to_string(),
+            label,
+            spec,
+            image: image.clone(),
+        };
+        match self.call(&req)? {
+            Response::Probed(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        let op = match req {
+            Request::Ping => Opcode::Ping,
+            Request::Classify {
+                with_logits: false, ..
+            } => Opcode::Classify,
+            Request::Classify { .. } => Opcode::ClassifyLogits,
+            Request::RobustnessProbe { .. } => Opcode::RobustnessProbe,
+        };
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let body = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Io("server closed the connection".into()))?;
+        match decode_response(op, body)? {
+            Response::Error(status, message) => Err(error_for(status, message)),
+            ok => Ok(ok),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServeError {
+    ServeError::Protocol(format!("unexpected response variant: {resp:?}"))
+}

@@ -1,0 +1,465 @@
+//! Dynamic micro-batching inference engine.
+//!
+//! Latency-bound serving wants small batches; throughput wants large ones.
+//! The engine splits the difference with the classic coalescing loop:
+//!
+//! ```text
+//! submit() --try_send--> [bounded queue] --recv--> batcher --> [batch chan]
+//!                                                                 |
+//!                                              workers <----------+
+//!                                  (deadline check, stacked forward,
+//!                                   per-row reply)
+//! ```
+//!
+//! * **Backpressure is explicit.** [`BatchEngine::submit`] uses a bounded
+//!   queue and `try_send`: a full queue returns [`ServeError::QueueFull`]
+//!   immediately — requests are never silently dropped and producers are
+//!   never blocked.
+//! * **The batcher coalesces.** The first request of a batch starts a
+//!   [`EngineConfig::max_wait`] window; the batch flushes when it reaches
+//!   [`EngineConfig::max_batch`] or the window closes, whichever is first.
+//! * **Deadlines are honored at dispatch.** A worker checks each request's
+//!   deadline immediately before the forward pass; expired requests get a
+//!   typed [`ServeError::DeadlineExceeded`] instead of a stale answer.
+//! * **Batching is invisible to results.** Forward runs in `Mode::Eval`
+//!   (running statistics), and every kernel in this workspace is
+//!   row-independent and deterministic, so row `i` of a batched forward is
+//!   bitwise identical to a single-request forward of image `i` — see
+//!   `tests/batching_identity.rs`.
+//!
+//! The [`BatchEngine::pause`] gate exists for deterministic tests: it holds
+//! the batcher *between* taking a request and assembling the rest of the
+//! batch, so a test can fill the queue to capacity and observe a typed
+//! queue-full rejection without racing the drain.
+
+use crate::{Result, ServeError};
+use ibrar_nn::{ImageModel, Mode, Session};
+use ibrar_telemetry as tel;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked threads wake to re-check the shutdown flag.
+const TICK: Duration = Duration::from_millis(10);
+
+/// Tuning knobs for a [`BatchEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Largest batch a worker will run (flush trigger #1).
+    pub max_batch: usize,
+    /// Longest a request waits for co-batched company (flush trigger #2),
+    /// measured from the first request of the forming batch.
+    pub max_wait: Duration,
+    /// Bounded request-queue capacity; `submit` beyond this rejects with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads running batched forwards.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidInput`] when any knob is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 || self.queue_capacity == 0 || self.workers == 0 {
+            return Err(ServeError::InvalidInput(format!(
+                "max_batch, queue_capacity, and workers must be positive, got {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A classification result: argmax label plus the raw logits row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Argmax class index.
+    pub label: usize,
+    /// Raw logits, one per class.
+    pub logits: Vec<f32>,
+}
+
+struct Job {
+    image: ibrar_tensor::Tensor,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<ibrar_tensor::Tensor>>,
+}
+
+/// Test-only gate that parks the batcher between dequeue and assembly.
+#[derive(Default)]
+struct Gate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait_open(&self) {
+        let mut paused = self.paused.lock();
+        while *paused {
+            self.cv.wait(&mut paused);
+        }
+    }
+
+    fn set(&self, value: bool) {
+        *self.paused.lock() = value;
+        if !value {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Holds the batcher paused; dropping it resumes draining.
+pub struct PauseGuard<'e> {
+    gate: &'e Gate,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.set(false);
+    }
+}
+
+/// An in-flight request handle returned by [`BatchEngine::submit`].
+pub struct PendingResponse {
+    rx: mpsc::Receiver<Result<ibrar_tensor::Tensor>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the engine answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's typed error ([`ServeError::DeadlineExceeded`],
+    /// [`ServeError::Shutdown`], or a forward failure).
+    pub fn wait(self) -> Result<ibrar_tensor::Tensor> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+/// Micro-batching executor for one model.
+pub struct BatchEngine {
+    model: Arc<dyn ImageModel>,
+    config: EngineConfig,
+    submit_tx: SyncSender<Job>,
+    queue_depth: Arc<AtomicUsize>,
+    gate: Arc<Gate>,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl BatchEngine {
+    /// Spawns the batcher and worker threads for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidInput`] on a zero-valued config knob.
+    pub fn new(model: Arc<dyn ImageModel>, config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        // Small buffer so the batcher can run ahead of a busy worker without
+        // unbounded batch pile-up.
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Job>>(config.workers * 2);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let queue_depth = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Gate::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        {
+            let depth = Arc::clone(&queue_depth);
+            let gate = Arc::clone(&gate);
+            let shutdown = Arc::clone(&shutdown);
+            let cfg = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-batcher".into())
+                    .spawn(move || batcher_loop(submit_rx, batch_tx, depth, gate, shutdown, cfg))
+                    .map_err(|e| ServeError::Io(e.to_string()))?,
+            );
+        }
+        for i in 0..config.workers {
+            let model = Arc::clone(&model);
+            let rx = Arc::clone(&batch_rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(model, rx))
+                    .map_err(|e| ServeError::Io(e.to_string()))?,
+            );
+        }
+
+        Ok(BatchEngine {
+            model,
+            config,
+            submit_tx,
+            queue_depth,
+            gate,
+            shutdown,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &Arc<dyn ImageModel> {
+        &self.model
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Requests currently waiting in the bounded queue (not yet batched).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::SeqCst)
+    }
+
+    /// Parks the batcher until the guard drops (deterministic tests only).
+    pub fn pause(&self) -> PauseGuard<'_> {
+        self.gate.set(true);
+        PauseGuard { gate: &self.gate }
+    }
+
+    /// Enqueues one `[c, h, w]` image for batched inference.
+    ///
+    /// `budget` bounds the time until a worker *starts* the request's
+    /// forward pass; expiry yields [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the bounded queue is at
+    /// capacity (the request is rejected, not enqueued),
+    /// [`ServeError::Shutdown`] after [`BatchEngine::shutdown`], and
+    /// [`ServeError::InvalidInput`] on a shape mismatch.
+    pub fn submit(
+        &self,
+        image: ibrar_tensor::Tensor,
+        budget: Option<Duration>,
+    ) -> Result<PendingResponse> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::Shutdown);
+        }
+        let expect = self.model.input_shape();
+        if image.shape() != expect {
+            return Err(ServeError::InvalidInput(format!(
+                "image shape {:?} does not match model input {:?}",
+                image.shape(),
+                expect
+            )));
+        }
+        let now = Instant::now();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            image,
+            deadline: budget.map(|b| now + b),
+            enqueued: now,
+            reply: reply_tx,
+        };
+        // Count before sending: once the job is visible to the batcher its
+        // increment must already be, or the counter underflows.
+        let depth = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.submit_tx.try_send(job) {
+            Ok(()) => {
+                tel::counter("serve.requests", 1);
+                tel::gauge("serve.queue_depth", depth as f64);
+                Ok(PendingResponse { rx: reply_rx })
+            }
+            Err(e) => {
+                self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                match e {
+                    TrySendError::Full(_) => {
+                        tel::counter("serve.rejected.queue_full", 1);
+                        Err(ServeError::QueueFull)
+                    }
+                    TrySendError::Disconnected(_) => Err(ServeError::Shutdown),
+                }
+            }
+        }
+    }
+
+    /// Convenience: [`BatchEngine::submit`] + wait + argmax.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchEngine::submit`] and
+    /// [`PendingResponse::wait`].
+    pub fn classify(
+        &self,
+        image: ibrar_tensor::Tensor,
+        budget: Option<Duration>,
+    ) -> Result<Classification> {
+        let logits = self.submit(image, budget)?.wait()?;
+        Ok(Classification {
+            label: argmax(logits.data()),
+            logits: logits.data().to_vec(),
+        })
+    }
+
+    /// Stops the batcher and workers, failing queued requests with
+    /// [`ServeError::Shutdown`]. Idempotent; blocks until threads join.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.gate.set(false);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(
+    submit_rx: Receiver<Job>,
+    batch_tx: SyncSender<Vec<Job>>,
+    depth: Arc<AtomicUsize>,
+    gate: Arc<Gate>,
+    shutdown: Arc<AtomicBool>,
+    cfg: EngineConfig,
+) {
+    let dequeue = |job: Job| -> Job {
+        let d = depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        tel::gauge("serve.queue_depth", d as f64);
+        job
+    };
+    loop {
+        // Wait for the first request of the next batch.
+        let first = match submit_rx.recv_timeout(TICK) {
+            Ok(job) => dequeue(job),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        // Test hook: hold here so tests can fill the queue deterministically.
+        gate.wait_open();
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = first.reply.send(Err(ServeError::Shutdown));
+            break;
+        }
+
+        let mut batch = vec![first];
+        let flush_at = Instant::now() + cfg.max_wait;
+        while batch.len() < cfg.max_batch {
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            match submit_rx.recv_timeout(flush_at - now) {
+                Ok(job) => batch.push(dequeue(job)),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        tel::counter("serve.batches", 1);
+        tel::observe("serve.batch_size", batch.len() as f64);
+        if batch_tx.send(batch).is_err() {
+            break; // workers gone; shutdown in progress
+        }
+    }
+    // Fail anything still queued so no caller hangs.
+    while let Ok(job) = submit_rx.try_recv() {
+        let job = dequeue(job);
+        let _ = job.reply.send(Err(ServeError::Shutdown));
+    }
+}
+
+fn worker_loop(model: Arc<dyn ImageModel>, batch_rx: Arc<Mutex<Receiver<Vec<Job>>>>) {
+    loop {
+        // Hold the lock only while waiting for one batch; processing runs
+        // unlocked so other workers can pick up the next batch meanwhile.
+        let msg = { batch_rx.lock().recv_timeout(TICK) };
+        let batch = match msg {
+            Ok(batch) => batch,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        run_batch(model.as_ref(), batch);
+    }
+}
+
+fn run_batch(model: &dyn ImageModel, batch: Vec<Job>) {
+    let _s = tel::span!("serve.batch");
+    let now = Instant::now();
+    // Deadline check at dispatch time: a stale answer helps nobody.
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| d < now) {
+            tel::counter("serve.rejected.deadline", 1);
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let images: Vec<ibrar_tensor::Tensor> = live.iter().map(|j| j.image.clone()).collect();
+    let result = ibrar_tensor::Tensor::stack(&images)
+        .map_err(ServeError::from)
+        .and_then(|x| forward_eval(model, &x));
+    match result {
+        Ok(logits) => {
+            for (i, job) in live.into_iter().enumerate() {
+                let row = logits.row(i).map_err(ServeError::from);
+                tel::observe(
+                    "serve.request_ms",
+                    job.enqueued.elapsed().as_secs_f64() * 1e3,
+                );
+                let _ = job.reply.send(row);
+            }
+        }
+        Err(e) => {
+            tel::counter("serve.batch_errors", 1);
+            for job in live {
+                let _ = job.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// First index of the maximum element (ties break low, matching
+/// `Tensor::argmax_rows`).
+pub(crate) fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn forward_eval(model: &dyn ImageModel, x: &ibrar_tensor::Tensor) -> Result<ibrar_tensor::Tensor> {
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let xv = tape.leaf(x.clone());
+    let out = model.forward(&sess, xv, Mode::Eval)?;
+    Ok(out.logits.value())
+}

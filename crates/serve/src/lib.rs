@@ -1,0 +1,76 @@
+//! **ibrar-serve** — checkpointed model registry and dynamic micro-batching
+//! inference server for the IB-RAR reproduction.
+//!
+//! The training side of this workspace produces models whose claim to fame
+//! is *robustness*; this crate is the serving side that lets those models
+//! answer queries — including adversarial-robustness queries — over a
+//! socket. Four layers, bottom to top:
+//!
+//! 1. **Checkpoints** ([`checkpoint`]): a versioned on-disk format (`IBSC`)
+//!    wrapping [`ibrar_nn::save_params`] payloads with an architecture
+//!    fingerprint and a parameter manifest, so the wrong file fails fast
+//!    with a named mismatch instead of a mid-stream shape error.
+//! 2. **Registry** ([`registry::ModelRegistry`]): named checkpoints, built
+//!    and loaded lazily on first use, cached behind a lock.
+//! 3. **Engine** ([`engine::BatchEngine`]): a bounded request queue with
+//!    explicit [`ServeError::QueueFull`] backpressure, a batcher that
+//!    coalesces up to `max_batch` requests or flushes after `max_wait`,
+//!    worker threads running batched forwards, and per-request deadlines
+//!    with typed [`ServeError::DeadlineExceeded`] expiry. Batching never
+//!    changes answers: results are bitwise identical to single-request
+//!    inference.
+//! 4. **Protocol** ([`protocol`], [`server::Server`], [`client::Client`]):
+//!    a length-prefixed binary protocol over plain `std::net` TCP with
+//!    `classify`, `classify_with_logits`, and `robustness_probe` (FGSM /
+//!    deterministic PGD from `ibrar-attacks`) calls.
+//!
+//! Telemetry rides along throughout: `serve.queue_depth` gauge,
+//! `serve.batch_size` and `serve.request_ms` histograms, and
+//! `serve.batch` / `serve.request` spans (see `ibrar-telemetry`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ibrar_nn::{ImageModel, VggConfig, VggMini};
+//! use ibrar_serve::{checkpoint, Client, ModelRegistry, Server, ServerConfig};
+//! use ibrar_tensor::Tensor;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! // Save a trained model as a named checkpoint.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+//! checkpoint::save_to_path(&model, std::path::Path::new("vgg.ibsc"))?;
+//!
+//! // Serve it.
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.register("vgg", "vgg.ibsc", move || {
+//!     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//!     Ok(Box::new(VggMini::new(VggConfig::tiny(10), &mut rng)?))
+//! });
+//! let server = Server::start("127.0.0.1:0", registry, ServerConfig::default())?;
+//!
+//! // Query it.
+//! let mut client = Client::connect(server.addr())?;
+//! let label = client.classify("vgg", &Tensor::full(&[3, 16, 16], 0.5), 0)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod checkpoint;
+pub mod client;
+pub mod engine;
+mod error;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use checkpoint::{load_from_path, read_header, save_to_path, CheckpointHeader, ParamSpec};
+pub use client::Client;
+pub use engine::{BatchEngine, Classification, EngineConfig, PauseGuard, PendingResponse};
+pub use error::ServeError;
+pub use protocol::{AttackKind, Opcode, ProbeReport, ProbeSpec, Status};
+pub use registry::{ModelBuilder, ModelRegistry};
+pub use server::{Server, ServerConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,292 @@
+//! Blocking TCP server: accept loop, per-connection handlers, and the
+//! request → engine/registry dispatch.
+//!
+//! The server is std-only (`std::net`): one accept thread plus one thread
+//! per connection, which is the right trade for a research serving stack —
+//! connection counts are small, and every request does real tensor work
+//! anyway. Inference requests funnel into a per-model [`BatchEngine`]
+//! (created lazily on a model's first request), so concurrent connections
+//! are what *feeds* the micro-batcher.
+//!
+//! Shutdown is cooperative and complete: the accept loop is woken by a
+//! self-connection, open connection sockets are shut down so blocked reads
+//! return, every thread is joined, and the engines fail any still-queued
+//! requests with a typed error. No request is silently dropped.
+
+use crate::engine::{BatchEngine, EngineConfig};
+use crate::protocol::{
+    classification_response, decode_request, encode_response, read_frame, status_for, write_frame,
+    AttackKind, ProbeReport, ProbeSpec, Request, Response, Status,
+};
+use crate::registry::ModelRegistry;
+use crate::{Result, ServeError};
+use ibrar_attacks::{Attack, Fgsm, Pgd};
+use ibrar_nn::{ImageModel, Mode, Session};
+use ibrar_telemetry as tel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Configuration applied to each lazily-created per-model engine.
+    pub engine: EngineConfig,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    engines: Mutex<HashMap<String, Arc<BatchEngine>>>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+}
+
+/// A running server; dropping it shuts everything down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// models from `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the bind fails.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            engines: Mutex::new(HashMap::new()),
+            config,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        tel::event(
+            tel::Level::Info,
+            "serve.started",
+            &[("addr", local.to_string().into())],
+        );
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine serving `model`, if one has been created yet. Exposed so
+    /// tests can reach [`BatchEngine::pause`] and queue metrics.
+    pub fn engine(&self, model: &str) -> Option<Arc<BatchEngine>> {
+        self.shared.engines.lock().get(model).cloned()
+    }
+
+    /// Stops accepting, closes open connections, joins all threads, and
+    /// shuts down every engine. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop out of `accept()`.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Unblock connection reads, then join the handlers.
+        let conns = std::mem::take(&mut *self.shared.conns.lock());
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (_, handle) in conns {
+            let _ = handle.join();
+        }
+        for (_, engine) in self.shared.engines.lock().drain() {
+            engine.shutdown();
+        }
+        tel::event(tel::Level::Info, "serve.stopped", &[]);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        tel::counter("serve.connections", 1);
+        let conn_shared = Arc::clone(&shared);
+        let peer = stream.try_clone();
+        let conn_stream = match peer {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
+        let spawned = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || connection_loop(conn_stream, conn_shared));
+        if let Ok(handle) = spawned {
+            shared.conns.lock().push((stream, handle));
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => break,
+        };
+        let response = {
+            let _s = tel::span!("serve.request");
+            tel::counter("serve.proto.requests", 1);
+            match decode_request(body) {
+                Ok(request) => dispatch(&shared, request),
+                Err(e) => Response::Error(status_for(&e), e.to_string()),
+            }
+        };
+        if let Response::Error(status, _) = &response {
+            tel::counter(
+                match status {
+                    Status::QueueFull => "serve.proto.queue_full",
+                    Status::DeadlineExceeded => "serve.proto.deadline",
+                    _ => "serve.proto.errors",
+                },
+                1,
+            );
+        }
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            break;
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, request: Request) -> Response {
+    match handle(shared, request) {
+        Ok(response) => response,
+        Err(e) => Response::Error(status_for(&e), e.to_string()),
+    }
+}
+
+fn handle(shared: &Shared, request: Request) -> Result<Response> {
+    match request {
+        Request::Ping => Ok(Response::Pong),
+        Request::Classify {
+            model,
+            deadline_ms,
+            image,
+            with_logits,
+        } => {
+            let engine = engine_for(shared, &model)?;
+            let budget = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+            let classification = engine.classify(image, budget)?;
+            Ok(classification_response(&classification, with_logits))
+        }
+        Request::RobustnessProbe {
+            model,
+            label,
+            spec,
+            image,
+        } => {
+            let model = shared.registry.get(&model)?;
+            let report = run_probe(model.as_ref(), &image, label, &spec)?;
+            Ok(Response::Probed(report))
+        }
+    }
+}
+
+fn engine_for(shared: &Shared, name: &str) -> Result<Arc<BatchEngine>> {
+    // The first request for a model pays checkpoint load + engine spawn
+    // under the map lock; concurrent first requests for *different* models
+    // briefly serialize, which is fine at registry scale.
+    let mut engines = shared.engines.lock();
+    if let Some(engine) = engines.get(name) {
+        return Ok(Arc::clone(engine));
+    }
+    let model = shared.registry.get(name)?;
+    let engine = Arc::new(BatchEngine::new(model, shared.config.engine.clone())?);
+    engines.insert(name.to_string(), Arc::clone(&engine));
+    Ok(engine)
+}
+
+/// Runs the probe's attack synchronously on the connection thread: attacks
+/// are iterative whole-model loops, so there is nothing to micro-batch.
+fn run_probe(
+    model: &dyn ImageModel,
+    image: &ibrar_tensor::Tensor,
+    label: u32,
+    spec: &ProbeSpec,
+) -> Result<ProbeReport> {
+    let _s = tel::span!("serve.probe");
+    if image.shape() != model.input_shape() {
+        return Err(ServeError::InvalidInput(format!(
+            "image shape {:?} does not match model input {:?}",
+            image.shape(),
+            model.input_shape()
+        )));
+    }
+    let batch = ibrar_tensor::Tensor::stack(std::slice::from_ref(image))?;
+    let labels = [label as usize];
+    let attack: Box<dyn Attack> = match spec.kind {
+        AttackKind::Fgsm => Box::new(Fgsm::new(spec.eps)),
+        // Deterministic PGD: a serving endpoint should answer the same
+        // probe identically on every call.
+        AttackKind::Pgd => {
+            Box::new(Pgd::new(spec.eps, spec.alpha, spec.steps as usize).without_random_start())
+        }
+    };
+    let adversarial = attack.perturb(model, &batch, &labels)?;
+    let clean_pred = predict_one(model, &batch)?;
+    let adv_pred = predict_one(model, &adversarial)?;
+    Ok(ProbeReport {
+        clean_pred,
+        adv_pred,
+        clean_correct: clean_pred == label,
+        adv_correct: adv_pred == label,
+    })
+}
+
+fn predict_one(model: &dyn ImageModel, batch: &ibrar_tensor::Tensor) -> Result<u32> {
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(batch.clone());
+    let out = model.forward(&sess, x, Mode::Eval)?;
+    let preds = out.logits.value().argmax_rows()?;
+    Ok(preds[0] as u32)
+}

@@ -1,0 +1,156 @@
+//! Property tests for the versioned checkpoint format: round-trips are
+//! bitwise lossless across every architecture, and corrupt or mismatched
+//! files fail with clear, typed errors.
+
+use ibrar_nn::{
+    architecture_fingerprint, ImageModel, ResNetConfig, ResNetMini, VggConfig, VggMini,
+    WideResNetConfig, WideResNetMini,
+};
+use ibrar_serve::{checkpoint, load_from_path, read_header, save_to_path, ServeError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique scratch path; tests clean up behind themselves best-effort.
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "ibrar-serve-test-{}-{tag}-{n}.ibsc",
+        std::process::id()
+    ))
+}
+
+fn build_arch(arch: usize, num_classes: usize, seed: u64) -> Box<dyn ImageModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match arch {
+        0 => Box::new(VggMini::new(VggConfig::tiny(num_classes), &mut rng).unwrap()),
+        1 => Box::new(ResNetMini::new(ResNetConfig::tiny_fast(num_classes), &mut rng).unwrap()),
+        _ => Box::new(WideResNetMini::new(WideResNetConfig::tiny(num_classes), &mut rng).unwrap()),
+    }
+}
+
+/// Every parameter of `b` equals `a` bit for bit (`f32::to_bits`), so the
+/// round-trip preserves NaN payloads, signed zeros, and denormals exactly.
+fn assert_params_bitwise(a: &dyn ImageModel, b: &dyn ImageModel) {
+    let (pa, pb) = (a.params(), b.params());
+    assert_eq!(pa.len(), pb.len());
+    for (x, y) in pa.iter().zip(&pb) {
+        assert_eq!(x.name(), y.name());
+        let (vx, vy) = (x.value(), y.value());
+        assert_eq!(vx.shape(), vy.shape(), "shape drift on {}", x.name());
+        for (a_bits, b_bits) in vx.data().iter().zip(vy.data()) {
+            assert_eq!(
+                a_bits.to_bits(),
+                b_bits.to_bits(),
+                "bits drift on {}",
+                x.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Save-to-disk + load-into-fresh-instance is bitwise lossless for all
+    /// three model families, any seed, any head width.
+    #[test]
+    fn file_roundtrip_is_bitwise_lossless(
+        arch in 0usize..3,
+        num_classes in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let donor = build_arch(arch, num_classes, seed);
+        let target = build_arch(arch, num_classes, seed.wrapping_add(1));
+        let path = temp_path("roundtrip");
+
+        save_to_path(donor.as_ref(), &path).unwrap();
+        let header = load_from_path(target.as_ref(), &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(header.arch.as_str(), donor.name());
+        prop_assert_eq!(header.fingerprint, architecture_fingerprint(donor.as_ref()));
+        prop_assert_eq!(header.params.len(), donor.params().len());
+        assert_params_bitwise(donor.as_ref(), target.as_ref());
+    }
+
+    /// The in-memory encode/decode pair agrees with the file path.
+    #[test]
+    fn bytes_roundtrip_is_bitwise_lossless(seed in 0u64..500) {
+        let donor = build_arch(0, 4, seed);
+        let target = build_arch(0, 4, seed.wrapping_add(7));
+        let bytes = checkpoint::encode_checkpoint(donor.as_ref());
+        checkpoint::decode_checkpoint(target.as_ref(), bytes).unwrap();
+        assert_params_bitwise(donor.as_ref(), target.as_ref());
+    }
+}
+
+#[test]
+fn wrong_architecture_fails_fast_with_both_names() {
+    let vgg = build_arch(0, 5, 1);
+    let resnet = build_arch(1, 5, 1);
+    let path = temp_path("mismatch");
+    save_to_path(vgg.as_ref(), &path).unwrap();
+
+    let err = load_from_path(resnet.as_ref(), &path).unwrap_err();
+    let _ = std::fs::remove_file(&path);
+    let msg = err.to_string();
+    assert!(
+        msg.contains(vgg.name()) && msg.contains(resnet.name()),
+        "message should name both architectures: {msg}"
+    );
+    // Fails before any weight is decoded, so the target is untouched.
+    assert!(matches!(err, ServeError::Checkpoint(_)));
+}
+
+#[test]
+fn raw_save_params_payload_is_rejected_with_hint() {
+    let model = build_arch(0, 4, 2);
+    let path = temp_path("raw");
+    std::fs::write(&path, ibrar_nn::save_params(model.as_ref())).unwrap();
+
+    let err = load_from_path(model.as_ref(), &path).unwrap_err();
+    let _ = std::fs::remove_file(&path);
+    assert!(err.to_string().contains("IBSC"), "got: {err}");
+}
+
+#[test]
+fn truncated_and_padded_files_are_rejected() {
+    let model = build_arch(0, 4, 3);
+    let full = checkpoint::encode_checkpoint(model.as_ref());
+
+    let truncated = full.slice(0..full.len() - 5);
+    assert!(matches!(
+        checkpoint::decode_checkpoint(model.as_ref(), truncated),
+        Err(ServeError::Checkpoint(_))
+    ));
+
+    let mut padded = full.to_vec();
+    padded.extend_from_slice(&[0u8; 3]);
+    assert!(matches!(
+        checkpoint::decode_checkpoint(model.as_ref(), bytes::Bytes::from(padded)),
+        Err(ServeError::Checkpoint(_))
+    ));
+}
+
+#[test]
+fn header_inspection_does_not_need_a_model() {
+    let model = build_arch(2, 6, 4);
+    let path = temp_path("header");
+    save_to_path(model.as_ref(), &path).unwrap();
+
+    let header = read_header(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(header.version, checkpoint::FORMAT_VERSION);
+    assert_eq!(header.arch.as_str(), model.name());
+    let manifest_names: Vec<&str> = header.params.iter().map(|p| p.name.as_str()).collect();
+    let model_names: Vec<String> = model
+        .params()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    assert_eq!(manifest_names, model_names);
+}

@@ -1,0 +1,210 @@
+//! End-to-end protocol tests: a real server on an ephemeral port, a real
+//! blocking client, typed errors across the wire, and a clean shutdown.
+
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_serve::{
+    save_to_path, Client, EngineConfig, ModelRegistry, ProbeSpec, ServeError, Server, ServerConfig,
+};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "ibrar-serve-e2e-{}-{tag}-{n}.ibsc",
+        std::process::id()
+    ))
+}
+
+fn image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], |idx| {
+        ((idx[0] * 29 + idx[1] * 5 + idx[2] * 11 + i * 3) % 23) as f32 / 23.0
+    })
+}
+
+/// Builds the reference model, saves its checkpoint, and returns a running
+/// server plus the path (for cleanup) and a local copy of the model.
+fn start_server(config: ServerConfig) -> (Server, PathBuf, Arc<dyn ImageModel>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let path = temp_path("model");
+    save_to_path(&model, &path).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    let ckpt = path.clone();
+    // Different init seed than the donor: every correct answer below proves
+    // the checkpoint actually loaded.
+    registry.register("vgg", ckpt, move || {
+        let mut rng = StdRng::seed_from_u64(999);
+        Ok(Box::new(VggMini::new(VggConfig::tiny(10), &mut rng)?))
+    });
+    let server = Server::start("127.0.0.1:0", registry, config).unwrap();
+    (server, path, Arc::new(model))
+}
+
+fn local_logits(model: &dyn ImageModel, img: &Tensor) -> Vec<f32> {
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(Tensor::stack(std::slice::from_ref(img)).unwrap());
+    let out = model.forward(&sess, x, Mode::Eval).unwrap();
+    out.logits.value().row(0).unwrap().data().to_vec()
+}
+
+#[test]
+fn classify_over_tcp_matches_local_forward_bitwise() {
+    let (mut server, path, model) = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client.ping().unwrap();
+    for i in 0..5 {
+        let img = image(i);
+        let want = local_logits(model.as_ref(), &img);
+        let (label, logits) = client.classify_with_logits("vgg", &img, 0).unwrap();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u32> = logits.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "image {i} logits drifted over TCP");
+
+        let mut best = 0;
+        for (j, &v) in want.iter().enumerate() {
+            if v > want[best] {
+                best = j;
+            }
+        }
+        assert_eq!(label as usize, best);
+        assert_eq!(client.classify("vgg", &img, 0).unwrap(), label);
+    }
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_model_and_bad_shape_are_typed() {
+    let (mut server, path, _model) = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    assert!(matches!(
+        client.classify("nope", &image(0), 0),
+        Err(ServeError::UnknownModel(name)) if name.contains("nope")
+    ));
+    assert!(matches!(
+        client.classify("vgg", &Tensor::full(&[1, 2, 2], 0.1), 0),
+        Err(ServeError::InvalidInput(_))
+    ));
+    // The connection survives typed errors.
+    client.ping().unwrap();
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn robustness_probe_is_deterministic_and_consistent() {
+    let (mut server, path, model) = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let img = image(2);
+    let want = local_logits(model.as_ref(), &img);
+    let mut clean_pred = 0;
+    for (j, &v) in want.iter().enumerate() {
+        if v > want[clean_pred] {
+            clean_pred = j;
+        }
+    }
+
+    for spec in [ProbeSpec::fgsm_default(), ProbeSpec::pgd_default()] {
+        let a = client
+            .robustness_probe("vgg", &img, clean_pred as u32, spec)
+            .unwrap();
+        let b = client
+            .robustness_probe("vgg", &img, clean_pred as u32, spec)
+            .unwrap();
+        assert_eq!(a, b, "probe must be deterministic for {spec:?}");
+        assert_eq!(a.clean_pred as usize, clean_pred);
+        assert!(a.clean_correct);
+        assert_eq!(a.adv_correct, a.adv_pred as usize == clean_pred);
+    }
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn queue_full_and_deadline_cross_the_wire_typed() {
+    let (mut server, path, _model) = start_server(ServerConfig {
+        engine: EngineConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 3,
+            workers: 1,
+        },
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // First request lazily creates the engine.
+    client.classify("vgg", &image(0), 0).unwrap();
+    let engine = server.engine("vgg").unwrap();
+
+    // Park the batcher, feed it one sacrificial job, and wait until it holds
+    // that job (queue drained) so capacity accounting is deterministic.
+    let gate = engine.pause();
+    let _sacrificial = engine.submit(image(1), None).unwrap();
+    let mut spins = 0;
+    while engine.queue_depth() != 0 {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        assert!(spins < 5000, "batcher never picked up the sacrificial job");
+    }
+    let held: Vec<_> = (0..2)
+        .map(|i| engine.submit(image(i + 2), None).unwrap())
+        .collect();
+
+    // A 5 ms-deadline request takes the last queue slot and waits behind
+    // the parked batcher. It blocks until the gate opens, so it runs on its
+    // own connection.
+    let addr = server.addr();
+    let doomed = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.classify("vgg", &image(7), 5)
+    });
+    let mut spins = 0;
+    while engine.queue_depth() != 3 {
+        std::thread::sleep(Duration::from_millis(1));
+        spins += 1;
+        assert!(spins < 5000, "doomed request never reached the queue");
+    }
+
+    // Queue now at capacity: typed queue-full travels over TCP.
+    assert!(matches!(
+        client.classify("vgg", &image(9), 0),
+        Err(ServeError::QueueFull)
+    ));
+
+    // Let the doomed request's deadline lapse, then release the batcher.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(gate);
+    assert!(matches!(
+        doomed.join().unwrap(),
+        Err(ServeError::DeadlineExceeded)
+    ));
+    for p in held {
+        p.wait().unwrap();
+    }
+
+    // Server still healthy afterwards.
+    client.ping().unwrap();
+    client.classify("vgg", &image(3), 0).unwrap();
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}

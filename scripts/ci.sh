@@ -2,7 +2,8 @@
 # Tier-1 verification: release build, the full test suite under both the
 # default thread count and IBRAR_THREADS=1 (the determinism guarantee says
 # the two runs must see identical numbers — this includes the differential
-# and golden snapshot suites), and workspace-wide lint gates.
+# and golden snapshot suites), an end-to-end inference-server smoke test,
+# and workspace-wide lint gates.
 #
 #   scripts/ci.sh            # build + tests (2 thread configs) + clippy + fmt
 #   scripts/ci.sh --fast     # lib tests only, no release build; same lints
@@ -33,6 +34,12 @@ else
 
     echo "== test (IBRAR_THREADS=1) =="
     IBRAR_THREADS=1 cargo test -q
+
+    echo "== serve smoke (ephemeral port) =="
+    # End-to-end through the inference server: checkpoint load, classify,
+    # robustness probe, typed queue-full/deadline backpressure, clean
+    # shutdown. Exits non-zero on any failure.
+    cargo run --release -q -p ibrar-bench --bin serve -- --smoke
 fi
 
 echo "== clippy (whole workspace, -D warnings) =="
