@@ -7,7 +7,7 @@
 
 use crate::tape::BackwardFn;
 use crate::{Result, Var};
-use ibrar_tensor::{parallel, Tensor};
+use ibrar_tensor::{parallel, simd, Tensor};
 
 impl<'t> Var<'t> {
     /// Pairwise squared Euclidean distances of the rows of a `[m, d]` matrix,
@@ -32,11 +32,7 @@ impl<'t> Var<'t> {
                 // mirrored across the diagonal.
                 for i in 0..m {
                     for j in (i + 1)..m {
-                        let mut acc = 0.0f32;
-                        for t in 0..d {
-                            let diff = xd[i * d + t] - xd[j * d + t];
-                            acc += diff * diff;
-                        }
+                        let acc = simd::sqdist8(&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
                         od[i * m + j] = acc;
                         od[j * m + i] = acc;
                     }
@@ -45,18 +41,14 @@ impl<'t> Var<'t> {
                 // Full-row fill so each worker writes only its own rows (the
                 // mirrored write would cross chunk boundaries). Bitwise equal
                 // to the half-matrix path: `(x_j − x_i)² ≡ (x_i − x_j)²`
-                // under IEEE-754 and the inner `t` order is unchanged.
+                // under IEEE-754 and `sqdist8`'s accumulation order is a
+                // pure function of the operand slices.
                 parallel::par_items_mut(od, m, threads, |i, orow| {
                     for (j, o) in orow.iter_mut().enumerate() {
                         if j == i {
                             continue;
                         }
-                        let mut acc = 0.0f32;
-                        for t in 0..d {
-                            let diff = xd[i * d + t] - xd[j * d + t];
-                            acc += diff * diff;
-                        }
-                        *o = acc;
+                        *o = simd::sqdist8(&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
                     }
                 });
             }

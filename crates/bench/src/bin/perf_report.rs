@@ -1,0 +1,578 @@
+//! Performance trajectory report: wall-clock medians for the hot paths the
+//! training/attack/serving loops live in, written as `BENCH_PR5.json`.
+//!
+//! ```sh
+//! # At the pre-optimization base commit: record the reference timings.
+//! cargo run --release -p ibrar-bench --bin perf_report -- --phase baseline
+//! # At the optimized head: merge in current timings + speedups + counters.
+//! cargo run --release -p ibrar-bench --bin perf_report -- --phase head
+//! # CI: schema sanity check at tiny scale, no timing assertions.
+//! cargo run --release -p ibrar-bench --bin perf_report -- --smoke
+//! ```
+//!
+//! The report is two-phase so the baseline numbers in the committed file are
+//! *measured*, not remembered: `--phase baseline` runs this same harness
+//! against the pre-PR kernels and writes `baseline_ms` per workload;
+//! `--phase head` re-times the identical workloads on the optimized kernels,
+//! merges `optimized_ms` and `speedup` into the same file, and attaches the
+//! scratch-pool and HSIC-cache counters (`alloc.pool.*`, `hsic.cache.*`)
+//! collected from an extra untimed pass with telemetry enabled. Counters
+//! that the running build does not emit (e.g. at the baseline commit) are
+//! reported as `null`. `--smoke` exercises both phases at tiny scale
+//! against a temporary file and only checks the schema, never the timings.
+
+use ibrar::{IbLoss, IbLossConfig, TrainMethod, Trainer, TrainerConfig};
+use ibrar_attacks::{Attack, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
+use ibrar_autograd::Tape;
+use ibrar_data::{Dataset, SynthVision, SynthVisionConfig};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_serve::{BatchEngine, EngineConfig};
+use ibrar_telemetry::{self as tel, json::Json};
+use ibrar_tensor::{parallel, Conv2dSpec, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+type DynResult<T> = Result<T, Box<dyn std::error::Error>>;
+
+const SCHEMA: &str = "ibrar-perf-report/v1";
+const NUM_CLASSES: usize = 10;
+
+/// Workload names, in report order. The acceptance gate reads
+/// `conv_forward`, `pgd_step`, and `ibrar_regularizer`.
+const WORKLOADS: [&str; 6] = [
+    "conv_forward",
+    "conv_fwd_bwd",
+    "pgd_step",
+    "ibrar_regularizer",
+    "train_step",
+    "serve_batch",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_report [--phase baseline|head] [--out PATH] [--reps N] [--smoke]\n\
+         \n\
+         --phase baseline  time the workloads and write baseline_ms entries\n\
+         --phase head      time the workloads, merge optimized_ms + speedups\n\
+         \x20                 and pool/cache counters into the existing file\n\
+         --out PATH        report path (default <repo root>/BENCH_PR5.json)\n\
+         --reps N          timed repetitions per workload (default 15)\n\
+         --smoke           tiny-scale two-phase run against a temp file that\n\
+         \x20                 only validates the schema"
+    );
+    std::process::exit(2);
+}
+
+fn default_out() -> PathBuf {
+    // crates/bench -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_PR5.json")
+}
+
+/// Median wall time of `reps` runs, in milliseconds. One untimed warmup run
+/// precedes the timed ones so first-touch effects (pool fills, lazy init)
+/// do not land in the median.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn model(seed: u64) -> VggMini {
+    let mut rng = StdRng::seed_from_u64(seed);
+    VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng).expect("model construction")
+}
+
+fn image_batch(n: usize) -> Tensor {
+    Tensor::from_fn(&[n, 3, 16, 16], |i| {
+        ((i[0] * 37 + i[1] * 29 + i[2] * 5 + i[3] * 11) % 23) as f32 / 23.0
+    })
+}
+
+fn labels(n: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7 + 3) % NUM_CLASSES).collect()
+}
+
+/// Workload sizes; `--smoke` shrinks everything to schema-check scale.
+#[derive(Clone)]
+struct Sizes {
+    conv_batch: usize,
+    pgd_batch: usize,
+    pgd_steps: usize,
+    reg_batch: usize,
+    train: usize,
+    test: usize,
+    serve_wave: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn full(reps: usize) -> Self {
+        Sizes {
+            conv_batch: 8,
+            pgd_batch: 8,
+            pgd_steps: 1,
+            reg_batch: 16,
+            train: 32,
+            test: 8,
+            serve_wave: 64,
+            reps,
+        }
+    }
+
+    fn smoke() -> Self {
+        Sizes {
+            conv_batch: 2,
+            pgd_batch: 2,
+            pgd_steps: 1,
+            reg_batch: 4,
+            train: 8,
+            test: 4,
+            serve_wave: 8,
+            reps: 1,
+        }
+    }
+}
+
+/// `conv_forward` / `conv_fwd_bwd`: one mid-network convolution
+/// (16→32 channels, 3×3, pad 1) over a 16×16 batch — the im2col + matmul_nt
+/// (and matmul_tn + col2im on the way back) workhorse of every model here.
+fn time_conv(sizes: &Sizes, backward: bool) -> f64 {
+    let spec = Conv2dSpec::new(16, 32, 3, 1, 1);
+    let x = Tensor::from_fn(&[sizes.conv_batch, 16, 16, 16], |i| {
+        ((i[0] * 131 + i[1] * 37 + i[2] * 11 + i[3] * 3) % 23) as f32 * 0.17 - 1.5
+    });
+    let w = Tensor::from_fn(&[32, 16, 3, 3], |i| {
+        ((i[0] * 13 + i[1] * 7 + i[2] * 3 + i[3]) % 11) as f32 * 0.05 - 0.25
+    });
+    median_ms(sizes.reps, || {
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let wv = tape.var(w.clone());
+        let out = xv.conv2d(wv, None, spec).expect("conv2d");
+        if backward {
+            let loss = out.sum().expect("sum");
+            tape.backward(loss).expect("backward");
+        } else {
+            std::hint::black_box(out.value());
+        }
+    })
+}
+
+/// `pgd_step`: a PGD iteration (full forward + input-gradient backward) on a
+/// VggMini batch — the inner loop of adversarial example generation.
+fn time_pgd(sizes: &Sizes) -> f64 {
+    let m = model(11);
+    let attack = Pgd::new(DEFAULT_EPS, DEFAULT_ALPHA, sizes.pgd_steps).without_random_start();
+    let x = image_batch(sizes.pgd_batch);
+    let y = labels(sizes.pgd_batch);
+    median_ms(sizes.reps, || {
+        std::hint::black_box(attack.perturb(&m, &x, &y).expect("pgd"));
+    })
+}
+
+/// `ibrar_regularizer`: `α Σ_l I(X,T_l) − β Σ_l I(Y,T_l)` on the robust
+/// layers of a VggMini forward. The forward pass runs untimed inside each
+/// repetition; only the regularizer build (σ prepass + kernels + trace
+/// terms) is on the clock.
+fn time_regularizer(sizes: &Sizes) -> f64 {
+    let m = model(12);
+    let x = image_batch(sizes.reg_batch);
+    let y = labels(sizes.reg_batch);
+    let cfg = IbLossConfig::substrate_vgg();
+    let run = |times: Option<&mut Vec<f64>>| {
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let xv = tape.leaf(x.clone());
+        let out = m.forward(&sess, xv, Mode::Eval).expect("forward");
+        let t0 = Instant::now();
+        let reg = IbLoss::regularizer_with_terms(&sess, xv, &out.hidden, &y, NUM_CLASSES, &cfg)
+            .expect("regularizer");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(reg.0.value());
+        if let Some(times) = times {
+            times.push(dt);
+        }
+    };
+    run(None); // warmup
+    let mut times = Vec::new();
+    for _ in 0..sizes.reps {
+        run(Some(&mut times));
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn synth(sizes: &Sizes) -> (Dataset, Dataset) {
+    let data = SynthVision::generate(
+        &SynthVisionConfig::cifar10_like().with_sizes(sizes.train, sizes.test),
+        5,
+    )
+    .expect("synth data");
+    (data.train, data.test)
+}
+
+/// `train_step`: one full Standard+IB-RAR epoch (forward, regularizer,
+/// backward, SGD) over a small synthetic set — the composite loop every
+/// experiment binary spends its time in.
+fn time_train(sizes: &Sizes) -> f64 {
+    let (train, test) = synth(sizes);
+    let cfg = TrainerConfig::new(TrainMethod::Standard)
+        .with_epochs(1)
+        .with_batch_size(16)
+        .with_ib(IbLossConfig::substrate_vgg())
+        .with_seed(7)
+        .with_sequential_batches();
+    median_ms(sizes.reps.min(5), || {
+        let m = model(13);
+        let trainer = Trainer::new(cfg.clone());
+        std::hint::black_box(trainer.train(&m, &train, &test).expect("train"));
+    })
+}
+
+/// `serve_batch`: a wave of concurrent single-image requests through the
+/// micro-batching engine (batch assembly = the `Tensor::stack` path, then
+/// one stacked Eval forward per batch).
+fn time_serve(sizes: &Sizes) -> f64 {
+    let m: Arc<dyn ImageModel> = Arc::new(model(14));
+    let engine = BatchEngine::new(
+        Arc::clone(&m),
+        EngineConfig {
+            max_batch: 8,
+            max_wait: std::time::Duration::from_millis(1),
+            queue_capacity: sizes.serve_wave.max(8) * 2,
+            workers: 1,
+        },
+    )
+    .expect("engine");
+    let images: Vec<Tensor> = (0..sizes.serve_wave)
+        .map(|i| {
+            Tensor::from_fn(&[3, 16, 16], |idx| {
+                ((idx[0] * 29 + idx[1] * 5 + idx[2] * 11 + i * 3) % 23) as f32 / 23.0
+            })
+        })
+        .collect();
+    let ms = median_ms(sizes.reps.min(5), || {
+        let pending: Vec<_> = images
+            .iter()
+            .map(|img| engine.submit(img.clone(), None).expect("submit"))
+            .collect();
+        for p in pending {
+            p.wait().expect("response");
+        }
+    });
+    engine.shutdown();
+    ms
+}
+
+fn time_workload(name: &str, sizes: &Sizes) -> f64 {
+    match name {
+        "conv_forward" => time_conv(sizes, false),
+        "conv_fwd_bwd" => time_conv(sizes, true),
+        "pgd_step" => time_pgd(sizes),
+        "ibrar_regularizer" => time_regularizer(sizes),
+        "train_step" => time_train(sizes),
+        "serve_batch" => time_serve(sizes),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// Runs the train-step + regularizer workloads once more with the metric
+/// recorder enabled and returns the allocation-pool and HSIC-cache counters
+/// (None where the running build does not emit them — e.g. the baseline
+/// commit predates the counters).
+fn collect_counters(sizes: &Sizes) -> Vec<(String, Option<u64>)> {
+    let rec = tel::global();
+    let was_enabled = rec.is_enabled();
+    rec.enable();
+    rec.reset_metrics();
+    let once = Sizes {
+        reps: 1,
+        ..sizes.clone()
+    };
+    time_train(&once);
+    time_regularizer(&once);
+    let snap = rec.snapshot();
+    let out = [
+        "alloc.pool.hit",
+        "alloc.pool.miss",
+        "hsic.cache.hit",
+        "hsic.cache.miss",
+    ]
+    .iter()
+    .map(|name| (name.to_string(), snap.counter(name)))
+    .collect();
+    rec.reset_metrics();
+    if !was_enabled {
+        rec.disable();
+    }
+    out
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::Num(n as f64),
+        None => Json::Null,
+    }
+}
+
+fn render(root: &Json) -> String {
+    let mut out = String::new();
+    write_json(root, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_json(v: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => tel::json::write_f64(*n, out),
+        Json::Str(s) => tel::json::write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_json(item, indent, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                tel::json::write_string(k, out);
+                out.push_str(": ");
+                write_json(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Schema validation shared by `--smoke` and the head phase: every workload
+/// entry exists and carries a numeric `baseline_ms` (plus `optimized_ms` and
+/// `speedup`, and the pool/cache counter objects, when `optimized`).
+fn validate(report: &Json, optimized: bool) -> Result<(), String> {
+    if report.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field != {SCHEMA}"));
+    }
+    let workloads = report.get("workloads").ok_or("missing workloads object")?;
+    let mut required = vec!["baseline_ms"];
+    if optimized {
+        required.extend(["optimized_ms", "speedup"]);
+    }
+    for name in WORKLOADS {
+        let w = workloads
+            .get(name)
+            .ok_or_else(|| format!("missing workload {name}"))?;
+        for key in &required {
+            let v = w
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("workload {name} missing numeric {key}"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("workload {name} {key} not positive: {v}"));
+            }
+        }
+    }
+    if optimized {
+        for obj in ["pool", "hsic_cache"] {
+            let o = report
+                .get(obj)
+                .ok_or_else(|| format!("missing {obj} object"))?;
+            for key in ["hit", "miss", "hit_rate"] {
+                o.get(key).ok_or_else(|| format!("{obj} missing {key}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run(phase: &str, out_path: &PathBuf, sizes: &Sizes) -> DynResult<()> {
+    eprintln!(
+        "[perf_report] phase={phase} reps={} out={}",
+        sizes.reps,
+        out_path.display()
+    );
+    let mut timings = Vec::new();
+    for name in WORKLOADS {
+        let ms = time_workload(name, sizes);
+        eprintln!("[perf_report]   {name}: {ms:.3} ms");
+        timings.push((name.to_string(), ms));
+    }
+
+    let report = if phase == "baseline" {
+        let workloads = timings
+            .iter()
+            .map(|(name, ms)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![("baseline_ms".into(), num(*ms))]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("phase".into(), Json::Str("baseline".into())),
+            ("threads".into(), num(parallel::num_threads() as f64)),
+            ("reps".into(), num(sizes.reps as f64)),
+            ("workloads".into(), Json::Obj(workloads)),
+        ])
+    } else {
+        // Head phase: merge with the recorded baseline.
+        let base_text = std::fs::read_to_string(out_path).map_err(|e| {
+            format!(
+                "head phase needs a baseline report at {} (run --phase baseline at the \
+                 pre-optimization commit first): {e}",
+                out_path.display()
+            )
+        })?;
+        let base = Json::parse(&base_text).map_err(|e| format!("bad baseline JSON: {e}"))?;
+        validate(&base, false).map_err(|e| format!("baseline report invalid: {e}"))?;
+        let counters = collect_counters(sizes);
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| *v)
+        };
+        let rate = |hit: Option<u64>, miss: Option<u64>| match (hit, miss) {
+            (Some(h), Some(m)) if h + m > 0 => num(h as f64 / (h + m) as f64),
+            _ => Json::Null,
+        };
+        let workloads = timings
+            .iter()
+            .map(|(name, ms)| {
+                let baseline = base
+                    .get("workloads")
+                    .and_then(|w| w.get(name))
+                    .and_then(|w| w.get("baseline_ms"))
+                    .and_then(Json::as_f64)
+                    .expect("validated above");
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("baseline_ms".into(), num(baseline)),
+                        ("optimized_ms".into(), num(*ms)),
+                        ("speedup".into(), num(baseline / ms)),
+                    ]),
+                )
+            })
+            .collect();
+        let (ph, pm) = (counter("alloc.pool.hit"), counter("alloc.pool.miss"));
+        let (ch, cm) = (counter("hsic.cache.hit"), counter("hsic.cache.miss"));
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("phase".into(), Json::Str("head".into())),
+            ("threads".into(), num(parallel::num_threads() as f64)),
+            ("reps".into(), num(sizes.reps as f64)),
+            ("workloads".into(), Json::Obj(workloads)),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("hit".into(), opt_u64(ph)),
+                    ("miss".into(), opt_u64(pm)),
+                    ("hit_rate".into(), rate(ph, pm)),
+                ]),
+            ),
+            (
+                "hsic_cache".into(),
+                Json::Obj(vec![
+                    ("hit".into(), opt_u64(ch)),
+                    ("miss".into(), opt_u64(cm)),
+                    ("hit_rate".into(), rate(ch, cm)),
+                ]),
+            ),
+        ])
+    };
+
+    let text = render(&report);
+    // The writer must round-trip through the parser (the head phase and any
+    // external consumer rely on it).
+    let reparsed = Json::parse(&text).map_err(|e| format!("rendered JSON invalid: {e}"))?;
+    validate(&reparsed, phase == "head")?;
+    std::fs::write(out_path, text)?;
+    eprintln!("[perf_report] wrote {}", out_path.display());
+    Ok(())
+}
+
+/// `--smoke`: both phases at tiny scale against a temp file; asserts the
+/// schema round-trips but never judges the timings.
+fn run_smoke() -> DynResult<()> {
+    let tmp = std::env::temp_dir().join(format!("ibrar-perf-smoke-{}.json", std::process::id()));
+    let sizes = Sizes::smoke();
+    let result = run("baseline", &tmp, &sizes).and_then(|()| run("head", &tmp, &sizes));
+    let _ = std::fs::remove_file(&tmp);
+    result?;
+    println!("perf_report smoke PASS");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut phase = String::from("head");
+    let mut out_path = default_out();
+    let mut reps = 15usize;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--phase" => {
+                i += 1;
+                phase = args.get(i).cloned().unwrap_or_else(|| usage());
+                if phase != "baseline" && phase != "head" {
+                    usage();
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_path = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--smoke" => smoke = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    tel::init_from_env();
+    let result = if smoke {
+        run_smoke()
+    } else {
+        run(&phase, &out_path, &Sizes::full(reps))
+    };
+    if let Err(e) = result {
+        eprintln!("[perf_report] FAILED: {e}");
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::{IbrarError, Result};
 use ibrar_autograd::Var;
-use ibrar_infotheory::{hsic_var, median_sigma, one_hot};
+use ibrar_infotheory::{median_sigma, one_hot, HsicBatchCache};
 use ibrar_nn::{Hidden, Session};
 use ibrar_tensor::parallel;
 
@@ -208,6 +208,18 @@ impl IbLoss {
         let (sigma_x, sigma_y) = (sigmas[0], sigmas[1]);
         let y = tape.leaf(y_hot);
 
+        // Batch-constant factors (centering matrix, centered input/label
+        // kernels) are built once here and shared across every Σ_l term;
+        // the cache's lazy kernels mean α = 0 / β = 0 ablations never build
+        // the side they skip. Each term's value is bitwise identical to the
+        // per-layer `hsic_var` chain it replaces. With α = β = 0 no HSIC is
+        // evaluated at all, so no cache (and no batch-size check) is needed.
+        let cache = if config.alpha != 0.0 || config.beta != 0.0 {
+            Some(HsicBatchCache::with_sigmas(x_flat, y, sigma_x, sigma_y)?)
+        } else {
+            None
+        };
+
         let mut terms = Vec::with_capacity(indices.len());
         let mut total: Option<Var<'t>> = None;
         for (pos, &i) in indices.iter().enumerate() {
@@ -219,19 +231,22 @@ impl IbLoss {
                 hsic_yt: None,
             };
             let mut term: Option<Var<'t>> = None;
-            if config.alpha != 0.0 {
-                let ixt_raw = hsic_var(x_flat, t_flat, sigma_x, sigma_t)?;
-                layer_term.hsic_xt = Some(ixt_raw.value().data()[0]);
-                term = Some(ixt_raw.scale(config.alpha));
-            }
-            if config.beta != 0.0 {
-                let iyt_raw = hsic_var(y, t_flat, sigma_y, sigma_t)?;
-                layer_term.hsic_yt = Some(iyt_raw.value().data()[0]);
-                let iyt = iyt_raw.scale(-config.beta);
-                term = Some(match term {
-                    Some(t) => t.add(iyt)?,
-                    None => iyt,
-                });
+            if let Some(cache) = &cache {
+                let lk = cache.layer(t_flat, sigma_t)?;
+                if config.alpha != 0.0 {
+                    let ixt_raw = cache.hsic_xt(&lk)?;
+                    layer_term.hsic_xt = Some(ixt_raw.value().data()[0]);
+                    term = Some(ixt_raw.scale(config.alpha));
+                }
+                if config.beta != 0.0 {
+                    let iyt_raw = cache.hsic_yt(&lk)?;
+                    layer_term.hsic_yt = Some(iyt_raw.value().data()[0]);
+                    let iyt = iyt_raw.scale(-config.beta);
+                    term = Some(match term {
+                        Some(t) => t.add(iyt)?,
+                        None => iyt,
+                    });
+                }
             }
             terms.push(layer_term);
             if let Some(t) = term {

@@ -117,6 +117,88 @@ fn regularizer_value_matches_oracle_composition() {
     .unwrap_or_else(|e| panic!("{e}"));
 }
 
+/// The batch-constant HSIC cache must be an invisible optimization: every
+/// per-layer term and the summed regularizer keep the exact op sequence of
+/// the per-layer `hsic_var` chain (bitwise-equal values); sharing the
+/// centered input/label kernel nodes only reorders *gradient accumulation*,
+/// which must stay within the reduction tolerance.
+#[test]
+fn cached_regularizer_matches_uncached_values_and_gradients() {
+    let model = pseudo_model();
+    let mut g = Gen::new(0xE006);
+    let (x, labels) = batch(&mut g, 6);
+    let cfg = IbLossConfig::paper_vgg();
+    let frozen = FrozenLoss::at_base(&model, &x, &labels, &cfg);
+
+    // Cached build: the shipped regularizer (one HsicBatchCache per batch).
+    let tape_c = Tape::new();
+    let sess_c = Session::new(&tape_c);
+    let xv_c = tape_c.var(x.clone());
+    let out_c = model.forward(&sess_c, xv_c, Mode::Eval).unwrap();
+    let (reg_c, terms_c) =
+        IbLoss::regularizer_with_terms(&sess_c, xv_c, &out_c.hidden, &labels, NUM_CLASSES, &cfg)
+            .unwrap();
+
+    // Uncached build: per-layer `hsic_var` chains with the same frozen σ,
+    // summed in the same policy order.
+    let tape_u = Tape::new();
+    let sess_u = Session::new(&tape_u);
+    let xv_u = tape_u.var(x.clone());
+    let out_u = model.forward(&sess_u, xv_u, Mode::Eval).unwrap();
+    let x_flat = xv_u.flatten_batch().unwrap();
+    let y = tape_u.leaf(one_hot(&labels, NUM_CLASSES).unwrap());
+    let mut reg_u: Option<ibrar_autograd::Var<'_>> = None;
+    let mut terms_u = Vec::new();
+    for (pos, &i) in frozen.indices.iter().enumerate() {
+        let t_flat = out_u.hidden[i].var.flatten_batch().unwrap();
+        let ixt = ibrar_infotheory::hsic_var(x_flat, t_flat, frozen.sigma_x, frozen.sigma_t[pos])
+            .unwrap();
+        let iyt =
+            ibrar_infotheory::hsic_var(y, t_flat, frozen.sigma_y, frozen.sigma_t[pos]).unwrap();
+        terms_u.push((ixt.value().data()[0], iyt.value().data()[0]));
+        let term = ixt.scale(cfg.alpha).add(iyt.scale(-cfg.beta)).unwrap();
+        reg_u = Some(match reg_u {
+            Some(acc) => acc.add(term).unwrap(),
+            None => term,
+        });
+    }
+    let reg_u = reg_u.unwrap();
+
+    // Values: bitwise identical, per term and in total.
+    assert_eq!(terms_c.len(), terms_u.len());
+    for (tc, (uxt, uyt)) in terms_c.iter().zip(&terms_u) {
+        assert_eq!(
+            tc.hsic_xt.unwrap().to_bits(),
+            uxt.to_bits(),
+            "I(X,T_{}) cached vs uncached",
+            tc.layer
+        );
+        assert_eq!(
+            tc.hsic_yt.unwrap().to_bits(),
+            uyt.to_bits(),
+            "I(Y,T_{}) cached vs uncached",
+            tc.layer
+        );
+    }
+    assert_eq!(
+        reg_c.value().data()[0].to_bits(),
+        reg_u.value().data()[0].to_bits(),
+        "regularizer total cached vs uncached"
+    );
+
+    // Gradients w.r.t. the input batch: same math, different accumulation
+    // order at the shared kernel nodes → reduction tolerance.
+    let grad_c = tape_c.backward(reg_c).unwrap().get(xv_c).unwrap().clone();
+    let grad_u = tape_u.backward(reg_u).unwrap().get(xv_u).unwrap().clone();
+    ibrar_oracle::compare(
+        "regularizer d/dx cached vs uncached",
+        &grad_c,
+        &grad_u,
+        Tolerance::reduction(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
 /// Builds the composite loss with **fixed** σ values and returns its scalar
 /// value; `analytic` callers use the same builder once and backprop it.
 struct FrozenLoss {

@@ -1,0 +1,293 @@
+//! Batch-constant HSIC kernel caching.
+//!
+//! The IB-RAR regularizer `α Σ_l I(X,T_l) − β Σ_l I(Y,T_l)` evaluates the
+//! biased HSIC estimator `tr(KₐH KᵦH)/(m−1)²` once per selected layer and
+//! term — but within one batch the centering matrix `H`, the centered input
+//! kernel `KₓH`, and the centered label kernel `KᵧH` are **identical across
+//! every layer**. Building them per layer (as chaining [`crate::hsic_var`]
+//! does) redoes an O(m²·d) distance pass and an O(m³) matmul `L` times.
+//!
+//! [`HsicBatchCache`] computes them once per batch and shares them across
+//! all Σ_l terms. Per layer, only the layer kernel `(K_t H)ᵀ` is built
+//! ([`HsicBatchCache::layer`]); both the compression and relevance term of
+//! that layer then reuse it. Each term's *value* is bitwise identical to the
+//! equivalent `hsic_var` call — the per-term op sequence (Gaussian kernel,
+//! centering matmul, transpose, Hadamard, sum, scale) is unchanged; only
+//! node *sharing* differs, which affects gradient accumulation order at
+//! tolerance level (pinned by the cached-vs-uncached differential test).
+//!
+//! # Invalidation
+//!
+//! The cache is keyed on batch identity: it holds the tape variables it was
+//! built from, and [`HsicBatchCache::is_for`] compares variable ids. A cache
+//! must never outlive its batch — build a fresh one per batch (tape
+//! lifetimes enforce this: the cache borrows the tape of its variables).
+//!
+//! Kernel builds/reuses surface as `hsic.cache.miss` / `hsic.cache.hit`
+//! telemetry counters.
+
+use crate::hsic::centering;
+use crate::{InfoError, Result};
+use ibrar_autograd::Var;
+use ibrar_telemetry as tel;
+use std::cell::Cell;
+
+/// Per-batch cache of the batch-constant HSIC factors (`H`, `KₓH`, `KᵧH`).
+///
+/// The centered input/label kernels are built lazily on first use, so
+/// ablation configs (`α = 0` or `β = 0`) never pay for the side they skip.
+pub struct HsicBatchCache<'t> {
+    m: usize,
+    scale: f32,
+    sigma_x: f32,
+    sigma_y: f32,
+    x: Var<'t>,
+    y: Var<'t>,
+    h: Var<'t>,
+    kxh: Cell<Option<Var<'t>>>,
+    kyh: Cell<Option<Var<'t>>>,
+}
+
+/// The layer-specific factor `(K_t H)ᵀ`, shared by both HSIC terms of one
+/// layer.
+pub struct HsicLayerKernel<'t> {
+    kth_t: Var<'t>,
+    m: usize,
+}
+
+impl<'t> HsicBatchCache<'t> {
+    /// Builds a cache for batch `x` (inputs, `[m, d]`) and `y` (one-hot
+    /// labels, `[m, k]`), computing the kernel widths with
+    /// [`crate::median_sigma`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched batch sizes or `m < 2`.
+    pub fn new(x: Var<'t>, y: Var<'t>) -> Result<Self> {
+        let sigma_x = crate::median_sigma(&x.value());
+        let sigma_y = crate::median_sigma(&y.value());
+        Self::with_sigmas(x, y, sigma_x, sigma_y)
+    }
+
+    /// Builds a cache with precomputed kernel widths (the trainer computes
+    /// every σ in a stop-gradient prepass).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched batch sizes or `m < 2`.
+    pub fn with_sigmas(x: Var<'t>, y: Var<'t>, sigma_x: f32, sigma_y: f32) -> Result<Self> {
+        let m = x.shape().first().copied().unwrap_or(0);
+        let my = y.shape().first().copied().unwrap_or(0);
+        if m != my {
+            return Err(InfoError::Invalid(format!(
+                "HSIC batch sizes disagree: {m} vs {my}"
+            )));
+        }
+        if m < 2 {
+            return Err(InfoError::Invalid(format!(
+                "HSIC needs at least 2 samples, got {m}"
+            )));
+        }
+        let h = x.tape().leaf(centering(m));
+        Ok(HsicBatchCache {
+            m,
+            scale: 1.0 / ((m - 1) as f32 * (m - 1) as f32),
+            sigma_x,
+            sigma_y,
+            x,
+            y,
+            h,
+            kxh: Cell::new(None),
+            kyh: Cell::new(None),
+        })
+    }
+
+    /// Batch size `m`.
+    pub fn batch_size(&self) -> usize {
+        self.m
+    }
+
+    /// Kernel width used for the input kernel.
+    pub fn sigma_x(&self) -> f32 {
+        self.sigma_x
+    }
+
+    /// Kernel width used for the label kernel.
+    pub fn sigma_y(&self) -> f32 {
+        self.sigma_y
+    }
+
+    /// Whether this cache was built from exactly these batch variables —
+    /// the invalidation rule: a cache only serves the batch it is keyed on.
+    pub fn is_for(&self, x: Var<'t>, y: Var<'t>) -> bool {
+        self.x.id() == x.id() && self.y.id() == y.id()
+    }
+
+    fn cached_kernel(
+        &self,
+        slot: &Cell<Option<Var<'t>>>,
+        source: Var<'t>,
+        sigma: f32,
+    ) -> Result<Var<'t>> {
+        if let Some(v) = slot.get() {
+            tel::counter("hsic.cache.hit", 1);
+            return Ok(v);
+        }
+        tel::counter("hsic.cache.miss", 1);
+        let _s = tel::span!("hsic.kernel");
+        let k = source.gaussian_kernel(sigma)?;
+        let kh = k.matmul(self.h)?;
+        slot.set(Some(kh));
+        Ok(kh)
+    }
+
+    /// The centered input kernel `KₓH` (built on first use, then reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive `sigma_x`.
+    pub fn input_kernel(&self) -> Result<Var<'t>> {
+        self.cached_kernel(&self.kxh, self.x, self.sigma_x)
+    }
+
+    /// The centered label kernel `KᵧH` (built on first use, then reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive `sigma_y`.
+    pub fn label_kernel(&self) -> Result<Var<'t>> {
+        self.cached_kernel(&self.kyh, self.y, self.sigma_y)
+    }
+
+    /// Builds the layer factor `(K_t H)ᵀ` for hidden activations `t`
+    /// (`[m, d_t]`, flattened) with kernel width `sigma_t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a batch-size mismatch or non-positive width.
+    pub fn layer(&self, t: Var<'t>, sigma_t: f32) -> Result<HsicLayerKernel<'t>> {
+        let mt = t.shape().first().copied().unwrap_or(0);
+        if mt != self.m {
+            return Err(InfoError::Invalid(format!(
+                "HSIC batch sizes disagree: {} vs {mt}",
+                self.m
+            )));
+        }
+        let _s = tel::span!("hsic.kernel");
+        let kt = t.gaussian_kernel(sigma_t)?;
+        let kth_t = kt.matmul(self.h)?.transpose()?;
+        Ok(HsicLayerKernel { kth_t, m: self.m })
+    }
+
+    fn trace_term(&self, batch_kernel: Var<'t>, layer: &HsicLayerKernel<'t>) -> Result<Var<'t>> {
+        debug_assert_eq!(layer.m, self.m, "layer kernel from a different batch");
+        let _s = tel::span!("hsic.center");
+        // tr(Kₐ H K_t H) = Σ (KₐH) ⊙ (K_t H)ᵀ — same contraction as
+        // `hsic_var`, with the batch factor read from the cache.
+        Ok(batch_kernel.mul(layer.kth_t)?.sum()?.scale(self.scale))
+    }
+
+    /// The compression term `I(X, T_l) = tr(KₓH K_tH)/(m−1)²`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-construction errors.
+    pub fn hsic_xt(&self, layer: &HsicLayerKernel<'t>) -> Result<Var<'t>> {
+        let kxh = self.input_kernel()?;
+        self.trace_term(kxh, layer)
+    }
+
+    /// The relevance term `I(Y, T_l) = tr(KᵧH K_tH)/(m−1)²`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-construction errors.
+    pub fn hsic_yt(&self, layer: &HsicLayerKernel<'t>) -> Result<Var<'t>> {
+        let kyh = self.label_kernel()?;
+        self.trace_term(kyh, layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hsic_var, one_hot};
+    use ibrar_autograd::Tape;
+    use ibrar_tensor::Tensor;
+
+    fn batch() -> (Tensor, Tensor, Tensor) {
+        let x = Tensor::from_fn(&[6, 5], |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 * 0.3 - 1.2);
+        let t = Tensor::from_fn(&[6, 4], |i| ((i[0] * 5 + i[1] * 2) % 7) as f32 * 0.4 - 1.0);
+        let y = one_hot(&[0, 1, 2, 0, 1, 2], 3).unwrap();
+        (x, t, y)
+    }
+
+    #[test]
+    fn cached_terms_bitwise_match_hsic_var() {
+        let (x, t, y) = batch();
+        let (sx, sy, st) = (1.1f32, 0.9f32, 1.3f32);
+
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let yv = tape.leaf(y.clone());
+        let tv = tape.leaf(t.clone());
+        let cache = HsicBatchCache::with_sigmas(xv, yv, sx, sy).unwrap();
+        let lk = cache.layer(tv, st).unwrap();
+        let xt = cache.hsic_xt(&lk).unwrap().value().data()[0];
+        let yt = cache.hsic_yt(&lk).unwrap().value().data()[0];
+
+        let want_xt = hsic_var(xv, tv, sx, st).unwrap().value().data()[0];
+        let want_yt = hsic_var(yv, tv, sy, st).unwrap().value().data()[0];
+        assert_eq!(xt.to_bits(), want_xt.to_bits());
+        assert_eq!(yt.to_bits(), want_yt.to_bits());
+    }
+
+    #[test]
+    fn kernels_are_built_once_and_reused() {
+        let (x, t, y) = batch();
+        let tape = Tape::new();
+        let xv = tape.leaf(x);
+        let yv = tape.leaf(y);
+        let tv = tape.leaf(t);
+        let cache = HsicBatchCache::with_sigmas(xv, yv, 1.0, 1.0).unwrap();
+        let k1 = cache.input_kernel().unwrap();
+        let k2 = cache.input_kernel().unwrap();
+        assert_eq!(k1.id(), k2.id(), "input kernel must be the same node");
+        let lk = cache.layer(tv, 1.0).unwrap();
+        let _ = cache.hsic_yt(&lk).unwrap();
+        let k3 = cache.label_kernel().unwrap();
+        let k4 = cache.label_kernel().unwrap();
+        assert_eq!(k3.id(), k4.id());
+    }
+
+    #[test]
+    fn identity_keying() {
+        let (x, _, y) = batch();
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let yv = tape.leaf(y.clone());
+        let cache = HsicBatchCache::with_sigmas(xv, yv, 1.0, 1.0).unwrap();
+        assert!(cache.is_for(xv, yv));
+        let other = tape.leaf(x);
+        assert!(!cache.is_for(other, yv), "new batch variable ⇒ new cache");
+    }
+
+    #[test]
+    fn rejects_bad_batches() {
+        let tape = Tape::new();
+        let xv = tape.leaf(Tensor::zeros(&[4, 2]));
+        let y5 = tape.leaf(Tensor::zeros(&[5, 2]));
+        assert!(HsicBatchCache::with_sigmas(xv, y5, 1.0, 1.0).is_err());
+        let x1 = tape.leaf(Tensor::zeros(&[1, 2]));
+        let y1 = tape.leaf(Tensor::zeros(&[1, 2]));
+        assert!(HsicBatchCache::with_sigmas(x1, y1, 1.0, 1.0).is_err());
+        let cache = HsicBatchCache::with_sigmas(
+            tape.leaf(Tensor::zeros(&[4, 2])),
+            tape.leaf(Tensor::zeros(&[4, 2])),
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        assert!(cache.layer(y5, 1.0).is_err(), "layer batch must match");
+    }
+}

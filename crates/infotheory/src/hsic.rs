@@ -7,7 +7,7 @@
 use crate::{InfoError, Result};
 use ibrar_autograd::Var;
 use ibrar_telemetry as tel;
-use ibrar_tensor::{parallel, Tensor};
+use ibrar_tensor::{parallel, simd, Tensor};
 
 /// Median-of-pairwise-distances kernel-width heuristic.
 ///
@@ -23,18 +23,16 @@ pub fn median_sigma(x: &Tensor) -> f32 {
     // The O(m²·d) pairwise loop is chunked by leading row `i`; per-chunk
     // distance vectors are concatenated in chunk order, which reproduces the
     // serial `(i, j)` push order exactly, so the sorted median is bitwise
-    // identical for any thread count.
+    // identical for any thread count. Each distance uses the fixed 8-lane
+    // accumulation order of `sqdist8` (shared with the oracle reference).
     let threads = parallel::threads_for(m * m * d / 2);
     let mut dists: Vec<f32> = parallel::run_chunked(m, threads, |rows| {
         let mut part = Vec::new();
         for i in rows {
             for j in (i + 1)..m {
-                let mut acc = 0.0f32;
-                for t in 0..d {
-                    let diff = data[i * d + t] - data[j * d + t];
-                    acc += diff * diff;
-                }
-                part.push(acc.sqrt());
+                part.push(
+                    simd::sqdist8(&data[i * d..(i + 1) * d], &data[j * d..(j + 1) * d]).sqrt(),
+                );
             }
         }
         part
@@ -47,7 +45,7 @@ pub fn median_sigma(x: &Tensor) -> f32 {
 }
 
 /// The centering matrix `H = I − (1/m) 𝟙𝟙ᵀ`.
-fn centering(m: usize) -> Tensor {
+pub(crate) fn centering(m: usize) -> Tensor {
     Tensor::from_fn(&[m, m], |idx| {
         let base = -1.0 / m as f32;
         if idx[0] == idx[1] {

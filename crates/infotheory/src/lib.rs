@@ -29,6 +29,7 @@
 //! ```
 
 mod binned;
+mod cache;
 mod error;
 mod hsic;
 mod plane;
@@ -37,6 +38,7 @@ pub use binned::{
     binned_pattern_entropy, channel_label_mi, conditional_pattern_entropy, mi_values_labels,
     BinningConfig,
 };
+pub use cache::{HsicBatchCache, HsicLayerKernel};
 pub use error::InfoError;
 pub use hsic::{hsic, hsic_var, median_sigma, one_hot, one_hot_var};
 pub use plane::{InfoPlane, InfoPlanePoint};

@@ -263,6 +263,14 @@ pub fn hsic(x: &Tensor, y: &Tensor, sigma_x: f32, sigma_y: f32) -> f32 {
 
 /// Median-of-pairwise-distances kernel width, with the same 1e-3 floor and
 /// `m < 2 → 1.0` fallback as the optimized implementation.
+///
+/// Each squared distance uses the fixed 8-lane accumulation order of
+/// DESIGN.md §12 (8 lane accumulators over `chunks_exact(8)`, the
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` reduction tree, serial tail added
+/// last), transcribed literally here so the differential test against the
+/// optimized `median_sigma` stays **bitwise** with unchanged tolerance. The
+/// order is part of the documented numeric contract, not an accident of the
+/// optimized code.
 pub fn median_sigma(x: &Tensor) -> f32 {
     let m = x.shape().first().copied().unwrap_or(0);
     if m < 2 {
@@ -273,11 +281,23 @@ pub fn median_sigma(x: &Tensor) -> f32 {
     let mut dists = Vec::new();
     for i in 0..m {
         for j in (i + 1)..m {
-            let mut acc = 0.0f32;
-            for t in 0..d {
-                let diff = xd[i * d + t] - xd[j * d + t];
-                acc += diff * diff;
+            let (a, b) = (&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
+            let mut lanes = [0.0f32; 8];
+            let chunks = d / 8;
+            for c in 0..chunks {
+                for l in 0..8 {
+                    let diff = a[c * 8 + l] - b[c * 8 + l];
+                    lanes[l] += diff * diff;
+                }
             }
+            let mut tail = 0.0f32;
+            for t in chunks * 8..d {
+                let diff = a[t] - b[t];
+                tail += diff * diff;
+            }
+            let acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+                + tail;
             dists.push(acc.sqrt());
         }
     }

@@ -420,8 +420,10 @@ fn run_batch(model: &dyn ImageModel, batch: Vec<Job>) {
         return;
     }
 
-    let images: Vec<ibrar_tensor::Tensor> = live.iter().map(|j| j.image.clone()).collect();
-    let result = ibrar_tensor::Tensor::stack(&images)
+    // Stack straight from the job-owned tensors — no per-image clone; the
+    // batch buffer itself comes from the scratch pool.
+    let images: Vec<&ibrar_tensor::Tensor> = live.iter().map(|j| &j.image).collect();
+    let result = ibrar_tensor::Tensor::stack_refs(&images)
         .map_err(ServeError::from)
         .and_then(|x| forward_eval(model, &x));
     match result {

@@ -6,12 +6,13 @@
 //! * **Bias broadcast** — `[n, c] + [c]` and `[n, c, h, w] + [c]`.
 //! * **Scalar broadcast** — any tensor combined with a rank-0 tensor.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{scratch, Result, Tensor, TensorError};
 
 impl Tensor {
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data().iter().map(|&v| f(v)).collect();
+        let mut data = scratch::take_raw(self.len());
+        data.extend(self.data().iter().map(|&v| f(v)));
         Tensor::from_vec(data, self.shape()).expect("map preserves volume")
     }
 
@@ -29,12 +30,13 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.shape_obj().expect_same(other.shape_obj(), "zip")?;
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = scratch::take_raw(self.len());
+        data.extend(
+            self.data()
+                .iter()
+                .zip(other.data().iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Tensor::from_vec(data, self.shape())
     }
 
@@ -184,7 +186,7 @@ impl Tensor {
         // Bias broadcast: [n, c] (+|-|*|/) [c].
         if self.rank() == 2 && other.rank() == 1 && self.shape()[1] == other.shape()[0] {
             let (n, c) = (self.shape()[0], self.shape()[1]);
-            let mut data = Vec::with_capacity(n * c);
+            let mut data = scratch::take_raw(n * c);
             for i in 0..n {
                 for j in 0..c {
                     data.push(f(self.data()[i * c + j], other.data()[j]));
@@ -201,7 +203,7 @@ impl Tensor {
                 self.shape()[3],
             );
             let plane = h * w;
-            let mut data = Vec::with_capacity(self.len());
+            let mut data = scratch::take_raw(self.len());
             for ni in 0..n {
                 for ci in 0..c {
                     let base = (ni * c + ci) * plane;

@@ -35,7 +35,9 @@ mod matmul;
 pub mod parallel;
 mod pool;
 mod reduce;
+pub mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dSpec};

@@ -3,11 +3,13 @@
 //! A cache-blocked, `ikj`-ordered kernel with a row-parallel path (via
 //! [`crate::parallel`]) for large products. Output rows are split into
 //! contiguous chunks and each chunk's accumulation order matches the serial
-//! kernel, so results are bitwise identical for any thread count.
-//! Correctness of the blocked kernel is checked against a naive triple loop
-//! in the tests and by property tests.
+//! kernel, so results are bitwise identical for any thread count. Inner
+//! loops are the fixed-order 8-lane kernels from [`crate::simd`] and output
+//! buffers come from the [`crate::scratch`] pool. Correctness of the blocked
+//! kernel is checked against a naive triple loop in the tests and by
+//! property tests.
 
-use crate::{parallel, Result, Tensor, TensorError};
+use crate::{parallel, scratch, simd, Result, Tensor, TensorError};
 
 /// Below this many output elements the parallel path is not worth spawning
 /// threads for.
@@ -34,7 +36,7 @@ impl Tensor {
                 rhs_rows: k2,
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take(m * n);
         if m * n >= PARALLEL_THRESHOLD && m >= 2 {
             matmul_parallel(self.data(), rhs.data(), &mut out, k, n);
         } else {
@@ -59,22 +61,19 @@ impl Tensor {
                 rhs_rows: k2,
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take(m * n);
         let a = self.data();
         let b = rhs.data();
         // Each output row is an independent batch of dot products; split
         // rows across threads (this is the conv-forward workhorse:
-        // `im2col(x) × Wᵀ`).
+        // `im2col(x) × Wᵀ`). The 8-lane dot kernel's accumulation order is a
+        // pure function of the operands, so the split stays bitwise
+        // thread-count invariant.
         let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
         parallel::par_items_mut(&mut out, n, threads, |i, orow| {
             let arow = &a[i * k..(i + 1) * k];
             for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for t in 0..k {
-                    acc += arow[t] * brow[t];
-                }
-                *o = acc;
+                *o = simd::dot8(arow, &b[j * k..(j + 1) * k]);
             }
         });
         Tensor::from_vec(out, &[m, n])
@@ -96,12 +95,13 @@ impl Tensor {
                 rhs_rows: k2,
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take(m * n);
         let a = self.data();
         let b = rhs.data();
         // ikj order over the transposed access pattern: accumulate row i of
         // out from column i of a. Row chunks keep the per-row accumulation
-        // order (t ascending) identical to the serial kernel.
+        // order (t ascending) identical to the serial kernel; the AXPY body
+        // is element-wise, so unrolling it changes no bits.
         let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
         parallel::par_chunks_mut(&mut out, n, threads, |rows, region| {
             for t in 0..k {
@@ -112,9 +112,7 @@ impl Tensor {
                     if av == 0.0 {
                         continue;
                     }
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o += av * brow[j];
-                    }
+                    simd::axpy8(av, brow, orow);
                 }
             }
         });
@@ -136,11 +134,14 @@ impl Tensor {
                 rhs_rows: rhs.len(),
             });
         }
-        let mut out = Vec::with_capacity(m);
-        for i in 0..m {
-            let row = &self.data()[i * k..(i + 1) * k];
-            out.push(row.iter().zip(rhs.data()).map(|(a, b)| a * b).sum());
-        }
+        let mut out = scratch::take(m);
+        let a = self.data();
+        let v = rhs.data();
+        // Rows split across threads exactly like matmul_nt with n = 1.
+        let threads = parallel::threads_for(m.saturating_mul(k));
+        parallel::par_items_mut(&mut out, 1, threads, |i, o| {
+            o[0] = simd::dot8(&a[i * k..(i + 1) * k], v);
+        });
         Tensor::from_vec(out, &[m])
     }
 
@@ -152,7 +153,7 @@ impl Tensor {
     pub fn dot(&self, rhs: &Tensor) -> Result<f32> {
         self.shape_obj().expect_rank(1, "dot")?;
         rhs.shape_obj().expect_same(self.shape_obj(), "dot")?;
-        Ok(self.data().iter().zip(rhs.data()).map(|(a, b)| a * b).sum())
+        Ok(simd::dot8(self.data(), rhs.data()))
     }
 }
 
@@ -169,18 +170,19 @@ fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
                     continue;
                 }
                 let brow = &b[t * n..(t + 1) * n];
-                for j in 0..n {
-                    orow[j] += av * brow[j];
-                }
+                simd::axpy8(av, brow, orow);
             }
         }
     }
 }
 
-/// Splits output rows across scoped threads (thread count from
-/// [`crate::parallel`], so `IBRAR_THREADS` governs this path too).
+/// Splits output rows across scoped threads. The thread budget is
+/// work-clamped via [`parallel::threads_for`] like every other split in the
+/// workspace, so products just past `PARALLEL_THRESHOLD` no longer
+/// oversubscribe (`IBRAR_THREADS` and `with_threads` still govern it).
 fn matmul_parallel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let threads = parallel::num_threads();
+    let m = out.len() / n.max(1);
+    let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
     parallel::par_chunks_mut(out, n, threads, |rows, out_chunk| {
         let a_slice = &a[rows.start * k..rows.end * k];
         matmul_block(a_slice, b, out_chunk, rows.len(), k, n);

@@ -1,0 +1,176 @@
+//! SIMD-width inner kernels: fixed 8-lane multi-accumulator loops.
+//!
+//! The scalar single-accumulator dot products that used to sit at the bottom
+//! of `matmul_nt`, `matvec`, `median_sigma`, and `pairwise_sqdist` serialize
+//! on the ~4-cycle latency of each fused multiply-add: every iteration waits
+//! for the previous accumulator update. Splitting the reduction across 8
+//! independent lane accumulators breaks that chain and hands LLVM a loop it
+//! autovectorizes to full register width.
+//!
+//! # Fixed lane-reduction order
+//!
+//! Reassociating a float reduction changes its rounding, so the order here
+//! is part of the numeric contract (DESIGN.md §12):
+//!
+//! 1. the input is consumed in 8-element chunks (`chunks_exact(8)`); chunk
+//!    `c` adds element `8c + l` into lane `l`;
+//! 2. lanes reduce as the fixed tree
+//!    `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`;
+//! 3. the `< 8` tail elements accumulate serially into one scalar that is
+//!    added last.
+//!
+//! The result is a pure function of the input slices — independent of
+//! thread count, chunk boundaries, and call site — so determinism across
+//! `IBRAR_THREADS` is preserved even though the *value* differs from the
+//! old serial order (hence the one-time golden re-bless in PR 5).
+//!
+//! [`axpy8`] is element-wise (no cross-element reduction), so it is bitwise
+//! identical to the plain `y[i] += a * x[i]` loop it replaces.
+
+/// Lane width of the multi-accumulator kernels.
+pub const LANES: usize = 8;
+
+/// Reduces 8 lane accumulators in the documented fixed tree order.
+#[inline(always)]
+fn reduce_lanes(l: [f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Dot product `Σ a[i]·b[i]` in the fixed 8-lane accumulation order.
+///
+/// # Panics
+///
+/// Panics in debug builds when the slices have different lengths.
+#[inline]
+pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    let ac = a.chunks_exact(LANES);
+    let bc = b.chunks_exact(LANES);
+    let (atail, btail) = (ac.remainder(), bc.remainder());
+    for (ca, cb) in ac.zip(bc) {
+        for l in 0..LANES {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in atail.iter().zip(btail) {
+        tail += x * y;
+    }
+    reduce_lanes(lanes) + tail
+}
+
+/// Squared Euclidean distance `Σ (a[i]−b[i])²` in the fixed 8-lane
+/// accumulation order.
+///
+/// # Panics
+///
+/// Panics in debug builds when the slices have different lengths.
+#[inline]
+pub fn sqdist8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    let ac = a.chunks_exact(LANES);
+    let bc = b.chunks_exact(LANES);
+    let (atail, btail) = (ac.remainder(), bc.remainder());
+    for (ca, cb) in ac.zip(bc) {
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in atail.iter().zip(btail) {
+        let d = x - y;
+        tail += d * d;
+    }
+    reduce_lanes(lanes) + tail
+}
+
+/// `y[i] += a · x[i]` over equal-length slices. Element-wise, therefore
+/// bitwise identical to the scalar loop for every input.
+///
+/// # Panics
+///
+/// Panics in debug builds when the slices have different lengths.
+#[inline]
+pub fn axpy8(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    // Element-wise, so no lane structure is needed for determinism; a plain
+    // indexed loop over length-equalized slices is the shape LLVM
+    // vectorizes best here (explicit 8-chunking measurably *defeats* its
+    // cost model on the AXPY read-modify-write pattern).
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    for i in 0..n {
+        y[i] += a * x[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn dot8_matches_documented_order_exactly() {
+        // Reference: a literal transcription of the documented order.
+        for n in [0, 1, 7, 8, 9, 16, 37, 64] {
+            let a = seq(n, |i| ((i * 31 + 7) % 17) as f32 * 0.37 - 2.0);
+            let b = seq(n, |i| ((i * 13 + 3) % 19) as f32 * 0.23 - 1.5);
+            let mut lanes = [0.0f32; 8];
+            let chunks = n / 8;
+            for c in 0..chunks {
+                for l in 0..8 {
+                    lanes[l] += a[c * 8 + l] * b[c * 8 + l];
+                }
+            }
+            let mut tail = 0.0f32;
+            for i in chunks * 8..n {
+                tail += a[i] * b[i];
+            }
+            let want = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+                + tail;
+            assert_eq!(dot8(&a, &b).to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sqdist8_agrees_with_dot_identity() {
+        let a = seq(23, |i| i as f32 * 0.11);
+        let b = seq(23, |i| (23 - i) as f32 * 0.07);
+        let d: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        assert_eq!(sqdist8(&a, &b).to_bits(), dot8(&d, &d).to_bits());
+        assert_eq!(sqdist8(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn axpy8_is_bitwise_scalar_loop() {
+        for n in [0, 3, 8, 21, 40] {
+            let x = seq(n, |i| ((i * 7) % 11) as f32 * 0.3 - 1.0);
+            let base = seq(n, |i| ((i * 5) % 13) as f32 * 0.21 - 1.2);
+            let a = 0.77f32;
+            let mut fast = base.clone();
+            axpy8(a, &x, &mut fast);
+            let mut slow = base.clone();
+            for i in 0..n {
+                slow[i] += a * x[i];
+            }
+            let fb: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u32> = slow.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, sb, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot8_close_to_f64_reference() {
+        let a = seq(1000, |i| (i as f32 * 0.01).sin());
+        let b = seq(1000, |i| (i as f32 * 0.02).cos());
+        let exact: f64 = a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
+        assert!((dot8(&a, &b) as f64 - exact).abs() < 1e-3);
+    }
+}

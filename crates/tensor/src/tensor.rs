@@ -1,9 +1,12 @@
-use crate::{Result, Shape, TensorError};
+use crate::{scratch, Result, Shape, TensorError};
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// All operations allocate fresh output tensors; there are no strided views.
-/// See the crate-level docs for the rationale.
+/// See the crate-level docs for the rationale. Backing buffers come from the
+/// thread-local [`scratch`] pool and return to it on drop, so hot loops that
+/// churn tensors of recurring shapes reuse allocations instead of hitting
+/// the system allocator.
 ///
 /// # Examples
 ///
@@ -16,10 +19,25 @@ use crate::{Result, Shape, TensorError};
 /// assert_eq!(r.shape(), &[3, 2]);
 /// # Ok::<(), ibrar_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            data: scratch::vec_from_slice(&self.data),
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -44,7 +62,7 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![0.0; shape.volume()],
+            data: scratch::take(shape.volume()),
             shape,
         }
     }
@@ -57,10 +75,9 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor {
-            data: vec![value; shape.volume()],
-            shape,
-        }
+        let mut data = scratch::take_raw(shape.volume());
+        data.resize(shape.volume(), value);
+        Tensor { data, shape }
     }
 
     /// A rank-0 tensor holding a single value.
@@ -75,7 +92,7 @@ impl Tensor {
     pub fn from_fn(dims: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
         let shape = Shape::new(dims);
         let volume = shape.volume();
-        let mut data = Vec::with_capacity(volume);
+        let mut data = scratch::take_raw(volume);
         let mut index = vec![0usize; dims.len()];
         for _ in 0..volume {
             data.push(f(&index));
@@ -107,8 +124,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns its backing buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Axis extents.
@@ -169,7 +186,7 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self.data.clone(),
+            data: scratch::vec_from_slice(&self.data),
             shape,
         })
     }
@@ -177,7 +194,7 @@ impl Tensor {
     /// Flattens to rank 1.
     pub fn flatten(&self) -> Self {
         Tensor {
-            data: self.data.clone(),
+            data: scratch::vec_from_slice(&self.data),
             shape: Shape::new(&[self.data.len()]),
         }
     }
@@ -190,7 +207,7 @@ impl Tensor {
     pub fn transpose(&self) -> Result<Self> {
         self.shape.expect_rank(2, "transpose")?;
         let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
-        let mut out = vec![0.0f32; r * c];
+        let mut out = scratch::take(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
@@ -210,7 +227,10 @@ impl Tensor {
         if i >= r {
             return Err(TensorError::AxisOutOfRange { axis: i, rank: r });
         }
-        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+        Tensor::from_vec(
+            scratch::vec_from_slice(&self.data[i * c..(i + 1) * c]),
+            &[c],
+        )
     }
 
     /// Stacks rank-`k` tensors with identical shapes into a rank-`k+1` tensor
@@ -220,10 +240,21 @@ impl Tensor {
     ///
     /// Returns an error when `items` is empty or shapes differ.
     pub fn stack(items: &[Tensor]) -> Result<Self> {
-        let first = items
+        let refs: Vec<&Tensor> = items.iter().collect();
+        Tensor::stack_refs(&refs)
+    }
+
+    /// [`Tensor::stack`] over borrowed tensors, for callers (e.g. the serve
+    /// batch assembler) that stack without owning or cloning the inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `items` is empty or shapes differ.
+    pub fn stack_refs(items: &[&Tensor]) -> Result<Self> {
+        let first = *items
             .first()
             .ok_or_else(|| TensorError::InvalidGeometry("stack of zero tensors".into()))?;
-        let mut data = Vec::with_capacity(items.len() * first.len());
+        let mut data = scratch::take_raw(items.len() * first.len());
         for item in items {
             first.shape.expect_same(&item.shape, "stack")?;
             data.extend_from_slice(&item.data);
@@ -251,7 +282,7 @@ impl Tensor {
         }
         let n = self.shape.dims()[0];
         let row_len = self.len() / n.max(1);
-        let mut data = Vec::with_capacity(indices.len() * row_len);
+        let mut data = scratch::take_raw(indices.len() * row_len);
         for &i in indices {
             if i >= n {
                 return Err(TensorError::AxisOutOfRange { axis: i, rank: n });

@@ -40,6 +40,14 @@ else
     # robustness probe, typed queue-full/deadline backpressure, clean
     # shutdown. Exits non-zero on any failure.
     cargo run --release -q -p ibrar-bench --bin serve -- --smoke
+
+    echo "== benches compile =="
+    cargo bench --no-run -q
+
+    echo "== perf report smoke (schema only) =="
+    # Runs both perf_report phases at toy sizes against a temp file and
+    # validates the BENCH_PR5.json schema; no timing assertions.
+    cargo run --release -q -p ibrar-bench --bin perf_report -- --smoke
 fi
 
 echo "== clippy (whole workspace, -D warnings) =="
