@@ -12,8 +12,8 @@
 
 use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
 use ibrar_serve::{
-    save_to_path, BatchEngine, Client, EngineConfig, ModelRegistry, ProbeSpec, ServeError, Server,
-    ServerConfig,
+    save_to_path, BatchEngine, Client, EngineConfig, MetricsFormat, ModelRegistry, ProbeSpec,
+    ServeError, Server, ServerConfig,
 };
 use ibrar_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -29,14 +29,17 @@ const NUM_CLASSES: usize = 10;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--smoke | --throughput [--requests N] | --listen ADDR]\n\
+        "usage: serve [--smoke | --throughput [--requests N] | --listen ADDR | --drive ADDR]\n\
          \n\
          --smoke       end-to-end check on an ephemeral port: classify,\n\
          \x20             robustness probe, queue-full + deadline backpressure,\n\
-         \x20             clean shutdown (exits non-zero on any failure)\n\
+         \x20             metrics/health/flight endpoints, clean shutdown\n\
+         \x20             (exits non-zero on any failure)\n\
          --throughput  compare batched vs per-request engine throughput\n\
-         --requests N  wave size for --throughput (default 64)\n\
-         --listen ADDR serve checkpointed models on ADDR until killed"
+         --requests N  wave size for --throughput / --drive (default 64)\n\
+         --listen ADDR serve checkpointed models on ADDR until killed\n\
+         --drive ADDR  send N traced classify requests at a --listen server\n\
+         \x20             (load for the ibrar-top dashboard)"
     );
     std::process::exit(2);
 }
@@ -92,6 +95,10 @@ fn check(ok: bool, what: &str) -> DynResult<()> {
 /// (checkpoint load, TCP framing, batching, attacks, backpressure) and the
 /// clean-shutdown path on an ephemeral port.
 fn run_smoke() -> DynResult<()> {
+    // The metrics endpoint serves the global recorder's snapshot; enable it
+    // so the stage histograms below have observations even without
+    // IBRAR_TELEMETRY set.
+    ibrar_telemetry::global().enable();
     let (registry, path, model) = checkpointed_registry()?;
     // Tiny queue so backpressure is reachable deterministically.
     let mut server = Server::start(
@@ -104,6 +111,7 @@ fn run_smoke() -> DynResult<()> {
                 queue_capacity: 3,
                 workers: 1,
             },
+            ..ServerConfig::default()
         },
     )?;
     println!("serving on {}", server.addr());
@@ -187,6 +195,50 @@ fn run_smoke() -> DynResult<()> {
     // The server stays healthy after rejections, then shuts down cleanly.
     client.ping()?;
     client.classify(MODEL_NAME, &image(3), 0)?;
+
+    // Observability plane: health, Prometheus exposition with stage
+    // families, typed JSON snapshot, and the flight recorder.
+    let health = client.health()?;
+    check(
+        health.engines == 1 && health.queue_depth == 0,
+        "health reports the lazily-created engine",
+    )?;
+    let prom = client.metrics(MetricsFormat::Prometheus)?;
+    for family in [
+        "ibrar_serve_stage_queue_ms",
+        "ibrar_serve_stage_batch_ms",
+        "ibrar_serve_stage_forward_ms",
+        "ibrar_serve_stage_encode_ms",
+        "ibrar_serve_requests",
+    ] {
+        check(
+            prom.contains(family),
+            &format!("prometheus exposition contains {family}"),
+        )?;
+    }
+    let parseable = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .all(|l| {
+            l.rsplit_once(' ').is_some_and(|(_, v)| {
+                v.parse::<f64>().is_ok() || matches!(v, "NaN" | "+Inf" | "-Inf")
+            })
+        });
+    check(parseable, "every prometheus sample line parses")?;
+    let snap = ibrar_telemetry::Snapshot::from_json(&client.metrics(MetricsFormat::Json)?)?;
+    check(
+        snap.histogram("serve.stage.forward_ms")
+            .is_some_and(|h| h.count > 0),
+        "json snapshot carries populated stage histograms",
+    )?;
+    let (_, trace) = client.classify_traced(MODEL_NAME, &image(4), 0, None)?;
+    check(
+        client
+            .metrics(MetricsFormat::Flight)?
+            .contains(&trace.to_string()),
+        "traced request lands in the flight recorder",
+    )?;
+
     drop(client);
     server.shutdown();
     let _ = std::fs::remove_file(path);
@@ -279,6 +331,10 @@ fn run_throughput(requests: usize) -> DynResult<()> {
 /// Serves until the process is killed. Checkpoints a fresh model first so
 /// the registry exercises the real load path.
 fn run_listen(addr: &str) -> DynResult<()> {
+    // A listening server exists to be observed: turn metric collection on
+    // so the Metrics opcode (and `ibrar-top`) has data without requiring
+    // IBRAR_TELEMETRY in the environment.
+    ibrar_telemetry::global().enable();
     let (registry, _path, _model) = checkpointed_registry()?;
     let server = Server::start(addr, registry, ServerConfig::default())?;
     println!(
@@ -290,20 +346,40 @@ fn run_listen(addr: &str) -> DynResult<()> {
     }
 }
 
+/// Fires `requests` traced classifications at a remote `--listen` server —
+/// load for the `ibrar-top` dashboard and a quick latency readout.
+fn run_drive(addr: &str, requests: usize) -> DynResult<()> {
+    let mut client = Client::connect(addr)?;
+    let start = Instant::now();
+    let mut first_trace = None;
+    for i in 0..requests {
+        let (_, trace) = client.classify_traced(MODEL_NAME, &image(i), 0, None)?;
+        first_trace.get_or_insert(trace);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "drove {requests} requests in {:.1} ms ({:.1} req/s); first trace id {}",
+        secs * 1e3,
+        requests as f64 / secs,
+        first_trace.map(|t| t.to_string()).unwrap_or_default()
+    );
+    Ok(())
+}
+
 fn main() -> DynResult<()> {
     ibrar_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = String::from("--throughput");
     let mut requests = 64usize;
-    let mut listen_addr = String::new();
+    let mut addr = String::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" | "--throughput" => mode = args[i].clone(),
-            "--listen" => {
+            "--listen" | "--drive" => {
                 mode = args[i].clone();
                 i += 1;
-                listen_addr = args.get(i).cloned().unwrap_or_else(|| usage());
+                addr = args.get(i).cloned().unwrap_or_else(|| usage());
             }
             "--requests" => {
                 i += 1;
@@ -318,7 +394,8 @@ fn main() -> DynResult<()> {
     }
     match mode.as_str() {
         "--smoke" => run_smoke(),
-        "--listen" => run_listen(&listen_addr),
+        "--listen" => run_listen(&addr),
+        "--drive" => run_drive(&addr, requests),
         _ => run_throughput(requests),
     }
 }

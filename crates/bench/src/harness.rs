@@ -209,8 +209,9 @@ pub fn write_output(name: &str, content: &str) {
 
 /// Standard wrapper for experiment binaries.
 ///
-/// Initializes telemetry from the `IBRAR_LOG` / `IBRAR_TELEMETRY`
-/// environment variables, runs the experiment inside a top-level span named
+/// Initializes telemetry from the `IBRAR_LOG` / `IBRAR_TELEMETRY` /
+/// `IBRAR_TRACE` environment variables, runs the experiment inside a
+/// top-level span named
 /// after it, writes its output via [`write_output`], and finishes a
 /// [`tel::RunManifest`] (scale as config, wall time as metric) — emitted to
 /// the JSONL sink and, when telemetry is on, written next to the output as
@@ -256,6 +257,13 @@ pub fn run_binary(
         if std::fs::write(&path, &json).is_ok() {
             eprintln!("[manifest {}]", path.display());
         }
+    }
+    // IBRAR_TRACE=<path>: dump the captured span tree as chrome trace-event
+    // JSON (open at chrome://tracing) on the way out.
+    match tel::global().write_chrome_trace() {
+        Ok(Some(path)) => eprintln!("[chrome trace {path}]"),
+        Ok(None) => {}
+        Err(e) => eprintln!("[chrome trace failed: {e}]"),
     }
     eprintln!("[{name}] done in {:.1?}", started.elapsed());
     Ok(())

@@ -7,13 +7,25 @@
 //! the wire, so retry logic is identical for in-process and remote callers.
 
 use crate::protocol::{
-    decode_response, encode_request, error_for, read_frame, write_frame, Opcode, ProbeReport,
-    ProbeSpec, Request, Response,
+    decode_response, encode_request_traced, error_for, opcode_for, read_frame, write_frame,
+    MetricsFormat, ProbeReport, ProbeSpec, Request, Response,
 };
+use crate::trace::TraceId;
 use crate::{Result, ServeError};
 use ibrar_tensor::Tensor;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Server liveness summary returned by [`Client::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Number of per-model engines created so far.
+    pub engines: u32,
+    /// Requests waiting in engine queues, summed over all engines.
+    pub queue_depth: u64,
+}
 
 /// A blocking connection to a serve endpoint.
 pub struct Client {
@@ -78,6 +90,70 @@ impl Client {
         }
     }
 
+    /// Like [`Client::classify`], sending a request [`TraceId`] on the v2
+    /// wire format (minting one when `trace` is `None`) and returning it
+    /// alongside the label. The id labels the request's server-side trace
+    /// events and flight-recorder entry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::classify`].
+    pub fn classify_traced(
+        &mut self,
+        model: &str,
+        image: &Tensor,
+        deadline_ms: u64,
+        trace: Option<TraceId>,
+    ) -> Result<(u32, TraceId)> {
+        let trace = trace.unwrap_or_else(TraceId::generate);
+        let req = Request::Classify {
+            model: model.to_string(),
+            deadline_ms,
+            image: image.clone(),
+            with_logits: false,
+        };
+        match self.call_traced(&req, Some(&trace))? {
+            Response::Classified { label, .. } => Ok((label, trace)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Server liveness summary: uptime, engine count, aggregate queue depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Unsupported`] against pre-v2 servers, or a
+    /// transport error.
+    pub fn health(&mut self) -> Result<HealthReport> {
+        match self.call(&Request::Health)? {
+            Response::Healthy {
+                uptime_ms,
+                engines,
+                queue_depth,
+            } => Ok(HealthReport {
+                uptime_ms,
+                engines,
+                queue_depth,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's metrics in the requested format: Prometheus
+    /// text exposition, a JSON telemetry snapshot, or the flight-recorder
+    /// dump.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Unsupported`] against pre-v2 servers, or a
+    /// transport error.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String> {
+        match self.call(&Request::Metrics { format })? {
+            Response::Metrics(payload) => Ok(payload),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Like [`Client::classify`], also returning the raw logits row.
     ///
     /// # Errors
@@ -130,15 +206,12 @@ impl Client {
     }
 
     fn call(&mut self, req: &Request) -> Result<Response> {
-        let op = match req {
-            Request::Ping => Opcode::Ping,
-            Request::Classify {
-                with_logits: false, ..
-            } => Opcode::Classify,
-            Request::Classify { .. } => Opcode::ClassifyLogits,
-            Request::RobustnessProbe { .. } => Opcode::RobustnessProbe,
-        };
-        write_frame(&mut self.stream, &encode_request(req))?;
+        self.call_traced(req, None)
+    }
+
+    fn call_traced(&mut self, req: &Request, trace: Option<&TraceId>) -> Result<Response> {
+        let op = opcode_for(req);
+        write_frame(&mut self.stream, &encode_request_traced(req, trace))?;
         let body = read_frame(&mut self.stream)?
             .ok_or_else(|| ServeError::Io("server closed the connection".into()))?;
         match decode_response(op, body)? {

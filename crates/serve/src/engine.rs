@@ -31,7 +31,26 @@
 //! the batcher *between* taking a request and assembling the rest of the
 //! batch, so a test can fill the queue to capacity and observe a typed
 //! queue-full rejection without racing the drain.
+//!
+//! # Stage taxonomy
+//!
+//! Every request that reaches a worker records a per-stage latency
+//! breakdown ([`StageTimings`], returned by
+//! [`PendingResponse::wait_detailed`]) and feeds the stage histograms:
+//!
+//! | stage     | histogram                | measures                        |
+//! |-----------|--------------------------|---------------------------------|
+//! | `queue`   | `serve.stage.queue_ms`   | submit → batcher dequeue        |
+//! | `batch`   | `serve.stage.batch_ms`   | dequeue → batch dispatch        |
+//! | `forward` | `serve.stage.forward_ms` | stack + batched forward pass    |
+//!
+//! (The fourth stage, `encode`, is measured server-side around response
+//! encoding — see `server`.) Timestamps are captured unconditionally:
+//! `Instant::now` costs tens of nanoseconds against millisecond-scale
+//! forwards, so the breakdown is always available and the
+//! zero-overhead-when-disabled contract only concerns histogram inserts.
 
+use crate::trace::TraceId;
 use crate::{Result, ServeError};
 use ibrar_nn::{ImageModel, Mode, Session};
 use ibrar_telemetry as tel;
@@ -96,11 +115,38 @@ pub struct Classification {
     pub logits: Vec<f32>,
 }
 
+/// Per-stage latency breakdown for one completed request, in milliseconds.
+///
+/// Stages partition the request's life inside the engine: `queue_ms`
+/// (submit → batcher dequeue) + `batch_ms` (dequeue → batch dispatch) +
+/// `forward_ms` (stack + batched forward) ≈ total engine latency. The
+/// server adds a fourth, encode-side stage before the response hits the
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Time spent waiting in the bounded submit queue.
+    pub queue_ms: f64,
+    /// Time spent waiting for the batch to form and reach a worker.
+    pub batch_ms: f64,
+    /// Time spent in the batched stack + forward pass.
+    pub forward_ms: f64,
+}
+
+impl StageTimings {
+    /// Sum of the engine-side stages.
+    pub fn total_ms(&self) -> f64 {
+        self.queue_ms + self.batch_ms + self.forward_ms
+    }
+}
+
 struct Job {
     image: ibrar_tensor::Tensor,
     deadline: Option<Instant>,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<ibrar_tensor::Tensor>>,
+    /// Set by the batcher at dequeue; equals `enqueued` until then.
+    dequeued: Instant,
+    trace: Option<TraceId>,
+    reply: mpsc::Sender<Result<(ibrar_tensor::Tensor, StageTimings)>>,
 }
 
 /// Test-only gate that parks the batcher between dequeue and assembly.
@@ -139,7 +185,7 @@ impl Drop for PauseGuard<'_> {
 
 /// An in-flight request handle returned by [`BatchEngine::submit`].
 pub struct PendingResponse {
-    rx: mpsc::Receiver<Result<ibrar_tensor::Tensor>>,
+    rx: mpsc::Receiver<Result<(ibrar_tensor::Tensor, StageTimings)>>,
 }
 
 impl PendingResponse {
@@ -150,6 +196,16 @@ impl PendingResponse {
     /// Propagates the engine's typed error ([`ServeError::DeadlineExceeded`],
     /// [`ServeError::Shutdown`], or a forward failure).
     pub fn wait(self) -> Result<ibrar_tensor::Tensor> {
+        self.wait_detailed().map(|(t, _)| t)
+    }
+
+    /// Like [`PendingResponse::wait`], also returning the request's
+    /// per-stage latency breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PendingResponse::wait`].
+    pub fn wait_detailed(self) -> Result<(ibrar_tensor::Tensor, StageTimings)> {
         self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
     }
 }
@@ -255,6 +311,22 @@ impl BatchEngine {
         image: ibrar_tensor::Tensor,
         budget: Option<Duration>,
     ) -> Result<PendingResponse> {
+        self.submit_traced(image, budget, None)
+    }
+
+    /// [`BatchEngine::submit`] carrying a request [`TraceId`]: the id labels
+    /// the request's JSONL trace event so a slow request can be grepped
+    /// straight to its per-stage breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchEngine::submit`].
+    pub fn submit_traced(
+        &self,
+        image: ibrar_tensor::Tensor,
+        budget: Option<Duration>,
+        trace: Option<TraceId>,
+    ) -> Result<PendingResponse> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::Shutdown);
         }
@@ -272,6 +344,8 @@ impl BatchEngine {
             image,
             deadline: budget.map(|b| now + b),
             enqueued: now,
+            dequeued: now,
+            trace,
             reply: reply_tx,
         };
         // Count before sending: once the job is visible to the batcher its
@@ -339,9 +413,10 @@ fn batcher_loop(
     shutdown: Arc<AtomicBool>,
     cfg: EngineConfig,
 ) {
-    let dequeue = |job: Job| -> Job {
+    let dequeue = |mut job: Job| -> Job {
         let d = depth.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
         tel::gauge("serve.queue_depth", d as f64);
+        job.dequeued = Instant::now();
         job
     };
     loop {
@@ -423,18 +498,38 @@ fn run_batch(model: &dyn ImageModel, batch: Vec<Job>) {
     // Stack straight from the job-owned tensors — no per-image clone; the
     // batch buffer itself comes from the scratch pool.
     let images: Vec<&ibrar_tensor::Tensor> = live.iter().map(|j| &j.image).collect();
+    let fwd_start = Instant::now();
     let result = ibrar_tensor::Tensor::stack_refs(&images)
         .map_err(ServeError::from)
         .and_then(|x| forward_eval(model, &x));
+    let forward_ms = fwd_start.elapsed().as_secs_f64() * 1e3;
     match result {
         Ok(logits) => {
             for (i, job) in live.into_iter().enumerate() {
                 let row = logits.row(i).map_err(ServeError::from);
+                let timings = StageTimings {
+                    queue_ms: (job.dequeued - job.enqueued).as_secs_f64() * 1e3,
+                    batch_ms: (now - job.dequeued).as_secs_f64().max(0.0) * 1e3,
+                    forward_ms,
+                };
+                observe_stages(&timings);
                 tel::observe(
                     "serve.request_ms",
                     job.enqueued.elapsed().as_secs_f64() * 1e3,
                 );
-                let _ = job.reply.send(row);
+                if let Some(trace) = job.trace {
+                    tel::event(
+                        tel::Level::Debug,
+                        "serve.request",
+                        &[
+                            ("trace", trace.to_string().into()),
+                            ("queue_ms", timings.queue_ms.into()),
+                            ("batch_ms", timings.batch_ms.into()),
+                            ("forward_ms", timings.forward_ms.into()),
+                        ],
+                    );
+                }
+                let _ = job.reply.send(row.map(|r| (r, timings)));
             }
         }
         Err(e) => {
@@ -444,6 +539,12 @@ fn run_batch(model: &dyn ImageModel, batch: Vec<Job>) {
             }
         }
     }
+}
+
+fn observe_stages(t: &StageTimings) {
+    tel::observe("serve.stage.queue_ms", t.queue_ms);
+    tel::observe("serve.stage.batch_ms", t.batch_ms);
+    tel::observe("serve.stage.forward_ms", t.forward_ms);
 }
 
 /// First index of the maximum element (ties break low, matching

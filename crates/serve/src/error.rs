@@ -23,8 +23,12 @@ pub enum ServeError {
     Checkpoint(String),
     /// The engine or server is shutting down.
     Shutdown,
-    /// A malformed frame, unknown opcode, or bad field on the wire.
+    /// A malformed frame or bad field on the wire.
     Protocol(String),
+    /// A well-formed request for an opcode (or sub-selector) this server
+    /// does not implement. Typed so newer clients probing for optional
+    /// endpoints get a clean rejection on a live connection.
+    Unsupported(String),
     /// A request's tensor does not match what the model expects.
     InvalidInput(String),
     /// Socket or filesystem failure (message only: `std::io::Error` is not
@@ -47,6 +51,7 @@ impl fmt::Display for ServeError {
             ServeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             ServeError::Shutdown => write!(f, "server shutting down"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
             ServeError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
             ServeError::Nn(e) => write!(f, "model error: {e}"),
@@ -103,6 +108,7 @@ mod tests {
             ServeError::Checkpoint("c".into()),
             ServeError::Shutdown,
             ServeError::Protocol("p".into()),
+            ServeError::Unsupported("u".into()),
             ServeError::Io("i".into()),
             ServeError::Attack("a".into()),
         ];

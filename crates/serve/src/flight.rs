@@ -1,0 +1,280 @@
+//! Flight recorder: a bounded ring of recently completed requests.
+//!
+//! Aggregate histograms answer "how slow is the p99?"; the flight recorder
+//! answers "*which* request was slow, and where did its time go?". Two
+//! bounded rings, sized at construction:
+//!
+//! * **recent** — the last N traced requests, whatever their latency, so a
+//!   dump always has fresh exemplars to look at.
+//! * **breaches** — every request whose end-to-end latency exceeded the
+//!   configured SLO, kept separately so a burst of healthy traffic cannot
+//!   evict the interesting outliers.
+//!
+//! Both rings drop oldest-first and count what they dropped; the dump
+//! ([`FlightRecorder::dump_json`]) is served live over the wire via the
+//! Metrics opcode's `Flight` format. Recording is two ring pushes under one
+//! mutex — nanoseconds against a millisecond-scale request — and happens on
+//! the server's connection threads, never inside the batch loop.
+
+use crate::engine::StageTimings;
+use crate::protocol::{Opcode, Status};
+use crate::trace::TraceId;
+use ibrar_telemetry::json;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Default capacity of each ring.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One completed request, as remembered by the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// The request's trace id.
+    pub trace: TraceId,
+    /// Target model name (empty for model-less opcodes like Ping).
+    pub model: String,
+    /// Request opcode.
+    pub opcode: Opcode,
+    /// Final status sent to the client.
+    pub status: Status,
+    /// End-to-end server-side latency (receive → response encoded), ms.
+    pub total_ms: f64,
+    /// Engine-side stage breakdown (zeros for requests that never reached
+    /// the engine, e.g. rejected or model-less ones).
+    pub stages: StageTimings,
+    /// Response-encoding stage, ms.
+    pub encode_ms: f64,
+    /// Wall-clock completion time, ms since the Unix epoch.
+    pub ts_ms: u64,
+}
+
+impl FlightRecord {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"trace\":");
+        json::write_string(&self.trace.to_string(), out);
+        out.push_str(",\"model\":");
+        json::write_string(&self.model, out);
+        out.push_str(",\"opcode\":");
+        json::write_string(&format!("{:?}", self.opcode), out);
+        out.push_str(",\"status\":");
+        json::write_string(&format!("{:?}", self.status), out);
+        out.push_str(",\"total_ms\":");
+        json::write_f64(self.total_ms, out);
+        out.push_str(",\"queue_ms\":");
+        json::write_f64(self.stages.queue_ms, out);
+        out.push_str(",\"batch_ms\":");
+        json::write_f64(self.stages.batch_ms, out);
+        out.push_str(",\"forward_ms\":");
+        json::write_f64(self.stages.forward_ms, out);
+        out.push_str(",\"encode_ms\":");
+        json::write_f64(self.encode_ms, out);
+        out.push_str(",\"ts_ms\":");
+        out.push_str(&self.ts_ms.to_string());
+        out.push('}');
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<FlightRecord>,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, record: FlightRecord, capacity: usize) {
+        if capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.records.len() >= capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+}
+
+/// Bounded retention of recent and SLO-breaching requests.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    slo_ms: Option<f64>,
+    inner: Mutex<(Ring, Ring)>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `capacity` requests per ring and
+    /// flagging requests slower than `slo_ms` (when set) as breaches.
+    pub fn new(capacity: usize, slo_ms: Option<f64>) -> Self {
+        FlightRecorder {
+            capacity,
+            slo_ms,
+            inner: Mutex::new((Ring::default(), Ring::default())),
+        }
+    }
+
+    /// The configured latency SLO, if any.
+    pub fn slo_ms(&self) -> Option<f64> {
+        self.slo_ms
+    }
+
+    /// Remembers one completed request. Requests breaching the SLO are
+    /// additionally retained in the breach ring (and counted).
+    pub fn record(&self, record: FlightRecord) {
+        let breach = self.slo_ms.is_some_and(|slo| record.total_ms > slo);
+        let mut inner = self.inner.lock();
+        if breach {
+            ibrar_telemetry::counter("serve.slo_breaches", 1);
+            inner.1.push(record.clone(), self.capacity);
+        }
+        inner.0.push(record, self.capacity);
+    }
+
+    /// Number of requests currently in the recent ring.
+    pub fn len(&self) -> usize {
+        self.inner.lock().0.records.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of requests currently in the breach ring.
+    pub fn breach_count(&self) -> usize {
+        self.inner.lock().1.records.len()
+    }
+
+    /// Serializes both rings as one JSON document:
+    /// `{"slo_ms":…,"recent":[…],"breaches":[…],"dropped_recent":…,
+    /// "dropped_breaches":…}`.
+    pub fn dump_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::with_capacity(256 + 200 * inner.0.records.len());
+        out.push_str("{\"slo_ms\":");
+        match self.slo_ms {
+            Some(slo) => json::write_f64(slo, &mut out),
+            None => out.push_str("null"),
+        }
+        for (key, ring) in [("recent", &inner.0), ("breaches", &inner.1)] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":[");
+            for (i, r) in ring.records.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                r.write_json(&mut out);
+            }
+            out.push(']');
+        }
+        out.push_str(&format!(
+            ",\"dropped_recent\":{},\"dropped_breaches\":{}}}",
+            inner.0.dropped, inner.1.dropped
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_telemetry::json::Json;
+
+    fn record(total_ms: f64) -> FlightRecord {
+        FlightRecord {
+            trace: TraceId::generate(),
+            model: "vgg".into(),
+            opcode: Opcode::Classify,
+            status: Status::Ok,
+            total_ms,
+            stages: StageTimings {
+                queue_ms: 0.1,
+                batch_ms: 0.2,
+                forward_ms: total_ms * 0.8,
+            },
+            encode_ms: 0.05,
+            ts_ms: 1_700_000_000_000,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let fr = FlightRecorder::new(4, None);
+        let first = record(1.0);
+        fr.record(first.clone());
+        for _ in 0..6 {
+            fr.record(record(1.0));
+        }
+        assert_eq!(fr.len(), 4);
+        let dump = Json::parse(&fr.dump_json()).unwrap();
+        let recent = dump.get("recent").unwrap().as_array().unwrap();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(dump.get("dropped_recent").unwrap().as_f64(), Some(3.0));
+        // The very first record was the first to go.
+        let kept: Vec<_> = recent
+            .iter()
+            .map(|r| r.get("trace").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(!kept.contains(&first.trace.to_string()));
+    }
+
+    #[test]
+    fn slo_breaches_are_retained_separately() {
+        let fr = FlightRecorder::new(2, Some(10.0));
+        let slow = record(50.0);
+        fr.record(slow.clone());
+        // Healthy traffic churns the recent ring but must not evict the
+        // breach.
+        for _ in 0..5 {
+            fr.record(record(1.0));
+        }
+        assert_eq!(fr.breach_count(), 1);
+        let dump = Json::parse(&fr.dump_json()).unwrap();
+        let breaches = dump.get("breaches").unwrap().as_array().unwrap();
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(
+            breaches[0].get("trace").unwrap().as_str(),
+            Some(slow.trace.to_string().as_str())
+        );
+        assert_eq!(breaches[0].get("total_ms").unwrap().as_f64(), Some(50.0));
+        // The recent ring no longer holds it.
+        let recent = dump.get("recent").unwrap().as_array().unwrap();
+        assert!(recent
+            .iter()
+            .all(|r| r.get("trace").unwrap().as_str() != Some(&slow.trace.to_string())));
+    }
+
+    #[test]
+    fn no_slo_means_no_breaches() {
+        let fr = FlightRecorder::new(8, None);
+        fr.record(record(1e6));
+        assert_eq!(fr.breach_count(), 0);
+        assert_eq!(fr.len(), 1);
+    }
+
+    #[test]
+    fn dump_includes_all_stage_fields() {
+        let fr = FlightRecorder::new(8, Some(5.0));
+        fr.record(record(2.0));
+        let dump = Json::parse(&fr.dump_json()).unwrap();
+        assert_eq!(dump.get("slo_ms").unwrap().as_f64(), Some(5.0));
+        let r = &dump.get("recent").unwrap().as_array().unwrap()[0];
+        for key in [
+            "trace",
+            "model",
+            "opcode",
+            "status",
+            "total_ms",
+            "queue_ms",
+            "batch_ms",
+            "forward_ms",
+            "encode_ms",
+            "ts_ms",
+        ] {
+            assert!(r.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(r.get("opcode").unwrap().as_str(), Some("Classify"));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("Ok"));
+    }
+}

@@ -25,8 +25,17 @@
 //!    deterministic PGD from `ibrar-attacks`) calls.
 //!
 //! Telemetry rides along throughout: `serve.queue_depth` gauge,
-//! `serve.batch_size` and `serve.request_ms` histograms, and
-//! `serve.batch` / `serve.request` spans (see `ibrar-telemetry`).
+//! `serve.batch_size` and `serve.request_ms` histograms, per-stage
+//! latency histograms (`serve.stage.{queue,batch,forward,encode}_ms`),
+//! and `serve.batch` / `serve.request` spans (see `ibrar-telemetry`).
+//!
+//! The observability plane stacks on top of that: every request carries a
+//! [`TraceId`] (client-minted over the v2 wire format, or server-minted at
+//! ingress), the server answers [`protocol::Opcode::Health`] and
+//! [`protocol::Opcode::Metrics`] (Prometheus text, JSON snapshot, or the
+//! [`flight`] recorder dump) on the same port as inference, and a bounded
+//! [`FlightRecorder`] retains the last N traced requests plus every
+//! SLO-breaching one for post-hoc inspection.
 //!
 //! # Example
 //!
@@ -60,17 +69,23 @@ pub mod checkpoint;
 pub mod client;
 pub mod engine;
 mod error;
+pub mod flight;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod trace;
 
 pub use checkpoint::{load_from_path, read_header, save_to_path, CheckpointHeader, ParamSpec};
-pub use client::Client;
-pub use engine::{BatchEngine, Classification, EngineConfig, PauseGuard, PendingResponse};
+pub use client::{Client, HealthReport};
+pub use engine::{
+    BatchEngine, Classification, EngineConfig, PauseGuard, PendingResponse, StageTimings,
+};
 pub use error::ServeError;
-pub use protocol::{AttackKind, Opcode, ProbeReport, ProbeSpec, Status};
+pub use flight::{FlightRecord, FlightRecorder};
+pub use protocol::{AttackKind, MetricsFormat, Opcode, ProbeReport, ProbeSpec, Status, TRACE_FLAG};
 pub use registry::{ModelBuilder, ModelRegistry};
 pub use server::{Server, ServerConfig};
+pub use trace::TraceId;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;

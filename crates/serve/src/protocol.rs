@@ -13,10 +13,25 @@
 //! `u32 le length + utf8`. The protocol is strictly request/response per
 //! connection — no pipelining — which keeps the blocking client trivial.
 //!
+//! # Version 2: wire-propagated trace ids
+//!
+//! The high bit of the opcode byte ([`TRACE_FLAG`]) marks a v2 frame: the
+//! opcode byte is followed by a 16-byte [`TraceId`] before the normal
+//! fields. v1 frames (high bit clear) decode unchanged, and v1 servers
+//! never see the flag from v1 clients, so the bump is fully backward
+//! compatible. Requests without an id are assigned one at server ingress;
+//! either way the id labels the request's trace events and its
+//! flight-recorder entry.
+//!
 //! Load-shedding conditions keep their types across the wire:
 //! [`ServeError::QueueFull`] and [`ServeError::DeadlineExceeded`] map to
 //! dedicated status codes so clients can implement retry/backoff without
-//! string matching.
+//! string matching. An opcode the server does not recognize comes back as
+//! [`Status::UnsupportedOpcode`] — a typed response on a live connection,
+//! not a dropped socket — so newer clients can probe for optional
+//! endpoints (Health, Metrics) and fall back gracefully.
+
+use crate::trace::TraceId;
 
 use crate::{Classification, Result, ServeError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -27,7 +42,11 @@ use std::io::{Read, Write};
 /// trigger a giant allocation.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Request opcodes.
+/// High bit of the opcode byte: a 16-byte [`TraceId`] follows the opcode
+/// (protocol v2). Frames without the flag are unchanged v1 frames.
+pub const TRACE_FLAG: u8 = 0x80;
+
+/// Request opcodes (the low 7 bits of the opcode byte).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Opcode {
@@ -40,6 +59,11 @@ pub enum Opcode {
     /// Run a white-box attack on one labeled image and report clean vs
     /// adversarial predictions.
     RobustnessProbe = 3,
+    /// Liveness + readiness: uptime, loaded-engine count, queue depth.
+    Health = 4,
+    /// Observability scrape: Prometheus text, JSON snapshot, or a flight-
+    /// recorder dump, selected by a format byte.
+    Metrics = 5,
 }
 
 impl Opcode {
@@ -49,7 +73,35 @@ impl Opcode {
             1 => Ok(Opcode::Classify),
             2 => Ok(Opcode::ClassifyLogits),
             3 => Ok(Opcode::RobustnessProbe),
-            other => Err(ServeError::Protocol(format!("unknown opcode {other}"))),
+            4 => Ok(Opcode::Health),
+            5 => Ok(Opcode::Metrics),
+            other => Err(ServeError::Unsupported(format!("unknown opcode {other}"))),
+        }
+    }
+}
+
+/// Payload selector carried by a Metrics request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition of the full metric snapshot.
+    Prometheus = 0,
+    /// JSON serialization of the full metric snapshot
+    /// (see [`ibrar_telemetry::Snapshot::to_json`]).
+    Json = 1,
+    /// JSON dump of the flight recorder (recent + SLO-breaching requests).
+    Flight = 2,
+}
+
+impl MetricsFormat {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(MetricsFormat::Prometheus),
+            1 => Ok(MetricsFormat::Json),
+            2 => Ok(MetricsFormat::Flight),
+            other => Err(ServeError::Unsupported(format!(
+                "unknown metrics format {other}"
+            ))),
         }
     }
 }
@@ -70,6 +122,9 @@ pub enum Status {
     BadRequest = 4,
     /// Server-side failure (forward error, checkpoint error, shutdown).
     Internal = 5,
+    /// The opcode (or a sub-selector like the metrics format) is not
+    /// supported by this server. The connection stays open.
+    UnsupportedOpcode = 6,
 }
 
 impl Status {
@@ -81,6 +136,7 @@ impl Status {
             3 => Ok(Status::UnknownModel),
             4 => Ok(Status::BadRequest),
             5 => Ok(Status::Internal),
+            6 => Ok(Status::UnsupportedOpcode),
             other => Err(ServeError::Protocol(format!("unknown status {other}"))),
         }
     }
@@ -92,6 +148,7 @@ pub fn status_for(err: &ServeError) -> Status {
         ServeError::QueueFull => Status::QueueFull,
         ServeError::DeadlineExceeded => Status::DeadlineExceeded,
         ServeError::UnknownModel(_) => Status::UnknownModel,
+        ServeError::Unsupported(_) => Status::UnsupportedOpcode,
         ServeError::Protocol(_) | ServeError::InvalidInput(_) | ServeError::Tensor(_) => {
             Status::BadRequest
         }
@@ -108,6 +165,7 @@ pub fn error_for(status: Status, message: String) -> ServeError {
         Status::UnknownModel => ServeError::UnknownModel(message),
         Status::BadRequest => ServeError::InvalidInput(message),
         Status::Internal => ServeError::Io(message),
+        Status::UnsupportedOpcode => ServeError::Unsupported(message),
     }
 }
 
@@ -196,6 +254,13 @@ pub enum Request {
         /// `[c, h, w]` image.
         image: Tensor,
     },
+    /// Liveness + readiness check.
+    Health,
+    /// Observability scrape in the requested format.
+    Metrics {
+        /// Which payload to return.
+        format: MetricsFormat,
+    },
 }
 
 /// A decoded response.
@@ -212,6 +277,17 @@ pub enum Response {
     },
     /// Robustness probe success.
     Probed(ProbeReport),
+    /// Health success.
+    Healthy {
+        /// Milliseconds since the server started.
+        uptime_ms: u64,
+        /// Number of lazily instantiated engines.
+        engines: u32,
+        /// Total jobs currently queued across engines.
+        queue_depth: u64,
+    },
+    /// Metrics success: the payload text in the requested format.
+    Metrics(String),
     /// Any non-OK status with its human-readable message.
     Error(Status, String),
 }
@@ -243,23 +319,45 @@ fn get_tensor(buf: &mut Bytes) -> Result<Tensor> {
     Tensor::decode(buf).map_err(|e| ServeError::Protocol(format!("bad tensor: {e}")))
 }
 
-/// Encodes a request body (no frame prefix).
-pub fn encode_request(req: &Request) -> Bytes {
-    let mut buf = BytesMut::new();
+/// The opcode a request encodes to.
+pub fn opcode_for(req: &Request) -> Opcode {
     match req {
-        Request::Ping => buf.put_u8(Opcode::Ping as u8),
+        Request::Ping => Opcode::Ping,
+        Request::Classify {
+            with_logits: true, ..
+        } => Opcode::ClassifyLogits,
+        Request::Classify { .. } => Opcode::Classify,
+        Request::RobustnessProbe { .. } => Opcode::RobustnessProbe,
+        Request::Health => Opcode::Health,
+        Request::Metrics { .. } => Opcode::Metrics,
+    }
+}
+
+/// Encodes a v1 request body (no frame prefix, no trace id).
+pub fn encode_request(req: &Request) -> Bytes {
+    encode_request_traced(req, None)
+}
+
+/// Encodes a request body; with a trace id the frame is v2 (the opcode
+/// byte carries [`TRACE_FLAG`] and the 16 id bytes follow it).
+pub fn encode_request_traced(req: &Request, trace: Option<&TraceId>) -> Bytes {
+    let mut buf = BytesMut::new();
+    let op = opcode_for(req) as u8;
+    match trace {
+        Some(id) => {
+            buf.put_u8(op | TRACE_FLAG);
+            buf.put_slice(id.as_bytes());
+        }
+        None => buf.put_u8(op),
+    }
+    match req {
+        Request::Ping | Request::Health => {}
         Request::Classify {
             model,
             deadline_ms,
             image,
-            with_logits,
+            ..
         } => {
-            let op = if *with_logits {
-                Opcode::ClassifyLogits
-            } else {
-                Opcode::Classify
-            };
-            buf.put_u8(op as u8);
             put_str(&mut buf, model);
             buf.put_u64_le(*deadline_ms);
             buf.put_slice(&image.encode());
@@ -270,7 +368,6 @@ pub fn encode_request(req: &Request) -> Bytes {
             spec,
             image,
         } => {
-            buf.put_u8(Opcode::RobustnessProbe as u8);
             put_str(&mut buf, model);
             buf.put_u32_le(*label);
             buf.put_u8(match spec.kind {
@@ -282,21 +379,44 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_u32_le(spec.steps);
             buf.put_slice(&image.encode());
         }
+        Request::Metrics { format } => buf.put_u8(*format as u8),
     }
     buf.freeze()
 }
 
-/// Decodes a request body.
+/// Decodes a request body, discarding any trace id (v1 view).
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Protocol`] on unknown opcodes and malformed or
-/// trailing bytes.
-pub fn decode_request(mut body: Bytes) -> Result<Request> {
+/// Returns [`ServeError::Unsupported`] on unknown opcodes and
+/// [`ServeError::Protocol`] on malformed or trailing bytes.
+pub fn decode_request(body: Bytes) -> Result<Request> {
+    decode_request_traced(body).map(|(req, _)| req)
+}
+
+/// Decodes a request body together with its trace id, if the frame
+/// carried one (v2).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Unsupported`] on unknown opcodes and
+/// [`ServeError::Protocol`] on malformed or trailing bytes.
+pub fn decode_request_traced(mut body: Bytes) -> Result<(Request, Option<TraceId>)> {
     if body.remaining() < 1 {
         return Err(ServeError::Protocol("empty request body".into()));
     }
-    let op = Opcode::from_u8(body.get_u8())?;
+    let op_byte = body.get_u8();
+    let trace = if op_byte & TRACE_FLAG != 0 {
+        if body.remaining() < 16 {
+            return Err(ServeError::Protocol("truncated trace id".into()));
+        }
+        let mut id = [0u8; 16];
+        body.copy_to_slice(&mut id);
+        Some(TraceId::from_bytes(id))
+    } else {
+        None
+    };
+    let op = Opcode::from_u8(op_byte & !TRACE_FLAG)?;
     let req = match op {
         Opcode::Ping => Request::Ping,
         Opcode::Classify | Opcode::ClassifyLogits => {
@@ -342,6 +462,15 @@ pub fn decode_request(mut body: Bytes) -> Result<Request> {
                 image,
             }
         }
+        Opcode::Health => Request::Health,
+        Opcode::Metrics => {
+            if body.remaining() < 1 {
+                return Err(ServeError::Protocol("truncated metrics format".into()));
+            }
+            Request::Metrics {
+                format: MetricsFormat::from_u8(body.get_u8())?,
+            }
+        }
     };
     if body.has_remaining() {
         return Err(ServeError::Protocol(format!(
@@ -349,7 +478,7 @@ pub fn decode_request(mut body: Bytes) -> Result<Request> {
             body.remaining()
         )));
     }
-    Ok(req)
+    Ok((req, trace))
 }
 
 /// Encodes a response body (no frame prefix).
@@ -377,6 +506,20 @@ pub fn encode_response(resp: &Response) -> Bytes {
             buf.put_u32_le(r.adv_pred);
             buf.put_u8(u8::from(r.clean_correct));
             buf.put_u8(u8::from(r.adv_correct));
+        }
+        Response::Healthy {
+            uptime_ms,
+            engines,
+            queue_depth,
+        } => {
+            buf.put_u8(Status::Ok as u8);
+            buf.put_u64_le(*uptime_ms);
+            buf.put_u32_le(*engines);
+            buf.put_u64_le(*queue_depth);
+        }
+        Response::Metrics(payload) => {
+            buf.put_u8(Status::Ok as u8);
+            put_str(&mut buf, payload);
         }
         Response::Error(status, message) => {
             buf.put_u8(*status as u8);
@@ -436,6 +579,17 @@ pub fn decode_response(op: Opcode, mut body: Bytes) -> Result<Response> {
                 adv_correct: body.get_u8() != 0,
             })
         }
+        Opcode::Health => {
+            if body.remaining() < 20 {
+                return Err(ServeError::Protocol("truncated health report".into()));
+            }
+            Response::Healthy {
+                uptime_ms: body.get_u64_le(),
+                engines: body.get_u32_le(),
+                queue_depth: body.get_u64_le(),
+            }
+        }
+        Opcode::Metrics => Response::Metrics(get_str(&mut body, "metrics payload")?),
     };
     if body.has_remaining() {
         return Err(ServeError::Protocol(format!(
@@ -524,11 +678,55 @@ mod tests {
                 spec: ProbeSpec::pgd_default(),
                 image: image(),
             },
+            Request::Health,
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Flight,
+            },
         ];
         for req in reqs {
-            let back = decode_request(encode_request(&req)).unwrap();
+            let (back, trace) = decode_request_traced(encode_request(&req)).unwrap();
             assert_eq!(format!("{req:?}"), format!("{back:?}"));
+            assert_eq!(trace, None, "v1 frame must carry no trace id");
         }
+    }
+
+    #[test]
+    fn v2_frames_round_trip_the_trace_id() {
+        let id = TraceId::generate();
+        let reqs = [
+            Request::Ping,
+            Request::Classify {
+                model: "vgg".into(),
+                deadline_ms: 100,
+                image: image(),
+                with_logits: false,
+            },
+            Request::Health,
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
+        ];
+        for req in reqs {
+            let body = encode_request_traced(&req, Some(&id));
+            assert_eq!(body[0] & TRACE_FLAG, TRACE_FLAG);
+            let (back, trace) = decode_request_traced(body).unwrap();
+            assert_eq!(format!("{req:?}"), format!("{back:?}"));
+            assert_eq!(trace, Some(id));
+        }
+    }
+
+    #[test]
+    fn truncated_trace_id_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(Opcode::Ping as u8 | TRACE_FLAG);
+        raw.put_slice(&[0u8; 8]); // half an id
+        assert!(matches!(
+            decode_request_traced(raw.freeze()),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -559,8 +757,24 @@ mod tests {
                 }),
             ),
             (
+                Opcode::Health,
+                Response::Healthy {
+                    uptime_ms: 12_345,
+                    engines: 2,
+                    queue_depth: 7,
+                },
+            ),
+            (
+                Opcode::Metrics,
+                Response::Metrics("# TYPE ibrar_serve_requests counter\n".into()),
+            ),
+            (
                 Opcode::Classify,
                 Response::Error(Status::QueueFull, "request queue full".into()),
+            ),
+            (
+                Opcode::Metrics,
+                Response::Error(Status::UnsupportedOpcode, "unknown opcode 99".into()),
             ),
         ];
         for (op, resp) in cases {
@@ -581,12 +795,29 @@ mod tests {
     }
 
     #[test]
-    fn unknown_opcode_rejected() {
+    fn unknown_opcode_is_typed_unsupported() {
+        // 0x48 = unknown opcode 72; 0xC8 = the same with the trace flag,
+        // which must be masked off before the opcode check.
         let mut raw = BytesMut::new();
-        raw.put_u8(200);
+        raw.put_u8(0x48);
         assert!(matches!(
             decode_request(raw.freeze()),
-            Err(ServeError::Protocol(_))
+            Err(ServeError::Unsupported(_))
+        ));
+        let mut raw = BytesMut::new();
+        raw.put_u8(0xC8);
+        raw.put_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_request(raw.freeze()),
+            Err(ServeError::Unsupported(_))
+        ));
+        assert_eq!(
+            status_for(&ServeError::Unsupported("x".into())),
+            Status::UnsupportedOpcode
+        );
+        assert!(matches!(
+            error_for(Status::UnsupportedOpcode, "unknown opcode 72".into()),
+            ServeError::Unsupported(m) if m.contains("72")
         ));
     }
 

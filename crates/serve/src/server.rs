@@ -12,13 +12,24 @@
 //! self-connection, open connection sockets are shut down so blocked reads
 //! return, every thread is joined, and the engines fail any still-queued
 //! requests with a typed error. No request is silently dropped.
+//!
+//! The same port also answers the admin opcodes: `Health` (uptime, engine
+//! count, aggregate queue depth) and `Metrics` (Prometheus text, JSON
+//! snapshot, or the flight-recorder dump) — no second listener, no extra
+//! dependency, and the `ibrar-top` dashboard polls them over the ordinary
+//! client. Every request gets a [`TraceId`] (client-minted on v2 frames,
+//! server-minted otherwise) and a completed [`FlightRecord`] in the bounded
+//! [`FlightRecorder`].
 
-use crate::engine::{BatchEngine, EngineConfig};
+use crate::engine::{argmax, BatchEngine, Classification, EngineConfig, StageTimings};
+use crate::flight::{FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::protocol::{
-    classification_response, decode_request, encode_response, read_frame, status_for, write_frame,
-    AttackKind, ProbeReport, ProbeSpec, Request, Response, Status,
+    classification_response, decode_request_traced, encode_response, opcode_for, read_frame,
+    status_for, write_frame, AttackKind, MetricsFormat, Opcode, ProbeReport, ProbeSpec, Request,
+    Response, Status,
 };
 use crate::registry::ModelRegistry;
+use crate::trace::TraceId;
 use crate::{Result, ServeError};
 use ibrar_attacks::{Attack, Fgsm, Pgd};
 use ibrar_nn::{ImageModel, Mode, Session};
@@ -29,19 +40,38 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Configuration applied to each lazily-created per-model engine.
     pub engine: EngineConfig,
+    /// Capacity of each flight-recorder ring (recent and SLO breaches).
+    /// Zero disables retention (the rings only count drops).
+    pub flight_capacity: usize,
+    /// End-to-end latency SLO in milliseconds; requests slower than this
+    /// are retained in the breach ring and counted in
+    /// `serve.slo_breaches`. `None` disables breach tracking.
+    pub slo_ms: Option<f64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            slo_ms: None,
+        }
+    }
 }
 
 struct Shared {
     registry: Arc<ModelRegistry>,
     engines: Mutex<HashMap<String, Arc<BatchEngine>>>,
     config: ServerConfig,
+    flight: FlightRecorder,
+    started: Instant,
     shutdown: AtomicBool,
     conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
 }
@@ -67,10 +97,13 @@ impl Server {
     ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let flight = FlightRecorder::new(config.flight_capacity, config.slo_ms);
         let shared = Arc::new(Shared {
             registry,
             engines: Mutex::new(HashMap::new()),
             config,
+            flight,
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
         });
@@ -100,6 +133,12 @@ impl Server {
     /// tests can reach [`BatchEngine::pause`] and queue metrics.
     pub fn engine(&self, model: &str) -> Option<Arc<BatchEngine>> {
         self.shared.engines.lock().get(model).cloned()
+    }
+
+    /// The server's flight recorder (also dumpable over the wire via the
+    /// Metrics opcode's `Flight` format).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
     }
 
     /// Stops accepting, closes open connections, joins all threads, and
@@ -164,6 +203,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// What the handler learned about a request, threaded out for the flight
+/// record.
+#[derive(Default)]
+struct RequestMeta {
+    model: String,
+    stages: StageTimings,
+}
+
 fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -173,12 +220,27 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             Ok(Some(body)) => body,
             Ok(None) | Err(_) => break,
         };
-        let response = {
+        let received = Instant::now();
+        let mut meta = RequestMeta::default();
+        // (response, trace id, opcode) — opcode is None when the frame
+        // never decoded into a request.
+        let (response, trace, opcode) = {
             let _s = tel::span!("serve.request");
             tel::counter("serve.proto.requests", 1);
-            match decode_request(body) {
-                Ok(request) => dispatch(&shared, request),
-                Err(e) => Response::Error(status_for(&e), e.to_string()),
+            match decode_request_traced(body) {
+                Ok((request, trace)) => {
+                    // v2 clients mint the id; for v1 frames the server
+                    // mints one at ingress so every request is traceable.
+                    let trace = trace.unwrap_or_else(TraceId::generate);
+                    let opcode = opcode_for(&request);
+                    let response = dispatch(&shared, request, trace, &mut meta);
+                    (response, trace, Some(opcode))
+                }
+                Err(e) => (
+                    Response::Error(status_for(&e), e.to_string()),
+                    TraceId::generate(),
+                    None,
+                ),
             }
         };
         if let Response::Error(status, _) = &response {
@@ -191,20 +253,50 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 1,
             );
         }
-        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+        let encode_start = Instant::now();
+        let frame = encode_response(&response);
+        let write_ok = write_frame(&mut stream, &frame).is_ok();
+        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+        tel::observe("serve.stage.encode_ms", encode_ms);
+        // Admin opcodes (Health/Metrics) are cheap, polled continuously by
+        // dashboards, and would drown real traffic out of the ring.
+        if let Some(opcode) = opcode {
+            if !matches!(opcode, Opcode::Health | Opcode::Metrics) {
+                let status = match &response {
+                    Response::Error(status, _) => *status,
+                    _ => Status::Ok,
+                };
+                shared.flight.record(FlightRecord {
+                    trace,
+                    model: meta.model,
+                    opcode,
+                    status,
+                    total_ms: received.elapsed().as_secs_f64() * 1e3,
+                    stages: meta.stages,
+                    encode_ms,
+                    ts_ms: unix_ms(),
+                });
+            }
+        }
+        if !write_ok {
             break;
         }
     }
 }
 
-fn dispatch(shared: &Shared, request: Request) -> Response {
-    match handle(shared, request) {
+fn dispatch(shared: &Shared, request: Request, trace: TraceId, meta: &mut RequestMeta) -> Response {
+    match handle(shared, request, trace, meta) {
         Ok(response) => response,
         Err(e) => Response::Error(status_for(&e), e.to_string()),
     }
 }
 
-fn handle(shared: &Shared, request: Request) -> Result<Response> {
+fn handle(
+    shared: &Shared,
+    request: Request,
+    trace: TraceId,
+    meta: &mut RequestMeta,
+) -> Result<Response> {
     match request {
         Request::Ping => Ok(Response::Pong),
         Request::Classify {
@@ -214,8 +306,16 @@ fn handle(shared: &Shared, request: Request) -> Result<Response> {
             with_logits,
         } => {
             let engine = engine_for(shared, &model)?;
+            meta.model = model;
             let budget = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-            let classification = engine.classify(image, budget)?;
+            let (logits, stages) = engine
+                .submit_traced(image, budget, Some(trace))?
+                .wait_detailed()?;
+            meta.stages = stages;
+            let classification = Classification {
+                label: argmax(logits.data()),
+                logits: logits.data().to_vec(),
+            };
             Ok(classification_response(&classification, with_logits))
         }
         Request::RobustnessProbe {
@@ -224,11 +324,39 @@ fn handle(shared: &Shared, request: Request) -> Result<Response> {
             spec,
             image,
         } => {
-            let model = shared.registry.get(&model)?;
-            let report = run_probe(model.as_ref(), &image, label, &spec)?;
+            let handle = shared.registry.get(&model)?;
+            meta.model = model;
+            let report = run_probe(handle.as_ref(), &image, label, &spec)?;
             Ok(Response::Probed(report))
         }
+        Request::Health => {
+            let engines = shared.engines.lock();
+            let queue_depth: u64 = engines.values().map(|e| e.queue_depth() as u64).sum();
+            let count = engines.len() as u32;
+            drop(engines);
+            Ok(Response::Healthy {
+                uptime_ms: shared.started.elapsed().as_millis() as u64,
+                engines: count,
+                queue_depth,
+            })
+        }
+        Request::Metrics { format } => {
+            let payload = match format {
+                MetricsFormat::Prometheus => tel::snapshot().prometheus_text(),
+                MetricsFormat::Json => tel::snapshot().to_json(),
+                MetricsFormat::Flight => shared.flight.dump_json(),
+            };
+            Ok(Response::Metrics(payload))
+        }
     }
+}
+
+/// Milliseconds since the Unix epoch (flight-record timestamps).
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 fn engine_for(shared: &Shared, name: &str) -> Result<Arc<BatchEngine>> {

@@ -1,0 +1,169 @@
+//! End-to-end observability-plane test: per-stage histograms account for
+//! every request, the metrics endpoint serves both exposition formats over
+//! the wire, health answers, and the flight recorder captures an injected
+//! slow request with its trace id.
+//!
+//! Everything lives in ONE test function: the server shares the global
+//! telemetry recorder with this process, so parallel tests in this binary
+//! would race its counters.
+
+use ibrar_nn::{VggConfig, VggMini};
+use ibrar_serve::{
+    save_to_path, Client, MetricsFormat, ModelRegistry, Server, ServerConfig, TraceId,
+};
+use ibrar_telemetry as tel;
+use ibrar_telemetry::json::Json;
+use ibrar_telemetry::Snapshot;
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], |idx| {
+        ((idx[0] * 13 + idx[1] * 7 + idx[2] + i * 5) % 19) as f32 / 19.0
+    })
+}
+
+#[test]
+fn observability_plane_end_to_end() {
+    tel::global().enable();
+    tel::global().reset_metrics();
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("ibrar-serve-obs-{}.ibsc", std::process::id()));
+    save_to_path(&model, &path).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    let ckpt = path.clone();
+    registry.register("vgg", ckpt, move || {
+        let mut rng = StdRng::seed_from_u64(999);
+        Ok(Box::new(VggMini::new(VggConfig::tiny(10), &mut rng)?))
+    });
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            flight_capacity: 64,
+            slo_ms: Some(40.0),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // --- Stage accounting: N requests → exactly N observations in every
+    // engine-side stage histogram.
+    const N: usize = 8;
+    let mut traces = Vec::new();
+    for i in 0..N {
+        let (label, trace) = client.classify_traced("vgg", &image(i), 0, None).unwrap();
+        assert!(label < 10);
+        traces.push(trace);
+    }
+    let snap = tel::snapshot();
+    for stage in [
+        "serve.stage.queue_ms",
+        "serve.stage.batch_ms",
+        "serve.stage.forward_ms",
+    ] {
+        let h = snap
+            .histogram(stage)
+            .unwrap_or_else(|| panic!("missing {stage}"));
+        assert_eq!(h.count, N as u64, "{stage} count");
+        assert!(h.p50.is_finite() && h.p99 >= h.p50, "{stage}: {h:?}");
+    }
+    // Encode is measured per response (one per request so far).
+    assert_eq!(
+        snap.histogram("serve.stage.encode_ms").unwrap().count,
+        N as u64
+    );
+    assert_eq!(snap.counter("serve.requests"), Some(N as u64));
+
+    // --- Health over the wire.
+    let health = client.health().unwrap();
+    assert_eq!(health.engines, 1);
+    assert_eq!(health.queue_depth, 0);
+
+    // --- Metrics over the wire: Prometheus text parses line-by-line and
+    // carries the stage families with quantiles.
+    let prom = client.metrics(MetricsFormat::Prometheus).unwrap();
+    for family in [
+        "ibrar_serve_stage_queue_ms",
+        "ibrar_serve_stage_batch_ms",
+        "ibrar_serve_stage_forward_ms",
+        "ibrar_serve_stage_encode_ms",
+        "ibrar_serve_requests",
+    ] {
+        assert!(prom.contains(family), "missing {family} in:\n{prom}");
+    }
+    assert!(prom.contains("quantile=\"0.99\""), "{prom}");
+    for line in prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (name, value) = line.rsplit_once(' ').expect(line);
+        assert!(!name.is_empty());
+        assert!(
+            value.parse::<f64>().is_ok() || value == "NaN" || value == "+Inf" || value == "-Inf",
+            "unparseable sample: {line}"
+        );
+    }
+
+    // --- JSON snapshot round-trips through the typed parser.
+    let json_payload = client.metrics(MetricsFormat::Json).unwrap();
+    let parsed = Snapshot::from_json(&json_payload).unwrap();
+    assert_eq!(
+        parsed.histogram("serve.stage.queue_ms").unwrap().count,
+        N as u64
+    );
+    assert!(parsed.counter("serve.requests").unwrap() >= N as u64);
+
+    // --- Flight recorder: the recent ring saw all N classifies (admin
+    // opcodes are excluded), each with its client-minted trace id.
+    assert_eq!(server.flight().len(), N);
+    let dump = client.metrics(MetricsFormat::Flight).unwrap();
+    let flight = Json::parse(&dump).unwrap();
+    assert_eq!(flight.get("slo_ms").unwrap().as_f64(), Some(40.0));
+    for trace in &traces {
+        assert!(dump.contains(&trace.to_string()), "missing {trace}");
+    }
+
+    // --- Injected slow request: park the batcher so one request's queue
+    // stage dominates, breaching the 40ms SLO end to end.
+    let engine = server.engine("vgg").unwrap();
+    let gate = engine.pause();
+    let slow_trace = TraceId::generate();
+    let addr = server.addr();
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.classify_traced("vgg", &image(99), 0, Some(slow_trace))
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(120));
+    drop(gate);
+    let (_, echoed) = slow.join().unwrap();
+    assert_eq!(echoed, slow_trace);
+
+    assert!(server.flight().breach_count() >= 1);
+    let dump = client.metrics(MetricsFormat::Flight).unwrap();
+    let flight = Json::parse(&dump).unwrap();
+    let breaches = flight.get("breaches").unwrap().as_array().unwrap();
+    let breach = breaches
+        .iter()
+        .find(|b| b.get("trace").unwrap().as_str() == Some(&slow_trace.to_string()))
+        .expect("slow request missing from breach ring");
+    assert!(breach.get("total_ms").unwrap().as_f64().unwrap() > 40.0);
+    // The time went where we injected it: the gate parks the batcher
+    // *after* dequeue, so the stall shows up in the batch-formation stage.
+    let batch_ms = breach.get("batch_ms").unwrap().as_f64().unwrap();
+    assert!(batch_ms > 40.0, "batch_ms {batch_ms}");
+    assert!(tel::snapshot().counter("serve.slo_breaches").unwrap_or(0) >= 1);
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}

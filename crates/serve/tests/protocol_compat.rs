@@ -1,0 +1,178 @@
+//! Wire-format compatibility: v1 frames (no trace flag) must keep working
+//! against a v2 server, v2 frames must round-trip the trace id end to end,
+//! and an unknown opcode must come back as a *typed* rejection on a live
+//! connection instead of a dropped socket.
+
+use ibrar_nn::{VggConfig, VggMini};
+use ibrar_serve::protocol::{
+    decode_request_traced, decode_response, encode_request, read_frame, write_frame, Request,
+    Response,
+};
+use ibrar_serve::{
+    save_to_path, Client, MetricsFormat, ModelRegistry, Opcode, ServeError, Server, ServerConfig,
+    Status, TraceId, TRACE_FLAG,
+};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "ibrar-serve-compat-{}-{tag}-{n}.ibsc",
+        std::process::id()
+    ))
+}
+
+fn image() -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], |idx| {
+        ((idx[0] * 7 + idx[1] * 3 + idx[2]) % 17) as f32 / 17.0
+    })
+}
+
+fn start_server() -> (Server, PathBuf) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let path = temp_path("model");
+    save_to_path(&model, &path).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    let ckpt = path.clone();
+    registry.register("vgg", ckpt, move || {
+        let mut rng = StdRng::seed_from_u64(999);
+        Ok(Box::new(VggMini::new(VggConfig::tiny(10), &mut rng)?))
+    });
+    let server = Server::start("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+    (server, path)
+}
+
+#[test]
+fn v1_golden_frames_decode_unchanged() {
+    // Literal v1 bytes, pinned: a Ping body is exactly one zero byte, and
+    // no v1 opcode ever has the high bit set.
+    let (req, trace) = decode_request_traced(bytes::Bytes::from_static(&[0x00])).unwrap();
+    assert!(matches!(req, Request::Ping), "{req:?}");
+    assert_eq!(trace, None);
+
+    // The v1 encoder is still what `encode_request` produces: no trace
+    // flag on the opcode byte, byte-for-byte.
+    let body = encode_request(&Request::Classify {
+        model: "vgg".into(),
+        deadline_ms: 250,
+        image: image(),
+        with_logits: false,
+    });
+    assert_eq!(body[0], Opcode::Classify as u8);
+    assert_eq!(body[0] & TRACE_FLAG, 0);
+    let (req, trace) = decode_request_traced(body).unwrap();
+    assert_eq!(trace, None);
+    match req {
+        Request::Classify {
+            model, deadline_ms, ..
+        } => {
+            assert_eq!(model, "vgg");
+            assert_eq!(deadline_ms, 250);
+        }
+        other => panic!("wrong decode: {other:?}"),
+    }
+}
+
+#[test]
+fn v1_frames_are_served_and_get_server_minted_trace_ids() {
+    let (mut server, path) = start_server();
+    // Raw socket speaking strict v1: no trace flag anywhere.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let body = encode_request(&Request::Classify {
+        model: "vgg".into(),
+        deadline_ms: 0,
+        image: image(),
+        with_logits: false,
+    });
+    assert_eq!(body[0] & TRACE_FLAG, 0);
+    write_frame(&mut stream, &body).unwrap();
+    let resp = read_frame(&mut stream).unwrap().unwrap();
+    match decode_response(Opcode::Classify, resp).unwrap() {
+        Response::Classified { logits: None, .. } => {}
+        other => panic!("wrong response: {other:?}"),
+    }
+    // The server minted an id at ingress: the flight record exists and
+    // carries a nonzero trace.
+    assert_eq!(server.flight().len(), 1);
+    let dump = server.flight().dump_json();
+    assert!(!dump.contains("00000000000000000000000000000000"), "{dump}");
+
+    drop(stream);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn v2_trace_id_round_trips_to_the_flight_recorder() {
+    let (mut server, path) = start_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let minted = TraceId::generate();
+    let (label, echoed) = client
+        .classify_traced("vgg", &image(), 0, Some(minted))
+        .unwrap();
+    assert_eq!(echoed, minted);
+    assert!(label < 10);
+    // The exact client-minted id shows up in the server's flight dump.
+    let dump = client.metrics(MetricsFormat::Flight).unwrap();
+    assert!(dump.contains(&minted.to_string()), "{dump}");
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_opcode_is_typed_and_keeps_the_connection() {
+    let (mut server, path) = start_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // Opcode 0x48 exists in no protocol version (and has no trace flag).
+    write_frame(&mut stream, &[0x48]).unwrap();
+    let resp = read_frame(&mut stream).unwrap().unwrap();
+    match decode_response(Opcode::Ping, resp).unwrap() {
+        Response::Error(Status::UnsupportedOpcode, msg) => {
+            assert!(msg.contains("opcode"), "{msg}");
+        }
+        other => panic!("wrong response: {other:?}"),
+    }
+
+    // Same for a v2-flagged unknown opcode carrying a trace id.
+    let mut body = vec![0x48 | TRACE_FLAG];
+    body.extend_from_slice(TraceId::generate().as_bytes());
+    write_frame(&mut stream, &body).unwrap();
+    let resp = read_frame(&mut stream).unwrap().unwrap();
+    match decode_response(Opcode::Ping, resp).unwrap() {
+        Response::Error(Status::UnsupportedOpcode, _) => {}
+        other => panic!("wrong response: {other:?}"),
+    }
+
+    // The connection survived both rejections.
+    write_frame(&mut stream, &[0x00]).unwrap();
+    let resp = read_frame(&mut stream).unwrap().unwrap();
+    assert_eq!(decode_response(Opcode::Ping, resp).unwrap(), Response::Pong);
+
+    // And the typed error maps back to ServeError::Unsupported on a real
+    // client.
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Force an Unsupported error via error_for round-trip: a Metrics call
+    // is supported here, so instead check the protocol-level mapping.
+    assert!(matches!(
+        ibrar_serve::protocol::error_for(Status::UnsupportedOpcode, "x".into()),
+        ServeError::Unsupported(_)
+    ));
+    client.ping().unwrap();
+
+    drop(stream);
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}

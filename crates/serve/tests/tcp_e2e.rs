@@ -147,6 +147,7 @@ fn queue_full_and_deadline_cross_the_wire_typed() {
             queue_capacity: 3,
             workers: 1,
         },
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(server.addr()).unwrap();
 

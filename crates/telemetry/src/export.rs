@@ -1,0 +1,271 @@
+//! Snapshot serialization: Prometheus text exposition and JSON.
+//!
+//! Both formats are hand-written (the workspace has no serde) and both
+//! carry the full [`Snapshot`]: counters, gauges, histogram summaries with
+//! p50/p95/p99/p999, and span timings. JSON round-trips through
+//! [`Snapshot::from_json`], which is what the `ibrar-top` dashboard uses
+//! to poll a running server.
+
+use crate::histogram::HistogramSummary;
+use crate::json::{self, Json};
+use crate::recorder::Snapshot;
+use std::fmt::Write as _;
+
+/// Maps a metric name to the Prometheus exposition charset
+/// (`[a-zA-Z0-9_:]`, no leading digit): dots, slashes, dashes and any
+/// other byte become `_`, and an `ibrar_` prefix namespaces the family.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("ibrar_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_value(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn prom_summary(name: &str, h: &HistogramSummary, out: &mut String) {
+    let base = prometheus_name(name);
+    let _ = writeln!(out, "# TYPE {base} summary");
+    for (q, v) in [
+        ("0.5", h.p50),
+        ("0.95", h.p95),
+        ("0.99", h.p99),
+        ("0.999", h.p999),
+    ] {
+        let _ = write!(out, "{base}{{quantile=\"{q}\"}} ");
+        prom_value(v, out);
+        out.push('\n');
+    }
+    let _ = write!(out, "{base}_sum ");
+    prom_value(h.sum, out);
+    out.push('\n');
+    let _ = writeln!(out, "{base}_count {}", h.count);
+    let _ = write!(out, "{base}_min ");
+    prom_value(h.min, out);
+    out.push('\n');
+    let _ = write!(out, "{base}_max ");
+    prom_value(h.max, out);
+    out.push('\n');
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `counter` families, gauges as `gauge`
+    /// families, histograms and spans as `summary` families with
+    /// p50/p95/p99/p999 quantile lines plus `_sum`/`_count`/`_min`/`_max`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let base = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {base} counter");
+            let _ = writeln!(out, "{base} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let base = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {base} gauge");
+            let _ = write!(out, "{base} ");
+            prom_value(*v, &mut out);
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            prom_summary(name, h, &mut out);
+        }
+        for (path, h) in &self.spans {
+            prom_summary(&format!("span.{path}"), h, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the full snapshot as one JSON object
+    /// (`{"counters":{...},"gauges":{...},"histograms":{...},"spans":{...}}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(name, &mut out);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(name, &mut out);
+            out.push(':');
+            json::write_f64(*v, &mut out);
+        }
+        out.push_str("},\"histograms\":{");
+        write_summaries(&self.histograms, &mut out);
+        out.push_str("},\"spans\":{");
+        write_summaries(&self.spans, &mut out);
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a snapshot previously serialized with [`Snapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural or syntax problem.
+    pub fn from_json(s: &str) -> Result<Snapshot, String> {
+        let v = Json::parse(s)?;
+        let obj = |key: &str| -> Result<&[(String, Json)], String> {
+            match v.get(key) {
+                Some(Json::Obj(fields)) => Ok(fields),
+                _ => Err(format!("missing object field {key:?}")),
+            }
+        };
+        let mut counters = Vec::new();
+        for (name, val) in obj("counters")? {
+            let n = val.as_f64().ok_or_else(|| format!("counter {name:?}"))?;
+            counters.push((name.clone(), n as u64));
+        }
+        let mut gauges = Vec::new();
+        for (name, val) in obj("gauges")? {
+            gauges.push((name.clone(), val.as_f64().unwrap_or(f64::NAN)));
+        }
+        let histograms = parse_summaries(obj("histograms")?)?;
+        let spans = parse_summaries(obj("spans")?)?;
+        Ok(Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        })
+    }
+}
+
+fn write_summaries(items: &[(String, HistogramSummary)], out: &mut String) {
+    for (i, (name, h)) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_string(name, out);
+        let _ = write!(out, ":{{\"count\":{},\"sum\":", h.count);
+        json::write_f64(h.sum, out);
+        for (key, v) in [
+            ("mean", h.mean),
+            ("min", h.min),
+            ("max", h.max),
+            ("p50", h.p50),
+            ("p95", h.p95),
+            ("p99", h.p99),
+            ("p999", h.p999),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            json::write_f64(v, out);
+        }
+        out.push('}');
+    }
+}
+
+fn parse_summaries(fields: &[(String, Json)]) -> Result<Vec<(String, HistogramSummary)>, String> {
+    let mut out = Vec::with_capacity(fields.len());
+    for (name, val) in fields {
+        let num = |key: &str| val.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        out.push((
+            name.clone(),
+            HistogramSummary {
+                count: val
+                    .get("count")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("summary {name:?} lacks count"))?
+                    as u64,
+                sum: num("sum"),
+                mean: num("mean"),
+                min: num("min"),
+                max: num("max"),
+                p50: num("p50"),
+                p95: num("p95"),
+                p99: num("p99"),
+                p999: num("p999"),
+            },
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Recorder::new_enabled();
+        r.counter("serve.requests", 7);
+        r.gauge("serve.queue_depth", 3.0);
+        for i in 1..=100 {
+            r.observe("serve.stage.queue_ms", i as f64 * 0.1);
+        }
+        {
+            let _s = r.span("serve.batch");
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_has_all_families() {
+        let text = sample_snapshot().prometheus_text();
+        assert!(text.contains("# TYPE ibrar_serve_requests counter"));
+        assert!(text.contains("ibrar_serve_requests 7"));
+        assert!(text.contains("# TYPE ibrar_serve_queue_depth gauge"));
+        assert!(text.contains("# TYPE ibrar_serve_stage_queue_ms summary"));
+        assert!(text.contains("ibrar_serve_stage_queue_ms{quantile=\"0.999\"}"));
+        assert!(text.contains("ibrar_serve_stage_queue_ms_count 100"));
+        assert!(text.contains("# TYPE ibrar_span_serve_batch summary"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect(line);
+            assert!(!name.is_empty() && !value.is_empty(), "{line}");
+            if !matches!(value, "NaN" | "+Inf" | "-Inf") {
+                value.parse::<f64>().expect(line);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample_snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        assert_eq!(parsed.histograms, snap.histograms);
+        assert_eq!(parsed.spans.len(), snap.spans.len());
+        assert_eq!(parsed.spans[0].0, "serve.batch");
+        assert_eq!(parsed.spans[0].1.count, 1);
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(
+            prometheus_name("serve.stage.queue_ms"),
+            "ibrar_serve_stage_queue_ms"
+        );
+        assert_eq!(prometheus_name("a/b-c"), "ibrar_a_b_c");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
+    }
+}

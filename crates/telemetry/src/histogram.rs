@@ -114,10 +114,13 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q ∈ [0, 1]` from the bucket counts: the
-    /// geometric midpoint of the bucket holding the `⌈q·count⌉`-th
-    /// observation, clamped to the exact `[min, max]` envelope. Relative
-    /// error is bounded by half a bucket width (≈ 9%).
+    /// Approximate quantile `q ∈ [0, 1]` from the bucket counts: finds the
+    /// bucket holding the `⌈q·count⌉`-th observation and linearly
+    /// interpolates inside it by the observation's rank among the bucket's
+    /// occupants, clamped to the exact `[min, max]` envelope. Worst-case
+    /// relative error stays bounded by one bucket width (≈ 19%); in
+    /// practice interpolation lands within a couple of percent for
+    /// non-degenerate distributions.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
@@ -126,13 +129,37 @@ impl Histogram {
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                let mid = (Self::bucket_lower(i) * Self::bucket_upper(i)).sqrt();
-                return mid.clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if cum + c >= target {
+                // The k-th of c occupants (1-based) sits at fraction k/c
+                // of the bucket's width under a within-bucket uniformity
+                // assumption.
+                let frac = (target - cum) as f64 / c as f64;
+                let lo = Self::bucket_lower(i);
+                let hi = Self::bucket_upper(i);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            cum += c;
         }
         self.max
+    }
+
+    /// Folds `other` into `self`: bucket-wise count addition with exact
+    /// `count`/`sum`/`min`/`max` combination. Merging histograms recorded
+    /// from disjoint streams yields the same buckets (and therefore the
+    /// same quantiles) as recording the concatenated stream.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        // Empty histograms carry the +inf/-inf identity elements, so the
+        // fold is correct without special-casing.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
     }
 
     /// Condensed readout used by snapshots and reports.
@@ -145,11 +172,13 @@ impl Histogram {
             max: self.max(),
             p50: self.quantile(0.5),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }
 
-/// `count`/`sum`/`p50`/`p95`/`max` readout of a [`Histogram`].
+/// `count`/`sum`/`p50`/`p95`/`p99`/`p999`/`max` readout of a [`Histogram`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
@@ -166,6 +195,10 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// Approximate 95th percentile.
     pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+    /// Approximate 99.9th percentile.
+    pub p999: f64,
 }
 
 #[cfg(test)]
@@ -227,6 +260,61 @@ mod tests {
         // Quantiles never escape the exact envelope.
         assert!(h.quantile(0.0) >= h.min());
         assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_tight_on_uniform_data() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        // Linear interpolation should land well inside the ~9% bucket
+        // bound for a uniform stream.
+        for (q, want) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99), (0.999, 0.999)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - want).abs() / want < 0.03,
+                "q={q}: got {got}, want {want}"
+            );
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 <= s.max);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        // Dyadic values keep the sums exactly associative, so the merged
+        // summary can be compared bit-for-bit against the concatenation.
+        for i in 0..500u64 {
+            let v = (i % 64) as f64 * 0.25 + 0.25;
+            a.record(v);
+            both.record(v);
+        }
+        for i in 0..300u64 {
+            let v = (i % 97) as f64 * 0.5 + 4.0;
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), both.summary());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        h.record(8.0);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.summary(), before);
     }
 
     #[test]

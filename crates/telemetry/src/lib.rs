@@ -8,11 +8,18 @@
 //! first-class outputs without adding any external dependency:
 //!
 //! * [`Recorder`] — counters, gauges, and log-bucketed [`Histogram`]s with
-//!   `count`/`sum`/`p50`/`p95`/`max` readout.
+//!   `count`/`sum`/`p50`/`p95`/`p99`/`p999`/`max` readout (interpolated
+//!   quantiles, mergeable buckets).
 //! * RAII span timers ([`span!`]) that nest through a thread-local stack and
-//!   feed a tree-shaped timing report ([`report`]).
+//!   feed a tree-shaped timing report ([`report`]), plus an optional bounded
+//!   chrome-trace ring ([`Recorder::start_trace_capture`]) exporting span
+//!   trees for `chrome://tracing`.
 //! * Leveled structured events ([`event`]) with two sinks: human-readable
 //!   stderr and machine-readable JSONL.
+//! * [`Snapshot`] serialization for live scraping: Prometheus text
+//!   exposition ([`Snapshot::prometheus_text`]) and JSON round-tripping
+//!   ([`Snapshot::to_json`] / [`Snapshot::from_json`]) — the payloads
+//!   behind `ibrar-serve`'s Metrics opcode and the `ibrar-top` dashboard.
 //! * [`RunManifest`] — config, seed, method name, wall time, and final
 //!   metrics emitted as a JSON line at the end of each run.
 //!
@@ -20,14 +27,18 @@
 //!
 //! Everything defaults to **off** (a single relaxed atomic load per call
 //! site — see the `telemetry` group in `crates/bench/benches/substrate.rs`).
-//! Two environment variables, read on first use, turn it on:
+//! Three environment variables, read on first use, turn it on:
 //!
 //! * `IBRAR_LOG=trace|debug|info|warn|error` — enables the recorder and the
 //!   human-readable stderr sink at the given level.
 //! * `IBRAR_TELEMETRY=jsonl:<path>` — enables the recorder and streams every
-//!   event and manifest as one JSON object per line to `<path>`.
+//!   event and manifest as one JSON object per line to `<path>` (`%p` in
+//!   the path expands to the process id).
 //!   `IBRAR_TELEMETRY=on` enables metric collection without a JSONL file;
 //!   `IBRAR_TELEMETRY=off` forces everything off.
+//! * `IBRAR_TRACE=<path>` — enables chrome-trace span capture; binaries
+//!   using `ibrar-bench`'s harness write the trace-event JSON to `<path>`
+//!   on exit (`%p` expands to the process id).
 //!
 //! # Examples
 //!
@@ -46,18 +57,22 @@
 //! assert!(snap.span("train/epoch").is_some());
 //! ```
 
+mod export;
 mod fields;
 mod histogram;
 pub mod json;
 mod manifest;
 mod recorder;
 mod span;
+mod trace;
 
+pub use export::prometheus_name;
 pub use fields::{Field, FieldValue, Level};
 pub use histogram::{Histogram, HistogramSummary};
 pub use manifest::RunManifest;
 pub use recorder::{global, init_from_env, BufferSink, Recorder, Snapshot};
 pub use span::{span_depth, Span};
+pub use trace::DEFAULT_TRACE_CAPACITY;
 
 /// Increments a named counter on the global recorder (no-op when disabled).
 pub fn counter(name: &str, delta: u64) {

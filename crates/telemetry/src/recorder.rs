@@ -27,6 +27,8 @@ pub struct Recorder {
     histograms: Mutex<HashMap<String, Histogram>>,
     pub(crate) spans: Mutex<HashMap<String, Histogram>>,
     jsonl: Mutex<Option<Box<dyn Write + Send>>>,
+    trace: crate::trace::TraceCapture,
+    trace_path: Mutex<Option<String>>,
 }
 
 impl Default for Recorder {
@@ -47,6 +49,8 @@ impl Recorder {
             histograms: Mutex::new(HashMap::new()),
             spans: Mutex::new(HashMap::new()),
             jsonl: Mutex::new(None),
+            trace: crate::trace::TraceCapture::new(),
+            trace_path: Mutex::new(None),
         }
     }
 
@@ -85,15 +89,84 @@ impl Recorder {
         *self.jsonl.lock() = sink;
     }
 
-    /// Opens `path` (created/truncated) as the JSONL sink.
+    /// Opens `path` (created/truncated) as the JSONL sink. A literal `%p`
+    /// in the path expands to the process id, so several test or worker
+    /// processes can share one `IBRAR_TELEMETRY=jsonl:dir/%p.jsonl`
+    /// setting without truncating each other's streams.
     ///
     /// # Errors
     ///
-    /// Propagates file-creation errors.
+    /// Propagates directory-creation and file-creation errors.
     pub fn set_jsonl_path(&self, path: &str) -> std::io::Result<()> {
-        let file = std::fs::File::create(path)?;
+        let path = path.replace("%p", &std::process::id().to_string());
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(&path)?;
         self.set_jsonl_sink(Some(Box::new(std::io::BufWriter::new(file))));
         Ok(())
+    }
+
+    /// Starts chrome trace-event capture into a bounded ring of `capacity`
+    /// completed spans (oldest events drop first). Also enables the
+    /// recorder — spans are inert while disabled.
+    pub fn start_trace_capture(&self, capacity: usize) {
+        self.trace.start(capacity);
+        self.enable();
+    }
+
+    /// Stops trace capture; buffered events stay exportable.
+    pub fn stop_trace_capture(&self) {
+        self.trace.stop();
+    }
+
+    /// Whether span drops are currently feeding the trace ring.
+    pub fn trace_capture_active(&self) -> bool {
+        self.trace.is_active()
+    }
+
+    /// Number of buffered trace events.
+    pub fn trace_event_count(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Exports captured spans as a Chrome trace-event JSON document
+    /// (viewable at `chrome://tracing`), or `None` if capture was never
+    /// started.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.trace.chrome_json()
+    }
+
+    /// The `IBRAR_TRACE` output path, if one was configured.
+    pub fn trace_output_path(&self) -> Option<String> {
+        self.trace_path.lock().clone()
+    }
+
+    /// Writes the captured chrome trace to the `IBRAR_TRACE` path and
+    /// returns it, or `Ok(None)` when no path or no capture is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write errors.
+    pub fn write_chrome_trace(&self) -> std::io::Result<Option<String>> {
+        let (Some(path), Some(json)) = (self.trace_output_path(), self.chrome_trace_json()) else {
+            return Ok(None);
+        };
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, json)?;
+        Ok(Some(path))
+    }
+
+    /// Feeds one completed span into the trace ring (called by the
+    /// [`crate::Span`] guard when capture is active).
+    pub(crate) fn record_trace_event(&self, path: &str, start: std::time::Instant, secs: f64) {
+        self.trace.record(path, start, secs);
     }
 
     /// Applies `IBRAR_LOG` / `IBRAR_TELEMETRY` to this recorder. Invalid or
@@ -133,6 +206,13 @@ impl Recorder {
                         );
                     }
                 }
+            }
+        }
+        if let Ok(path) = std::env::var("IBRAR_TRACE") {
+            if !path.is_empty() {
+                let path = path.replace("%p", &std::process::id().to_string());
+                *self.trace_path.lock() = Some(path);
+                self.start_trace_capture(crate::trace::DEFAULT_TRACE_CAPACITY);
             }
         }
     }
@@ -295,8 +375,8 @@ impl Recorder {
             for (name, h) in &snap.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<40} n={} mean={:.4} p50={:.4} p95={:.4} max={:.4}",
-                    h.count, h.mean, h.p50, h.p95, h.max
+                    "  {name:<40} n={} mean={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
+                    h.count, h.mean, h.p50, h.p95, h.p99, h.max
                 );
             }
         }
@@ -309,13 +389,14 @@ impl Recorder {
                 let name = path.rsplit('/').next().unwrap_or(path);
                 let _ = writeln!(
                     out,
-                    "  {:indent$}{:<width$} {:>5}× total {} p50 {} p95 {} max {}",
+                    "  {:indent$}{:<width$} {:>5}× total {} p50 {} p95 {} p99 {} max {}",
                     "",
                     name,
                     h.count,
                     fmt_secs(h.sum),
                     fmt_secs(h.p50),
                     fmt_secs(h.p95),
+                    fmt_secs(h.p99),
                     fmt_secs(h.max),
                     indent = depth * 2,
                     width = 38usize.saturating_sub(depth * 2),

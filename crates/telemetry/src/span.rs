@@ -71,6 +71,9 @@ impl Drop for Span<'_> {
                 }
             });
             rec.observe_span(&self.path, secs);
+            if rec.trace_capture_active() {
+                rec.record_trace_event(&self.path, start, secs);
+            }
         }
     }
 }
@@ -117,6 +120,28 @@ mod tests {
         assert_eq!(span_depth(), 0);
         drop(_s);
         assert!(r.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_feed_trace_capture_when_active() {
+        let r = Recorder::new_enabled();
+        {
+            let _a = r.span("before_capture");
+        }
+        assert_eq!(r.trace_event_count(), 0);
+        r.start_trace_capture(128);
+        {
+            let _a = r.span("outer");
+            let _b = r.span("inner");
+        }
+        assert_eq!(r.trace_event_count(), 2);
+        let json = r.chrome_trace_json().unwrap();
+        assert!(json.contains("\"outer/inner\""), "{json}");
+        r.stop_trace_capture();
+        {
+            let _a = r.span("after_stop");
+        }
+        assert_eq!(r.trace_event_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Chrome trace-event capture.
+//!
+//! A bounded ring buffer of completed spans that exports in the Chrome
+//! trace-event JSON format (load the file at `chrome://tracing` or
+//! <https://ui.perfetto.dev>). Capture is off by default; when off the
+//! only cost on the span path is one relaxed atomic load. When the ring
+//! is full the oldest events fall off (the *end* of a run is usually the
+//! interesting part) and the drop count is reported in the export
+//! metadata.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default ring capacity used by `IBRAR_TRACE`.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One completed span, timed relative to the capture origin.
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    /// Full span path (e.g. `"serve.request/serve.batch"`).
+    path: String,
+    /// Start offset from the capture origin, in microseconds.
+    start_us: f64,
+    /// Duration in microseconds.
+    dur_us: f64,
+    /// Small dense per-thread id (chrome lanes).
+    tid: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    origin: Instant,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Bounded span-event ring with chrome-trace JSON export.
+#[derive(Debug)]
+pub(crate) struct TraceCapture {
+    active: AtomicBool,
+    inner: Mutex<Option<Inner>>,
+}
+
+impl TraceCapture {
+    pub(crate) fn new() -> Self {
+        TraceCapture {
+            active: AtomicBool::new(false),
+            inner: Mutex::new(None),
+        }
+    }
+
+    /// One relaxed load; the gate every span-drop checks.
+    pub(crate) fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Starts (or restarts) capture with a fresh origin and empty ring.
+    pub(crate) fn start(&self, capacity: usize) {
+        *self.inner.lock() = Some(Inner {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        });
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops capture, keeping buffered events for export.
+    pub(crate) fn stop(&self) {
+        self.active.store(false, Ordering::Relaxed);
+    }
+
+    /// Records one completed span (no-op unless started).
+    pub(crate) fn record(&self, path: &str, start: Instant, dur_secs: f64) {
+        let mut guard = self.inner.lock();
+        let Some(inner) = guard.as_mut() else {
+            return;
+        };
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let start_us = start.duration_since(inner.origin).as_secs_f64() * 1e6;
+        inner.events.push_back(TraceEvent {
+            path: path.to_string(),
+            start_us,
+            dur_us: dur_secs * 1e6,
+            tid: thread_lane(),
+        });
+    }
+
+    /// Number of buffered events.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().as_ref().map_or(0, |i| i.events.len())
+    }
+
+    /// Renders the buffer as a Chrome trace-event JSON document
+    /// (`ph:"X"` complete events, microsecond timestamps). Returns `None`
+    /// when capture was never started.
+    pub(crate) fn chrome_json(&self) -> Option<String> {
+        let guard = self.inner.lock();
+        let inner = guard.as_ref()?;
+        let mut out = String::with_capacity(64 + inner.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in inner.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // The lane label is the leaf span name; the full path rides in
+            // args so nothing is lost when names repeat at different depths.
+            let leaf = e.path.rsplit('/').next().unwrap_or(&e.path);
+            out.push_str("{\"name\":");
+            crate::json::write_string(leaf, &mut out);
+            let _ = write!(
+                out,
+                ",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"path\":",
+                e.tid, e.start_us, e.dur_us
+            );
+            crate::json::write_string(&e.path, &mut out);
+            out.push_str("}}");
+        }
+        let _ = write!(
+            out,
+            "],\"otherData\":{{\"dropped_events\":{}}}}}",
+            inner.dropped
+        );
+        Some(out)
+    }
+}
+
+/// Dense per-thread lane id: the first thread that records gets 0, the
+/// next 1, and so on — stable for the thread's lifetime.
+fn thread_lane() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|l| *l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn inactive_capture_records_nothing() {
+        let t = TraceCapture::new();
+        t.record("x", Instant::now(), 0.001);
+        assert_eq!(t.len(), 0);
+        assert!(t.chrome_json().is_none());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = TraceCapture::new();
+        t.start(2);
+        let now = Instant::now();
+        t.record("a", now, 0.001);
+        t.record("b", now, 0.001);
+        t.record("c", now, 0.001);
+        assert_eq!(t.len(), 2);
+        let doc = Json::parse(&t.chrome_json().unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+        let dropped = doc
+            .get("otherData")
+            .unwrap()
+            .get("dropped_events")
+            .unwrap()
+            .as_f64();
+        assert_eq!(dropped, Some(1.0));
+    }
+
+    #[test]
+    fn export_is_valid_json_with_timing_fields() {
+        let t = TraceCapture::new();
+        t.start(16);
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.record("outer/inner", start, 0.002);
+        let doc = Json::parse(&t.chrome_json().unwrap()).unwrap();
+        let e = &doc.get("traceEvents").unwrap().as_array().unwrap()[0];
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(e.get("name").unwrap().as_str(), Some("inner"));
+        assert_eq!(
+            e.get("args").unwrap().get("path").unwrap().as_str(),
+            Some("outer/inner")
+        );
+        assert!(e.get("dur").unwrap().as_f64().unwrap() >= 1_000.0);
+        assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+    }
+}

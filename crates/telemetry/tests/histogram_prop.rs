@@ -1,0 +1,79 @@
+//! Property-based pin: folding one histogram into another is equivalent to
+//! recording the concatenated observation stream.
+//!
+//! `count`, `min`, `max`, and every quantile are *exactly* equal — the
+//! first three combine losslessly and quantiles are pure functions of the
+//! (integer) bucket counts clamped to the exact envelope. Only `sum` (and
+//! therefore `mean`) is compared with a tolerance: the merge adds the
+//! other histogram's total in one operation while the concatenated stream
+//! accumulates value by value, and float addition is not associative.
+
+use ibrar_telemetry::Histogram;
+use proptest::prelude::*;
+
+fn exact(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_matches_concatenated_stream(
+        xs in proptest::collection::vec(1e-6f64..1e6, 0..200),
+        ys in proptest::collection::vec(1e-6f64..1e6, 0..200),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        let merged = a.summary();
+        let concat = both.summary();
+
+        prop_assert_eq!(merged.count, concat.count);
+        prop_assert!(exact(merged.min, concat.min), "min {} vs {}", merged.min, concat.min);
+        prop_assert!(exact(merged.max, concat.max), "max {} vs {}", merged.max, concat.max);
+        for (q, m, c) in [
+            (0.5, merged.p50, concat.p50),
+            (0.95, merged.p95, concat.p95),
+            (0.99, merged.p99, concat.p99),
+            (0.999, merged.p999, concat.p999),
+        ] {
+            prop_assert!(exact(m, c), "p{q}: {m} vs {c}");
+        }
+        prop_assert!(approx(merged.sum, concat.sum), "sum {} vs {}", merged.sum, concat.sum);
+        prop_assert!(approx(merged.mean, concat.mean), "mean {} vs {}", merged.mean, concat.mean);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_buckets(
+        xs in proptest::collection::vec(1e-3f64..1e3, 1..100),
+        ys in proptest::collection::vec(1e-3f64..1e3, 1..100),
+    ) {
+        let mut a1 = Histogram::new();
+        let mut b1 = Histogram::new();
+        for &v in &xs { a1.record(v); }
+        for &v in &ys { b1.record(v); }
+        let mut a2 = b1.clone();
+        let b2 = a1.clone();
+        a1.merge(&b1);
+        a2.merge(&b2);
+        let l = a1.summary();
+        let r = a2.summary();
+        prop_assert_eq!(l.count, r.count);
+        prop_assert!(exact(l.p50, r.p50) && exact(l.p99, r.p99));
+        prop_assert!(exact(l.min, r.min) && exact(l.max, r.max));
+    }
+}

@@ -63,6 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 queue_capacity: 64,
                 workers: 1,
             },
+            ..ServerConfig::default()
         },
     )?;
     println!("serving on {}\n", server.addr());

@@ -2,13 +2,36 @@
 # Tier-1 verification: release build, the full test suite under both the
 # default thread count and IBRAR_THREADS=1 (the determinism guarantee says
 # the two runs must see identical numbers — this includes the differential
-# and golden snapshot suites), an end-to-end inference-server smoke test,
-# and workspace-wide lint gates.
+# and golden snapshot suites), an end-to-end inference-server +
+# metrics-endpoint smoke test, and workspace-wide lint gates.
+#
+# Test processes run with a JSONL telemetry sink attached
+# (IBRAR_TELEMETRY=jsonl:<tmp>/%p.jsonl); on a test failure the tail of
+# every captured stream is dumped so the per-stage serve events and
+# counters from the failing process are in the CI log.
 #
 #   scripts/ci.sh            # build + tests (2 thread configs) + clippy + fmt
 #   scripts/ci.sh --fast     # lib tests only, no release build; same lints
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TEL_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ibrar-ci-tel.XXXXXX")"
+trap 'rm -rf "$TEL_DIR"' EXIT
+
+# Runs a test command with the telemetry sink attached; on failure, dumps
+# the captured JSONL streams before propagating the exit code.
+run_tests() {
+    if ! IBRAR_TELEMETRY="jsonl:$TEL_DIR/%p.jsonl" "$@"; then
+        echo "== test failure: captured telemetry ==" >&2
+        for f in "$TEL_DIR"/*.jsonl; do
+            [[ -e $f && -s $f ]] || continue
+            echo "--- $f (last 40 events) ---" >&2
+            tail -n 40 "$f" >&2
+        done
+        return 1
+    fi
+    rm -f "$TEL_DIR"/*.jsonl
+}
 
 FAST=0
 for arg in "$@"; do

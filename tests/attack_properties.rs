@@ -1,6 +1,14 @@
 //! Cross-crate attack invariants against a genuinely trained model.
+//!
+//! The model comes from the committed checkpoint `fixtures/attack_std.ibsc`
+//! (regenerate with `cargo run --release -p ibrar-bench --bin
+//! make_fixture`): a Standard-trained `VggMini::tiny(10)` fitted on a
+//! larger draw from the same seed-777 generator this file evaluates
+//! against, so it is accurate on the canonical test split yet undefended —
+//! exactly the baseline condition the attack invariants assume. Loading a
+//! checkpoint instead of training in-test keeps the suite fast and the
+//! accuracy thresholds deterministic.
 
-use ibrar::{TrainMethod, Trainer, TrainerConfig};
 use ibrar_attacks::{
     accuracy, robust_accuracy, Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd, DEFAULT_ALPHA, DEFAULT_EPS,
 };
@@ -8,6 +16,7 @@ use ibrar_data::{SynthVision, SynthVisionConfig};
 use ibrar_nn::{VggConfig, VggMini};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 use std::sync::OnceLock;
 
 struct Fixture {
@@ -24,13 +33,17 @@ fn fixture() -> &'static Fixture {
                 .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
-        Trainer::new(
-            TrainerConfig::new(TrainMethod::Standard)
-                .with_epochs(6)
-                .with_batch_size(32),
-        )
-        .train(&model, &data.train, &data.test)
-        .unwrap();
+        let ckpt = Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/fixtures/attack_std.ibsc"
+        ));
+        ibrar_serve::load_from_path(&model, ckpt).unwrap_or_else(|e| {
+            panic!(
+                "missing/broken fixture {} — regenerate with \
+                 `cargo run --release -p ibrar-bench --bin make_fixture`: {e}",
+                ckpt.display()
+            )
+        });
         Fixture { model, data }
     })
 }
