@@ -1,5 +1,5 @@
 //! Performance trajectory report: wall-clock medians for the hot paths the
-//! training/attack/serving loops live in, written as `BENCH_PR5.json`.
+//! training/attack/serving loops live in, written as `BENCH_PR7.json`.
 //!
 //! ```sh
 //! # At the pre-optimization base commit: record the reference timings.
@@ -8,6 +8,9 @@
 //! cargo run --release -p ibrar-bench --bin perf_report -- --phase head
 //! # CI: schema sanity check at tiny scale, no timing assertions.
 //! cargo run --release -p ibrar-bench --bin perf_report -- --smoke
+//! # CI: regression gate — re-time train_step/serve_batch and compare the
+//! # fresh medians to every committed BENCH_*.json reference.
+//! cargo run --release -p ibrar-bench --bin perf_report -- --check
 //! ```
 //!
 //! The report is two-phase so the baseline numbers in the committed file are
@@ -51,27 +54,48 @@ const WORKLOADS: [&str; 6] = [
     "serve_batch",
 ];
 
+/// Workloads that only exist at the head commit (the baseline binary
+/// predates the code they time). They get `optimized_ms` in the head phase,
+/// plus `baseline_ms`/`speedup` only when the baseline file carries them.
+const HEAD_ONLY_WORKLOADS: [&str; 1] = ["serve_batch_int8"];
+
+/// Workloads the `--check` regression gate re-times.
+const CHECK_WORKLOADS: [&str; 2] = ["train_step", "serve_batch"];
+
+/// `--check` threshold: a fresh median may be at most this multiple of a
+/// committed reference before the gate fails. Sub-100ms wall-clock medians
+/// on shared CI hosts jitter ±30–50% run to run; 2× sits above that noise
+/// floor while still catching structural regressions (a lost parallel
+/// gate, a cold scratch pool, a serial fallback) which cost 3–7× here.
+const REGRESSION_FACTOR: f64 = 2.0;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: perf_report [--phase baseline|head] [--out PATH] [--reps N] [--smoke]\n\
+        "usage: perf_report [--phase baseline|head] [--out PATH] [--reps N] [--smoke] [--check]\n\
          \n\
          --phase baseline  time the workloads and write baseline_ms entries\n\
          --phase head      time the workloads, merge optimized_ms + speedups\n\
          \x20                 and pool/cache counters into the existing file\n\
-         --out PATH        report path (default <repo root>/BENCH_PR5.json)\n\
+         --out PATH        report path (default <repo root>/BENCH_PR7.json)\n\
          --reps N          timed repetitions per workload (default 15)\n\
          --smoke           tiny-scale two-phase run against a temp file that\n\
-         \x20                 only validates the schema"
+         \x20                 only validates the schema\n\
+         --check           re-time train_step/serve_batch and fail if a median\n\
+         \x20                 exceeds any committed BENCH_*.json reference by\n\
+         \x20                 more than the documented regression factor"
     );
     std::process::exit(2);
 }
 
-fn default_out() -> PathBuf {
+fn repo_root() -> PathBuf {
     // crates/bench -> repo root.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..")
-        .join("BENCH_PR5.json")
+}
+
+fn default_out() -> PathBuf {
+    repo_root().join("BENCH_PR7.json")
 }
 
 /// Median wall time of `reps` runs, in milliseconds. One untimed warmup run
@@ -245,7 +269,17 @@ fn time_train(sizes: &Sizes) -> f64 {
 /// micro-batching engine (batch assembly = the `Tensor::stack` path, then
 /// one stacked Eval forward per batch).
 fn time_serve(sizes: &Sizes) -> f64 {
-    let m: Arc<dyn ImageModel> = Arc::new(model(14));
+    time_serve_with(Arc::new(model(14)), sizes)
+}
+
+/// `serve_batch_int8`: the identical request wave against the post-training-
+/// quantized twin of the same model — the i8×i8→i32 GEMM inference tier.
+fn time_serve_int8(sizes: &Sizes) -> f64 {
+    let q = ibrar_serve::Int8Vgg::from_model(&model(14)).expect("int8 quantization");
+    time_serve_with(Arc::new(q), sizes)
+}
+
+fn time_serve_with(m: Arc<dyn ImageModel>, sizes: &Sizes) -> f64 {
     let engine = BatchEngine::new(
         Arc::clone(&m),
         EngineConfig {
@@ -284,6 +318,7 @@ fn time_workload(name: &str, sizes: &Sizes) -> f64 {
         "ibrar_regularizer" => time_regularizer(sizes),
         "train_step" => time_train(sizes),
         "serve_batch" => time_serve(sizes),
+        "serve_batch_int8" => time_serve_int8(sizes),
         other => unreachable!("unknown workload {other}"),
     }
 }
@@ -401,6 +436,18 @@ fn validate(report: &Json, optimized: bool) -> Result<(), String> {
         }
     }
     if optimized {
+        // Head-only workloads never require a baseline — the baseline
+        // binary predates them — but the head phase must time them.
+        for name in HEAD_ONLY_WORKLOADS {
+            let v = workloads
+                .get(name)
+                .and_then(|w| w.get("optimized_ms"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("head-only workload {name} missing numeric optimized_ms"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("workload {name} optimized_ms not positive: {v}"));
+            }
+        }
         for obj in ["pool", "hsic_cache"] {
             let o = report
                 .get(obj)
@@ -419,8 +466,12 @@ fn run(phase: &str, out_path: &PathBuf, sizes: &Sizes) -> DynResult<()> {
         sizes.reps,
         out_path.display()
     );
+    let mut names: Vec<&str> = WORKLOADS.to_vec();
+    if phase == "head" {
+        names.extend(HEAD_ONLY_WORKLOADS);
+    }
     let mut timings = Vec::new();
-    for name in WORKLOADS {
+    for name in names {
         let ms = time_workload(name, sizes);
         eprintln!("[perf_report]   {name}: {ms:.3} ms");
         timings.push((name.to_string(), ms));
@@ -468,20 +519,22 @@ fn run(phase: &str, out_path: &PathBuf, sizes: &Sizes) -> DynResult<()> {
         let workloads = timings
             .iter()
             .map(|(name, ms)| {
+                // Head-only workloads have no baseline entry (the baseline
+                // binary predates them); everything else was validated.
                 let baseline = base
                     .get("workloads")
                     .and_then(|w| w.get(name))
                     .and_then(|w| w.get("baseline_ms"))
-                    .and_then(Json::as_f64)
-                    .expect("validated above");
-                (
-                    name.clone(),
-                    Json::Obj(vec![
-                        ("baseline_ms".into(), num(baseline)),
-                        ("optimized_ms".into(), num(*ms)),
-                        ("speedup".into(), num(baseline / ms)),
-                    ]),
-                )
+                    .and_then(Json::as_f64);
+                let mut fields = Vec::new();
+                if let Some(b) = baseline {
+                    fields.push(("baseline_ms".into(), num(b)));
+                }
+                fields.push(("optimized_ms".into(), num(*ms)));
+                if let Some(b) = baseline {
+                    fields.push(("speedup".into(), num(b / ms)));
+                }
+                (name.clone(), Json::Obj(fields))
             })
             .collect();
         let (ph, pm) = (counter("alloc.pool.hit"), counter("alloc.pool.miss"));
@@ -521,6 +574,65 @@ fn run(phase: &str, out_path: &PathBuf, sizes: &Sizes) -> DynResult<()> {
     Ok(())
 }
 
+/// The committed reference median for `name` in a report: the smaller of
+/// `baseline_ms` and `optimized_ms` (whichever are present), i.e. the best
+/// wall-clock this workload has ever been recorded at in that file.
+fn committed_reference(report: &Json, name: &str) -> Option<f64> {
+    let w = report.get("workloads")?.get(name)?;
+    ["baseline_ms", "optimized_ms"]
+        .iter()
+        .filter_map(|key| w.get(key).and_then(Json::as_f64))
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .fold(None, |best: Option<f64>, v| {
+            Some(best.map_or(v, |b| b.min(v)))
+        })
+}
+
+/// `--check`: the CI regression gate. Re-times [`CHECK_WORKLOADS`] on the
+/// current binary and fails if any fresh median exceeds
+/// [`REGRESSION_FACTOR`] × a committed reference from *any* of the
+/// `BENCH_PR*.json` trajectory files — so a regression against PR 5's or
+/// PR 7's recorded medians fails even if the latest baseline got slower.
+fn run_check(sizes: &Sizes) -> DynResult<()> {
+    let reports = ["BENCH_PR7.json", "BENCH_PR5.json"];
+    let mut current = Vec::new();
+    for name in CHECK_WORKLOADS {
+        let ms = time_workload(name, sizes);
+        eprintln!("[perf_report]   {name}: {ms:.3} ms (current)");
+        current.push((name, ms));
+    }
+    let mut failures = Vec::new();
+    for file in reports {
+        let path = repo_root().join(file);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("missing committed report {}: {e}", path.display()))?;
+        let report =
+            Json::parse(&text).map_err(|e| format!("bad JSON in {}: {e}", path.display()))?;
+        for (name, ms) in &current {
+            let Some(reference) = committed_reference(&report, name) else {
+                return Err(format!("{file} has no usable median for {name}").into());
+            };
+            let limit = reference * REGRESSION_FACTOR;
+            let verdict = if *ms <= limit { "ok" } else { "REGRESSION" };
+            eprintln!(
+                "[perf_report]   {name} vs {file}: {ms:.3} ms <= {limit:.3} ms \
+                 ({reference:.3} x {REGRESSION_FACTOR}) .. {verdict}"
+            );
+            if *ms > limit {
+                failures.push(format!(
+                    "{name}: {ms:.3} ms > {limit:.3} ms ({file} reference {reference:.3} ms \
+                     x {REGRESSION_FACTOR})"
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!("regression gate failed:\n  {}", failures.join("\n  ")).into());
+    }
+    println!("perf_report check PASS");
+    Ok(())
+}
+
 /// `--smoke`: both phases at tiny scale against a temp file; asserts the
 /// schema round-trips but never judges the timings.
 fn run_smoke() -> DynResult<()> {
@@ -539,6 +651,7 @@ fn main() {
     let mut out_path = default_out();
     let mut reps = 15usize;
     let mut smoke = false;
+    let mut check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -561,6 +674,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--smoke" => smoke = true,
+            "--check" => check = true,
             _ => usage(),
         }
         i += 1;
@@ -568,6 +682,8 @@ fn main() {
     tel::init_from_env();
     let result = if smoke {
         run_smoke()
+    } else if check {
+        run_check(&Sizes::full(reps))
     } else {
         run(&phase, &out_path, &Sizes::full(reps))
     };

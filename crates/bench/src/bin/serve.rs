@@ -12,8 +12,8 @@
 
 use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
 use ibrar_serve::{
-    save_to_path, BatchEngine, Client, EngineConfig, MetricsFormat, ModelRegistry, ProbeSpec,
-    ServeError, Server, ServerConfig,
+    save_to_path, BatchEngine, Client, EngineConfig, Int8Vgg, MetricsFormat, ModelRegistry,
+    ProbeSpec, ServeError, Server, ServerConfig,
 };
 use ibrar_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -25,11 +25,12 @@ use std::time::{Duration, Instant};
 type DynResult<T> = Result<T, Box<dyn std::error::Error>>;
 
 const MODEL_NAME: &str = "vgg";
+const INT8_NAME: &str = "vgg-int8";
 const NUM_CLASSES: usize = 10;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--smoke | --throughput [--requests N] | --listen ADDR | --drive ADDR]\n\
+        "usage: serve [--smoke | --throughput [--requests N] | --listen ADDR | --drive ADDR] [--int8]\n\
          \n\
          --smoke       end-to-end check on an ephemeral port: classify,\n\
          \x20             robustness probe, queue-full + deadline backpressure,\n\
@@ -39,7 +40,10 @@ fn usage() -> ! {
          --requests N  wave size for --throughput / --drive (default 64)\n\
          --listen ADDR serve checkpointed models on ADDR until killed\n\
          --drive ADDR  send N traced classify requests at a --listen server\n\
-         \x20             (load for the ibrar-top dashboard)"
+         \x20             (load for the ibrar-top dashboard)\n\
+         --int8        also register the post-training-quantized int8 model\n\
+         \x20             ('vgg-int8'); with --smoke, run the int8 differential\n\
+         \x20             checks; with --throughput, compare f32 vs int8"
     );
     std::process::exit(2);
 }
@@ -72,6 +76,18 @@ fn checkpointed_registry() -> DynResult<(Arc<ModelRegistry>, PathBuf, VggMini)> 
         )?))
     });
     Ok((registry, path, model))
+}
+
+/// Registers the int8 post-training-quantized view of the same checkpoint
+/// under [`INT8_NAME`]: the loader builds a fresh f32 `VggMini`, restores
+/// the weights, then snapshots them into an [`Int8Vgg`].
+fn register_int8(registry: &ModelRegistry, path: &std::path::Path) {
+    registry.register_loader(INT8_NAME, path.to_path_buf(), |path| {
+        let mut rng = StdRng::seed_from_u64(999);
+        let model = VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng)?;
+        ibrar_serve::load_from_path(&model, path)?;
+        Ok(Arc::new(Int8Vgg::from_model(&model)?))
+    });
 }
 
 fn local_logits(model: &dyn ImageModel, img: &Tensor) -> DynResult<Vec<f32>> {
@@ -252,6 +268,95 @@ fn run_smoke() -> DynResult<()> {
     Ok(())
 }
 
+/// Int8 end-to-end smoke (`--smoke --int8`): the quantized model is served
+/// through the same registry/engine/protocol stack as f32, its logits stay
+/// inside the documented drift tier, batching stays invisible, and
+/// gradient-based probes are rejected with a typed error.
+fn run_int8_smoke() -> DynResult<()> {
+    ibrar_telemetry::global().enable();
+    let (registry, path, model) = checkpointed_registry()?;
+    register_int8(&registry, &path);
+    let mut server = Server::start("127.0.0.1:0", registry, ServerConfig::default())?;
+    println!("serving f32 + int8 on {}", server.addr());
+    let mut client = Client::connect(server.addr())?;
+
+    // Wire-level int8 logits must bitwise-match a local quantized forward
+    // of the donor weights (proves the registry loader quantized the
+    // round-tripped checkpoint, not some other weights).
+    let img = image(0);
+    let local = Int8Vgg::from_model(&model)?;
+    let want = local
+        .forward_logits(&Tensor::stack(std::slice::from_ref(&img))?)?
+        .row(0)?
+        .data()
+        .to_vec();
+    let (_, logits) = client.classify_with_logits(INT8_NAME, &img, 0)?;
+    check(
+        logits
+            .iter()
+            .zip(&want)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "int8 wire logits bitwise-match local quantized forward",
+    )?;
+
+    // Differential against the f32 twin: inside the INT8 tolerance tier.
+    let f32_logits = local_logits(&model, &img)?;
+    let worst = logits
+        .iter()
+        .zip(&f32_logits)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let scale = f32_logits.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let bound = ibrar_serve::int8_logit_bound(scale);
+    check(
+        worst < bound,
+        &format!("int8 logit drift {worst:.4} < tier bound {bound:.4}"),
+    )?;
+
+    // Batching invisibility holds for int8 too: a coalesced wave answers
+    // bitwise-identically to lone requests.
+    let engine = server
+        .engine(INT8_NAME)
+        .ok_or("int8 engine missing after first request")?;
+    let lone: Vec<Vec<u32>> = (0..4)
+        .map(|i| -> DynResult<Vec<u32>> {
+            let row = engine.submit(image(i), None)?.wait()?;
+            Ok(row.data().iter().map(|v| v.to_bits()).collect())
+        })
+        .collect::<DynResult<_>>()?;
+    let wave: Vec<_> = (0..4)
+        .map(|i| engine.submit(image(i), None))
+        .collect::<Result<_, _>>()?;
+    for (i, p) in wave.into_iter().enumerate() {
+        let got: Vec<u32> = p.wait()?.data().iter().map(|v| v.to_bits()).collect();
+        check(
+            got == lone[i],
+            &format!("int8 batching invisible (row {i})"),
+        )?;
+    }
+
+    // Gradient-based probes cannot run against the tape-free int8 forward:
+    // the server must reject with the typed Unsupported error, and the f32
+    // twin must keep answering probes on the same connection.
+    let label = client.classify(INT8_NAME, &img, 0)?;
+    check(
+        matches!(
+            client.robustness_probe(INT8_NAME, &img, label, ProbeSpec::fgsm_default()),
+            Err(ServeError::Unsupported(_))
+        ),
+        "robustness probe on int8 model is a typed Unsupported error",
+    )?;
+    client.robustness_probe(MODEL_NAME, &img, label, ProbeSpec::fgsm_default())?;
+    check(true, "f32 probe still served on the same connection")?;
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+    check(true, "clean shutdown")?;
+    println!("int8 smoke: PASS");
+    Ok(())
+}
+
 fn wait_until(cond: impl Fn() -> bool, what: &str) -> DynResult<()> {
     for _ in 0..5000 {
         if cond() {
@@ -266,8 +371,13 @@ fn wait_until(cond: impl Fn() -> bool, what: &str) -> DynResult<()> {
 /// (`max_batch = 1`) and a batching engine, and reports the speedup. The
 /// batched engine amortises dispatch overhead *and* lets the row-parallel
 /// kernels use multiple cores, so the gap widens with core count.
-fn run_throughput(requests: usize) -> DynResult<()> {
-    let model: Arc<dyn ImageModel> = Arc::new(build_model(42)?);
+fn run_throughput(requests: usize, int8: bool) -> DynResult<()> {
+    let f32_model = build_model(42)?;
+    let model: Arc<dyn ImageModel> = if int8 {
+        Arc::new(Int8Vgg::from_model(&f32_model)?)
+    } else {
+        Arc::new(f32_model)
+    };
     let images: Vec<Tensor> = (0..requests).map(image).collect();
 
     let time_engine = |label: &str, max_batch: usize| -> DynResult<f64> {
@@ -307,7 +417,10 @@ fn run_throughput(requests: usize) -> DynResult<()> {
         Ok(rps)
     };
 
-    println!("throughput over {requests} requests (VggMini tiny, 3x16x16):");
+    println!(
+        "throughput over {requests} requests ({} tiny, 3x16x16):",
+        model.name()
+    );
     let single = time_engine("per-request (batch=1)", 1)?;
     let batched = time_engine("batched (batch=8)", 8)?;
     println!("speedup: {:.2}x", batched / single);
@@ -330,15 +443,23 @@ fn run_throughput(requests: usize) -> DynResult<()> {
 
 /// Serves until the process is killed. Checkpoints a fresh model first so
 /// the registry exercises the real load path.
-fn run_listen(addr: &str) -> DynResult<()> {
+fn run_listen(addr: &str, int8: bool) -> DynResult<()> {
     // A listening server exists to be observed: turn metric collection on
     // so the Metrics opcode (and `ibrar-top`) has data without requiring
     // IBRAR_TELEMETRY in the environment.
     ibrar_telemetry::global().enable();
     let (registry, _path, _model) = checkpointed_registry()?;
+    if int8 {
+        register_int8(&registry, &_path);
+    }
     let server = Server::start(addr, registry, ServerConfig::default())?;
     println!(
-        "serving model {MODEL_NAME:?} on {} (ctrl-c to stop)",
+        "serving model {MODEL_NAME:?}{} on {} (ctrl-c to stop)",
+        if int8 {
+            format!(" + {INT8_NAME:?}")
+        } else {
+            String::new()
+        },
         server.addr()
     );
     loop {
@@ -372,6 +493,7 @@ fn main() -> DynResult<()> {
     let mut mode = String::from("--throughput");
     let mut requests = 64usize;
     let mut addr = String::new();
+    let mut int8 = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -388,14 +510,16 @@ fn main() -> DynResult<()> {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--int8" => int8 = true,
             _ => usage(),
         }
         i += 1;
     }
     match mode.as_str() {
+        "--smoke" if int8 => run_int8_smoke(),
         "--smoke" => run_smoke(),
-        "--listen" => run_listen(&addr),
+        "--listen" => run_listen(&addr, int8),
         "--drive" => run_drive(&addr, requests),
-        _ => run_throughput(requests),
+        _ => run_throughput(requests, int8),
     }
 }

@@ -101,6 +101,17 @@ pub trait ImageModel: Send + Sync {
 
     /// Names of the hidden taps, in the order `forward` emits them.
     fn hidden_names(&self) -> Vec<String>;
+
+    /// Whether `forward` builds a differentiable graph back to the input.
+    ///
+    /// Gradient-based attacks (FGSM/PGD probes) require this. Inference-only
+    /// wrappers — e.g. the serving tier's int8 post-training-quantized path,
+    /// whose forward runs outside the tape — return `false` so callers can
+    /// reject gradient work with a typed error instead of producing silent
+    /// zero gradients.
+    fn supports_input_gradients(&self) -> bool {
+        true
+    }
 }
 
 /// Serializes a model's parameters into the workspace checkpoint format.

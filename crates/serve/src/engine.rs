@@ -338,6 +338,14 @@ impl BatchEngine {
                 expect
             )));
         }
+        // An already-expired budget can never be met: reject at submit
+        // instead of letting the request burn a queue slot only to be
+        // expired by the dispatch-time check anyway. (`Duration::ZERO`
+        // is the degenerate case; no clock read needed to see it.)
+        if budget.is_some_and(|b| b.is_zero()) {
+            tel::counter("serve.rejected.deadline", 1);
+            return Err(ServeError::DeadlineExceeded);
+        }
         let now = Instant::now();
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = Job {

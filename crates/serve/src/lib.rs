@@ -71,6 +71,7 @@ pub mod engine;
 mod error;
 pub mod flight;
 pub mod protocol;
+pub mod quant;
 pub mod registry;
 pub mod server;
 pub mod trace;
@@ -83,7 +84,10 @@ pub use engine::{
 pub use error::ServeError;
 pub use flight::{FlightRecord, FlightRecorder};
 pub use protocol::{AttackKind, MetricsFormat, Opcode, ProbeReport, ProbeSpec, Status, TRACE_FLAG};
-pub use registry::{ModelBuilder, ModelRegistry};
+pub use quant::{
+    int8_logit_bound, Int8Vgg, INT8_ACCURACY_DELTA, INT8_LOGIT_REL_TOLERANCE, INT8_LOGIT_TOLERANCE,
+};
+pub use registry::{ModelBuilder, ModelLoader, ModelRegistry};
 pub use server::{Server, ServerConfig};
 pub use trace::TraceId;
 

@@ -1,0 +1,452 @@
+//! Int8 post-training-quantized serve path for `VggMini` checkpoints.
+//!
+//! [`Int8Vgg`] snapshots a loaded f32 [`VggMini`](ibrar_nn::VggMini) into
+//! per-channel-quantized `i8` weights and replays its forward pass with the
+//! exact integer GEMM from [`ibrar_tensor::qgemm`], dequantizing at each
+//! layer boundary fused with bias and ReLU. The result is an
+//! [`ImageModel`] the registry and [`BatchEngine`](crate::BatchEngine) can
+//! serve unchanged — same wire protocol, same batching, cheaper math.
+//!
+//! # Quantization scheme (DESIGN.md §14)
+//!
+//! * **Weights**: symmetric per-output-channel scales, frozen at build time
+//!   from the checkpoint (conv kernels flattened to `[oc, c·k·k]`, linear
+//!   weights transposed to `[out, in]` so a row is always one output
+//!   channel).
+//! * **Activations**: symmetric per-row scales computed on the fly — one
+//!   scale per sample (FC) or per output pixel (conv). Per-row scales keep
+//!   a sample's quantization independent of whatever shares its batch, so
+//!   the engine's batching-invisibility contract holds bitwise for the int8
+//!   path too (`tests/int8_serving.rs`).
+//!
+//! # What it is *not*
+//!
+//! The forward runs outside the autograd tape: no hidden taps, no channel
+//! masks, and [`ImageModel::supports_input_gradients`] returns `false`, so
+//! gradient-based robustness probes are rejected with a typed
+//! [`ServeError::Unsupported`] instead of returning garbage gradients.
+//! Accuracy is bounded, not exact — the oracle policy treats int8 logits
+//! under a documented drift tolerance against f32 as equivalent.
+
+use crate::{Result, ServeError};
+use ibrar_nn::{ImageModel, Mode, ModelOutput, NnError, Parameter, Session};
+use ibrar_telemetry as tel;
+use ibrar_tensor::qgemm::{gemm_i8_nt, QuantizedMatrix};
+use ibrar_tensor::{im2col, Conv2dSpec, Pool2dSpec, Tensor};
+
+/// Absolute floor of the INT8 tier of the oracle tolerance policy
+/// (DESIGN.md §10). The full bound is mixed absolute + relative — see
+/// [`int8_logit_bound`] — because quantization error grows with the
+/// activation magnitudes a trained network produces: each layer's error is
+/// bounded by half a scale step per operand, and scale steps are
+/// `maxabs / 127`.
+pub const INT8_LOGIT_TOLERANCE: f32 = 0.15;
+
+/// Relative component of the INT8 tier: allowed drift per unit of the f32
+/// batch's largest absolute logit (2%, ≈2.5× the worst case observed on
+/// the committed trained fixture).
+pub const INT8_LOGIT_REL_TOLERANCE: f32 = 0.02;
+
+/// The INT8 logit-drift bound for a batch whose f32 logits have largest
+/// absolute value `f32_logit_scale`:
+/// `INT8_LOGIT_TOLERANCE + INT8_LOGIT_REL_TOLERANCE · scale`.
+pub fn int8_logit_bound(f32_logit_scale: f32) -> f32 {
+    INT8_LOGIT_TOLERANCE + INT8_LOGIT_REL_TOLERANCE * f32_logit_scale
+}
+
+/// Largest clean-accuracy drop (fraction of samples) the int8 path may
+/// cost against the f32 model on the committed fixture set — the
+/// accuracy-delta gate enforced by `tests/int8_serving.rs` and CI.
+pub const INT8_ACCURACY_DELTA: f64 = 0.05;
+
+/// Pooling pattern of the five `VggMini` conv blocks (mirrors
+/// `ibrar_nn::VggMini`: a 2×2 max pool after every block except the fourth).
+const POOLED: [bool; 5] = [true, true, true, false, true];
+
+struct QConv {
+    /// Kernel flattened to `[oc, c·k·k]`, per-output-channel scales.
+    weight: QuantizedMatrix,
+    bias: Vec<f32>,
+    spec: Conv2dSpec,
+}
+
+struct QLinear {
+    /// Weight transposed to `[out, in]`, per-output-channel scales.
+    weight: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+/// An inference-only int8 snapshot of a loaded `VggMini`.
+pub struct Int8Vgg {
+    input: [usize; 3],
+    num_classes: usize,
+    last_conv: usize,
+    convs: Vec<QConv>,
+    fc1: QLinear,
+    fc2: QLinear,
+    classifier: QLinear,
+}
+
+impl Int8Vgg {
+    /// Quantizes a loaded f32 model into an int8 serving snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Unsupported`] when `model` is not a `VggMini`
+    /// (the parameter walk below is tied to its layer order) or has a
+    /// channel mask installed (the int8 forward cannot honor it), and
+    /// propagates quantization failures.
+    pub fn from_model(model: &dyn ImageModel) -> Result<Int8Vgg> {
+        if model.name() != "VggMini" {
+            return Err(ServeError::Unsupported(format!(
+                "int8 quantization supports VggMini checkpoints, got architecture '{}'",
+                model.name()
+            )));
+        }
+        if model.channel_mask().is_some() {
+            return Err(ServeError::Unsupported(
+                "int8 quantization cannot honor an installed channel mask".into(),
+            ));
+        }
+        let params = model.params();
+        // VggMini's stable params order: five conv (weight, bias) pairs,
+        // then fc1, fc2, classifier (weight, bias) pairs.
+        if params.len() != 16 {
+            return Err(ServeError::Unsupported(format!(
+                "expected 16 VggMini parameters, got {}",
+                params.len()
+            )));
+        }
+        let pair = |i: usize| -> Result<(Tensor, Vec<f32>)> {
+            let w = params[2 * i].value();
+            let b = params[2 * i + 1].value();
+            Ok((w, b.data().to_vec()))
+        };
+        let mut convs = Vec::with_capacity(5);
+        for i in 0..5 {
+            let (w, bias) = pair(i)?;
+            let dims = w.shape().to_vec();
+            if dims.len() != 4 {
+                return Err(ServeError::Unsupported(format!(
+                    "conv weight {} is rank {}, expected 4",
+                    params[2 * i].name(),
+                    dims.len()
+                )));
+            }
+            let (oc, ic, k) = (dims[0], dims[1], dims[2]);
+            // [oc, ic, k, k] is already row-major per output channel.
+            let weight = QuantizedMatrix::quantize_rows(w.data(), oc, ic * k * k)?;
+            convs.push(QConv {
+                weight,
+                bias,
+                spec: Conv2dSpec::new(ic, oc, k, 1, 1),
+            });
+        }
+        let mut linears = Vec::with_capacity(3);
+        for i in 5..8 {
+            let (w, bias) = pair(i)?;
+            let dims = w.shape().to_vec();
+            if dims.len() != 2 {
+                return Err(ServeError::Unsupported(format!(
+                    "linear weight {} is rank {}, expected 2",
+                    params[2 * i].name(),
+                    dims.len()
+                )));
+            }
+            // Linear stores [in, out]; transpose so a row is one output
+            // channel (and the NT GEMM can dot rows against rows).
+            let (rows_in, cols_out) = (dims[0], dims[1]);
+            let src = w.data();
+            let mut t = vec![0.0f32; src.len()];
+            for r in 0..rows_in {
+                for c in 0..cols_out {
+                    t[c * rows_in + r] = src[r * cols_out + c];
+                }
+            }
+            linears.push(QLinear {
+                weight: QuantizedMatrix::quantize_rows(&t, cols_out, rows_in)?,
+                bias,
+            });
+        }
+        let classifier = linears.pop().expect("three linears");
+        let fc2 = linears.pop().expect("two linears");
+        let fc1 = linears.pop().expect("one linear");
+        Ok(Int8Vgg {
+            input: model.input_shape(),
+            num_classes: model.num_classes(),
+            last_conv: model.last_conv_channels(),
+            convs,
+            fc1,
+            fc2,
+            classifier,
+        })
+    }
+
+    /// One quantized conv block: im2col → per-row activation quantization →
+    /// exact int GEMM → fused dequant + bias + ReLU straight into NCHW.
+    fn conv_block(&self, x: &Tensor, conv: &QConv, relu: bool) -> Result<Tensor> {
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = conv.spec.out_hw(h, w)?;
+        let patch = conv.spec.patch_len();
+        let oc = conv.spec.out_channels;
+        let rows = n * oh * ow;
+        let cols = im2col(x, &conv.spec)?;
+        let qa = QuantizedMatrix::quantize_rows(cols.data(), rows, patch)?;
+        let acc = gemm_i8_nt(&qa.data, &conv.weight.data, rows, patch, oc)?;
+        // Row r of `acc` is output pixel (ni, oy, ox); scatter into NCHW
+        // while dequantizing (same index map as the autograd conv).
+        let mut out = vec![0.0f32; n * oc * oh * ow];
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let r = (ni * oh + oy) * ow + ox;
+                    let sa = qa.scales[r];
+                    for c in 0..oc {
+                        let mut v =
+                            acc[r * oc + c] as f32 * (sa * conv.weight.scales[c]) + conv.bias[c];
+                        if relu {
+                            v = v.max(0.0);
+                        }
+                        out[((ni * oc + c) * oh + oy) * ow + ox] = v;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[n, oc, oh, ow])?)
+    }
+
+    /// One quantized linear layer on a `[n, in]` batch.
+    fn linear(&self, x: &Tensor, lin: &QLinear, relu: bool) -> Result<Tensor> {
+        let (n, k) = (x.shape()[0], x.shape()[1]);
+        let out_w = lin.weight.rows;
+        let qa = QuantizedMatrix::quantize_rows(x.data(), n, k)?;
+        let acc = gemm_i8_nt(&qa.data, &lin.weight.data, n, k, out_w)?;
+        let mut out = vec![0.0f32; n * out_w];
+        for r in 0..n {
+            let sa = qa.scales[r];
+            for c in 0..out_w {
+                let mut v = acc[r * out_w + c] as f32 * (sa * lin.weight.scales[c]) + lin.bias[c];
+                if relu {
+                    v = v.max(0.0);
+                }
+                out[r * out_w + c] = v;
+            }
+        }
+        Ok(Tensor::from_vec(out, &[n, out_w])?)
+    }
+
+    /// The quantized forward pass on a raw `[n, c, h, w]` batch, outside any
+    /// autograd tape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and quantization failures as [`ServeError`].
+    pub fn forward_logits(&self, x: &Tensor) -> Result<Tensor> {
+        let _s = tel::span!("serve.int8.forward");
+        let pool = Pool2dSpec::new(2, 2);
+        let mut h = self.conv_block(x, &self.convs[0], true)?;
+        if POOLED[0] {
+            h = ibrar_tensor::max_pool2d(&h, &pool)?.0;
+        }
+        for (conv, &pooled) in self.convs.iter().zip(POOLED.iter()).skip(1) {
+            h = self.conv_block(&h, conv, true)?;
+            if pooled {
+                h = ibrar_tensor::max_pool2d(&h, &pool)?.0;
+            }
+        }
+        let n = h.shape()[0];
+        let flat = h.data().len() / n.max(1);
+        let h = h.reshape(&[n, flat])?;
+        let h = self.linear(&h, &self.fc1, true)?;
+        let h = self.linear(&h, &self.fc2, true)?;
+        self.linear(&h, &self.classifier, false)
+    }
+}
+
+impl ImageModel for Int8Vgg {
+    fn forward<'t>(
+        &self,
+        sess: &Session<'t>,
+        x: ibrar_autograd::Var<'t>,
+        _mode: Mode,
+    ) -> ibrar_nn::Result<ModelOutput<'t>> {
+        // Inference-only: compute logits out-of-graph and re-leaf them. No
+        // gradient flows back to x — supports_input_gradients() says so.
+        let logits = self
+            .forward_logits(&x.value())
+            .map_err(|e| NnError::Config(format!("int8 forward failed: {e}")))?;
+        Ok(ModelOutput {
+            logits: sess.tape().leaf(logits),
+            hidden: Vec::new(),
+            aux_loss: None,
+        })
+    }
+
+    fn params(&self) -> Vec<Parameter> {
+        // Weights are frozen i8 snapshots; nothing trainable or loadable.
+        Vec::new()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.input
+    }
+
+    fn last_conv_channels(&self) -> usize {
+        self.last_conv
+    }
+
+    fn set_channel_mask(&self, mask: Option<Tensor>) -> ibrar_nn::Result<()> {
+        match mask {
+            Some(_) => Err(NnError::Config(
+                "the int8 serving path does not support channel masks".into(),
+            )),
+            None => Ok(()),
+        }
+    }
+
+    fn channel_mask(&self) -> Option<Tensor> {
+        None
+    }
+
+    fn name(&self) -> &str {
+        "VggMini-int8"
+    }
+
+    fn hidden_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn supports_input_gradients(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Debug for Int8Vgg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Int8Vgg")
+            .field("input", &self.input)
+            .field("num_classes", &self.num_classes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibrar_autograd::Tape;
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn f32_model() -> VggMini {
+        let mut rng = StdRng::seed_from_u64(0);
+        VggMini::new(VggConfig::tiny(10), &mut rng).unwrap()
+    }
+
+    fn f32_logits(model: &dyn ImageModel, x: &Tensor) -> Tensor {
+        let tape = Tape::new();
+        let sess = Session::new(&tape);
+        let xv = tape.leaf(x.clone());
+        model.forward(&sess, xv, Mode::Eval).unwrap().logits.value()
+    }
+
+    fn probe_batch(n: usize) -> Tensor {
+        Tensor::from_fn(&[n, 3, 16, 16], |i| {
+            ((i[0] * 131 + i[1] * 37 + i[2] * 11 + i[3] * 3) % 97) as f32 / 97.0
+        })
+    }
+
+    #[test]
+    fn int8_logits_track_f32_within_drift_tolerance() {
+        let m = f32_model();
+        let q = Int8Vgg::from_model(&m).unwrap();
+        let x = probe_batch(4);
+        let f = f32_logits(&m, &x);
+        let i = q.forward_logits(&x).unwrap();
+        assert_eq!(f.shape(), i.shape());
+        // The documented INT8 logit-drift tier: int8 logits stay within a
+        // band of their f32 counterparts scaled to the batch's logit
+        // magnitudes.
+        let worst = f
+            .data()
+            .iter()
+            .zip(i.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let scale = f.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let bound = int8_logit_bound(scale);
+        assert!(
+            worst < bound,
+            "logit drift {worst} exceeds tier bound {bound}"
+        );
+    }
+
+    #[test]
+    fn int8_forward_is_batching_invisible() {
+        // Per-row activation scales: row i of a batched forward must be
+        // bitwise identical to a single-sample forward of image i.
+        let q = Int8Vgg::from_model(&f32_model()).unwrap();
+        let x = probe_batch(3);
+        let batched = q.forward_logits(&x).unwrap();
+        for i in 0..3 {
+            let single = Tensor::from_vec(
+                x.data()[i * 3 * 16 * 16..(i + 1) * 3 * 16 * 16].to_vec(),
+                &[1, 3, 16, 16],
+            )
+            .unwrap();
+            let row = q.forward_logits(&single).unwrap();
+            let want: Vec<u32> = row.data().iter().map(|v| v.to_bits()).collect();
+            let got: Vec<u32> = batched
+                .row(i)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(want, got, "row {i} differs from single-sample forward");
+        }
+    }
+
+    #[test]
+    fn int8_rejects_masked_models_and_masks() {
+        let m = f32_model();
+        m.set_channel_mask(Some(Tensor::ones(&[64]))).unwrap();
+        assert!(matches!(
+            Int8Vgg::from_model(&m),
+            Err(ServeError::Unsupported(_))
+        ));
+        m.set_channel_mask(None).unwrap();
+        let q = Int8Vgg::from_model(&m).unwrap();
+        assert!(q.set_channel_mask(Some(Tensor::ones(&[64]))).is_err());
+        assert!(q.set_channel_mask(None).is_ok());
+        assert!(!q.supports_input_gradients());
+    }
+
+    #[test]
+    fn int8_serves_through_image_model_trait() {
+        let m = f32_model();
+        let q = Int8Vgg::from_model(&m).unwrap();
+        let x = probe_batch(2);
+        let via_trait = f32_logits(&q, &x);
+        let direct = q.forward_logits(&x).unwrap();
+        assert_eq!(
+            via_trait
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            direct
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(q.input_shape(), m.input_shape());
+        assert_eq!(q.num_classes(), 10);
+        assert_eq!(q.name(), "VggMini-int8");
+    }
+}

@@ -23,9 +23,16 @@ use std::sync::Arc;
 /// Constructs a fresh instance of a registered architecture.
 pub type ModelBuilder = dyn Fn() -> ibrar_nn::Result<Box<dyn ImageModel>> + Send + Sync;
 
+/// Turns a checkpoint path into a ready-to-serve model. The general form of
+/// registration: [`ModelRegistry::register`] is the common build-then-load
+/// case, while [`ModelRegistry::register_loader`] accepts any loader — e.g.
+/// the int8 path, which loads an f32 `VggMini` and then quantizes it into an
+/// [`crate::Int8Vgg`] before serving.
+pub type ModelLoader = dyn Fn(&std::path::Path) -> crate::Result<Arc<dyn ImageModel>> + Send + Sync;
+
 struct Entry {
     path: PathBuf,
-    build: Arc<ModelBuilder>,
+    load: Arc<ModelLoader>,
     cached: Option<Arc<dyn ImageModel>>,
 }
 
@@ -48,11 +55,26 @@ impl ModelRegistry {
     where
         F: Fn() -> ibrar_nn::Result<Box<dyn ImageModel>> + Send + Sync + 'static,
     {
+        self.register_loader(name, path, move |path| {
+            let model: Box<dyn ImageModel> = builder()?;
+            load_from_path(model.as_ref(), path)?;
+            Ok(Arc::from(model))
+        });
+    }
+
+    /// Registers `name` with an arbitrary checkpoint loader — the hook for
+    /// serving paths that post-process a loaded model, like int8
+    /// quantization ([`crate::Int8Vgg`]). Same laziness and caching as
+    /// [`ModelRegistry::register`].
+    pub fn register_loader<F>(&self, name: &str, path: impl Into<PathBuf>, loader: F)
+    where
+        F: Fn(&std::path::Path) -> crate::Result<Arc<dyn ImageModel>> + Send + Sync + 'static,
+    {
         self.entries.lock().insert(
             name.to_string(),
             Entry {
                 path: path.into(),
-                build: Arc::new(builder),
+                load: Arc::new(loader),
                 cached: None,
             },
         );
@@ -98,7 +120,7 @@ impl ModelRegistry {
     /// propagates build ([`ServeError::Nn`]) and checkpoint errors. Errors
     /// are not cached; the next call retries.
     pub fn get(&self, name: &str) -> Result<Arc<dyn ImageModel>> {
-        let (path, build) = {
+        let (path, load) = {
             let entries = self.entries.lock();
             let entry = entries
                 .get(name)
@@ -107,14 +129,12 @@ impl ModelRegistry {
                 tel::counter("serve.registry.hit", 1);
                 return Ok(Arc::clone(cached));
             }
-            (entry.path.clone(), Arc::clone(&entry.build))
+            (entry.path.clone(), Arc::clone(&entry.load))
         };
 
         let _s = tel::span!("serve.registry.load");
         tel::counter("serve.registry.load", 1);
-        let model: Box<dyn ImageModel> = build()?;
-        load_from_path(model.as_ref(), &path)?;
-        let model: Arc<dyn ImageModel> = Arc::from(model);
+        let model: Arc<dyn ImageModel> = load(&path)?;
 
         let mut entries = self.entries.lock();
         match entries.get_mut(name) {

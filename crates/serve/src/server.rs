@@ -255,11 +255,13 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         }
         let encode_start = Instant::now();
         let frame = encode_response(&response);
-        let write_ok = write_frame(&mut stream, &frame).is_ok();
         let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
         tel::observe("serve.stage.encode_ms", encode_ms);
-        // Admin opcodes (Health/Metrics) are cheap, polled continuously by
-        // dashboards, and would drown real traffic out of the ring.
+        // Record *before* the frame hits the wire: once the client has read
+        // the response it must be able to observe the flight record (tests
+        // and dashboards poll right after a reply). Admin opcodes
+        // (Health/Metrics) are cheap, polled continuously by dashboards,
+        // and would drown real traffic out of the ring.
         if let Some(opcode) = opcode {
             if !matches!(opcode, Opcode::Health | Opcode::Metrics) {
                 let status = match &response {
@@ -278,7 +280,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 });
             }
         }
-        if !write_ok {
+        if write_frame(&mut stream, &frame).is_err() {
             break;
         }
     }
@@ -382,6 +384,15 @@ fn run_probe(
     spec: &ProbeSpec,
 ) -> Result<ProbeReport> {
     let _s = tel::span!("serve.probe");
+    if !model.supports_input_gradients() {
+        // Inference-only paths (e.g. the int8 quantized forward) run outside
+        // the tape; an attack against them would see zero gradients and
+        // report fake robustness. Reject loudly instead.
+        return Err(ServeError::Unsupported(format!(
+            "robustness probes need input gradients; model '{}' is inference-only",
+            model.name()
+        )));
+    }
     if image.shape() != model.input_shape() {
         return Err(ServeError::InvalidInput(format!(
             "image shape {:?} does not match model input {:?}",

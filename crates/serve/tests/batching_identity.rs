@@ -197,6 +197,26 @@ fn expired_deadlines_are_typed() {
 }
 
 #[test]
+fn expired_at_submit_is_rejected_without_enqueueing() {
+    let engine = BatchEngine::new(model(), EngineConfig::default()).unwrap();
+    // A zero budget can never be met: submit must reject synchronously with
+    // the typed error instead of burning a bounded-queue slot on a request
+    // dispatch would expire anyway. No sleeps — the expiry is structural.
+    assert!(matches!(
+        engine.submit(image(0), Some(Duration::ZERO)),
+        Err(ibrar_serve::ServeError::DeadlineExceeded)
+    ));
+    assert_eq!(engine.queue_depth(), 0, "rejected request occupied a slot");
+    // A live budget still flows through normally.
+    engine
+        .submit(image(1), Some(Duration::from_secs(30)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    engine.shutdown();
+}
+
+#[test]
 fn shutdown_fails_queued_requests_without_hanging() {
     let engine = BatchEngine::new(
         model(),

@@ -109,7 +109,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     let (oh, ow) = spec.out_hw(h, w)?;
     let k = spec.kernel;
     let patch = spec.patch_len();
-    let mut out = scratch::take(n * oh * ow * patch);
+    let mut out = scratch::take(crate::shape::checked_volume(&[n, oh, ow, patch], "im2col")?);
     let data = input.data();
     // Each sample's patch rows occupy a contiguous, disjoint region of the
     // output, so splitting across the batch dimension is write-race-free and
@@ -166,7 +166,7 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, n: usize, h: usize, w: usize) ->
         });
     }
     let k = spec.kernel;
-    let mut out = scratch::take(n * c * h * w);
+    let mut out = scratch::take(crate::shape::checked_volume(&[n, c, h, w], "col2im")?);
     let data = cols.data();
     // Overlapping patches only ever accumulate into their own sample's
     // `c·h·w` region, and within a sample the accumulation order is the

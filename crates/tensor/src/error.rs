@@ -47,6 +47,15 @@ pub enum TensorError {
         /// The tensor rank.
         rank: usize,
     },
+    /// The element count implied by a set of extents overflows `usize`.
+    /// Buffer sizing must fail loudly instead of wrapping in release builds
+    /// and checking out a wrong-sized scratch buffer.
+    ElementOverflow {
+        /// The extents whose product overflowed.
+        dims: Vec<usize>,
+        /// Name of the operation that was sizing a buffer.
+        op: &'static str,
+    },
     /// A convolution/pooling geometry is impossible (e.g. kernel larger than
     /// the padded input).
     InvalidGeometry(String),
@@ -75,6 +84,9 @@ impl fmt::Display for TensorError {
             ),
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::ElementOverflow { dims, op } => {
+                write!(f, "element count of {dims:?} overflows usize in `{op}`")
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::Decode(msg) => write!(f, "decode error: {msg}"),

@@ -34,6 +34,7 @@ mod io;
 mod matmul;
 pub mod parallel;
 mod pool;
+pub mod qgemm;
 mod reduce;
 pub mod scratch;
 mod shape;
@@ -44,7 +45,7 @@ pub use conv::{col2im, im2col, Conv2dSpec};
 pub use error::TensorError;
 pub use init::{kaiming_uniform, normal, uniform, xavier_uniform, NormalSampler};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Pool2dSpec};
-pub use shape::Shape;
+pub use shape::{checked_volume, Shape};
 pub use tensor::Tensor;
 
 /// Crate-wide result alias.

@@ -1,4 +1,4 @@
-//! Deterministic work-splitting across scoped threads.
+//! Deterministic work-splitting across a persistent worker pool.
 //!
 //! Every hot loop in the workspace that fans out across threads goes through
 //! this module so the policy lives in one place:
@@ -14,6 +14,11 @@
 //!   and in-order, the flattened item sequence is identical for any thread
 //!   count — so callers that follow the contract below get **bitwise
 //!   identical** results whether `IBRAR_THREADS` is 1, 4, or unset.
+//! * **Persistent workers.** Parallel jobs run on long-lived pool threads
+//!   (spawned lazily, capped at [`POOL_MAX_WORKERS`]) instead of paying
+//!   thread-spawn latency per call. Workers keep their thread-local scratch
+//!   pools ([`crate::scratch`]) warm across jobs, so steady-state kernels
+//!   hit the pool on worker threads too, not just on the main thread.
 //!
 //! # Caller contract
 //!
@@ -23,6 +28,18 @@
 //! results depend on chunk boundaries); instead return per-item values from
 //! [`par_map`] and fold them serially, or accumulate exactly-representable
 //! values (integers, disjoint writes).
+//!
+//! Chunks are *claimed* dynamically (an atomic ticket counter), but the
+//! mapping from chunk index to input range and output region is fixed ahead
+//! of time, so which thread happens to run a chunk can never affect the
+//! result — only the wall-clock schedule.
+//!
+//! # Budget capture
+//!
+//! The submitting thread's [`with_threads`] override is captured into each
+//! job and installed on workers for the duration of their participation, so
+//! nested splits (a matmul inside a parallel eval loop, say) see the same
+//! thread budget on a worker as they would on the submitter.
 //!
 //! # Examples
 //!
@@ -37,14 +54,20 @@
 //! ```
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 use ibrar_telemetry as tel;
 
 /// Below roughly this many "work units" (caller-estimated scalar operations)
-/// per extra thread, spawning is not worth it; see [`threads_for`].
+/// per extra thread, fanning out is not worth it; see [`threads_for`].
 pub const MIN_WORK_PER_THREAD: usize = 32 * 1024;
+
+/// Hard cap on persistent pool workers, independent of `IBRAR_THREADS`.
+pub const POOL_MAX_WORKERS: usize = 32;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -75,9 +98,9 @@ pub fn num_threads() -> usize {
 }
 
 /// Thread budget scaled to a caller-estimated amount of work: small jobs run
-/// serially rather than paying thread-spawn latency. An active
-/// [`with_threads`] override is returned unscaled so tests and benchmarks
-/// can force the parallel path on small fixtures.
+/// serially rather than paying dispatch latency. An active [`with_threads`]
+/// override is returned unscaled so tests and benchmarks can force the
+/// parallel path on small fixtures.
 pub fn threads_for(work: usize) -> usize {
     if let Some(n) = OVERRIDE.with(Cell::get) {
         return n.max(1);
@@ -106,9 +129,297 @@ pub fn with_threads(n: usize) -> ThreadScope {
     ThreadScope { prev }
 }
 
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One in-flight parallel job. Lives on the submitter's stack for the
+/// duration of [`pool_run`]; workers reach it through a raw pointer that is
+/// only discoverable while the job is linked into the pool queue.
+///
+/// # Lifetime protocol (why the raw pointers are sound)
+///
+/// 1. A worker may only obtain the job pointer from the pool queue, under
+///    the pool lock, and must increment `workers_inside` (under the job
+///    lock) *before* releasing the pool lock.
+/// 2. The submitter unlinks the job from the queue (under the pool lock)
+///    before its final wait, so no new worker can discover it afterwards.
+/// 3. The submitter returns — and the job is freed — only once every chunk
+///    has run **and** `workers_inside == 0`. A worker's very last touch of
+///    the job is the decrement + notify under the job lock, so it can never
+///    dangle.
+struct Job {
+    /// Type-erased chunk runner; `'static` by [`erase`], sound per the
+    /// protocol above.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed chunk ticket; chunk→range/output mapping is fixed, so
+    /// dynamic claiming cannot affect results, only the schedule.
+    next: AtomicUsize,
+    nchunks: usize,
+    /// When true, each participation claims at most one chunk and the
+    /// submitter abstains (see [`pool_broadcast`]).
+    broadcast: bool,
+    /// The submitter's `with_threads` override at submit time, installed on
+    /// workers while they participate.
+    budget: Option<usize>,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+struct JobState {
+    chunks_done: usize,
+    workers_inside: usize,
+    panicked: bool,
+}
+
+/// Raw job pointer that may cross threads (see the [`Job`] protocol).
+#[derive(Clone, Copy)]
+struct JobHandle(*const Job);
+
+// SAFETY: the pointer is only dereferenced under the discovery/registration
+// protocol documented on `Job`, which guarantees the pointee is alive.
+unsafe impl Send for JobHandle {}
+
+struct PoolQueue {
+    jobs: VecDeque<JobHandle>,
+    workers: usize,
+}
+
+struct Pool {
+    queue: Mutex<PoolQueue>,
+    /// Signaled when a job is pushed; workers park here when idle.
+    work: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(PoolQueue {
+            jobs: VecDeque::new(),
+            workers: 0,
+        }),
+        work: Condvar::new(),
+    })
+}
+
+/// Erases the closure lifetime so the job can hold a raw trait-object
+/// pointer. Sound because [`pool_run`] blocks until every participant has
+/// unregistered, so the pointer never outlives the borrow.
+fn erase<'a>(f: &'a (dyn Fn(usize) + Sync)) -> *const (dyn Fn(usize) + Sync) {
+    // SAFETY: fat-pointer layout is identical for any trait-object
+    // lifetime; dereferences are bounded by the Job protocol.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&'a (dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+    };
+    f_static as *const _
+}
+
+/// Spawns workers until the pool holds `want` of them (capped at
+/// [`POOL_MAX_WORKERS`]). Workers are detached and live for the process.
+fn ensure_workers(want: usize) {
+    let p = pool();
+    let mut q = p.queue.lock().unwrap();
+    let want = want.min(POOL_MAX_WORKERS);
+    while q.workers < want {
+        let id = q.workers;
+        std::thread::Builder::new()
+            .name(format!("ibrar-par-{id}"))
+            .spawn(worker_main)
+            .expect("spawn pool worker");
+        q.workers += 1;
+        tel::gauge("parallel.pool.workers", q.workers as f64);
+    }
+}
+
+/// Number of persistent workers currently alive in the pool.
+pub fn pool_workers() -> usize {
+    pool().queue.lock().unwrap().workers
+}
+
+fn worker_main() {
+    let p = pool();
+    let mut q = p.queue.lock().unwrap();
+    loop {
+        let found = q.jobs.iter().copied().find(|h| {
+            // SAFETY: the job is linked in the queue, so its submitter is
+            // still blocked in `pool_run` and the pointee is alive.
+            let job = unsafe { &*h.0 };
+            job.next.load(Ordering::Relaxed) < job.nchunks
+        });
+        let Some(h) = found else {
+            q = p.work.wait(q).unwrap();
+            continue;
+        };
+        {
+            // Register before releasing the pool lock (Job protocol step 1).
+            // SAFETY: as above — linked in queue ⇒ alive.
+            let job = unsafe { &*h.0 };
+            job.state.lock().unwrap().workers_inside += 1;
+        }
+        drop(q);
+        // SAFETY: `workers_inside` now pins the job until we unregister.
+        participate(unsafe { &*h.0 }, true);
+        q = p.queue.lock().unwrap();
+    }
+}
+
+/// Claims and runs chunks of `job` until none remain (or one chunk, for
+/// broadcast jobs). `registered` is true on pool workers, which must
+/// unregister as their very last touch of the job; the submitter passes
+/// false and never registers.
+fn participate(job: &Job, registered: bool) {
+    {
+        // Workers adopt the submitter's thread budget for nested splits;
+        // the submitter already carries its own override.
+        let _budget = if registered {
+            job.budget.map(with_threads)
+        } else {
+            None
+        };
+        // SAFETY: `job` is alive (pinned by `workers_inside` or owned by
+        // the submitting frame), so the erased closure borrow is valid.
+        let run = unsafe { &*job.run };
+        loop {
+            let c = job.next.fetch_add(1, Ordering::Relaxed);
+            if c >= job.nchunks {
+                break;
+            }
+            let ok = panic::catch_unwind(AssertUnwindSafe(|| run(c))).is_ok();
+            let mut st = job.state.lock().unwrap();
+            st.chunks_done += 1;
+            if !ok {
+                st.panicked = true;
+            }
+            let finished = st.chunks_done == job.nchunks;
+            drop(st);
+            if finished || job.broadcast {
+                break;
+            }
+        }
+    }
+    if registered {
+        // Unregister + notify under the job lock; after the guard drops we
+        // must never touch `job` again (Job protocol step 3).
+        let mut st = job.state.lock().unwrap();
+        st.workers_inside -= 1;
+        job.done.notify_all();
+    }
+}
+
+/// Runs `f(c)` for every chunk index `c` in `0..nchunks` across the
+/// persistent pool plus (unless `broadcast`) the calling thread. Blocks
+/// until every chunk has run and all workers have left the job; panics in
+/// `f` are re-raised here as "parallel worker panicked".
+fn pool_run(nchunks: usize, broadcast: bool, f: &(dyn Fn(usize) + Sync)) {
+    let job = Job {
+        run: erase(f),
+        next: AtomicUsize::new(0),
+        nchunks,
+        broadcast,
+        budget: OVERRIDE.with(Cell::get),
+        state: Mutex::new(JobState {
+            chunks_done: 0,
+            workers_inside: 0,
+            panicked: false,
+        }),
+        done: Condvar::new(),
+    };
+    // The submitter runs chunks too, so nchunks - 1 extra hands saturate a
+    // normal job; broadcast jobs run entirely on workers.
+    ensure_workers(if broadcast {
+        nchunks.max(1)
+    } else {
+        nchunks - 1
+    });
+    let p = pool();
+    {
+        let mut q = p.queue.lock().unwrap();
+        q.jobs.push_back(JobHandle(&job));
+        p.work.notify_all();
+    }
+    tel::counter("parallel.pool.jobs", 1);
+    tel::counter("parallel.chunks", nchunks as u64);
+    if !broadcast {
+        participate(&job, false);
+    }
+    {
+        let mut st = job.state.lock().unwrap();
+        while st.chunks_done < job.nchunks || st.workers_inside > 0 {
+            st = job.done.wait(st).unwrap();
+        }
+    }
+    // Unlink only after completion (protocol step 2): a broadcast job must
+    // stay discoverable until workers have claimed every chunk, and workers
+    // that registered before this unlink have already left. After the queue
+    // lock drops no thread can reach the handle, so the job may be freed.
+    {
+        let mut q = p.queue.lock().unwrap();
+        if let Some(pos) = q.jobs.iter().position(|h| std::ptr::eq(h.0, &job)) {
+            q.jobs.remove(pos);
+        }
+    }
+    let panicked = job.state.lock().unwrap().panicked;
+    if panicked {
+        panic!("parallel worker panicked");
+    }
+}
+
+/// Raw mutable pointer that may cross threads; each chunk touches a
+/// disjoint region, so writes cannot race.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor so closures capture the `Sync` wrapper rather than the raw
+    /// pointer field (2021-edition closures capture disjoint fields).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Runs `f(i)` for each `i` in `0..n` **on pool worker threads** — the
+/// calling thread never participates — and returns results in index order.
+/// Each worker participation services at most one index (one worker may
+/// still service several indices by re-entering the job when the pool is
+/// contended).
+///
+/// This is a diagnostic hook: it exists so tests can observe worker-
+/// thread-local state (scratch-pool warmth, thread identity) from inside
+/// the persistent pool. Hot paths use [`run_chunked`] and friends.
+pub fn pool_broadcast<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(
+        n <= POOL_MAX_WORKERS,
+        "pool_broadcast index count {n} exceeds POOL_MAX_WORKERS"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let out = SendPtr(slots.as_mut_ptr());
+    let run = |c: usize| {
+        let r = f(c);
+        // SAFETY: each chunk index is claimed exactly once, so slot `c` is
+        // written by exactly one thread; the submitter only reads the slots
+        // after `pool_run` returns.
+        unsafe {
+            *out.get().add(c) = Some(r);
+        }
+    };
+    pool_run(n, true, &run);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every broadcast index ran"))
+        .collect()
+}
+
 /// Splits `0..n` into at most `threads` contiguous chunks, runs `f` on each
-/// chunk (on scoped worker threads when `threads > 1`), and returns the
-/// per-chunk results **in chunk order**.
+/// chunk (on persistent pool workers plus the calling thread when
+/// `threads > 1`), and returns the per-chunk results **in chunk order**.
 ///
 /// Chunks are contiguous and in order, so concatenating per-chunk sequences
 /// reproduces item order `0..n` exactly, for any thread count.
@@ -129,18 +440,31 @@ where
             .map(|c| f(c * chunk..((c + 1) * chunk).min(n)))
             .collect();
     }
-    tel::counter("parallel.scopes", 1);
-    tel::counter("parallel.chunks", nchunks as u64);
+    run_chunked_pooled(n, chunk, nchunks, f)
+}
+
+/// The pool arm of [`run_chunked`], outlined so the monomorphized entry
+/// point stays small enough for the serial fast path (and the caller's
+/// closure) to inline at every call site. Measured: leaving this inline
+/// costs the *serial* train-step/PGD medians ~7%.
+#[cold]
+#[inline(never)]
+fn run_chunked_pooled<R, F>(n: usize, chunk: usize, nchunks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
     let mut slots: Vec<Option<R>> = (0..nchunks).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (c, slot) in slots.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                *slot = Some(f(c * chunk..((c + 1) * chunk).min(n)));
-            });
+    let out = SendPtr(slots.as_mut_ptr());
+    let run = |c: usize| {
+        let r = f(c * chunk..((c + 1) * chunk).min(n));
+        // SAFETY: chunk indices are claimed exactly once each, so slot `c`
+        // has a single writer; slots are read only after `pool_run` returns.
+        unsafe {
+            *out.get().add(c) = Some(r);
         }
-    })
-    .expect("parallel worker panicked");
+    };
+    pool_run(nchunks, false, &run);
     slots
         .into_iter()
         .map(|s| s.expect("every chunk ran"))
@@ -163,8 +487,9 @@ where
 
 /// Splits `out` into consecutive per-item regions of `item_len` elements,
 /// groups the items into at most `threads` contiguous chunks, and calls
-/// `f(item_range, chunk_region)` for each chunk (on scoped worker threads
-/// when `threads > 1`). Chunk regions are disjoint, so writes cannot race.
+/// `f(item_range, chunk_region)` for each chunk (on persistent pool workers
+/// plus the calling thread when `threads > 1`). Chunk regions are disjoint,
+/// so writes cannot race.
 ///
 /// `out.len()` must be a multiple of `item_len`.
 pub fn par_chunks_mut<T, F>(out: &mut [T], item_len: usize, threads: usize, f: F)
@@ -179,24 +504,46 @@ where
     let n = out.len() / item_len;
     let threads = threads.clamp(1, n);
     let chunk = n.div_ceil(threads);
+    let nchunks = n.div_ceil(chunk);
     if threads == 1 {
         tel::counter("parallel.serial", 1);
         f(0..n, out);
         return;
     }
-    tel::counter("parallel.scopes", 1);
-    tel::counter("parallel.chunks", n.div_ceil(chunk) as u64);
-    crossbeam::thread::scope(|scope| {
-        for (c, region) in out.chunks_mut(chunk * item_len).enumerate() {
-            let f = &f;
-            let start = c * chunk;
-            scope.spawn(move |_| {
-                let items = region.len() / item_len;
-                f(start..start + items, region);
-            });
-        }
-    })
-    .expect("parallel worker panicked");
+    par_chunks_mut_pooled(out, item_len, n, chunk, nchunks, f);
+}
+
+/// The pool arm of [`par_chunks_mut`], outlined for the same reason as
+/// [`run_chunked_pooled`]: keep the hot serial path inlinable.
+#[cold]
+#[inline(never)]
+fn par_chunks_mut_pooled<T, F>(
+    out: &mut [T],
+    item_len: usize,
+    n: usize,
+    chunk: usize,
+    nchunks: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    let base = SendPtr(out.as_mut_ptr());
+    let run = |c: usize| {
+        let start = c * chunk;
+        let end = ((c + 1) * chunk).min(n);
+        // SAFETY: chunk `c` covers items [start, end), a region disjoint
+        // from every other chunk's; each chunk index is claimed exactly
+        // once, so no two threads alias the slice.
+        let region = unsafe {
+            std::slice::from_raw_parts_mut(
+                base.get().add(start * item_len),
+                (end - start) * item_len,
+            )
+        };
+        f(start..end, region);
+    };
+    pool_run(nchunks, false, &run);
 }
 
 /// Splits `out` into consecutive per-item regions of `item_len` elements and
@@ -277,6 +624,7 @@ mod tests {
     fn empty_and_degenerate_inputs() {
         assert!(par_map(0, 4, |i| i).is_empty());
         assert!(run_chunked(0, 4, |r| r.len()).is_empty());
+        assert!(pool_broadcast(0, |i| i).is_empty());
         let mut empty: Vec<f32> = Vec::new();
         par_items_mut(&mut empty, 4, 4, |_, _| panic!("no items"));
         let mut some = vec![1.0f32; 4];
@@ -328,5 +676,69 @@ mod tests {
         for threads in [2, 3, 8] {
             assert_eq!(one, compute(threads));
         }
+    }
+
+    #[test]
+    fn workers_persist_across_jobs() {
+        let _ = par_map(8, 4, |i| i);
+        let after_first = pool_workers();
+        assert!(after_first >= 1, "parallel job must spawn pool workers");
+        let _ = par_map(8, 4, |i| i);
+        assert_eq!(
+            pool_workers(),
+            after_first.max(pool_workers()),
+            "jobs reuse workers instead of respawning"
+        );
+        assert!(pool_workers() <= POOL_MAX_WORKERS);
+    }
+
+    #[test]
+    fn broadcast_runs_off_the_submitting_thread() {
+        let me = std::thread::current().id();
+        let ids = pool_broadcast(3, |i| (i, std::thread::current().id()));
+        assert_eq!(ids.len(), 3);
+        for (i, (idx, id)) in ids.iter().enumerate() {
+            assert_eq!(*idx, i, "results come back in index order");
+            assert_ne!(*id, me, "broadcast chunks never run on the submitter");
+        }
+    }
+
+    #[test]
+    fn workers_inherit_submitter_budget() {
+        let _g = with_threads(7);
+        let seen = pool_broadcast(2, |_| num_threads());
+        assert_eq!(seen, vec![7, 7], "submitter override is captured per job");
+        // And restored after the job: workers fall back to env default.
+        let after = pool_broadcast(1, |_| num_threads());
+        assert_eq!(after, vec![7], "budget applies per participation");
+        drop(_g);
+        let bare = pool_broadcast(1, |_| OVERRIDE.with(Cell::get));
+        assert_eq!(bare, vec![None], "no stale override leaks onto workers");
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates_to_submitter() {
+        let _ = par_map(8, 4, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn panicked_job_leaves_pool_usable() {
+        let caught = panic::catch_unwind(|| {
+            let _ = par_map(8, 4, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            });
+        });
+        assert!(caught.is_err());
+        let got = par_map(6, 3, |i| i * 2);
+        assert_eq!(got, vec![0, 2, 4, 6, 8, 10]);
     }
 }

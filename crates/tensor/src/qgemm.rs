@@ -1,0 +1,255 @@
+//! Int8 quantized GEMM for the post-training-quantized inference path.
+//!
+//! The serve tier trades a bounded amount of accuracy for cheap inference:
+//! weights are quantized **per output channel** and activations **per row**
+//! (per sample / per output pixel) with symmetric scales, multiplied in an
+//! exact `i8 × i8 → i32` GEMM, and dequantized back to `f32` at the layer
+//! boundary. See `DESIGN.md` §14 for the quantization scheme and its
+//! tolerance tier in the oracle policy.
+//!
+//! # Determinism
+//!
+//! Integer accumulation is exact and associative, so [`gemm_i8_nt`] is
+//! bitwise deterministic for any thread count by construction — there is no
+//! lane-order contract to preserve. The row split still uses the fixed
+//! contiguous chunks of [`crate::parallel`] like every other kernel.
+//!
+//! # Why per-row activation scales
+//!
+//! A per-*tensor* activation scale would couple a sample's quantization to
+//! whatever else happens to share its batch, breaking the serving tier's
+//! batching-invisibility contract (batched rows bitwise equal to
+//! single-request rows). A per-row scale depends only on that row's own
+//! values, so the quantized forward keeps the contract exactly.
+//!
+//! # Accumulator bound
+//!
+//! Each product is at most `127 × 127 = 16129`, so `i32` accumulation is
+//! exact while `k ≤` [`MAX_K`] (≈ 133k) — far above any reduction depth in
+//! the workspace. [`gemm_i8_nt`] rejects deeper reductions with a typed
+//! error instead of risking silent wraparound.
+
+use crate::{parallel, shape, Result, TensorError};
+
+/// Largest reduction depth for which `i32` accumulation of `i8 × i8`
+/// products cannot overflow: `floor(i32::MAX / 127²)`.
+pub const MAX_K: usize = i32::MAX as usize / (127 * 127);
+
+/// A row-major `i8` matrix with one symmetric scale per row.
+///
+/// Dequantization of element `(r, c)` is `data[r·cols + c] as f32 *
+/// scales[r]`. For weight matrices laid out `[out_features, in_features]`
+/// a row is an output channel, giving the per-channel scheme; for
+/// activation matrices a row is one sample (or one output pixel), keeping
+/// quantization independent of co-batched rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    /// Row-major quantized values, `rows × cols`.
+    pub data: Vec<i8>,
+    /// One symmetric scale per row; `scales[r] = maxabs(row r) / 127`
+    /// (`1.0` for all-zero rows, which quantize to zeros regardless).
+    pub scales: Vec<f32>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a row-major `rows × cols` slice with one symmetric scale
+    /// per row: `scale = maxabs / 127`, `q = round(v / scale)` clamped to
+    /// `[-127, 127]` (the `-128` code is unused, keeping the scheme
+    /// symmetric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `src.len() ≠ rows·cols`
+    /// and [`TensorError::ElementOverflow`] when that product overflows.
+    pub fn quantize_rows(src: &[f32], rows: usize, cols: usize) -> Result<QuantizedMatrix> {
+        let volume = shape::checked_volume(&[rows, cols], "quantize_rows")?;
+        if src.len() != volume {
+            return Err(TensorError::LengthMismatch {
+                expected: volume,
+                actual: src.len(),
+            });
+        }
+        let mut data = vec![0i8; volume];
+        let mut scales = vec![1.0f32; rows];
+        for r in 0..rows {
+            let row = &src[r * cols..(r + 1) * cols];
+            let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if maxabs == 0.0 {
+                continue; // zeros quantize to zeros under the default scale
+            }
+            let scale = maxabs / 127.0;
+            scales[r] = scale;
+            for (q, &v) in data[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Ok(QuantizedMatrix {
+            data,
+            scales,
+            rows,
+            cols,
+        })
+    }
+
+    /// Dequantizes back to `f32` (test/diagnostic helper; the hot path
+    /// dequantizes fused with bias and activation at the layer boundary).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for (o, &q) in out[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(&self.data[r * self.cols..(r + 1) * self.cols])
+            {
+                *o = q as f32 * s;
+            }
+        }
+        out
+    }
+}
+
+/// Exact integer GEMM against a transposed rhs:
+/// `[m, k] × [n, k]ᵀ → [m, n]` with `i32` accumulation.
+///
+/// Mirrors the f32 `matmul_nt` layout (the conv/linear forward shape): row
+/// `i` of `a` dotted with row `j` of `b`. Output element `(i, j)` is the
+/// exact integer `Σ_t a[i,t]·b[j,t]` — combine with
+/// `a.scales[i] * b.scales[j]` to dequantize.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulDimMismatch`] when the operand lengths
+/// disagree with `m`/`k`/`n`, [`TensorError::ElementOverflow`] when `m·n`
+/// overflows, and [`TensorError::InvalidGeometry`] when `k >` [`MAX_K`]
+/// (the `i32` accumulator could wrap).
+pub fn gemm_i8_nt(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Result<Vec<i32>> {
+    if a.len() != shape::checked_volume(&[m, k], "gemm_i8_nt")?
+        || b.len() != shape::checked_volume(&[n, k], "gemm_i8_nt")?
+    {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: a.len() / m.max(1),
+            rhs_rows: b.len() / k.max(1),
+        });
+    }
+    if k > MAX_K {
+        return Err(TensorError::InvalidGeometry(format!(
+            "gemm_i8_nt reduction depth {k} exceeds the exact-i32 bound {MAX_K}"
+        )));
+    }
+    let volume = shape::checked_volume(&[m, n], "gemm_i8_nt")?;
+    let mut out = vec![0i32; volume];
+    if volume == 0 {
+        return Ok(out);
+    }
+    // Row split like matmul_nt; integer accumulation is exact, so this is
+    // deterministic for any thread count without an order contract.
+    let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
+    parallel::par_items_mut(&mut out, n, threads, |i, orow| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for t in 0..k {
+                acc += arow[t] as i32 * brow[t] as i32;
+            }
+            *o = acc;
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize, salt: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| ((i * 31 + salt * 7) % 97) as f32 * 0.11 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded_by_half_scale() {
+        let src = sample(5, 33, 1);
+        let q = QuantizedMatrix::quantize_rows(&src, 5, 33).unwrap();
+        let deq = q.dequantize();
+        for r in 0..5 {
+            let half = q.scales[r] * 0.5 + 1e-6;
+            for c in 0..33 {
+                let err = (src[r * 33 + c] - deq[r * 33 + c]).abs();
+                assert!(err <= half, "row {r} col {c}: err {err} > {half}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_quantize_to_zeros_with_unit_scale() {
+        let mut src = sample(3, 8, 2);
+        src[8..16].fill(0.0);
+        let q = QuantizedMatrix::quantize_rows(&src, 3, 8).unwrap();
+        assert_eq!(q.scales[1], 1.0);
+        assert!(q.data[8..16].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn quantize_rejects_bad_lengths() {
+        assert!(matches!(
+            QuantizedMatrix::quantize_rows(&[0.0; 5], 2, 3),
+            Err(TensorError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            QuantizedMatrix::quantize_rows(&[], usize::MAX, 2),
+            Err(TensorError::ElementOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn gemm_matches_i64_reference_exactly() {
+        let (m, k, n) = (7, 40, 9);
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|i| ((i * 53 + 5) % 251) as i8).collect();
+        let got = gemm_i8_nt(&a, &b, m, k, n).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let want: i64 = (0..k)
+                    .map(|t| a[i * k + t] as i64 * b[j * k + t] as i64)
+                    .sum();
+                assert_eq!(got[i * n + j] as i64, want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_identical_across_thread_counts() {
+        let (m, k, n) = (16, 64, 12);
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 19) % 200) as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|i| ((i * 23) % 190) as i8).collect();
+        let serial = {
+            let _g = parallel::with_threads(1);
+            gemm_i8_nt(&a, &b, m, k, n).unwrap()
+        };
+        for threads in [2, 4, 7] {
+            let _g = parallel::with_threads(threads);
+            assert_eq!(serial, gemm_i8_nt(&a, &b, m, k, n).unwrap());
+        }
+    }
+
+    #[test]
+    fn gemm_guards_depth_and_shape() {
+        assert!(matches!(
+            gemm_i8_nt(&[], &[], 0, MAX_K + 1, 0),
+            Err(TensorError::MatmulDimMismatch { .. }) | Err(TensorError::InvalidGeometry(_))
+        ));
+        let a = vec![1i8; 2 * 3];
+        let b = vec![1i8; 4 * 3];
+        assert!(gemm_i8_nt(&a, &b, 2, 3, 4).is_ok());
+        assert!(matches!(
+            gemm_i8_nt(&a, &b, 2, 4, 4),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+}

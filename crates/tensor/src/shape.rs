@@ -19,6 +19,37 @@ use crate::{Result, TensorError};
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
+/// Checked product of `dims` for sizing output and scratch buffers.
+///
+/// Kernels derive buffer lengths from products of user-supplied extents
+/// (`m * n` in matmul, `n * oh * ow * patch` in im2col). In release builds
+/// a plain product wraps on overflow and would check out a wrong-sized
+/// scratch buffer; this helper fails loudly with
+/// [`TensorError::ElementOverflow`] instead.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ElementOverflow`] when the product exceeds
+/// `usize::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use ibrar_tensor::checked_volume;
+///
+/// assert_eq!(checked_volume(&[8, 4096], "matmul")?, 32768);
+/// assert!(checked_volume(&[usize::MAX, 2], "matmul").is_err());
+/// # Ok::<(), ibrar_tensor::TensorError>(())
+/// ```
+pub fn checked_volume(dims: &[usize], op: &'static str) -> Result<usize> {
+    dims.iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(TensorError::ElementOverflow {
+            dims: dims.to_vec(),
+            op,
+        })
+}
+
 impl Shape {
     /// Creates a shape from axis extents.
     pub fn new(dims: &[usize]) -> Self {
@@ -176,6 +207,25 @@ mod tests {
         let b = Shape::new(&[2]);
         let err = a.expect_same(&b, "test_op").unwrap_err();
         assert!(err.to_string().contains("test_op"));
+    }
+
+    #[test]
+    fn checked_volume_guards_overflow() {
+        assert_eq!(checked_volume(&[], "op").unwrap(), 1);
+        assert_eq!(checked_volume(&[3, 0, 2], "op").unwrap(), 0);
+        assert_eq!(checked_volume(&[7, 5], "op").unwrap(), 35);
+        // A product that wraps in release builds must error, not wrap.
+        let err = checked_volume(&[usize::MAX / 2, 3], "matmul").unwrap_err();
+        match err {
+            TensorError::ElementOverflow { dims, op } => {
+                assert_eq!(dims, vec![usize::MAX / 2, 3]);
+                assert_eq!(op, "matmul");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Zero extents neutralize later overflow only if they come first in
+        // the fold — [0, MAX, MAX] is 0, MAX*MAX never forms.
+        assert_eq!(checked_volume(&[0, usize::MAX], "op").unwrap(), 0);
     }
 
     #[test]

@@ -67,10 +67,24 @@ else
     echo "== benches compile =="
     cargo bench --no-run -q
 
+    echo "== int8 serve smoke (ephemeral port) =="
+    # Same end-to-end path against the post-training-quantized model:
+    # registry loader quantizes the checkpoint, wire logits match the local
+    # int8 forward bitwise and track f32 inside the INT8 tolerance tier,
+    # and robustness probes fail typed (int8 has no input gradients).
+    cargo run --release -q -p ibrar-bench --bin serve -- --smoke --int8
+
     echo "== perf report smoke (schema only) =="
     # Runs both perf_report phases at toy sizes against a temp file and
-    # validates the BENCH_PR5.json schema; no timing assertions.
+    # validates the BENCH_PR7.json schema; no timing assertions.
     cargo run --release -q -p ibrar-bench --bin perf_report -- --smoke
+
+    echo "== perf regression gate (committed BENCH_PR5/PR7 references) =="
+    # Re-times the train_step and serve_batch medians on the current build
+    # and fails if either exceeds any committed BENCH_*.json reference by
+    # more than perf_report's documented REGRESSION_FACTOR (2x — above
+    # shared-host timing noise, below a structural regression).
+    cargo run --release -q -p ibrar-bench --bin perf_report -- --check
 fi
 
 echo "== clippy (whole workspace, -D warnings) =="

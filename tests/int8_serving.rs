@@ -1,0 +1,140 @@
+//! Int8 serve-path gates on the committed fixture: the post-training-
+//! quantized model must track its f32 twin on *trained* weights, not just
+//! the random-initialization case covered by the serve crate's unit tests.
+//!
+//! Two gates, both part of the tier-1 lane:
+//!
+//! * **Logit-drift differential** — worst absolute logit difference on the
+//!   canonical test split stays inside the INT8 tolerance tier
+//!   ([`ibrar_serve::int8_logit_bound`], DESIGN.md §10).
+//! * **Accuracy delta** — clean accuracy on the canonical split drops by at
+//!   most [`ibrar_serve::INT8_ACCURACY_DELTA`] against f32.
+
+use ibrar_attacks::accuracy;
+use ibrar_data::{SynthVision, SynthVisionConfig};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_serve::{int8_logit_bound, Int8Vgg, ModelRegistry, INT8_ACCURACY_DELTA};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::OnceLock;
+
+struct Fixture {
+    model: VggMini,
+    data: SynthVision,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let data =
+            SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(320, 96), 777)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+        let ckpt = Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/fixtures/attack_std.ibsc"
+        ));
+        ibrar_serve::load_from_path(&model, ckpt).unwrap_or_else(|e| {
+            panic!(
+                "missing/broken fixture {} — regenerate with \
+                 `cargo run --release -p ibrar-bench --bin make_fixture`: {e}",
+                ckpt.display()
+            )
+        });
+        Fixture { model, data }
+    })
+}
+
+fn logits(model: &dyn ImageModel, x: &Tensor) -> Tensor {
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let xv = tape.leaf(x.clone());
+    model.forward(&sess, xv, Mode::Eval).unwrap().logits.value()
+}
+
+#[test]
+fn int8_logit_drift_on_trained_weights_stays_in_tier() {
+    let f = fixture();
+    let q = Int8Vgg::from_model(&f.model).unwrap();
+    let batch = f.data.test.take(96).unwrap().as_batch();
+    let want = logits(&f.model, &batch.images);
+    let got = logits(&q, &batch.images);
+    assert_eq!(want.shape(), got.shape());
+    let worst = want
+        .data()
+        .iter()
+        .zip(got.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let scale = want.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let bound = int8_logit_bound(scale);
+    assert!(
+        worst < bound,
+        "trained-weight logit drift {worst} (f32 logit scale {scale}) exceeds INT8 tier bound {bound}"
+    );
+}
+
+#[test]
+fn int8_accuracy_delta_gate_on_canonical_split() {
+    let f = fixture();
+    let q = Int8Vgg::from_model(&f.model).unwrap();
+    let batch = f.data.test.take(96).unwrap().as_batch();
+    let acc_f32 = accuracy(&f.model, &batch.images, &batch.labels).unwrap();
+    let acc_int8 = accuracy(&q, &batch.images, &batch.labels).unwrap();
+    // The trained fixture must actually be accurate for the gate to mean
+    // anything (matches the threshold pinned by attack_properties.rs).
+    assert!(
+        acc_f32 >= 0.80,
+        "fixture f32 accuracy {acc_f32} too low for the delta gate to be meaningful"
+    );
+    assert!(
+        f64::from(acc_int8) >= f64::from(acc_f32) - INT8_ACCURACY_DELTA,
+        "int8 accuracy {acc_int8} fell more than {INT8_ACCURACY_DELTA} below f32 {acc_f32}"
+    );
+}
+
+#[test]
+fn int8_loader_integrates_with_the_registry() {
+    let f = fixture();
+    let ckpt = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/attack_std.ibsc"
+    ));
+    let registry = ModelRegistry::new();
+    registry.register_loader("vgg-int8", ckpt, |path| {
+        let mut rng = StdRng::seed_from_u64(123);
+        let model = VggMini::new(VggConfig::tiny(10), &mut rng)?;
+        ibrar_serve::load_from_path(&model, path)?;
+        Ok(std::sync::Arc::new(Int8Vgg::from_model(&model)?))
+    });
+    assert!(!registry.is_loaded("vgg-int8"));
+    let served = registry.get("vgg-int8").unwrap();
+    assert!(registry.is_loaded("vgg-int8"));
+    assert_eq!(served.name(), "VggMini-int8");
+    assert!(!served.supports_input_gradients());
+
+    // The registry-served instance answers identically to a direct
+    // quantization of the fixture weights (proves the loader quantized the
+    // checkpoint, and a second get() reuses the cached snapshot).
+    let batch = f.data.test.take(8).unwrap().as_batch();
+    let direct = logits(&Int8Vgg::from_model(&f.model).unwrap(), &batch.images);
+    let via_registry = logits(served.as_ref(), &batch.images);
+    assert_eq!(
+        direct
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        via_registry
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
+    );
+    let again = registry.get("vgg-int8").unwrap();
+    assert!(std::sync::Arc::ptr_eq(&served, &again));
+}
