@@ -93,9 +93,10 @@ impl Int8Vgg {
     /// # Errors
     ///
     /// Returns [`ServeError::Unsupported`] when `model` is not a `VggMini`
-    /// (the parameter walk below is tied to its layer order) or has a
-    /// channel mask installed (the int8 forward cannot honor it), and
-    /// propagates quantization failures.
+    /// (the parameter walk below is tied to its layer order), its parameter
+    /// shapes deviate from VggMini's square-kernel geometry, or a channel
+    /// mask is installed (the int8 forward cannot honor it), and propagates
+    /// quantization failures.
     pub fn from_model(model: &dyn ImageModel) -> Result<Int8Vgg> {
         if model.name() != "VggMini" {
             return Err(ServeError::Unsupported(format!(
@@ -133,8 +134,27 @@ impl Int8Vgg {
                     dims.len()
                 )));
             }
+            if dims[2] != dims[3] {
+                return Err(ServeError::Unsupported(format!(
+                    "conv weight {} has non-square kernel {}×{}; int8 \
+                     quantization assumes VggMini's square 3×3 geometry",
+                    params[2 * i].name(),
+                    dims[2],
+                    dims[3]
+                )));
+            }
             let (oc, ic, k) = (dims[0], dims[1], dims[2]);
-            // [oc, ic, k, k] is already row-major per output channel.
+            if bias.len() != oc {
+                return Err(ServeError::Unsupported(format!(
+                    "conv bias {} has {} entries for {} output channels",
+                    params[2 * i + 1].name(),
+                    bias.len(),
+                    oc
+                )));
+            }
+            // [oc, ic, k, k] is already row-major per output channel. The
+            // stride-1 / pad-1 spec mirrors VggMini's conv blocks; the name
+            // and shape checks above are what make that assumption safe.
             let weight = QuantizedMatrix::quantize_rows(w.data(), oc, ic * k * k)?;
             convs.push(QConv {
                 weight,

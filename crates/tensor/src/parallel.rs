@@ -140,14 +140,24 @@ pub fn with_threads(n: usize) -> ThreadScope {
 /// # Lifetime protocol (why the raw pointers are sound)
 ///
 /// 1. A worker may only obtain the job pointer from the pool queue, under
-///    the pool lock, and must increment `workers_inside` (under the job
-///    lock) *before* releasing the pool lock.
-/// 2. The submitter unlinks the job from the queue (under the pool lock)
-///    before its final wait, so no new worker can discover it afterwards.
-/// 3. The submitter returns — and the job is freed — only once every chunk
-///    has run **and** `workers_inside == 0`. A worker's very last touch of
-///    the job is the decrement + notify under the job lock, so it can never
-///    dangle.
+///    the pool lock, and must register (`workers_inside += 1`, under the
+///    job lock) *before* releasing the pool lock — and only if
+///    `chunks_done < nchunks` at that moment. A finished job is never
+///    registered on: between the discovery read of `next` and registration
+///    the last chunk may complete, and the submitter may already be past
+///    its final wait.
+/// 2. The submitter's final wait exits only when `chunks_done == nchunks`
+///    **and** `workers_inside == 0`, both read under the job lock. Because
+///    registration requires `chunks_done < nchunks` under the same lock and
+///    `chunks_done` is monotone, no worker can register after the wait
+///    exits, and every worker that did register has already left (a
+///    worker's very last touch of the job is the decrement + notify under
+///    the job lock).
+/// 3. The submitter then unlinks the job (under the pool lock). The job
+///    cannot be freed while linked — freeing requires the unlink, which
+///    needs the pool lock any discovering worker holds through
+///    registration — so after the unlink no thread can reach it and the
+///    stack frame may be reclaimed.
 struct Job {
     /// Type-erased chunk runner; `'static` by [`erase`], sound per the
     /// protocol above.
@@ -250,15 +260,27 @@ fn worker_main() {
             q = p.work.wait(q).unwrap();
             continue;
         };
-        {
-            // Register before releasing the pool lock (Job protocol step 1).
+        let registered = {
+            // Register before releasing the pool lock (Job protocol step 1),
+            // re-checking completion under the job lock: the last chunk may
+            // have finished since the discovery read of `next`, and the
+            // submitter may already be past its final wait — registering on
+            // a finished job would let it be freed underneath us.
             // SAFETY: as above — linked in queue ⇒ alive.
             let job = unsafe { &*h.0 };
-            job.state.lock().unwrap().workers_inside += 1;
-        }
+            let mut st = job.state.lock().unwrap();
+            if st.chunks_done < job.nchunks {
+                st.workers_inside += 1;
+                true
+            } else {
+                false
+            }
+        };
         drop(q);
-        // SAFETY: `workers_inside` now pins the job until we unregister.
-        participate(unsafe { &*h.0 }, true);
+        if registered {
+            // SAFETY: `workers_inside` now pins the job until we unregister.
+            participate(unsafe { &*h.0 }, true);
+        }
         q = p.queue.lock().unwrap();
     }
 }
@@ -311,6 +333,9 @@ fn participate(job: &Job, registered: bool) {
 /// until every chunk has run and all workers have left the job; panics in
 /// `f` are re-raised here as "parallel worker panicked".
 fn pool_run(nchunks: usize, broadcast: bool, f: &(dyn Fn(usize) + Sync)) {
+    if nchunks == 0 {
+        return;
+    }
     let job = Job {
         run: erase(f),
         next: AtomicUsize::new(0),
@@ -327,9 +352,9 @@ fn pool_run(nchunks: usize, broadcast: bool, f: &(dyn Fn(usize) + Sync)) {
     // The submitter runs chunks too, so nchunks - 1 extra hands saturate a
     // normal job; broadcast jobs run entirely on workers.
     ensure_workers(if broadcast {
-        nchunks.max(1)
+        nchunks
     } else {
-        nchunks - 1
+        nchunks.saturating_sub(1)
     });
     let p = pool();
     {
@@ -348,9 +373,11 @@ fn pool_run(nchunks: usize, broadcast: bool, f: &(dyn Fn(usize) + Sync)) {
             st = job.done.wait(st).unwrap();
         }
     }
-    // Unlink only after completion (protocol step 2): a broadcast job must
-    // stay discoverable until workers have claimed every chunk, and workers
-    // that registered before this unlink have already left. After the queue
+    // Unlink after the wait (protocol step 3): a broadcast job must stay
+    // discoverable until workers have run every chunk, every registered
+    // worker has already left (the wait saw workers_inside == 0), and no
+    // worker can register anew — registration re-checks chunks_done under
+    // the job lock, and chunks_done == nchunks is final. After the queue
     // lock drops no thread can reach the handle, so the job may be freed.
     {
         let mut q = p.queue.lock().unwrap();
@@ -714,6 +741,28 @@ mod tests {
         drop(_g);
         let bare = pool_broadcast(1, |_| OVERRIDE.with(Cell::get));
         assert_eq!(bare, vec![None], "no stale override leaks onto workers");
+    }
+
+    #[test]
+    fn concurrent_tiny_jobs_stress() {
+        // Regression stress for the discovery/completion race: tiny jobs
+        // finish while workers are still between discovering them (pool
+        // lock) and registering (job lock). Registration must refuse a
+        // finished job, or a freed stack Job gets dereferenced.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        let got = par_map(3, 2, move |j| t * 1000 + i * 3 + j);
+                        let want: Vec<usize> = (0..3).map(|j| t * 1000 + i * 3 + j).collect();
+                        assert_eq!(got, want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]
