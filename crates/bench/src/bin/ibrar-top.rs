@@ -136,7 +136,64 @@ fn render(addr: &str, frame: &Frame, prev: Option<&Frame>) -> String {
             b.count, b.mean, b.p50, b.p95, b.max
         ));
     }
+    fleet_section(&mut out, s);
     out
+}
+
+/// Replica-fleet panel, present when the server routes through a
+/// [`ReplicaPool`](ibrar_serve::ReplicaPool) (the `serve.pool.*` family
+/// only exists then). Replica rows are discovered by scanning the snapshot
+/// for per-replica counter/gauge names, so the panel tracks fleet size —
+/// including replicas added by a rollout — without a protocol change.
+fn fleet_section(out: &mut String, s: &Snapshot) {
+    let Some(generation) = s.gauge("serve.pool.generation") else {
+        return;
+    };
+    out.push_str(&format!(
+        "\nfleet: generation {generation:.0}   alive {}   swaps {}   drained {}\n\
+         shed {}   failover {}   killed {}   rollout rejected {}\n",
+        s.gauge("serve.pool.replicas_alive")
+            .map_or("-".into(), |v| format!("{v:.0}")),
+        s.counter("serve.pool.swap").unwrap_or(0),
+        s.counter("serve.pool.rollout_drained").unwrap_or(0),
+        s.counter("serve.pool.shed").unwrap_or(0),
+        s.counter("serve.pool.failover").unwrap_or(0),
+        s.counter("serve.pool.replica_killed").unwrap_or(0),
+        s.counter("serve.pool.rollout_rejected").unwrap_or(0),
+    ));
+
+    let mut ids: Vec<usize> = s
+        .counters
+        .iter()
+        .filter_map(|(name, _)| name.strip_prefix("serve.pool.dispatch.r"))
+        .chain(s.gauges.iter().filter_map(|(name, _)| {
+            name.strip_prefix("serve.replica.r")
+                .and_then(|rest| rest.split('.').next())
+        }))
+        .filter_map(|id| id.parse().ok())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return;
+    }
+    out.push_str(&format!(
+        "  {:<8} {:>11} {:>7} {:>10}\n",
+        "replica", "dispatched", "queue", "in-flight"
+    ));
+    for id in ids {
+        let gauge = |suffix: &str| {
+            s.gauge(&format!("serve.replica.r{id}.{suffix}"))
+                .map_or("-".into(), |v| format!("{v:.0}"))
+        };
+        out.push_str(&format!(
+            "  r{id:<7} {:>11} {:>7} {:>10}\n",
+            s.counter(&format!("serve.pool.dispatch.r{id}"))
+                .unwrap_or(0),
+            gauge("queue_depth"),
+            gauge("in_flight"),
+        ));
+    }
 }
 
 fn main() -> DynResult<()> {

@@ -1,0 +1,543 @@
+//! `loadgen` — open-loop Poisson load generator for the replica fleet.
+//!
+//! Drives an in-process [`ReplicaPool`] with exponentially distributed
+//! inter-arrival times (open loop: arrivals never wait for responses, so
+//! queueing delay shows up in the latency tail instead of silently
+//! throttling the offered load). Two phases of equal length run back to
+//! back; between them — while the second phase's traffic is in flight —
+//! the pool hot-swaps to a second checkpoint, so the report carries the
+//! fleet's p50/p99/p999 both before and after a live rollout, plus the
+//! closed-loop saturation throughput.
+//!
+//! ```sh
+//! cargo run --release -p ibrar-bench --bin loadgen -- --rps 300 --duration-s 3
+//! cargo run --release -p ibrar-bench --bin loadgen -- --smoke   # CI schema gate
+//! ```
+//!
+//! Randomness comes from the oracle's SplitMix64 [`Gen`] — the same seed
+//! reproduces the same arrival schedule and routing keys bit for bit,
+//! with no dependency on which `rand` build the workspace links.
+//!
+//! The output (default `BENCH_PR8.json`) doubles as a committed reference
+//! for `perf_report --check`: the `workloads.serve_fleet` entry is the
+//! same closed-loop wave that `perf_report` re-times, so fleet dispatch
+//! overhead is regression-gated alongside `train_step` and `serve_batch`.
+
+use ibrar_nn::{VggConfig, VggMini};
+use ibrar_oracle::Gen;
+use ibrar_serve::{
+    DispatchPolicy, EngineConfig, PoolConfig, ReplicaPool, RolloutReport, ServeError, TraceId,
+};
+use ibrar_telemetry::{self as tel, json::Json};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+type DynResult<T> = Result<T, Box<dyn std::error::Error>>;
+
+const SCHEMA: &str = "ibrar-loadgen/v1";
+const NUM_CLASSES: usize = 10;
+/// Wave size for the closed-loop saturation probe; matches
+/// `perf_report`'s full-size `serve_wave` so `--check` compares like with
+/// like.
+const SATURATION_WAVE: usize = 64;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--rps F] [--duration-s F] [--replicas N]\n\
+         \x20              [--policy least-depth|consistent-hash] [--no-swap]\n\
+         \x20              [--seed N] [--out PATH] [--smoke]\n\
+         \n\
+         --rps F         offered load per phase, requests/second (default 300)\n\
+         --duration-s F  length of each phase in seconds (default 3)\n\
+         --replicas N    fleet size (default 2)\n\
+         --policy P      dispatch policy (default least-depth)\n\
+         --no-swap       skip the mid-run checkpoint rollout\n\
+         --seed N        SplitMix64 seed for arrivals + routing keys\n\
+         --out PATH      report path (default <repo>/BENCH_PR8.json)\n\
+         --smoke         tiny run against a temp file; validates the schema"
+    );
+    std::process::exit(2);
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn model(seed: u64) -> VggMini {
+    let mut rng = StdRng::seed_from_u64(seed);
+    VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng).expect("model construction")
+}
+
+/// Uniform f64 in `[0, 1)` with 53 bits — `Gen` only exposes an f32 unit,
+/// and exponential sampling wants the extra mantissa for the deep tail.
+fn unit_f64(gen: &mut Gen) -> f64 {
+    (gen.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential inter-arrival gap for a Poisson process at `rps`.
+fn arrival_gap(gen: &mut Gen, rps: f64) -> Duration {
+    let u = unit_f64(gen);
+    Duration::from_secs_f64(-(1.0 - u).ln() / rps)
+}
+
+fn trace_from(gen: &mut Gen) -> TraceId {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&gen.next_u64().to_le_bytes());
+    bytes[8..].copy_from_slice(&gen.next_u64().to_le_bytes());
+    TraceId::from_bytes(bytes)
+}
+
+fn images(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            Tensor::from_fn(&[3, 16, 16], |idx| {
+                ((idx[0] * 29 + idx[1] * 5 + idx[2] * 11 + i * 3) % 23) as f32 / 23.0
+            })
+        })
+        .collect()
+}
+
+/// One open-loop phase's outcome.
+struct PhaseStats {
+    sent: usize,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    elapsed_s: f64,
+    /// Sorted end-to-end latencies, milliseconds.
+    lat_ms: Vec<f64>,
+}
+
+impl PhaseStats {
+    fn percentile(&self, p: f64) -> f64 {
+        if self.lat_ms.is_empty() {
+            return f64::NAN;
+        }
+        let idx = (p * (self.lat_ms.len() - 1) as f64).round() as usize;
+        self.lat_ms[idx]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sent".into(), Json::Num(self.sent as f64)),
+            ("ok".into(), Json::Num(self.ok as f64)),
+            ("shed".into(), Json::Num(self.shed as f64)),
+            ("errors".into(), Json::Num(self.errors as f64)),
+            (
+                "achieved_rps".into(),
+                Json::Num(self.ok as f64 / self.elapsed_s.max(1e-9)),
+            ),
+            ("p50_ms".into(), Json::Num(self.percentile(0.50))),
+            ("p99_ms".into(), Json::Num(self.percentile(0.99))),
+            ("p999_ms".into(), Json::Num(self.percentile(0.999))),
+            (
+                "max_ms".into(),
+                Json::Num(self.lat_ms.last().copied().unwrap_or(f64::NAN)),
+            ),
+        ])
+    }
+}
+
+/// Runs one open-loop phase: a sender thread paces submissions on the
+/// Poisson schedule while a collector waits responses in arrival order and
+/// timestamps completions. Responses land roughly FIFO, so the ordering
+/// skew the serial collector adds is bounded by one batch.
+fn run_phase(
+    pool: &ReplicaPool,
+    gen: &mut Gen,
+    rps: f64,
+    duration: Duration,
+    imgs: &[Tensor],
+) -> PhaseStats {
+    let (tx, rx) = mpsc::channel::<(Instant, ibrar_serve::PendingResponse)>();
+    let collector = std::thread::spawn(move || {
+        let mut lat_ms = Vec::new();
+        let mut errors = 0usize;
+        while let Ok((sent, pending)) = rx.recv() {
+            match pending.wait() {
+                Ok(_) => lat_ms.push(sent.elapsed().as_secs_f64() * 1e3),
+                Err(_) => errors += 1,
+            }
+        }
+        (lat_ms, errors)
+    });
+
+    let start = Instant::now();
+    let mut next = start;
+    let mut sent = 0usize;
+    let mut shed = 0usize;
+    let mut i = 0usize;
+    loop {
+        next += arrival_gap(gen, rps);
+        if next.duration_since(start) > duration {
+            break;
+        }
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        // An open-loop generator never skips a late arrival — falling
+        // behind schedule is exactly the signal that shows up in the tail.
+        let trace = trace_from(gen);
+        sent += 1;
+        match pool.submit_traced(imgs[i % imgs.len()].clone(), None, Some(trace)) {
+            Ok(pending) => tx.send((Instant::now(), pending)).expect("collector alive"),
+            Err(ServeError::QueueFull) => shed += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        i += 1;
+    }
+    drop(tx);
+    let (mut lat_ms, errors) = collector.join().expect("collector");
+    let elapsed_s = start.elapsed().as_secs_f64();
+    lat_ms.sort_by(f64::total_cmp);
+    PhaseStats {
+        sent,
+        ok: lat_ms.len(),
+        shed,
+        errors,
+        elapsed_s,
+        lat_ms,
+    }
+}
+
+/// Closed-loop wave through the fleet, median of `reps` runs (one untimed
+/// warmup). Mirrors `perf_report`'s `serve_fleet` workload exactly: this
+/// number is what `--check` compares against.
+fn fleet_wave_ms(pool: &ReplicaPool, imgs: &[Tensor], reps: usize) -> f64 {
+    let run = || {
+        let pending: Vec<_> = imgs
+            .iter()
+            .map(|img| pool.submit(img.clone(), None).expect("submit"))
+            .collect();
+        for p in pending {
+            p.wait().expect("response");
+        }
+    };
+    run();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Args {
+    rps: f64,
+    duration: Duration,
+    replicas: usize,
+    policy: DispatchPolicy,
+    swap: bool,
+    seed: u64,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rps: 300.0,
+        duration: Duration::from_secs(3),
+        replicas: 2,
+        policy: DispatchPolicy::LeastQueueDepth,
+        swap: true,
+        seed: 0x1B5E_ED00,
+        out: repo_root().join("BENCH_PR8.json"),
+        smoke: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--rps" => args.rps = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--duration-s" => {
+                let s: f64 = take(&mut i).parse().unwrap_or_else(|_| usage());
+                args.duration = Duration::from_secs_f64(s);
+            }
+            "--replicas" => args.replicas = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                args.policy = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--no-swap" => args.swap = false,
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = PathBuf::from(take(&mut i)),
+            "--smoke" => args.smoke = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.smoke {
+        args.rps = 200.0;
+        args.duration = Duration::from_millis(300);
+        args.swap = true;
+        args.out =
+            std::env::temp_dir().join(format!("ibrar-loadgen-smoke-{}.json", std::process::id()));
+    }
+    if args.rps <= 0.0 || args.replicas == 0 {
+        usage();
+    }
+    args
+}
+
+fn render(root: &Json) -> String {
+    let mut out = String::new();
+    write_json(root, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_json(v: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => tel::json::write_f64(*n, out),
+        Json::Str(s) => tel::json::write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_json(item, indent, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                tel::json::write_string(k, out);
+                out.push_str(": ");
+                write_json(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Smoke gate: the written report must round-trip and carry every field a
+/// downstream consumer (`perf_report --check`, dashboards) reads.
+fn validate(path: &PathBuf) -> DynResult<()> {
+    let text = std::fs::read_to_string(path)?;
+    let report = Json::parse(&text).map_err(|e| format!("bad JSON: {e}"))?;
+    let schema = report
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} != {SCHEMA:?}").into());
+    }
+    for phase in ["before_swap", "after_swap"] {
+        let p = report
+            .get("phases")
+            .and_then(|v| v.get(phase))
+            .ok_or_else(|| format!("missing phases.{phase}"))?;
+        for key in ["sent", "ok", "p50_ms", "p99_ms", "p999_ms"] {
+            let v = p
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing phases.{phase}.{key}"))?;
+            if !v.is_finite() {
+                return Err(format!("phases.{phase}.{key} is not finite").into());
+            }
+        }
+        let ok = p.get("ok").and_then(Json::as_f64).unwrap_or(0.0);
+        if ok <= 0.0 {
+            return Err(format!("phases.{phase} completed no requests").into());
+        }
+    }
+    let fleet = report
+        .get("workloads")
+        .and_then(|w| w.get("serve_fleet"))
+        .and_then(|w| w.get("optimized_ms"))
+        .and_then(Json::as_f64)
+        .ok_or("missing workloads.serve_fleet.optimized_ms")?;
+    if !(fleet.is_finite() && fleet > 0.0) {
+        return Err("workloads.serve_fleet.optimized_ms not positive".into());
+    }
+    report
+        .get("rollout")
+        .and_then(|r| r.get("drained"))
+        .and_then(Json::as_f64)
+        .ok_or("missing rollout.drained")?;
+    Ok(())
+}
+
+fn main() -> DynResult<()> {
+    let args = parse_args();
+    tel::global().enable();
+    tel::global().reset_metrics();
+
+    let pool = Arc::new(ReplicaPool::new(
+        Arc::new(model(42)),
+        PoolConfig {
+            replicas: args.replicas,
+            engine: EngineConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 256,
+                workers: 1,
+            },
+            policy: args.policy,
+            max_in_flight: None,
+        },
+    )?);
+    let imgs = images(SATURATION_WAVE);
+    let mut gen = Gen::new(args.seed);
+
+    eprintln!(
+        "[loadgen] fleet: {} replica(s), policy {}, offered {} rps, {:.2}s per phase",
+        args.replicas,
+        args.policy,
+        args.rps,
+        args.duration.as_secs_f64()
+    );
+
+    let before = run_phase(&pool, &mut gen, args.rps, args.duration, &imgs);
+    eprintln!(
+        "[loadgen] before swap: {} ok / {} sent, p50 {:.2} ms, p99 {:.2} ms",
+        before.ok,
+        before.sent,
+        before.percentile(0.5),
+        before.percentile(0.99)
+    );
+
+    // Second phase with the rollout firing while its traffic is in flight:
+    // "after" latencies include the swap + drain window, which is the point.
+    let swap_delay = args.duration.mul_f64(0.25);
+    let (after, rollout): (PhaseStats, Option<RolloutReport>) = if args.swap {
+        std::thread::scope(|s| {
+            let p = Arc::clone(&pool);
+            let handle = s.spawn(move || {
+                std::thread::sleep(swap_delay);
+                p.rollout(Arc::new(model(4242)))
+            });
+            let stats = run_phase(&pool, &mut gen, args.rps, args.duration, &imgs);
+            let report = handle.join().expect("rollout thread").expect("rollout");
+            (stats, Some(report))
+        })
+    } else {
+        (
+            run_phase(&pool, &mut gen, args.rps, args.duration, &imgs),
+            None,
+        )
+    };
+    eprintln!(
+        "[loadgen] after swap:  {} ok / {} sent, p50 {:.2} ms, p99 {:.2} ms",
+        after.ok,
+        after.sent,
+        after.percentile(0.5),
+        after.percentile(0.99)
+    );
+    if let Some(r) = &rollout {
+        eprintln!(
+            "[loadgen] rollout: v{} -> v{}, drained {} in-flight",
+            r.from_version, r.to_version, r.drained
+        );
+    }
+
+    // Closed-loop saturation probe on whatever generation is now active.
+    let wave_ms = fleet_wave_ms(&pool, &imgs, 5);
+    let throughput = imgs.len() as f64 / (wave_ms / 1e3);
+    eprintln!(
+        "[loadgen] saturation: {}-request wave {:.2} ms -> {:.0} req/s",
+        imgs.len(),
+        wave_ms,
+        throughput
+    );
+    pool.shutdown();
+
+    let snap = tel::global().snapshot();
+    let counter = |name: &str| Json::Num(snap.counter(name).unwrap_or(0) as f64);
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("rps".into(), Json::Num(args.rps)),
+                ("duration_s".into(), Json::Num(args.duration.as_secs_f64())),
+                ("replicas".into(), Json::Num(args.replicas as f64)),
+                ("policy".into(), Json::Str(args.policy.to_string())),
+                ("seed".into(), Json::Num(args.seed as f64)),
+                ("swap".into(), Json::Bool(args.swap)),
+            ]),
+        ),
+        (
+            "phases".into(),
+            Json::Obj(vec![
+                ("before_swap".into(), before.to_json()),
+                ("after_swap".into(), after.to_json()),
+            ]),
+        ),
+        (
+            "rollout".into(),
+            match &rollout {
+                Some(r) => Json::Obj(vec![
+                    ("from_version".into(), Json::Num(r.from_version as f64)),
+                    ("to_version".into(), Json::Num(r.to_version as f64)),
+                    ("drained".into(), Json::Num(r.drained as f64)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "saturation".into(),
+            Json::Obj(vec![
+                ("wave".into(), Json::Num(imgs.len() as f64)),
+                ("wave_ms".into(), Json::Num(wave_ms)),
+                ("throughput_rps".into(), Json::Num(throughput)),
+            ]),
+        ),
+        (
+            "counters".into(),
+            Json::Obj(vec![
+                ("serve.pool.swap".into(), counter("serve.pool.swap")),
+                ("serve.pool.shed".into(), counter("serve.pool.shed")),
+                ("serve.drained".into(), counter("serve.drained")),
+                (
+                    "serve.pool.rollout_rejected".into(),
+                    counter("serve.pool.rollout_rejected"),
+                ),
+            ]),
+        ),
+        (
+            "workloads".into(),
+            Json::Obj(vec![(
+                "serve_fleet".into(),
+                Json::Obj(vec![("optimized_ms".into(), Json::Num(wave_ms))]),
+            )]),
+        ),
+    ]);
+    std::fs::write(&args.out, render(&report))?;
+    eprintln!("[loadgen] wrote {}", args.out.display());
+
+    if args.smoke {
+        validate(&args.out)?;
+        let _ = std::fs::remove_file(&args.out);
+        println!("loadgen smoke PASS");
+    }
+    Ok(())
+}

@@ -29,7 +29,7 @@ use ibrar_attacks::{Attack, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
 use ibrar_autograd::Tape;
 use ibrar_data::{Dataset, SynthVision, SynthVisionConfig};
 use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
-use ibrar_serve::{BatchEngine, EngineConfig};
+use ibrar_serve::{BatchEngine, EngineConfig, PoolConfig, ReplicaPool};
 use ibrar_telemetry::{self as tel, json::Json};
 use ibrar_tensor::{parallel, Conv2dSpec, Tensor};
 use rand::rngs::StdRng;
@@ -59,8 +59,10 @@ const WORKLOADS: [&str; 6] = [
 /// plus `baseline_ms`/`speedup` only when the baseline file carries them.
 const HEAD_ONLY_WORKLOADS: [&str; 1] = ["serve_batch_int8"];
 
-/// Workloads the `--check` regression gate re-times.
-const CHECK_WORKLOADS: [&str; 2] = ["train_step", "serve_batch"];
+/// Workloads the `--check` regression gate re-times. `serve_fleet` is not
+/// in [`WORKLOADS`] (committed PR7-era reports predate the pool); its
+/// reference lives in the loadgen report, `BENCH_PR8.json`.
+const CHECK_WORKLOADS: [&str; 3] = ["train_step", "serve_batch", "serve_fleet"];
 
 /// `--check` threshold: a fresh median may be at most this multiple of a
 /// committed reference before the gate fails. Sub-100ms wall-clock medians
@@ -279,6 +281,47 @@ fn time_serve_int8(sizes: &Sizes) -> f64 {
     time_serve_with(Arc::new(q), sizes)
 }
 
+/// `serve_fleet`: the `serve_batch` wave through a two-replica
+/// [`ReplicaPool`] under least-depth dispatch — times fleet routing and
+/// per-replica batch assembly on top of the single-engine path. Matches
+/// the closed-loop saturation wave the `loadgen` bin records into
+/// `BENCH_PR8.json`, which is the committed reference the `--check` gate
+/// compares against.
+fn time_serve_fleet(sizes: &Sizes) -> f64 {
+    let pool = ReplicaPool::new(
+        Arc::new(model(14)),
+        PoolConfig {
+            replicas: 2,
+            engine: EngineConfig {
+                max_batch: 8,
+                max_wait: std::time::Duration::from_millis(1),
+                queue_capacity: sizes.serve_wave.max(8) * 2,
+                workers: 1,
+            },
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool");
+    let images: Vec<Tensor> = (0..sizes.serve_wave)
+        .map(|i| {
+            Tensor::from_fn(&[3, 16, 16], |idx| {
+                ((idx[0] * 29 + idx[1] * 5 + idx[2] * 11 + i * 3) % 23) as f32 / 23.0
+            })
+        })
+        .collect();
+    let ms = median_ms(sizes.reps.min(5), || {
+        let pending: Vec<_> = images
+            .iter()
+            .map(|img| pool.submit(img.clone(), None).expect("submit"))
+            .collect();
+        for p in pending {
+            p.wait().expect("response");
+        }
+    });
+    pool.shutdown();
+    ms
+}
+
 fn time_serve_with(m: Arc<dyn ImageModel>, sizes: &Sizes) -> f64 {
     let engine = BatchEngine::new(
         Arc::clone(&m),
@@ -319,6 +362,7 @@ fn time_workload(name: &str, sizes: &Sizes) -> f64 {
         "train_step" => time_train(sizes),
         "serve_batch" => time_serve(sizes),
         "serve_batch_int8" => time_serve_int8(sizes),
+        "serve_fleet" => time_serve_fleet(sizes),
         other => unreachable!("unknown workload {other}"),
     }
 }
@@ -594,7 +638,7 @@ fn committed_reference(report: &Json, name: &str) -> Option<f64> {
 /// `BENCH_PR*.json` trajectory files — so a regression against PR 5's or
 /// PR 7's recorded medians fails even if the latest baseline got slower.
 fn run_check(sizes: &Sizes) -> DynResult<()> {
-    let reports = ["BENCH_PR7.json", "BENCH_PR5.json"];
+    let reports = ["BENCH_PR8.json", "BENCH_PR7.json", "BENCH_PR5.json"];
     let mut current = Vec::new();
     for name in CHECK_WORKLOADS {
         let ms = time_workload(name, sizes);
@@ -602,16 +646,22 @@ fn run_check(sizes: &Sizes) -> DynResult<()> {
         current.push((name, ms));
     }
     let mut failures = Vec::new();
+    // Each committed file gates only the workloads it carries (the fleet
+    // appears first in BENCH_PR8.json, the PR7-era files predate it), but
+    // every CHECK workload must find a reference in at least one file —
+    // otherwise the gate would silently stop covering it.
+    let mut matched = vec![false; current.len()];
     for file in reports {
         let path = repo_root().join(file);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("missing committed report {}: {e}", path.display()))?;
         let report =
             Json::parse(&text).map_err(|e| format!("bad JSON in {}: {e}", path.display()))?;
-        for (name, ms) in &current {
+        for (slot, (name, ms)) in current.iter().enumerate() {
             let Some(reference) = committed_reference(&report, name) else {
-                return Err(format!("{file} has no usable median for {name}").into());
+                continue;
             };
+            matched[slot] = true;
             let limit = reference * REGRESSION_FACTOR;
             let verdict = if *ms <= limit { "ok" } else { "REGRESSION" };
             eprintln!(
@@ -624,6 +674,11 @@ fn run_check(sizes: &Sizes) -> DynResult<()> {
                      x {REGRESSION_FACTOR})"
                 ));
             }
+        }
+    }
+    for (slot, (name, _)) in current.iter().enumerate() {
+        if !matched[slot] {
+            return Err(format!("no committed report carries a reference for {name}").into());
         }
     }
     if !failures.is_empty() {

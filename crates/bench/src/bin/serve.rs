@@ -12,8 +12,8 @@
 
 use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
 use ibrar_serve::{
-    save_to_path, BatchEngine, Client, EngineConfig, Int8Vgg, MetricsFormat, ModelRegistry,
-    ProbeSpec, ServeError, Server, ServerConfig,
+    save_to_path, BatchEngine, Client, DispatchPolicy, EngineConfig, Int8Vgg, MetricsFormat,
+    ModelRegistry, ProbeSpec, ServeError, Server, ServerConfig,
 };
 use ibrar_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -30,7 +30,8 @@ const NUM_CLASSES: usize = 10;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--smoke | --throughput [--requests N] | --listen ADDR | --drive ADDR] [--int8]\n\
+        "usage: serve [--smoke | --throughput [--requests N] | --listen ADDR | --drive ADDR]\n\
+         \x20            [--replicas N] [--policy P] [--int8]\n\
          \n\
          --smoke       end-to-end check on an ephemeral port: classify,\n\
          \x20             robustness probe, queue-full + deadline backpressure,\n\
@@ -41,6 +42,10 @@ fn usage() -> ! {
          --listen ADDR serve checkpointed models on ADDR until killed\n\
          --drive ADDR  send N traced classify requests at a --listen server\n\
          \x20             (load for the ibrar-top dashboard)\n\
+         --replicas N  replicas per model pool (default 1); with --smoke and\n\
+         \x20             N > 1, run the fleet smoke instead: dispatch across\n\
+         \x20             replicas plus one live checkpoint rollout\n\
+         --policy P    fleet dispatch: least-depth (default) or consistent-hash\n\
          --int8        also register the post-training-quantized int8 model\n\
          \x20             ('vgg-int8'); with --smoke, run the int8 differential\n\
          \x20             checks; with --throughput, compare f32 vs int8"
@@ -268,6 +273,94 @@ fn run_smoke() -> DynResult<()> {
     Ok(())
 }
 
+/// Fleet smoke (`--smoke --replicas N`, N > 1): the checkpointed registry
+/// served by an N-replica pool over the real wire, plus the one behavior a
+/// single engine cannot show — a live rollout to a second checkpoint with
+/// bitwise proof that the new weights are serving afterwards.
+fn run_fleet_smoke(replicas: usize, policy: DispatchPolicy) -> DynResult<()> {
+    ibrar_telemetry::global().enable();
+    let (registry, path, model) = checkpointed_registry()?;
+    // A second same-architecture checkpoint to roll the fleet onto.
+    let next = build_model(4242)?;
+    let next_path =
+        std::env::temp_dir().join(format!("ibrar-serve-bin-next-{}.ibsc", std::process::id()));
+    save_to_path(&next, &next_path)?;
+
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            replicas,
+            policy,
+            ..ServerConfig::default()
+        },
+    )?;
+    println!(
+        "serving fleet of {replicas} ({policy}) on {}",
+        server.addr()
+    );
+    let mut client = Client::connect(server.addr())?;
+    client.ping()?;
+    check(true, "ping")?;
+
+    // Generation 1 answers bitwise like a local forward of the donor
+    // weights, whichever replica served it.
+    let img = image(0);
+    let want = local_logits(&model, &img)?;
+    let (_, logits) = client.classify_with_logits(MODEL_NAME, &img, 0)?;
+    check(
+        logits
+            .iter()
+            .zip(&want)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "fleet logits bitwise-match local forward",
+    )?;
+
+    // A traced wave through the fleet; every answer is a valid label.
+    let all_valid = (0..16).try_fold(true, |acc, i| -> DynResult<bool> {
+        let (label, _) = client.classify_traced(MODEL_NAME, &image(i), 0, None)?;
+        Ok(acc && (label as usize) < NUM_CLASSES)
+    })?;
+    check(all_valid, "traced wave served by the fleet")?;
+    check(
+        client.health()?.engines as usize == replicas,
+        "health counts every replica",
+    )?;
+
+    // Live rollout to the second checkpoint, then bitwise proof the fleet
+    // now serves the new weights.
+    let ack = client.rollout(MODEL_NAME, next_path.to_str().ok_or("non-utf8 temp path")?)?;
+    check(ack.version == 2, "rollout bumps the checkpoint generation")?;
+    let want2 = local_logits(&next, &img)?;
+    let (_, logits2) = client.classify_with_logits(MODEL_NAME, &img, 0)?;
+    check(
+        logits2
+            .iter()
+            .zip(&want2)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "post-rollout logits bitwise-match the new checkpoint",
+    )?;
+
+    // The fleet is visible on the metrics plane.
+    let json = client.metrics(MetricsFormat::Json)?;
+    check(
+        json.contains("serve.pool.swap"),
+        "swap event lands in metrics",
+    )?;
+    check(
+        json.contains("serve.pool.dispatch.r"),
+        "per-replica dispatch counters land in metrics",
+    )?;
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(next_path);
+    check(true, "clean shutdown")?;
+    println!("fleet smoke: PASS");
+    Ok(())
+}
+
 /// Int8 end-to-end smoke (`--smoke --int8`): the quantized model is served
 /// through the same registry/engine/protocol stack as f32, its logits stay
 /// inside the documented drift tier, batching stays invisible, and
@@ -443,7 +536,7 @@ fn run_throughput(requests: usize, int8: bool) -> DynResult<()> {
 
 /// Serves until the process is killed. Checkpoints a fresh model first so
 /// the registry exercises the real load path.
-fn run_listen(addr: &str, int8: bool) -> DynResult<()> {
+fn run_listen(addr: &str, int8: bool, replicas: usize, policy: DispatchPolicy) -> DynResult<()> {
     // A listening server exists to be observed: turn metric collection on
     // so the Metrics opcode (and `ibrar-top`) has data without requiring
     // IBRAR_TELEMETRY in the environment.
@@ -452,7 +545,15 @@ fn run_listen(addr: &str, int8: bool) -> DynResult<()> {
     if int8 {
         register_int8(&registry, &_path);
     }
-    let server = Server::start(addr, registry, ServerConfig::default())?;
+    let server = Server::start(
+        addr,
+        registry,
+        ServerConfig {
+            replicas,
+            policy,
+            ..ServerConfig::default()
+        },
+    )?;
     println!(
         "serving model {MODEL_NAME:?}{} on {} (ctrl-c to stop)",
         if int8 {
@@ -494,6 +595,8 @@ fn main() -> DynResult<()> {
     let mut requests = 64usize;
     let mut addr = String::new();
     let mut int8 = false;
+    let mut replicas = 1usize;
+    let mut policy = DispatchPolicy::LeastQueueDepth;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -510,6 +613,21 @@ fn main() -> DynResult<()> {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--replicas" => {
+                i += 1;
+                replicas = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--policy" => {
+                i += 1;
+                policy = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--int8" => int8 = true,
             _ => usage(),
         }
@@ -517,8 +635,9 @@ fn main() -> DynResult<()> {
     }
     match mode.as_str() {
         "--smoke" if int8 => run_int8_smoke(),
+        "--smoke" if replicas > 1 => run_fleet_smoke(replicas, policy),
         "--smoke" => run_smoke(),
-        "--listen" => run_listen(&addr, int8),
+        "--listen" => run_listen(&addr, int8, replicas, policy),
         "--drive" => run_drive(&addr, requests),
         _ => run_throughput(requests, int8),
     }

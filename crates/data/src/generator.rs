@@ -260,40 +260,62 @@ mod tests {
         );
     }
 
+    /// Class-mean image of `class` over the training split, flattened.
+    fn class_mean(d: &SynthVision, class: usize) -> Tensor {
+        let idx: Vec<usize> = d
+            .train
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        let sel = d.train.images().select_rows(&idx).unwrap();
+        let n = idx.len() as f32;
+        let mut acc = Tensor::zeros(&[sel.len() / idx.len()]);
+        for i in 0..idx.len() {
+            let row = sel.select_rows(&[i]).unwrap().flatten();
+            acc = acc.add(&row).unwrap();
+        }
+        acc.scale(1.0 / n)
+    }
+
     #[test]
-    fn shared_pairs_are_closer_than_unrelated() {
-        // Prototype distance between car(1) and truck(9) should undercut the
-        // mean unrelated-pair distance once shared mixing is applied to
-        // samples. Compare class-mean images.
-        let cfg = small().with_sizes(400, 40);
-        let d = SynthVision::generate(&cfg, 6).unwrap();
-        let mean_image = |class: usize| {
-            let idx: Vec<usize> = d
-                .train
-                .labels()
-                .iter()
-                .enumerate()
-                .filter(|(_, &l)| l == class)
-                .map(|(i, _)| i)
-                .collect();
-            let sel = d.train.images().select_rows(&idx).unwrap();
-            let n = idx.len() as f32;
-            let mut acc = Tensor::zeros(&[sel.len() / idx.len()]);
-            for i in 0..idx.len() {
-                let row = sel.select_rows(&[i]).unwrap().flatten();
-                acc = acc.add(&row).unwrap();
-            }
-            acc.scale(1.0 / n)
+    fn shared_mixing_pulls_paired_class_means_together() {
+        // The planted invariant is *relative*: mixing toward the shared
+        // car↔truck pattern must shrink the car(1)–truck(9) class-mean gap
+        // compared to the same dataset without mixing. The old margin
+        // compared car–truck against one unrelated class at one seed, but
+        // raw prototype geometry is random — at seed 6 car–horse landed
+        // accidentally close and the assertion broke. The control below
+        // holds every other random draw fixed (prototypes, jitter, shift,
+        // noise) by keeping the pairs with ~zero strength, so only the
+        // mixing differs.
+        let mixed_cfg = small().with_sizes(400, 40);
+        let mut control_cfg = mixed_cfg.clone();
+        for pair in control_cfg.shared_pairs.iter_mut() {
+            // Nearly-zero keeps the per-sample λ draw (RNG streams stay
+            // aligned) while removing the planted structure.
+            pair.strength = 1e-6;
+        }
+        let gap = |d: &SynthVision| {
+            let m1 = class_mean(d, 1);
+            let m9 = class_mean(d, 9);
+            m1.sub(&m9).unwrap().norm()
         };
-        let m1 = mean_image(1);
-        let m9 = mean_image(9);
-        let m7 = mean_image(7); // horse — unrelated to car
-        let car_truck = m1.sub(&m9).unwrap().norm();
-        let car_horse = m1.sub(&m7).unwrap().norm();
-        assert!(
-            car_truck < car_horse,
-            "car–truck {car_truck} !< car–horse {car_horse}"
-        );
+        // Seeded regression: 6 is the seed that broke the old margin; the
+        // others cover both previously-passing and previously-failing
+        // prototype geometries.
+        for seed in [0u64, 2, 3, 6] {
+            let mixed_gap = gap(&SynthVision::generate(&mixed_cfg, seed).unwrap());
+            let control_gap = gap(&SynthVision::generate(&control_cfg, seed).unwrap());
+            // E[1-λ] = 1 − strength/2 ≈ 0.78 predicts a ~22% shrink before
+            // noise dilution; 10% is a conservative floor.
+            assert!(
+                mixed_gap < 0.9 * control_gap,
+                "seed {seed}: mixed car–truck gap {mixed_gap} !< 0.9 × control {control_gap}"
+            );
+        }
     }
 
     #[test]

@@ -147,6 +147,41 @@ struct Job {
     dequeued: Instant,
     trace: Option<TraceId>,
     reply: mpsc::Sender<Result<(ibrar_tensor::Tensor, StageTimings)>>,
+    /// Accounting token: alive from acceptance until the reply is sent
+    /// (or the job is dropped on any path), so [`BatchEngine::drain`] can
+    /// prove every accepted request was answered.
+    _inflight: InflightToken,
+}
+
+/// Count of requests accepted but not yet answered, with a condvar so
+/// [`BatchEngine::drain`] can wait for it to hit zero.
+#[derive(Default)]
+struct Inflight {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// RAII increment of the in-flight count; the `Drop` decrement fires on
+/// *every* job-consumption path — successful reply, typed error reply,
+/// shutdown fail-drain, or a dropped channel — so the count can never
+/// leak. One token is minted per accepted request in `submit_traced`.
+struct InflightToken(Arc<Inflight>);
+
+impl InflightToken {
+    fn mint(inflight: &Arc<Inflight>) -> Self {
+        *inflight.count.lock() += 1;
+        InflightToken(Arc::clone(inflight))
+    }
+}
+
+impl Drop for InflightToken {
+    fn drop(&mut self) {
+        let mut n = self.0.count.lock();
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.0.cv.notify_all();
+        }
+    }
 }
 
 /// Test-only gate that parks the batcher between dequeue and assembly.
@@ -216,6 +251,8 @@ pub struct BatchEngine {
     config: EngineConfig,
     submit_tx: SyncSender<Job>,
     queue_depth: Arc<AtomicUsize>,
+    inflight: Arc<Inflight>,
+    draining: AtomicBool,
     gate: Arc<Gate>,
     shutdown: Arc<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -268,6 +305,8 @@ impl BatchEngine {
             config,
             submit_tx,
             queue_depth,
+            inflight: Arc::new(Inflight::default()),
+            draining: AtomicBool::new(false),
             gate,
             shutdown,
             threads: Mutex::new(threads),
@@ -287,6 +326,42 @@ impl BatchEngine {
     /// Requests currently waiting in the bounded queue (not yet batched).
     pub fn queue_depth(&self) -> usize {
         self.queue_depth.load(Ordering::SeqCst)
+    }
+
+    /// Requests accepted but not yet answered: queued, batching, or in a
+    /// forward pass. This is the load signal the fleet router balances on
+    /// (`queue_depth` alone goes dark the instant the batcher dequeues).
+    pub fn in_flight(&self) -> usize {
+        *self.inflight.count.lock()
+    }
+
+    /// Whether [`BatchEngine::drain`] has closed the submit gate.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Closes the submit gate (new submissions fail with
+    /// [`ServeError::Draining`]) and blocks until every already-accepted
+    /// request has been answered. Returns the number of requests that were
+    /// in flight when the gate closed — the exact count the rollout
+    /// invariant ("zero dropped in-flight requests") is proven against.
+    ///
+    /// Idempotent; a second call returns the remaining count (usually 0).
+    /// Callers typically follow with [`BatchEngine::shutdown`].
+    pub fn drain(&self) -> usize {
+        // Lock before publishing the flag: a completion racing the gate
+        // close blocks on this mutex until `at_gate_close` is read, so
+        // observers that see `is_draining()` know the count was captured
+        // with every one of those requests still in flight. The exact-drain
+        // test leans on this ordering.
+        let mut n = self.inflight.count.lock();
+        self.draining.store(true, Ordering::SeqCst);
+        let at_gate_close = *n;
+        while *n > 0 {
+            self.inflight.cv.wait(&mut n);
+        }
+        tel::counter("serve.drained", at_gate_close as u64);
+        at_gate_close
     }
 
     /// Parks the batcher until the guard drops (deterministic tests only).
@@ -330,6 +405,10 @@ impl BatchEngine {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::Shutdown);
         }
+        if self.draining.load(Ordering::SeqCst) {
+            tel::counter("serve.rejected.draining", 1);
+            return Err(ServeError::Draining);
+        }
         let expect = self.model.input_shape();
         if image.shape() != expect {
             return Err(ServeError::InvalidInput(format!(
@@ -355,6 +434,9 @@ impl BatchEngine {
             dequeued: now,
             trace,
             reply: reply_tx,
+            // Minted before try_send; a rejected job drops the token on
+            // the error path so the count never includes unaccepted work.
+            _inflight: InflightToken::mint(&self.inflight),
         };
         // Count before sending: once the job is visible to the batcher its
         // increment must already be, or the counter underflows.

@@ -70,24 +70,28 @@ pub mod client;
 pub mod engine;
 mod error;
 pub mod flight;
+pub mod pool;
 pub mod protocol;
 pub mod quant;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod trace;
 
 pub use checkpoint::{load_from_path, read_header, save_to_path, CheckpointHeader, ParamSpec};
-pub use client::{Client, HealthReport};
+pub use client::{Client, HealthReport, RolloutAck};
 pub use engine::{
     BatchEngine, Classification, EngineConfig, PauseGuard, PendingResponse, StageTimings,
 };
 pub use error::ServeError;
 pub use flight::{FlightRecord, FlightRecorder};
+pub use pool::{PoolConfig, Replica, ReplicaPool, RolloutReport};
 pub use protocol::{AttackKind, MetricsFormat, Opcode, ProbeReport, ProbeSpec, Status, TRACE_FLAG};
 pub use quant::{
     int8_logit_bound, Int8Vgg, INT8_ACCURACY_DELTA, INT8_LOGIT_REL_TOLERANCE, INT8_LOGIT_TOLERANCE,
 };
 pub use registry::{ModelBuilder, ModelLoader, ModelRegistry};
+pub use router::{DispatchPolicy, Router};
 pub use server::{Server, ServerConfig};
 pub use trace::TraceId;
 

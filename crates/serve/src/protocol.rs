@@ -64,6 +64,11 @@ pub enum Opcode {
     /// Observability scrape: Prometheus text, JSON snapshot, or a flight-
     /// recorder dump, selected by a format byte.
     Metrics = 5,
+    /// Admin: hot-swap a model onto a new checkpoint. The old replica
+    /// generation drains (every accepted request is answered) while the
+    /// new one serves; responds with the new version and the exact count
+    /// of requests drained.
+    Rollout = 6,
 }
 
 impl Opcode {
@@ -75,6 +80,7 @@ impl Opcode {
             3 => Ok(Opcode::RobustnessProbe),
             4 => Ok(Opcode::Health),
             5 => Ok(Opcode::Metrics),
+            6 => Ok(Opcode::Rollout),
             other => Err(ServeError::Unsupported(format!("unknown opcode {other}"))),
         }
     }
@@ -125,6 +131,10 @@ pub enum Status {
     /// The opcode (or a sub-selector like the metrics format) is not
     /// supported by this server. The connection stays open.
     UnsupportedOpcode = 6,
+    /// Typed transient rejection: the target engine is draining for a
+    /// rollout. Retry; the fleet (or its successor generation) will
+    /// accept.
+    Draining = 7,
 }
 
 impl Status {
@@ -137,6 +147,7 @@ impl Status {
             4 => Ok(Status::BadRequest),
             5 => Ok(Status::Internal),
             6 => Ok(Status::UnsupportedOpcode),
+            7 => Ok(Status::Draining),
             other => Err(ServeError::Protocol(format!("unknown status {other}"))),
         }
     }
@@ -147,6 +158,7 @@ pub fn status_for(err: &ServeError) -> Status {
     match err {
         ServeError::QueueFull => Status::QueueFull,
         ServeError::DeadlineExceeded => Status::DeadlineExceeded,
+        ServeError::Draining => Status::Draining,
         ServeError::UnknownModel(_) => Status::UnknownModel,
         ServeError::Unsupported(_) => Status::UnsupportedOpcode,
         ServeError::Protocol(_) | ServeError::InvalidInput(_) | ServeError::Tensor(_) => {
@@ -166,6 +178,7 @@ pub fn error_for(status: Status, message: String) -> ServeError {
         Status::BadRequest => ServeError::InvalidInput(message),
         Status::Internal => ServeError::Io(message),
         Status::UnsupportedOpcode => ServeError::Unsupported(message),
+        Status::Draining => ServeError::Draining,
     }
 }
 
@@ -261,6 +274,14 @@ pub enum Request {
         /// Which payload to return.
         format: MetricsFormat,
     },
+    /// Admin: hot-swap `model` onto the checkpoint at `checkpoint` (a
+    /// server-local path). Architecture-fingerprint-checked server-side.
+    Rollout {
+        /// Registry name of the target model.
+        model: String,
+        /// Server-local path of the replacement checkpoint.
+        checkpoint: String,
+    },
 }
 
 /// A decoded response.
@@ -288,6 +309,14 @@ pub enum Response {
     },
     /// Metrics success: the payload text in the requested format.
     Metrics(String),
+    /// Rollout success.
+    RolledOut {
+        /// Checkpoint generation now serving (registry version).
+        version: u64,
+        /// Exact count of old-generation in-flight requests that were
+        /// answered (not dropped) during the drain.
+        drained: u64,
+    },
     /// Any non-OK status with its human-readable message.
     Error(Status, String),
 }
@@ -330,6 +359,7 @@ pub fn opcode_for(req: &Request) -> Opcode {
         Request::RobustnessProbe { .. } => Opcode::RobustnessProbe,
         Request::Health => Opcode::Health,
         Request::Metrics { .. } => Opcode::Metrics,
+        Request::Rollout { .. } => Opcode::Rollout,
     }
 }
 
@@ -380,6 +410,10 @@ pub fn encode_request_traced(req: &Request, trace: Option<&TraceId>) -> Bytes {
             buf.put_slice(&image.encode());
         }
         Request::Metrics { format } => buf.put_u8(*format as u8),
+        Request::Rollout { model, checkpoint } => {
+            put_str(&mut buf, model);
+            put_str(&mut buf, checkpoint);
+        }
     }
     buf.freeze()
 }
@@ -471,6 +505,11 @@ pub fn decode_request_traced(mut body: Bytes) -> Result<(Request, Option<TraceId
                 format: MetricsFormat::from_u8(body.get_u8())?,
             }
         }
+        Opcode::Rollout => {
+            let model = get_str(&mut body, "model name")?;
+            let checkpoint = get_str(&mut body, "checkpoint path")?;
+            Request::Rollout { model, checkpoint }
+        }
     };
     if body.has_remaining() {
         return Err(ServeError::Protocol(format!(
@@ -520,6 +559,11 @@ pub fn encode_response(resp: &Response) -> Bytes {
         Response::Metrics(payload) => {
             buf.put_u8(Status::Ok as u8);
             put_str(&mut buf, payload);
+        }
+        Response::RolledOut { version, drained } => {
+            buf.put_u8(Status::Ok as u8);
+            buf.put_u64_le(*version);
+            buf.put_u64_le(*drained);
         }
         Response::Error(status, message) => {
             buf.put_u8(*status as u8);
@@ -590,6 +634,15 @@ pub fn decode_response(op: Opcode, mut body: Bytes) -> Result<Response> {
             }
         }
         Opcode::Metrics => Response::Metrics(get_str(&mut body, "metrics payload")?),
+        Opcode::Rollout => {
+            if body.remaining() < 16 {
+                return Err(ServeError::Protocol("truncated rollout ack".into()));
+            }
+            Response::RolledOut {
+                version: body.get_u64_le(),
+                drained: body.get_u64_le(),
+            }
+        }
     };
     if body.has_remaining() {
         return Err(ServeError::Protocol(format!(
@@ -685,6 +738,10 @@ mod tests {
             Request::Metrics {
                 format: MetricsFormat::Flight,
             },
+            Request::Rollout {
+                model: "vgg".into(),
+                checkpoint: "/tmp/vgg-v2.ibsc".into(),
+            },
         ];
         for req in reqs {
             let (back, trace) = decode_request_traced(encode_request(&req)).unwrap();
@@ -776,6 +833,20 @@ mod tests {
                 Opcode::Metrics,
                 Response::Error(Status::UnsupportedOpcode, "unknown opcode 99".into()),
             ),
+            (
+                Opcode::Rollout,
+                Response::RolledOut {
+                    version: 2,
+                    drained: 17,
+                },
+            ),
+            (
+                Opcode::Classify,
+                Response::Error(
+                    Status::Draining,
+                    "engine draining for rollout; retry".into(),
+                ),
+            ),
         ];
         for (op, resp) in cases {
             let back = decode_response(op, encode_response(&resp)).unwrap();
@@ -846,6 +917,11 @@ mod tests {
         assert_eq!(
             status_for(&ServeError::DeadlineExceeded),
             Status::DeadlineExceeded
+        );
+        assert_eq!(status_for(&ServeError::Draining), Status::Draining);
+        assert_eq!(
+            error_for(Status::Draining, String::new()),
+            ServeError::Draining
         );
     }
 }

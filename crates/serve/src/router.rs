@@ -1,0 +1,214 @@
+//! Fleet dispatch: which replica serves the next request.
+//!
+//! Two policies, both deterministic given the same fleet state:
+//!
+//! * [`DispatchPolicy::LeastQueueDepth`] (default) — pick the replica with
+//!   the fewest outstanding requests (queued *and* dispatched; ties break
+//!   to the lowest replica id). Remaining replicas are candidates in load
+//!   order, so the pool can fail over past a full or draining replica.
+//! * [`DispatchPolicy::ConsistentHash`] — hash the request's
+//!   [`TraceId::routing_key`] onto a fixed ring of virtual nodes
+//!   ([`VNODES`] per replica). The same trace id always lands on the same
+//!   replica, and when a replica dies only its arc of the ring moves — keys
+//!   whose primary survives keep their primary. Requests without a trace id
+//!   fall back to least-depth ordering.
+//!
+//! The router ranks candidates; the [`pool`](crate::pool) owns the
+//! liveness/backpressure semantics of actually trying them in order.
+
+use crate::trace::{splitmix64, TraceId};
+
+/// Virtual nodes per replica on the consistent-hash ring. 32 keeps the
+/// arc-length imbalance across a handful of replicas within a few percent
+/// while the ring stays small enough to scan-build at pool construction.
+pub const VNODES: usize = 32;
+
+/// Replica-selection policy for a [`crate::ReplicaPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Route to the replica with the fewest outstanding requests.
+    LeastQueueDepth,
+    /// Route by consistent hash of the request's trace id.
+    ConsistentHash,
+}
+
+impl std::str::FromStr for DispatchPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "least-depth" | "least" => Ok(DispatchPolicy::LeastQueueDepth),
+            "hash" | "consistent-hash" => Ok(DispatchPolicy::ConsistentHash),
+            other => Err(format!(
+                "unknown dispatch policy {other:?} (expected least-depth or consistent-hash)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchPolicy::LeastQueueDepth => write!(f, "least-depth"),
+            DispatchPolicy::ConsistentHash => write!(f, "consistent-hash"),
+        }
+    }
+}
+
+/// Ranks replicas for dispatch under a fixed policy and replica count.
+pub struct Router {
+    policy: DispatchPolicy,
+    /// `(point, replica)` sorted by point; empty under least-depth.
+    ring: Vec<(u64, usize)>,
+}
+
+impl Router {
+    /// Builds a router for `replicas` slots.
+    pub fn new(policy: DispatchPolicy, replicas: usize) -> Self {
+        let ring = match policy {
+            DispatchPolicy::LeastQueueDepth => Vec::new(),
+            DispatchPolicy::ConsistentHash => {
+                let mut ring = Vec::with_capacity(replicas * VNODES);
+                for r in 0..replicas {
+                    for v in 0..VNODES {
+                        // Fixed per-(replica, vnode) points: the ring is a
+                        // pure function of the replica count, so every
+                        // router in a fleet agrees on key placement.
+                        let point = splitmix64(((r as u64) << 32) | v as u64);
+                        ring.push((point, r));
+                    }
+                }
+                ring.sort_unstable();
+                ring
+            }
+        };
+        Router { policy, ring }
+    }
+
+    /// The policy this router ranks with.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Replica indices in preference order for one request.
+    ///
+    /// `loads[i]` is replica `i`'s outstanding-request count. Under
+    /// consistent hash the order is the ring walk from the trace's point
+    /// (so index 1 is the key's natural failover target); under
+    /// least-depth it is ascending load with ties to the lowest id.
+    pub fn candidates(&self, loads: &[usize], trace: Option<&TraceId>) -> Vec<usize> {
+        match (self.policy, trace) {
+            (DispatchPolicy::ConsistentHash, Some(id)) => self.ring_walk(id.routing_key()),
+            _ => {
+                let mut order: Vec<usize> = (0..loads.len()).collect();
+                order.sort_by_key(|&i| (loads[i], i));
+                order
+            }
+        }
+    }
+
+    /// Distinct replicas in ring order starting at the first point ≥ `key`.
+    fn ring_walk(&self, key: u64) -> Vec<usize> {
+        let n_replicas = self
+            .ring
+            .iter()
+            .map(|&(_, r)| r + 1)
+            .max()
+            .unwrap_or_default();
+        let start = self.ring.partition_point(|&(p, _)| p < key);
+        let mut seen = vec![false; n_replicas];
+        let mut order = Vec::with_capacity(n_replicas);
+        for i in 0..self.ring.len() {
+            let (_, r) = self.ring[(start + i) % self.ring.len()];
+            if !seen[r] {
+                seen[r] = true;
+                order.push(r);
+                if order.len() == n_replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_id(k: u64) -> TraceId {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&k.to_le_bytes());
+        TraceId::from_bytes(bytes)
+    }
+
+    #[test]
+    fn policy_parses_and_displays() {
+        assert_eq!(
+            "least-depth".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::LeastQueueDepth
+        );
+        assert_eq!(
+            "consistent-hash".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::ConsistentHash
+        );
+        assert!("round-robin".parse::<DispatchPolicy>().is_err());
+        assert_eq!(DispatchPolicy::LeastQueueDepth.to_string(), "least-depth");
+    }
+
+    #[test]
+    fn least_depth_orders_by_load_with_low_id_ties() {
+        let r = Router::new(DispatchPolicy::LeastQueueDepth, 4);
+        assert_eq!(r.candidates(&[3, 0, 2, 0], None), vec![1, 3, 2, 0]);
+        assert_eq!(r.candidates(&[0, 0, 0, 0], None), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_covers_all_replicas() {
+        let r = Router::new(DispatchPolicy::ConsistentHash, 4);
+        for k in 0..200u64 {
+            let id = key_id(splitmix64(k));
+            let a = r.candidates(&[0; 4], Some(&id));
+            let b = r.candidates(&[9, 9, 9, 9], Some(&id));
+            assert_eq!(a, b, "hash order must ignore load");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "walk must cover the fleet");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_keys_across_replicas() {
+        let r = Router::new(DispatchPolicy::ConsistentHash, 4);
+        let mut hits = [0usize; 4];
+        for k in 0..4000u64 {
+            let id = key_id(splitmix64(0xFEED ^ k));
+            hits[r.candidates(&[0; 4], Some(&id))[0]] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 400, "replica {i} got only {h}/4000 keys: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn hash_without_trace_falls_back_to_least_depth() {
+        let r = Router::new(DispatchPolicy::ConsistentHash, 3);
+        assert_eq!(r.candidates(&[5, 1, 2], None), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn surviving_primaries_are_stable_when_a_replica_dies() {
+        // The pool skips dead replicas in candidate order; consistent
+        // hashing promises keys whose primary survives are untouched.
+        let r = Router::new(DispatchPolicy::ConsistentHash, 4);
+        let dead = 2usize;
+        for k in 0..500u64 {
+            let id = key_id(splitmix64(0xD1E ^ k));
+            let order = r.candidates(&[0; 4], Some(&id));
+            let served_by = *order.iter().find(|&&i| i != dead).unwrap();
+            if order[0] != dead {
+                assert_eq!(served_by, order[0], "live primary must keep its keys");
+            }
+        }
+    }
+}

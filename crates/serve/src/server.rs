@@ -4,9 +4,11 @@
 //! The server is std-only (`std::net`): one accept thread plus one thread
 //! per connection, which is the right trade for a research serving stack —
 //! connection counts are small, and every request does real tensor work
-//! anyway. Inference requests funnel into a per-model [`BatchEngine`]
-//! (created lazily on a model's first request), so concurrent connections
-//! are what *feeds* the micro-batcher.
+//! anyway. Inference requests funnel into a per-model [`ReplicaPool`] of
+//! [`BatchEngine`] replicas (created lazily on a model's first request),
+//! so concurrent connections are what *feeds* the micro-batchers; the
+//! `Rollout` admin opcode hot-swaps a pool onto a new checkpoint with the
+//! old generation draining to zero dropped requests.
 //!
 //! Shutdown is cooperative and complete: the accept loop is woken by a
 //! self-connection, open connection sockets are shut down so blocked reads
@@ -23,12 +25,14 @@
 
 use crate::engine::{argmax, BatchEngine, Classification, EngineConfig, StageTimings};
 use crate::flight::{FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+use crate::pool::{PoolConfig, ReplicaPool};
 use crate::protocol::{
     classification_response, decode_request_traced, encode_response, opcode_for, read_frame,
     status_for, write_frame, AttackKind, MetricsFormat, Opcode, ProbeReport, ProbeSpec, Request,
     Response, Status,
 };
 use crate::registry::ModelRegistry;
+use crate::router::DispatchPolicy;
 use crate::trace::TraceId;
 use crate::{Result, ServeError};
 use ibrar_attacks::{Attack, Fgsm, Pgd};
@@ -45,8 +49,16 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Configuration applied to each lazily-created per-model engine.
+    /// Configuration applied to each replica engine of each lazily-created
+    /// per-model pool.
     pub engine: EngineConfig,
+    /// Replicas per model pool (each with its own queue and workers).
+    pub replicas: usize,
+    /// Fleet dispatch policy; see [`DispatchPolicy`].
+    pub policy: DispatchPolicy,
+    /// Fleet-wide in-flight admission cap per pool; `None` leaves the
+    /// per-replica queue bounds as the only backpressure.
+    pub max_in_flight: Option<usize>,
     /// Capacity of each flight-recorder ring (recent and SLO breaches).
     /// Zero disables retention (the rings only count drops).
     pub flight_capacity: usize,
@@ -60,6 +72,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             engine: EngineConfig::default(),
+            replicas: 1,
+            policy: DispatchPolicy::LeastQueueDepth,
+            max_in_flight: None,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             slo_ms: None,
         }
@@ -68,7 +83,7 @@ impl Default for ServerConfig {
 
 struct Shared {
     registry: Arc<ModelRegistry>,
-    engines: Mutex<HashMap<String, Arc<BatchEngine>>>,
+    pools: Mutex<HashMap<String, Arc<ReplicaPool>>>,
     config: ServerConfig,
     flight: FlightRecorder,
     started: Instant,
@@ -100,7 +115,7 @@ impl Server {
         let flight = FlightRecorder::new(config.flight_capacity, config.slo_ms);
         let shared = Arc::new(Shared {
             registry,
-            engines: Mutex::new(HashMap::new()),
+            pools: Mutex::new(HashMap::new()),
             config,
             flight,
             started: Instant::now(),
@@ -129,10 +144,18 @@ impl Server {
         self.addr
     }
 
-    /// The engine serving `model`, if one has been created yet. Exposed so
-    /// tests can reach [`BatchEngine::pause`] and queue metrics.
+    /// The first replica engine serving `model`, if its pool has been
+    /// created yet. Exposed so tests can reach [`BatchEngine::pause`] and
+    /// queue metrics; with the default single-replica config this *is* the
+    /// model's engine.
     pub fn engine(&self, model: &str) -> Option<Arc<BatchEngine>> {
-        self.shared.engines.lock().get(model).cloned()
+        self.pool(model)
+            .and_then(|p| p.replicas().first().map(|r| Arc::clone(r.engine())))
+    }
+
+    /// The replica pool serving `model`, if one has been created yet.
+    pub fn pool(&self, model: &str) -> Option<Arc<ReplicaPool>> {
+        self.shared.pools.lock().get(model).cloned()
     }
 
     /// The server's flight recorder (also dumpable over the wire via the
@@ -160,8 +183,8 @@ impl Server {
         for (_, handle) in conns {
             let _ = handle.join();
         }
-        for (_, engine) in self.shared.engines.lock().drain() {
-            engine.shutdown();
+        for (_, pool) in self.shared.pools.lock().drain() {
+            pool.shutdown();
         }
         tel::event(tel::Level::Info, "serve.stopped", &[]);
     }
@@ -212,6 +235,15 @@ struct RequestMeta {
 }
 
 fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    serve_connection(&mut stream, &shared);
+    // The accept loop keeps a clone of this socket alive for shutdown
+    // wake-ups, so dropping `stream` alone would leave an abandoned peer
+    // (e.g. one that sent an unreadable frame) blocked on a response that
+    // will never come. Close the socket itself.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_connection(mut stream: &mut TcpStream, shared: &Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -233,7 +265,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                     // mints one at ingress so every request is traceable.
                     let trace = trace.unwrap_or_else(TraceId::generate);
                     let opcode = opcode_for(&request);
-                    let response = dispatch(&shared, request, trace, &mut meta);
+                    let response = dispatch(shared, request, trace, &mut meta);
                     (response, trace, Some(opcode))
                 }
                 Err(e) => (
@@ -307,10 +339,10 @@ fn handle(
             image,
             with_logits,
         } => {
-            let engine = engine_for(shared, &model)?;
+            let pool = pool_for(shared, &model)?;
             meta.model = model;
             let budget = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-            let (logits, stages) = engine
+            let (logits, stages) = pool
                 .submit_traced(image, budget, Some(trace))?
                 .wait_detailed()?;
             meta.stages = stages;
@@ -332,10 +364,11 @@ fn handle(
             Ok(Response::Probed(report))
         }
         Request::Health => {
-            let engines = shared.engines.lock();
-            let queue_depth: u64 = engines.values().map(|e| e.queue_depth() as u64).sum();
-            let count = engines.len() as u32;
-            drop(engines);
+            // `engines` reports live replica engines across every pool, so
+            // the single-replica default still reads 1 per loaded model.
+            let pools: Vec<Arc<ReplicaPool>> = shared.pools.lock().values().cloned().collect();
+            let queue_depth: u64 = pools.iter().map(|p| p.queue_depth() as u64).sum();
+            let count: u32 = pools.iter().map(|p| p.alive() as u32).sum();
             Ok(Response::Healthy {
                 uptime_ms: shared.started.elapsed().as_millis() as u64,
                 engines: count,
@@ -350,6 +383,32 @@ fn handle(
             };
             Ok(Response::Metrics(payload))
         }
+        Request::Rollout { model, checkpoint } => {
+            meta.model = model.clone();
+            // Load-validate the new checkpoint and bump the registry first:
+            // a bad path or corrupt file fails typed here, before any
+            // replica is touched, and the old generation keeps serving.
+            let (version, new_model) = shared.registry.retarget(&model, &checkpoint)?;
+            let pool = shared.pools.lock().get(&model).cloned();
+            let drained = match pool {
+                // Swap-then-drain; the report proves zero dropped requests.
+                Some(pool) => pool.rollout(new_model)?.drained as u64,
+                // No traffic yet: the retargeted registry alone suffices —
+                // the pool lazily built by the first request serves the
+                // new checkpoint.
+                None => 0,
+            };
+            tel::event(
+                tel::Level::Info,
+                "serve.rollout",
+                &[
+                    ("model", model.into()),
+                    ("version", (version as f64).into()),
+                    ("drained", (drained as f64).into()),
+                ],
+            );
+            Ok(Response::RolledOut { version, drained })
+        }
     }
 }
 
@@ -361,18 +420,26 @@ fn unix_ms() -> u64 {
         .unwrap_or(0)
 }
 
-fn engine_for(shared: &Shared, name: &str) -> Result<Arc<BatchEngine>> {
-    // The first request for a model pays checkpoint load + engine spawn
+fn pool_for(shared: &Shared, name: &str) -> Result<Arc<ReplicaPool>> {
+    // The first request for a model pays checkpoint load + fleet spawn
     // under the map lock; concurrent first requests for *different* models
     // briefly serialize, which is fine at registry scale.
-    let mut engines = shared.engines.lock();
-    if let Some(engine) = engines.get(name) {
-        return Ok(Arc::clone(engine));
+    let mut pools = shared.pools.lock();
+    if let Some(pool) = pools.get(name) {
+        return Ok(Arc::clone(pool));
     }
     let model = shared.registry.get(name)?;
-    let engine = Arc::new(BatchEngine::new(model, shared.config.engine.clone())?);
-    engines.insert(name.to_string(), Arc::clone(&engine));
-    Ok(engine)
+    let pool = Arc::new(ReplicaPool::new(
+        model,
+        PoolConfig {
+            replicas: shared.config.replicas,
+            engine: shared.config.engine.clone(),
+            policy: shared.config.policy,
+            max_in_flight: shared.config.max_in_flight,
+        },
+    )?);
+    pools.insert(name.to_string(), Arc::clone(&pool));
+    Ok(pool)
 }
 
 /// Runs the probe's attack synchronously on the connection thread: attacks

@@ -1,0 +1,149 @@
+//! Fleet dispatch must be invisible in the bits: the same request batch
+//! routed through 1/2/4 replicas, under either dispatch policy and either
+//! kernel thread count, yields `to_bits`-identical logits to a
+//! single-engine forward on the caller's thread. A replica is a placement
+//! decision, never a numerical one.
+
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_serve::{DispatchPolicy, EngineConfig, PoolConfig, ReplicaPool, TraceId};
+use ibrar_tensor::{parallel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IMAGES: usize = 8;
+
+fn model() -> Arc<dyn ImageModel> {
+    let mut rng = StdRng::seed_from_u64(7);
+    Arc::new(VggMini::new(VggConfig::tiny(10), &mut rng).unwrap())
+}
+
+fn image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], |idx| {
+        ((idx[0] * 31 + idx[1] * 7 + idx[2] * 3 + i * 13) % 17) as f32 / 17.0
+    })
+}
+
+/// Deterministic per-image trace id — under consistent hash this is also
+/// the routing key, so the dispatch pattern is reproducible run to run.
+fn trace(i: usize) -> TraceId {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&(0x5EED_0000u64 + i as u64).to_le_bytes());
+    bytes[8..].copy_from_slice(&(!(i as u64)).to_le_bytes());
+    TraceId::from_bytes(bytes)
+}
+
+/// Reference: single-image forward on the caller's thread, as bits.
+fn single_forward(model: &dyn ImageModel, img: &Tensor) -> Vec<u32> {
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(Tensor::stack(std::slice::from_ref(img)).unwrap());
+    let out = model.forward(&sess, x, Mode::Eval).unwrap();
+    out.logits
+        .value()
+        .row(0)
+        .unwrap()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn fleet_logits_are_bitwise_identical_to_single_engine_forward() {
+    let model = model();
+
+    // The reference is computed single-threaded; the fleet must match it
+    // bit for bit even when kernels run on 4 threads.
+    let reference: Vec<Vec<u32>> = {
+        let _one = parallel::with_threads(1);
+        (0..IMAGES)
+            .map(|i| single_forward(model.as_ref(), &image(i)))
+            .collect()
+    };
+
+    for &threads in &[1usize, 4] {
+        let _guard = parallel::with_threads(threads);
+        for &replicas in &[1usize, 2, 4] {
+            for policy in [
+                DispatchPolicy::LeastQueueDepth,
+                DispatchPolicy::ConsistentHash,
+            ] {
+                let pool = ReplicaPool::new(
+                    Arc::clone(&model),
+                    PoolConfig {
+                        replicas,
+                        engine: EngineConfig {
+                            max_batch: 4,
+                            max_wait: Duration::from_millis(5),
+                            queue_capacity: 64,
+                            workers: 2,
+                        },
+                        policy,
+                        max_in_flight: None,
+                    },
+                )
+                .unwrap();
+
+                // Submit the whole wave before waiting so requests really
+                // spread across replicas and coalesce into batches.
+                let pending: Vec<_> = (0..IMAGES)
+                    .map(|i| pool.submit_traced(image(i), None, Some(trace(i))).unwrap())
+                    .collect();
+                for (i, p) in pending.into_iter().enumerate() {
+                    let row = p.wait().unwrap();
+                    let got: Vec<u32> = row.data().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        got, reference[i],
+                        "bits diverged: image {i}, replicas={replicas}, \
+                         policy={policy}, threads={threads}"
+                    );
+                }
+                pool.shutdown();
+            }
+        }
+    }
+}
+
+#[test]
+fn consistent_hash_pins_a_trace_to_one_replica() {
+    // Affinity behind the bitwise guarantee: every submission of the same
+    // trace id lands on the same replica, even when other replicas are
+    // idle and least-depth would have spread the load.
+    let pool = ReplicaPool::new(
+        model(),
+        PoolConfig {
+            replicas: 4,
+            policy: DispatchPolicy::ConsistentHash,
+            ..PoolConfig::default()
+        },
+    )
+    .unwrap();
+    let replicas = pool.replicas();
+    let gates: Vec<_> = replicas.iter().map(|r| r.engine().pause()).collect();
+
+    let pending: Vec<_> = (0..3)
+        .map(|_| pool.submit_traced(image(0), None, Some(trace(3))).unwrap())
+        .collect();
+    let homes: Vec<usize> = replicas
+        .iter()
+        .filter(|r| r.engine().in_flight() > 0)
+        .map(|r| r.id())
+        .collect();
+    assert_eq!(homes.len(), 1, "one trace id spread across {homes:?}");
+    assert_eq!(replicas[homes[0]].engine().in_flight(), 3);
+
+    // The home replica is the router's first candidate, independent of load.
+    let router = ibrar_serve::Router::new(DispatchPolicy::ConsistentHash, 4);
+    assert_eq!(
+        router.candidates(&[7, 1, 3, 5], Some(&trace(3)))[0],
+        homes[0]
+    );
+
+    drop(gates);
+    for p in pending {
+        p.wait().unwrap();
+    }
+    pool.shutdown();
+}

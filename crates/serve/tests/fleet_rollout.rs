@@ -1,0 +1,406 @@
+//! Zero-downtime rollout and fault injection, proven deterministic via the
+//! engine pause gate (no sleep-based synchronization):
+//!
+//! * hot-swap under load drains the old generation *exactly* — the drain
+//!   counter equals the number of requests in flight at gate close, and
+//!   every one of them resolves `Ok` (zero dropped);
+//! * killing one replica mid-stream fails its queued requests with typed
+//!   [`ServeError::Shutdown`] while survivors keep serving;
+//! * a rollout whose architecture fingerprint differs from the serving
+//!   fleet is rejected before anything is built or swapped;
+//! * the wire-level `Rollout` opcode swaps checkpoints end to end with
+//!   bitwise-verifiable before/after logits.
+
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_serve::{
+    save_to_path, Client, DispatchPolicy, EngineConfig, ModelRegistry, PoolConfig, ReplicaPool,
+    RolloutReport, ServeError, Server, ServerConfig, TraceId,
+};
+use ibrar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn model(seed: u64) -> Arc<dyn ImageModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Arc::new(VggMini::new(VggConfig::tiny(10), &mut rng).unwrap())
+}
+
+fn image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 16, 16], |idx| {
+        ((idx[0] * 11 + idx[1] * 5 + idx[2] * 2 + i * 23) % 19) as f32 / 19.0
+    })
+}
+
+fn single_forward(model: &dyn ImageModel, img: &Tensor) -> Vec<u32> {
+    let tape = ibrar_autograd::Tape::new();
+    let sess = Session::new(&tape);
+    let x = tape.leaf(Tensor::stack(std::slice::from_ref(img)).unwrap());
+    let out = model.forward(&sess, x, Mode::Eval).unwrap();
+    out.logits
+        .value()
+        .row(0)
+        .unwrap()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Bounded wait on a condition another thread flips; correctness never
+/// depends on the sleep length, only liveness does.
+fn spin_until(what: &str, mut cond: impl FnMut() -> bool) {
+    for _ in 0..10_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn small_pool(replicas: usize, policy: DispatchPolicy) -> ReplicaPool {
+    ReplicaPool::new(
+        model(7),
+        PoolConfig {
+            replicas,
+            engine: EngineConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(20),
+                queue_capacity: 16,
+                workers: 2,
+            },
+            policy,
+            max_in_flight: None,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn rollout_under_load_drains_exactly_and_drops_nothing() {
+    let pool = small_pool(2, DispatchPolicy::LeastQueueDepth);
+    let old = pool.replicas();
+    let mut gates: Vec<_> = old.iter().map(|r| Some(r.engine().pause())).collect();
+
+    // Six requests spread 3/3 by least-depth (loads tick up as we submit).
+    let pending: Vec<_> = (0..6)
+        .map(|i| pool.submit(image(i), None).unwrap())
+        .collect();
+    assert_eq!(pool.in_flight(), 6);
+    assert_eq!(old[0].engine().in_flight(), 3);
+    assert_eq!(old[1].engine().in_flight(), 3);
+
+    let report = std::thread::scope(|s| {
+        let rollout = s.spawn(|| pool.rollout(model(8)).unwrap());
+
+        // The swap lands while every old-generation request is still
+        // captive behind the pause gates: new version serves immediately.
+        spin_until("generation swap", || pool.version() == 2);
+        assert_eq!(pool.in_flight(), 0, "new generation starts empty");
+
+        // Release the old replicas one at a time, only after the drain
+        // gate has provably closed on each (drain captures the in-flight
+        // count under the same lock that guards completions, so observing
+        // `is_draining` means the count was read with all 3 still live).
+        for (i, r) in old.iter().enumerate() {
+            spin_until("drain gate", || r.engine().is_draining());
+            gates[i] = None;
+        }
+        rollout.join().unwrap()
+    });
+
+    assert_eq!(
+        report,
+        RolloutReport {
+            from_version: 1,
+            to_version: 2,
+            drained: 6,
+        }
+    );
+    // Zero dropped: every request accepted by the old generation was
+    // answered, not failed.
+    for p in pending {
+        p.wait().unwrap();
+    }
+
+    // The fleet now serves the new model, bit for bit.
+    let want = single_forward(model(8).as_ref(), &image(0));
+    let got: Vec<u32> = pool
+        .submit(image(0), None)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(got, want, "post-rollout logits are not checkpoint v2's");
+    pool.shutdown();
+}
+
+#[test]
+fn draining_engine_rejects_new_submissions_with_typed_error() {
+    let pool = small_pool(1, DispatchPolicy::LeastQueueDepth);
+    let old = pool.replicas();
+    let gate = old[0].engine().pause();
+    let captive = pool.submit(image(0), None).unwrap();
+
+    std::thread::scope(|s| {
+        let rollout = s.spawn(|| pool.rollout(model(8)).unwrap());
+        spin_until("drain gate", || old[0].engine().is_draining());
+        // Straight-to-engine submissions during the drain shed with the
+        // typed transient error a router retries elsewhere.
+        assert!(matches!(
+            old[0].engine().submit(image(1), None),
+            Err(ServeError::Draining)
+        ));
+        // The pool itself already routes to the new generation.
+        pool.submit(image(2), None).unwrap().wait().unwrap();
+        drop(gate);
+        assert_eq!(rollout.join().unwrap().drained, 1);
+    });
+    captive.wait().unwrap();
+    pool.shutdown();
+}
+
+#[test]
+fn rollout_rejects_architecture_mismatch_before_building_anything() {
+    let pool = small_pool(2, DispatchPolicy::LeastQueueDepth);
+    let mut rng = StdRng::seed_from_u64(3);
+    let alien: Arc<dyn ImageModel> = Arc::new(VggMini::new(VggConfig::tiny(5), &mut rng).unwrap());
+
+    match pool.rollout(alien) {
+        Err(ServeError::Checkpoint(msg)) => {
+            assert!(msg.contains("fingerprint"), "{msg}");
+        }
+        other => panic!("expected typed checkpoint rejection, got {other:?}"),
+    }
+    // Nothing swapped; generation 1 keeps serving.
+    assert_eq!(pool.version(), 1);
+    pool.submit(image(0), None).unwrap().wait().unwrap();
+    pool.shutdown();
+}
+
+#[test]
+fn killing_a_replica_sheds_typed_errors_while_survivors_serve() {
+    let pool = small_pool(2, DispatchPolicy::LeastQueueDepth);
+    let replicas = pool.replicas();
+    let gate0 = replicas[0].engine().pause();
+    let gate1 = replicas[1].engine().pause();
+
+    // Four requests spread 2/2: indices 0,2 on replica 0 and 1,3 on 1.
+    let pending: Vec<_> = (0..4)
+        .map(|i| pool.submit(image(i), None).unwrap())
+        .collect();
+    assert_eq!(replicas[0].engine().in_flight(), 2);
+    assert_eq!(replicas[1].engine().in_flight(), 2);
+
+    // Kill replica 0 while its requests are captive: shutdown releases the
+    // pause gate itself and fails everything queued — typed, no hang.
+    assert!(pool.kill_replica(0));
+    assert!(!pool.kill_replica(17), "unknown id must report false");
+    assert_eq!(pool.alive(), 1);
+    drop(gate0); // shutdown already released the gate; dropping is a no-op
+    let (victims, survivors): (Vec<_>, Vec<_>) = pending
+        .into_iter()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    for (i, p) in victims {
+        match p.wait() {
+            Err(ServeError::Shutdown) => {} // captive on the victim: typed
+            other => panic!("victim request {i}: {other:?}"),
+        }
+    }
+
+    // Survivor keeps serving: release it, its captives complete, and fresh
+    // load routes around the corpse.
+    drop(gate1);
+    for (i, p) in survivors {
+        p.wait()
+            .unwrap_or_else(|e| panic!("survivor request {i}: {e}"));
+    }
+    for i in 0..4 {
+        pool.submit(image(i), None).unwrap().wait().unwrap();
+    }
+    assert_eq!(
+        replicas[0].engine().queue_depth(),
+        0,
+        "routing still offered work to the dead replica"
+    );
+
+    // Killing the last replica leaves nothing to serve: typed Shutdown.
+    assert!(pool.kill_replica(1));
+    assert!(matches!(
+        pool.submit(image(0), None),
+        Err(ServeError::Shutdown)
+    ));
+    pool.shutdown();
+}
+
+#[test]
+fn hash_keys_of_a_dead_replica_move_while_survivor_keys_stay() {
+    let pool = small_pool(2, DispatchPolicy::ConsistentHash);
+
+    // Find one trace homed on each replica via the pool's own router.
+    let router = ibrar_serve::Router::new(DispatchPolicy::ConsistentHash, 2);
+    let trace_for = |home: usize| -> TraceId {
+        for k in 0u64..10_000 {
+            let mut bytes = [0u8; 16];
+            bytes[..8].copy_from_slice(&k.to_le_bytes());
+            let id = TraceId::from_bytes(bytes);
+            if router.candidates(&[0, 0], Some(&id))[0] == home {
+                return id;
+            }
+        }
+        panic!("no key homed on replica {home}")
+    };
+    let key0 = trace_for(0);
+    let key1 = trace_for(1);
+
+    assert!(pool.kill_replica(0));
+    // Replica 0's keys fail over across the ring to the survivor...
+    pool.submit_traced(image(0), None, Some(key0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    // ...and replica 1's keys never noticed.
+    pool.submit_traced(image(1), None, Some(key1))
+        .unwrap()
+        .wait()
+        .unwrap();
+    pool.shutdown();
+}
+
+#[test]
+fn fleet_cap_sheds_with_typed_queue_full() {
+    let pool = ReplicaPool::new(
+        model(7),
+        PoolConfig {
+            replicas: 2,
+            engine: EngineConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(20),
+                queue_capacity: 16,
+                workers: 1,
+            },
+            policy: DispatchPolicy::LeastQueueDepth,
+            max_in_flight: Some(3),
+        },
+    )
+    .unwrap();
+    let replicas = pool.replicas();
+    let gates: Vec<_> = replicas.iter().map(|r| r.engine().pause()).collect();
+
+    let pending: Vec<_> = (0..3)
+        .map(|i| pool.submit(image(i), None).unwrap())
+        .collect();
+    // Admission control trips before any replica queue does.
+    assert!(matches!(
+        pool.submit(image(9), None),
+        Err(ServeError::QueueFull)
+    ));
+    drop(gates);
+    for p in pending {
+        p.wait().unwrap();
+    }
+    pool.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level rollout: the admin opcode end to end.
+// ---------------------------------------------------------------------------
+
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "ibrar-serve-fleet-{}-{tag}-{n}.ibsc",
+        std::process::id()
+    ))
+}
+
+fn save_model(seed: u64, classes: usize, tag: &str) -> PathBuf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = VggMini::new(VggConfig::tiny(classes), &mut rng).unwrap();
+    let path = temp_path(tag);
+    save_to_path(&m, &path).unwrap();
+    path
+}
+
+#[test]
+fn wire_rollout_swaps_checkpoints_with_bitwise_proof() {
+    // The metrics assertions at the end read the global recorder, which is
+    // disabled by default in tests.
+    ibrar_telemetry::global().enable();
+    let path_a = save_model(42, 10, "a");
+    let path_b = save_model(4242, 10, "b");
+    let path_alien = save_model(5, 5, "alien");
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("vgg", path_a.clone(), move || {
+        let mut rng = StdRng::seed_from_u64(999);
+        Ok(Box::new(VggMini::new(VggConfig::tiny(10), &mut rng)?))
+    });
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            replicas: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Before: generation 1 serves checkpoint A, bit for bit.
+    let want_a = single_forward(model(42).as_ref(), &image(0));
+    let (_, logits) = client.classify_with_logits("vgg", &image(0), 0).unwrap();
+    let got: Vec<u32> = logits.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want_a, "pre-rollout logits are not checkpoint A's");
+    assert_eq!(client.health().unwrap().engines, 2);
+
+    // A checkpoint with a different architecture is rejected and changes
+    // nothing — still checkpoint A on the wire.
+    assert!(client.rollout("vgg", path_alien.to_str().unwrap()).is_err());
+    let (_, logits) = client.classify_with_logits("vgg", &image(0), 0).unwrap();
+    assert_eq!(
+        logits.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+        want_a,
+        "failed rollout disturbed the serving model"
+    );
+
+    // An unknown model name is a typed rejection.
+    assert!(matches!(
+        client.rollout("nope", path_b.to_str().unwrap()),
+        Err(ServeError::UnknownModel(_))
+    ));
+
+    // The real swap: version bumps, nothing was in flight to drain, and
+    // the fleet now answers with checkpoint B's bits.
+    let ack = client.rollout("vgg", path_b.to_str().unwrap()).unwrap();
+    assert_eq!(ack.version, 2);
+    assert_eq!(ack.drained, 0);
+    let want_b = single_forward(model(4242).as_ref(), &image(0));
+    let (_, logits) = client.classify_with_logits("vgg", &image(0), 0).unwrap();
+    assert_eq!(
+        logits.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+        want_b,
+        "post-rollout logits are not checkpoint B's"
+    );
+    assert_eq!(client.health().unwrap().engines, 2, "fleet size changed");
+
+    // The swap is visible on the observability plane.
+    let json = client.metrics(ibrar_serve::MetricsFormat::Json).unwrap();
+    assert!(json.contains("serve.pool.swap"), "{json}");
+    assert!(json.contains("serve.pool.dispatch.r"), "{json}");
+
+    drop(client);
+    server.shutdown();
+    for p in [path_a, path_b, path_alien] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -74,16 +74,28 @@ else
     # and robustness probes fail typed (int8 has no input gradients).
     cargo run --release -q -p ibrar-bench --bin serve -- --smoke --int8
 
+    echo "== fleet serve smoke (2 replicas + live rollout) =="
+    # Two-replica pool over the real wire: fleet answers bitwise like a
+    # local forward, health counts every replica, and one hot checkpoint
+    # rollout lands (version bump, new weights bitwise, swap in metrics).
+    cargo run --release -q -p ibrar-bench --bin serve -- --smoke --replicas 2
+
+    echo "== loadgen smoke (schema gate) =="
+    # Tiny open-loop Poisson run with a mid-run rollout against a temp
+    # file; validates the ibrar-loadgen/v1 schema the dashboards and the
+    # perf gate consume.
+    cargo run --release -q -p ibrar-bench --bin loadgen -- --smoke
+
     echo "== perf report smoke (schema only) =="
     # Runs both perf_report phases at toy sizes against a temp file and
     # validates the BENCH_PR7.json schema; no timing assertions.
     cargo run --release -q -p ibrar-bench --bin perf_report -- --smoke
 
-    echo "== perf regression gate (committed BENCH_PR5/PR7 references) =="
-    # Re-times the train_step and serve_batch medians on the current build
-    # and fails if either exceeds any committed BENCH_*.json reference by
-    # more than perf_report's documented REGRESSION_FACTOR (2x — above
-    # shared-host timing noise, below a structural regression).
+    echo "== perf regression gate (committed BENCH_PR5/PR7/PR8 references) =="
+    # Re-times the train_step, serve_batch, and serve_fleet medians on the
+    # current build and fails if any exceeds a committed BENCH_*.json
+    # reference by more than perf_report's documented REGRESSION_FACTOR
+    # (2x — above shared-host timing noise, below a structural regression).
     cargo run --release -q -p ibrar-bench --bin perf_report -- --check
 fi
 
