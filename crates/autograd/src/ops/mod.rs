@@ -8,3 +8,4 @@ mod loss;
 mod norm;
 mod reduce;
 mod unary;
+mod vib;

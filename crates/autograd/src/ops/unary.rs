@@ -84,6 +84,26 @@ impl<'t> Var<'t> {
         self.record_unary(out, backward)
     }
 
+    /// Elementwise softplus `ln(1 + e^x)`, the smooth positive map the VIB
+    /// head uses to turn an unconstrained encoder output into `σ > 0`.
+    ///
+    /// Computed in the overflow-safe form `max(x, 0) + ln(1 + e^{-|x|})`,
+    /// which is finite for every finite input (the literal form overflows
+    /// to `+∞` near `x ≈ 89`). The derivative is `σ(x)`, evaluated at the
+    /// input.
+    pub fn softplus(self) -> Var<'t> {
+        let input = self.value();
+        let out = input.map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+        let backward: BackwardFn = Box::new(move |grad| {
+            vec![(
+                self.id,
+                grad.zip(&input, |g, x| g / (1.0 + (-x).exp()))
+                    .expect("same shape"),
+            )]
+        });
+        self.record_unary(out, backward)
+    }
+
     /// Elementwise sigmoid `1/(1+e^{-x})`.
     pub fn sigmoid(self) -> Var<'t> {
         let out = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
@@ -149,6 +169,31 @@ mod tests {
         let loss = x.sqrt();
         let grads = tape.backward(loss).unwrap();
         assert!((grads.get(x).unwrap().data()[0] - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_matches_literal_form_and_survives_extremes() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]).unwrap());
+        let y = x.softplus();
+        for (got, &v) in y.value().data().iter().zip(&[-2.0f32, 0.0, 3.0]) {
+            assert!((got - v.exp().ln_1p()).abs() < 1e-6);
+        }
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(vec![-200.0, 200.0], &[2]).unwrap());
+        let y = x.softplus().value();
+        assert!(y.data()[0].is_finite() && y.data()[1].is_finite());
+        assert!((y.data()[1] - 200.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softplus_gradient_is_sigmoid() {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::scalar(0.7));
+        let loss = x.softplus();
+        let grads = tape.backward(loss).unwrap();
+        let want = 1.0 / (1.0 + (-0.7f32).exp());
+        assert!((grads.get(x).unwrap().data()[0] - want).abs() < 1e-6);
     }
 
     #[test]

@@ -109,6 +109,50 @@ fn unary_ops() {
     audit("square", &a, |t, v| ws(t, v.square().unwrap(), &w));
     audit("sqrt", &pos, |t, v| ws(t, v.sqrt(), &w));
     audit("sigmoid", &a, |t, v| ws(t, v.sigmoid(), &w));
+    audit("softplus", &a, |t, v| ws(t, v.softplus(), &w));
+}
+
+#[test]
+fn vib_ops() {
+    let mu = pseudo(90, &[3, 4], -1.0, 1.0);
+    // Strictly positive σ bounded away from zero so ±EPS probes stay in
+    // the op's domain and 1/σ stays well-conditioned.
+    let sigma = pseudo(91, &[3, 4], 0.5, 1.5);
+    let noise = Gen::new(92).normal_tensor(&[3, 4]);
+    let w = pseudo(93, &[3, 4], 0.5, 1.5);
+    let pm = pseudo(94, &[4], -0.5, 0.5);
+    let ps = pseudo(95, &[4], 0.6, 1.4);
+
+    audit("rsample wrt mu", &mu, |t, v| {
+        ws(t, v.rsample(t.leaf(sigma.clone()), &noise).unwrap(), &w)
+    });
+    audit("rsample wrt sigma", &sigma, |t, v| {
+        ws(t, t.leaf(mu.clone()).rsample(v, &noise).unwrap(), &w)
+    });
+
+    audit("kl_gauss wrt mu", &mu, |t, v| {
+        v.kl_gauss(
+            t.leaf(sigma.clone()),
+            t.leaf(pm.clone()),
+            t.leaf(ps.clone()),
+        )
+        .unwrap()
+    });
+    audit("kl_gauss wrt sigma", &sigma, |t, v| {
+        t.leaf(mu.clone())
+            .kl_gauss(v, t.leaf(pm.clone()), t.leaf(ps.clone()))
+            .unwrap()
+    });
+    audit("kl_gauss wrt prior_mu", &pm, |t, v| {
+        t.leaf(mu.clone())
+            .kl_gauss(t.leaf(sigma.clone()), v, t.leaf(ps.clone()))
+            .unwrap()
+    });
+    audit("kl_gauss wrt prior_sigma", &ps, |t, v| {
+        t.leaf(mu.clone())
+            .kl_gauss(t.leaf(sigma.clone()), t.leaf(pm.clone()), v)
+            .unwrap()
+    });
 }
 
 #[test]

@@ -28,7 +28,7 @@ use ibrar::{IbLoss, IbLossConfig, TrainMethod, Trainer, TrainerConfig};
 use ibrar_attacks::{Attack, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
 use ibrar_autograd::Tape;
 use ibrar_data::{Dataset, SynthVision, SynthVisionConfig};
-use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini, VibHead, VibHeadConfig};
 use ibrar_serve::{BatchEngine, EngineConfig, PoolConfig, ReplicaPool};
 use ibrar_telemetry::{self as tel, json::Json};
 use ibrar_tensor::{parallel, Conv2dSpec, Tensor};
@@ -45,12 +45,13 @@ const NUM_CLASSES: usize = 10;
 
 /// Workload names, in report order. The acceptance gate reads
 /// `conv_forward`, `pgd_step`, and `ibrar_regularizer`.
-const WORKLOADS: [&str; 6] = [
+const WORKLOADS: [&str; 7] = [
     "conv_forward",
     "conv_fwd_bwd",
     "pgd_step",
     "ibrar_regularizer",
     "train_step",
+    "vib_train_step",
     "serve_batch",
 ];
 
@@ -62,7 +63,8 @@ const HEAD_ONLY_WORKLOADS: [&str; 1] = ["serve_batch_int8"];
 /// Workloads the `--check` regression gate re-times. `serve_fleet` is not
 /// in [`WORKLOADS`] (committed PR7-era reports predate the pool); its
 /// reference lives in the loadgen report, `BENCH_PR8.json`.
-const CHECK_WORKLOADS: [&str; 3] = ["train_step", "serve_batch", "serve_fleet"];
+/// `vib_train_step`'s reference lives in `BENCH_PR9.json`.
+const CHECK_WORKLOADS: [&str; 4] = ["train_step", "vib_train_step", "serve_batch", "serve_fleet"];
 
 /// `--check` threshold: a fresh median may be at most this multiple of a
 /// committed reference before the gate fails. Sub-100ms wall-clock medians
@@ -267,6 +269,26 @@ fn time_train(sizes: &Sizes) -> f64 {
     })
 }
 
+/// `vib_train_step`: one Standard epoch through the VIB-wrapped model —
+/// frozen-noise reparameterized forward, rsample/kl_gauss backward, SGD —
+/// the per-step cost of the variational bottleneck next to `train_step`'s
+/// HSIC path.
+fn time_vib_train(sizes: &Sizes) -> f64 {
+    let (train, test) = synth(sizes);
+    let cfg = TrainerConfig::new(TrainMethod::Standard)
+        .with_epochs(1)
+        .with_batch_size(16)
+        .with_seed(7)
+        .with_sequential_batches();
+    median_ms(sizes.reps.min(5), || {
+        let mut rng = StdRng::seed_from_u64(13);
+        let inner = VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng).expect("backbone");
+        let m = VibHead::new(inner, VibHeadConfig::paper_default(), &mut rng).expect("vib head");
+        let trainer = Trainer::new(cfg.clone());
+        std::hint::black_box(trainer.train(&m, &train, &test).expect("train"));
+    })
+}
+
 /// `serve_batch`: a wave of concurrent single-image requests through the
 /// micro-batching engine (batch assembly = the `Tensor::stack` path, then
 /// one stacked Eval forward per batch).
@@ -360,6 +382,7 @@ fn time_workload(name: &str, sizes: &Sizes) -> f64 {
         "pgd_step" => time_pgd(sizes),
         "ibrar_regularizer" => time_regularizer(sizes),
         "train_step" => time_train(sizes),
+        "vib_train_step" => time_vib_train(sizes),
         "serve_batch" => time_serve(sizes),
         "serve_batch_int8" => time_serve_int8(sizes),
         "serve_fleet" => time_serve_fleet(sizes),
@@ -638,7 +661,12 @@ fn committed_reference(report: &Json, name: &str) -> Option<f64> {
 /// `BENCH_PR*.json` trajectory files — so a regression against PR 5's or
 /// PR 7's recorded medians fails even if the latest baseline got slower.
 fn run_check(sizes: &Sizes) -> DynResult<()> {
-    let reports = ["BENCH_PR8.json", "BENCH_PR7.json", "BENCH_PR5.json"];
+    let reports = [
+        "BENCH_PR9.json",
+        "BENCH_PR8.json",
+        "BENCH_PR7.json",
+        "BENCH_PR5.json",
+    ];
     let mut current = Vec::new();
     for name in CHECK_WORKLOADS {
         let ms = time_workload(name, sizes);

@@ -10,7 +10,7 @@
 //! Set `IBRAR_LOG` / `IBRAR_TELEMETRY` to capture the serve.* counters,
 //! gauges, and span timings (see README "Observability").
 
-use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini, VibHead, VibHeadConfig};
 use ibrar_serve::{
     save_to_path, BatchEngine, Client, DispatchPolicy, EngineConfig, Int8Vgg, MetricsFormat,
     ModelRegistry, ProbeSpec, ServeError, Server, ServerConfig,
@@ -26,6 +26,7 @@ type DynResult<T> = Result<T, Box<dyn std::error::Error>>;
 
 const MODEL_NAME: &str = "vgg";
 const INT8_NAME: &str = "vgg-int8";
+const VIB_NAME: &str = "VggMini-vib";
 const NUM_CLASSES: usize = 10;
 
 fn usage() -> ! {
@@ -95,6 +96,33 @@ fn register_int8(registry: &ModelRegistry, path: &std::path::Path) {
     });
 }
 
+fn build_vib(seed: u64) -> DynResult<VibHead<VggMini>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inner = VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng)?;
+    Ok(VibHead::new(
+        inner,
+        VibHeadConfig::paper_default(),
+        &mut rng,
+    )?)
+}
+
+/// Checkpoints a VIB donor and registers the architecture under
+/// [`VIB_NAME`]. Like [`checkpointed_registry`], the builder starts from
+/// different weights, so correct answers prove the round-trip; serving
+/// always runs the deterministic μ-only eval path.
+fn register_vib(registry: &ModelRegistry) -> DynResult<(PathBuf, VibHead<VggMini>)> {
+    let donor = build_vib(43)?;
+    let path =
+        std::env::temp_dir().join(format!("ibrar-serve-bin-vib-{}.ibsc", std::process::id()));
+    save_to_path(&donor, &path)?;
+    registry.register(VIB_NAME, path.clone(), || {
+        Ok(Box::new(build_vib(998).map_err(|e| {
+            ibrar_nn::NnError::Config(format!("vib builder: {e}"))
+        })?))
+    });
+    Ok((path, donor))
+}
+
 fn local_logits(model: &dyn ImageModel, img: &Tensor) -> DynResult<Vec<f32>> {
     let tape = ibrar_autograd::Tape::new();
     let sess = Session::new(&tape);
@@ -121,6 +149,7 @@ fn run_smoke() -> DynResult<()> {
     // IBRAR_TELEMETRY set.
     ibrar_telemetry::global().enable();
     let (registry, path, model) = checkpointed_registry()?;
+    let (vib_path, vib_donor) = register_vib(&registry)?;
     // Tiny queue so backpressure is reachable deterministically.
     let mut server = Server::start(
         "127.0.0.1:0",
@@ -173,6 +202,27 @@ fn run_smoke() -> DynResult<()> {
         check(a.clean_correct, "probe clean prediction is correct")?;
     }
 
+    // The VIB head serves through the same registry. Wire logits must
+    // bitwise-match a local μ-only forward of the donor weights — the
+    // builder starts from different weights, so a match proves the
+    // checkpoint round-trip covered every VibHead parameter (priors
+    // included). The gradient-based probes then run against that same
+    // deterministic eval path.
+    let vib_want = local_logits(&vib_donor, &img)?;
+    let (vib_label, vib_logits) = client.classify_with_logits(VIB_NAME, &img, 0)?;
+    check(
+        vib_logits
+            .iter()
+            .zip(&vib_want)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "vib logits bitwise-match local mu-only forward",
+    )?;
+    for spec in [ProbeSpec::fgsm_default(), ProbeSpec::pgd_default()] {
+        let a = client.robustness_probe(VIB_NAME, &img, vib_label, spec)?;
+        let b = client.robustness_probe(VIB_NAME, &img, vib_label, spec)?;
+        check(a == b, "vib probe on mu-only eval path is deterministic")?;
+    }
+
     // Backpressure: park the batcher, fill the queue, and observe the typed
     // queue-full and deadline errors cross the wire.
     let engine = server
@@ -221,8 +271,8 @@ fn run_smoke() -> DynResult<()> {
     // families, typed JSON snapshot, and the flight recorder.
     let health = client.health()?;
     check(
-        health.engines == 1 && health.queue_depth == 0,
-        "health reports the lazily-created engine",
+        health.engines == 2 && health.queue_depth == 0,
+        "health reports both lazily-created engines",
     )?;
     let prom = client.metrics(MetricsFormat::Prometheus)?;
     for family in [
@@ -263,6 +313,7 @@ fn run_smoke() -> DynResult<()> {
     drop(client);
     server.shutdown();
     let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(vib_path);
     check(true, "clean shutdown")?;
 
     if ibrar_telemetry::enabled() {
@@ -542,6 +593,7 @@ fn run_listen(addr: &str, int8: bool, replicas: usize, policy: DispatchPolicy) -
     // IBRAR_TELEMETRY in the environment.
     ibrar_telemetry::global().enable();
     let (registry, _path, _model) = checkpointed_registry()?;
+    let (_vib_path, _) = register_vib(&registry)?;
     if int8 {
         register_int8(&registry, &_path);
     }
@@ -555,7 +607,7 @@ fn run_listen(addr: &str, int8: bool, replicas: usize, policy: DispatchPolicy) -
         },
     )?;
     println!(
-        "serving model {MODEL_NAME:?}{} on {} (ctrl-c to stop)",
+        "serving models {MODEL_NAME:?} + {VIB_NAME:?}{} on {} (ctrl-c to stop)",
         if int8 {
             format!(" + {INT8_NAME:?}")
         } else {

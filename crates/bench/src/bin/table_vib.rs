@@ -1,0 +1,15 @@
+//! Runs the {CE, HSIC-IB, VIB} x attack-suite comparison matrix (see
+//! EXPERIMENTS.md "VIB three-way comparison"). Flags: --quick | --full |
+//! --train N | --test N | --epochs N | --seeds N | --eval N.
+//!
+//! Set `IBRAR_LOG` / `IBRAR_TELEMETRY` to capture telemetry (see README
+//! "Observability"); a run manifest is written next to the output table.
+
+fn main() -> ibrar_bench::ExpResult<()> {
+    let scale = ibrar_bench::Scale::from_args();
+    ibrar_bench::run_binary(
+        "table_vib",
+        &scale,
+        ibrar_bench::experiments::table_vib::run,
+    )
+}

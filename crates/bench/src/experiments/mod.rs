@@ -13,3 +13,4 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod table_vib;

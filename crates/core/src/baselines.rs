@@ -7,6 +7,13 @@
 //!   on top of any [`ImageModel`], trained with the reparameterization trick
 //!   and a `KL(q(z|x) ‖ N(0, I))` penalty delivered through
 //!   [`ModelOutput::aux_loss`].
+//!
+//! `VibBaseline` intentionally draws its noise from a live `rand` stream —
+//! its test pins that two train forwards *differ* — which makes it
+//! unsuitable wherever bitwise replay matters. The deterministic VIB
+//! subsystem ([`crate::VibConfig`] / [`ibrar_nn::VibHead`], with frozen
+//! per-batch noise, a learned prior, and dedicated `rsample`/`kl_gauss`
+//! tape ops) is what `table_vib`, the goldens, and the serve registry use.
 
 use crate::Result;
 use ibrar_autograd::Var;

@@ -20,9 +20,13 @@
 //!   the CE baseline.
 //! * [`AdaptiveIbObjective`] — the Appendix A.2 adaptive white-box attack
 //!   objective (PGD on the full IB-RAR loss).
-//! * [`VibBaseline`] — the VIB comparison baseline (Alemi et al. 2017);
-//!   HBaR (Wang et al. 2021) is expressed as `IbLoss` over all layers with
-//!   its own hyperparameters via [`IbLossConfig::hbar`].
+//! * [`VibConfig`] — the second IB family: a deterministic variational-IB
+//!   head ([`ibrar_nn::VibHead`]) with frozen per-batch reparameterization
+//!   noise and a learned Gaussian prior, composing with every
+//!   [`TrainMethod`] through `aux_loss`. [`VibBaseline`] is the older
+//!   rand-driven VIB comparison baseline (Alemi et al. 2017) kept for
+//!   Fig. 2; HBaR (Wang et al. 2021) is expressed as `IbLoss` over all
+//!   layers with its own hyperparameters via [`IbLossConfig::hbar`].
 //!
 //! # Examples
 //!
@@ -59,6 +63,7 @@ mod layer_select;
 mod loss;
 mod mask;
 mod trainer;
+mod vib;
 
 pub use adaptive::AdaptiveIbObjective;
 pub use baselines::VibBaseline;
@@ -67,6 +72,7 @@ pub use layer_select::{discover_robust_layers, robust_indices, LayerReport, Robu
 pub use loss::{IbLayerTerm, IbLoss, IbLossConfig, LayerPolicy};
 pub use mask::{compute_channel_mask, mask_from_scores, MaskConfig};
 pub use trainer::{EpochMetrics, TrainMethod, TrainReport, Trainer, TrainerConfig};
+pub use vib::VibConfig;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, IbrarError>;

@@ -1,0 +1,175 @@
+//! The deterministic variational-IB configuration, orthogonal to
+//! [`TrainMethod`](crate::TrainMethod).
+//!
+//! [`VibConfig`] is the core-level knob for the second IB family: wrap any
+//! backbone in a [`VibHead`] and train it with *any* `TrainerConfig`. The
+//! composition needs no trainer changes because every train method already
+//! folds [`ModelOutput::aux_loss`](ibrar_nn::ModelOutput) into its
+//! objective — Standard and PGD-AT add the β·KL of the batch they forward,
+//! TRADES adds the clean branch's, MART the adversarial branch's.
+//!
+//! This supersedes the older rand-driven [`VibBaseline`](crate::VibBaseline)
+//! for everything that must be reproducible: the head built here draws its
+//! noise from the frozen per-batch SplitMix64 stream (DESIGN.md §16), so
+//! training is bitwise replayable across thread counts and worker-pool
+//! states.
+
+use crate::Result;
+use ibrar_nn::{ImageModel, VibHead, VibHeadConfig};
+use rand::Rng;
+
+/// Hyperparameters for building a deterministic VIB model.
+///
+/// A thin, copyable façade over [`VibHeadConfig`] so experiment code can
+/// configure the β weight (and bottleneck geometry) next to its
+/// `TrainerConfig` without importing nn internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VibConfig {
+    head: VibHeadConfig,
+}
+
+impl VibConfig {
+    /// Deep-VIB defaults (32-wide bottleneck, one MC sample, β = 0.01).
+    pub fn paper_default() -> Self {
+        VibConfig {
+            head: VibHeadConfig::paper_default(),
+        }
+    }
+
+    /// Sets the KL weight β.
+    #[must_use]
+    pub fn with_beta(mut self, beta: f32) -> Self {
+        self.head = self.head.with_beta(beta);
+        self
+    }
+
+    /// Sets the bottleneck width.
+    #[must_use]
+    pub fn with_bottleneck(mut self, bottleneck: usize) -> Self {
+        self.head = self.head.with_bottleneck(bottleneck);
+        self
+    }
+
+    /// Sets the Monte-Carlo sample count for the train path.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.head = self.head.with_samples(samples);
+        self
+    }
+
+    /// Sets the base seed of the frozen noise stream.
+    #[must_use]
+    pub fn with_noise_seed(mut self, noise_seed: u64) -> Self {
+        self.head = self.head.with_noise_seed(noise_seed);
+        self
+    }
+
+    /// The KL weight β.
+    pub fn beta(&self) -> f32 {
+        self.head.beta
+    }
+
+    /// The underlying head configuration.
+    pub fn head(&self) -> VibHeadConfig {
+        self.head
+    }
+
+    /// Wraps `inner` in a [`VibHead`] with these hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates head-construction errors (zero bottleneck/sample count,
+    /// backbone without a 2-D FC tap).
+    pub fn wrap<M: ImageModel>(&self, inner: M, rng: &mut impl Rng) -> Result<VibHead<M>> {
+        Ok(VibHead::new(inner, self.head, rng)?)
+    }
+}
+
+impl Default for VibConfig {
+    fn default() -> Self {
+        VibConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TrainMethod, Trainer, TrainerConfig};
+    use ibrar_data::{SynthVision, SynthVisionConfig};
+    use ibrar_nn::{VggConfig, VggMini};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_method(method: TrainMethod) -> TrainMethod {
+        // Shrink inner-attack budgets so the composition test stays fast.
+        match method {
+            TrainMethod::PgdAt { eps, alpha, .. } => TrainMethod::PgdAt {
+                eps,
+                alpha,
+                steps: 1,
+            },
+            TrainMethod::Trades {
+                beta, eps, alpha, ..
+            } => TrainMethod::Trades {
+                beta,
+                eps,
+                alpha,
+                steps: 1,
+            },
+            TrainMethod::Mart {
+                beta, eps, alpha, ..
+            } => TrainMethod::Mart {
+                beta,
+                eps,
+                alpha,
+                steps: 1,
+            },
+            TrainMethod::Standard => TrainMethod::Standard,
+        }
+    }
+
+    /// The tentpole composition claim: one VibConfig, all four train
+    /// methods, no trainer changes.
+    #[test]
+    fn vib_composes_with_every_train_method() {
+        let data = SynthVision::generate(&SynthVisionConfig::cifar10_like().with_sizes(32, 16), 5)
+            .unwrap();
+        for method in [
+            TrainMethod::Standard,
+            TrainMethod::pgd_at_default(),
+            TrainMethod::trades_default(),
+            TrainMethod::mart_default(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let inner = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+            let model = VibConfig::paper_default()
+                .with_bottleneck(16)
+                .wrap(inner, &mut rng)
+                .unwrap();
+            let report = Trainer::new(
+                TrainerConfig::new(tiny_method(method))
+                    .with_epochs(1)
+                    .with_batch_size(16),
+            )
+            .train(&model, &data.train, &data.test)
+            .unwrap();
+            assert!(
+                report.final_loss().is_finite(),
+                "{method:?} produced a non-finite loss"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let cfg = VibConfig::paper_default()
+            .with_beta(0.5)
+            .with_bottleneck(8)
+            .with_samples(3)
+            .with_noise_seed(9);
+        assert_eq!(cfg.beta(), 0.5);
+        assert_eq!(cfg.head().bottleneck, 8);
+        assert_eq!(cfg.head().samples, 3);
+        assert_eq!(cfg.head().noise_seed, 9);
+    }
+}

@@ -55,6 +55,7 @@ pub use model::{
 pub use models::residual::{BasicBlock, ResidualConfig, ResidualNet};
 pub use models::resnet::{ResNetConfig, ResNetMini};
 pub use models::vgg::{VggConfig, VggMini};
+pub use models::vib::{VibHead, VibHeadConfig};
 pub use models::wrn::{WideResNetConfig, WideResNetMini};
 pub use optim::{Sgd, SgdConfig, StepLr};
 pub use param::Parameter;

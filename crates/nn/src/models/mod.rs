@@ -3,4 +3,5 @@
 pub mod residual;
 pub mod resnet;
 pub mod vgg;
+pub mod vib;
 pub mod wrn;

@@ -55,6 +55,26 @@ impl Gen {
     pub fn labels(&mut self, n: usize, classes: usize) -> Vec<usize> {
         (0..n).map(|_| self.usize_in(0, classes - 1)).collect()
     }
+
+    /// Standard-normal f32 via the Box–Muller transform.
+    ///
+    /// Consumes exactly two `next_u64` draws per value (no cached spare),
+    /// so the stream position after `k` calls is the same on every build —
+    /// the property the VIB noise-freezing contract (DESIGN.md §16) relies
+    /// on.
+    pub fn normal_f32(&mut self) -> f32 {
+        // u1 ∈ (0, 1] keeps the log argument strictly positive.
+        let u1 = 1.0 - self.unit_f32();
+        let u2 = self.unit_f32();
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// Tensor of the given shape filled with standard-normal values.
+    pub fn normal_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        let data: Vec<f32> = (0..len).map(|_| self.normal_f32()).collect();
+        Tensor::from_vec(data, shape).expect("length matches shape by construction")
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +118,28 @@ mod tests {
         let ls = g.labels(64, 10);
         assert_eq!(ls.len(), 64);
         assert!(ls.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn normal_is_deterministic_and_plausible() {
+        let mut a = Gen::new(123);
+        let mut b = Gen::new(123);
+        let n = 4096;
+        let xs: Vec<f32> = (0..n).map(|_| a.normal_f32()).collect();
+        let ys: Vec<f32> = (0..n).map(|_| b.normal_f32()).collect();
+        assert!(xs.iter().zip(&ys).all(|(x, y)| x.to_bits() == y.to_bits()));
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn normal_tensor_shape() {
+        let mut g = Gen::new(5);
+        let t = g.normal_tensor(&[3, 7]);
+        assert_eq!(t.shape(), &[3, 7]);
     }
 
     #[test]

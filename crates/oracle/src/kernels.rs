@@ -415,6 +415,118 @@ pub fn pgd_step(x: &Tensor, x_orig: &Tensor, grad: &Tensor, alpha: f32, eps: f32
     out
 }
 
+/// Elementwise softplus `ln(1 + e^x)`, transcribed literally.
+///
+/// The optimized op uses the overflow-safe rewrite
+/// `max(x, 0) + ln(1 + e^{-|x|})`; differential tests keep inputs in a
+/// range where the literal form stays finite.
+pub fn softplus(x: &Tensor) -> Tensor {
+    let data: Vec<f32> = x.data().iter().map(|&v| v.exp().ln_1p()).collect();
+    Tensor::from_vec(data, x.shape()).expect("same shape")
+}
+
+/// Gradient of [`softplus`]: `∂/∂x ln(1 + e^x) = σ(x)`, scaled by the
+/// upstream gradient.
+pub fn softplus_grad(x: &Tensor, grad: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), grad.shape(), "gradient shape mismatch");
+    let data: Vec<f32> = x
+        .data()
+        .iter()
+        .zip(grad.data())
+        .map(|(&v, &g)| g / (1.0 + (-v).exp()))
+        .collect();
+    Tensor::from_vec(data, x.shape()).expect("same shape")
+}
+
+/// Reparameterized Gaussian sample `z = μ + σ ⊙ ε` for frozen noise `ε`.
+pub fn rsample(mu: &Tensor, sigma: &Tensor, noise: &Tensor) -> Tensor {
+    assert_eq!(mu.shape(), sigma.shape(), "sigma shape mismatch");
+    assert_eq!(mu.shape(), noise.shape(), "noise shape mismatch");
+    let data: Vec<f32> = mu
+        .data()
+        .iter()
+        .zip(sigma.data())
+        .zip(noise.data())
+        .map(|((&m, &s), &e)| m + s * e)
+        .collect();
+    Tensor::from_vec(data, mu.shape()).expect("same shape")
+}
+
+/// Gradients of [`rsample`] with respect to `(μ, σ)`: `∂z/∂μ = 1`,
+/// `∂z/∂σ = ε` (the frozen noise is a constant, not a parent).
+pub fn rsample_grads(noise: &Tensor, grad: &Tensor) -> (Tensor, Tensor) {
+    assert_eq!(noise.shape(), grad.shape(), "gradient shape mismatch");
+    let dsigma: Vec<f32> = noise
+        .data()
+        .iter()
+        .zip(grad.data())
+        .map(|(&e, &g)| g * e)
+        .collect();
+    (
+        grad.clone(),
+        Tensor::from_vec(dsigma, noise.shape()).expect("same shape"),
+    )
+}
+
+/// Analytic KL divergence between the diagonal Gaussian `N(μ, σ²)` (one
+/// row per batch element) and the shared prior `N(m, s²)`, summed over
+/// dimensions and meaned over the batch:
+///
+/// `KL = (1/n) Σ_i Σ_j [ ln(s_j/σ_ij) + (σ_ij² + (μ_ij − m_j)²)/(2 s_j²) − ½ ]`
+pub fn kl_gauss(mu: &Tensor, sigma: &Tensor, prior_mu: &Tensor, prior_sigma: &Tensor) -> f32 {
+    assert_eq!(mu.shape(), sigma.shape(), "sigma shape mismatch");
+    assert_eq!(mu.shape().len(), 2, "mu must be [n, d]");
+    let (n, d) = (mu.shape()[0], mu.shape()[1]);
+    assert_eq!(prior_mu.shape(), &[d], "prior_mu shape mismatch");
+    assert_eq!(prior_sigma.shape(), &[d], "prior_sigma shape mismatch");
+    let mut total = 0.0f32;
+    for i in 0..n {
+        for j in 0..d {
+            let (q_mu, q_sd) = (mu.data()[i * d + j], sigma.data()[i * d + j]);
+            let (p_mu, p_sd) = (prior_mu.data()[j], prior_sigma.data()[j]);
+            total += (p_sd / q_sd).ln()
+                + (q_sd * q_sd + (q_mu - p_mu) * (q_mu - p_mu)) / (2.0 * p_sd * p_sd)
+                - 0.5;
+        }
+    }
+    total / n as f32
+}
+
+/// Gradients of [`kl_gauss`] for upstream gradient `g`, in input order
+/// `(∂μ, ∂σ, ∂m, ∂s)`.
+pub fn kl_gauss_grads(
+    mu: &Tensor,
+    sigma: &Tensor,
+    prior_mu: &Tensor,
+    prior_sigma: &Tensor,
+    g: f32,
+) -> (Tensor, Tensor, Tensor, Tensor) {
+    let (n, d) = (mu.shape()[0], mu.shape()[1]);
+    let nf = n as f32;
+    let mut dmu = vec![0.0f32; n * d];
+    let mut dsigma = vec![0.0f32; n * d];
+    let mut dpm = vec![0.0f32; d];
+    let mut dps = vec![0.0f32; d];
+    for i in 0..n {
+        for j in 0..d {
+            let (q_mu, q_sd) = (mu.data()[i * d + j], sigma.data()[i * d + j]);
+            let (p_mu, p_sd) = (prior_mu.data()[j], prior_sigma.data()[j]);
+            dmu[i * d + j] = g * (q_mu - p_mu) / (nf * p_sd * p_sd);
+            dsigma[i * d + j] = g * (q_sd / (p_sd * p_sd) - 1.0 / q_sd) / nf;
+            dpm[j] += g * (p_mu - q_mu) / (nf * p_sd * p_sd);
+            dps[j] += g
+                * (1.0 / p_sd - (q_sd * q_sd + (q_mu - p_mu) * (q_mu - p_mu)) / (p_sd.powi(3)))
+                / nf;
+        }
+    }
+    (
+        Tensor::from_vec(dmu, mu.shape()).expect("same shape"),
+        Tensor::from_vec(dsigma, mu.shape()).expect("same shape"),
+        Tensor::from_vec(dpm, &[d]).expect("same shape"),
+        Tensor::from_vec(dps, &[d]).expect("same shape"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +686,84 @@ mod tests {
         let x = Tensor::from_vec(vec![0.2, 0.8], &[2]).unwrap();
         let g = Tensor::from_vec(vec![3.0, -2.0], &[2]).unwrap();
         assert_eq!(fgsm_step(&x, &g, 0.0), x);
+    }
+
+    #[test]
+    fn softplus_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]).unwrap();
+        let y = softplus(&x);
+        assert!((y.data()[0] - 2.0f32.ln()).abs() < 1e-6);
+        assert!((y.data()[1] - (1.0 + 1.0f32.exp()).ln()).abs() < 1e-6);
+        // softplus(x) + softplus(-x) = x + 2·softplus(-x) ⇒ softplus(-1) = softplus(1) − 1.
+        assert!((y.data()[2] - (y.data()[1] - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softplus_grad_is_sigmoid() {
+        let x = Tensor::from_vec(vec![0.0, 2.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let d = softplus_grad(&x, &g);
+        assert!((d.data()[0] - 0.5).abs() < 1e-6);
+        assert!((d.data()[1] - 1.0 / (1.0 + (-2.0f32).exp())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rsample_is_affine_in_noise() {
+        let mu = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let sigma = Tensor::from_vec(vec![0.5, 3.0], &[1, 2]).unwrap();
+        let eps = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]).unwrap();
+        assert_eq!(rsample(&mu, &sigma, &eps).data(), &[2.0, -1.0]);
+        let (dmu, dsigma) =
+            rsample_grads(&eps, &Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap());
+        assert_eq!(dmu.data(), &[1.0, 1.0]);
+        assert_eq!(dsigma.data(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn kl_gauss_zero_for_matching_distributions() {
+        let mu = Tensor::from_vec(vec![0.3, -0.7, 0.3, -0.7], &[2, 2]).unwrap();
+        let sigma = Tensor::from_vec(vec![1.5, 0.5, 1.5, 0.5], &[2, 2]).unwrap();
+        let pm = Tensor::from_vec(vec![0.3, -0.7], &[2]).unwrap();
+        let ps = Tensor::from_vec(vec![1.5, 0.5], &[2]).unwrap();
+        assert!(kl_gauss(&mu, &sigma, &pm, &ps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_gauss_standard_normal_case() {
+        // KL(N(μ, σ²) ‖ N(0, 1)) = −ln σ + (σ² + μ² − 1)/2.
+        let (m, s) = (0.8f32, 0.6f32);
+        let mu = Tensor::from_vec(vec![m], &[1, 1]).unwrap();
+        let sigma = Tensor::from_vec(vec![s], &[1, 1]).unwrap();
+        let pm = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let ps = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let want = -s.ln() + (s * s + m * m - 1.0) / 2.0;
+        assert!((kl_gauss(&mu, &sigma, &pm, &ps) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_gauss_grads_match_finite_differences() {
+        let mu = Tensor::from_vec(vec![0.4, -0.2], &[1, 2]).unwrap();
+        let sigma = Tensor::from_vec(vec![0.9, 1.3], &[1, 2]).unwrap();
+        let pm = Tensor::from_vec(vec![0.1, 0.0], &[2]).unwrap();
+        let ps = Tensor::from_vec(vec![1.1, 0.8], &[2]).unwrap();
+        let (dmu, dsigma, dpm, dps) = kl_gauss_grads(&mu, &sigma, &pm, &ps, 1.0);
+        let eps = 1e-3f32;
+        let fd = |f: &dyn Fn(f32) -> f32| (f(eps) - f(-eps)) / (2.0 * eps);
+        let bump = |t: &Tensor, idx: usize, h: f32| {
+            let mut v = t.data().to_vec();
+            v[idx] += h;
+            Tensor::from_vec(v, t.shape()).unwrap()
+        };
+        for j in 0..2 {
+            let fd_mu = fd(&|h| kl_gauss(&bump(&mu, j, h), &sigma, &pm, &ps));
+            assert!((dmu.data()[j] - fd_mu).abs() < 1e-3, "dmu[{j}]");
+            let fd_sd = fd(&|h| kl_gauss(&mu, &bump(&sigma, j, h), &pm, &ps));
+            assert!((dsigma.data()[j] - fd_sd).abs() < 1e-3, "dsigma[{j}]");
+            let fd_pm = fd(&|h| kl_gauss(&mu, &sigma, &bump(&pm, j, h), &ps));
+            assert!((dpm.data()[j] - fd_pm).abs() < 1e-3, "dpm[{j}]");
+            let fd_ps = fd(&|h| kl_gauss(&mu, &sigma, &pm, &bump(&ps, j, h)));
+            assert!((dps.data()[j] - fd_ps).abs() < 1e-3, "dps[{j}]");
+        }
     }
 
     #[test]

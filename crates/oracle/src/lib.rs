@@ -10,8 +10,11 @@
 //! kernels can be tested *differentially* against them on seeded random
 //! inputs.
 //!
-//! The crate is a dev-dependency everywhere; nothing here ships in a
-//! release binary.
+//! The crate is a dev-dependency almost everywhere. The one production
+//! consumer is `ibrar-nn`, which uses [`Gen`]'s SplitMix64 stream as the
+//! noise source for the VIB head's frozen per-batch Gaussian draws
+//! (DESIGN.md §16): the same rand-independence that makes differential
+//! tests bit-stable makes VIB training replayable for goldens.
 //!
 //! Submodules:
 //!

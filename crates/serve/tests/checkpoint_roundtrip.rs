@@ -3,8 +3,8 @@
 //! files fail with clear, typed errors.
 
 use ibrar_nn::{
-    architecture_fingerprint, ImageModel, ResNetConfig, ResNetMini, VggConfig, VggMini,
-    WideResNetConfig, WideResNetMini,
+    architecture_fingerprint, ImageModel, ResNetConfig, ResNetMini, VggConfig, VggMini, VibHead,
+    VibHeadConfig, WideResNetConfig, WideResNetMini,
 };
 use ibrar_serve::{checkpoint, load_from_path, read_header, save_to_path, ServeError};
 use proptest::prelude::*;
@@ -28,7 +28,11 @@ fn build_arch(arch: usize, num_classes: usize, seed: u64) -> Box<dyn ImageModel>
     match arch {
         0 => Box::new(VggMini::new(VggConfig::tiny(num_classes), &mut rng).unwrap()),
         1 => Box::new(ResNetMini::new(ResNetConfig::tiny_fast(num_classes), &mut rng).unwrap()),
-        _ => Box::new(WideResNetMini::new(WideResNetConfig::tiny(num_classes), &mut rng).unwrap()),
+        2 => Box::new(WideResNetMini::new(WideResNetConfig::tiny(num_classes), &mut rng).unwrap()),
+        _ => {
+            let inner = VggMini::new(VggConfig::tiny(num_classes), &mut rng).unwrap();
+            Box::new(VibHead::new(inner, VibHeadConfig::paper_default(), &mut rng).unwrap())
+        }
     }
 }
 
@@ -56,10 +60,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Save-to-disk + load-into-fresh-instance is bitwise lossless for all
-    /// three model families, any seed, any head width.
+    /// three model families plus the VIB-wrapped head, any seed, any width.
     #[test]
     fn file_roundtrip_is_bitwise_lossless(
-        arch in 0usize..3,
+        arch in 0usize..4,
         num_classes in 2usize..8,
         seed in 0u64..500,
     ) {
@@ -85,6 +89,41 @@ proptest! {
         let bytes = checkpoint::encode_checkpoint(donor.as_ref());
         checkpoint::decode_checkpoint(target.as_ref(), bytes).unwrap();
         assert_params_bitwise(donor.as_ref(), target.as_ref());
+    }
+
+    /// The VIB head's extra parameters (μ/σ encoders, learned prior,
+    /// bottleneck classifier) ride the same format: the round-trip stays
+    /// bitwise lossless at any bottleneck width, and the manifest carries
+    /// the `vib.*` names so the serve registry can audit them.
+    #[test]
+    fn vib_head_roundtrip_is_bitwise_lossless(
+        bottleneck in 1usize..24,
+        num_classes in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        let build = |s: u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let inner = VggMini::new(VggConfig::tiny(num_classes), &mut rng).unwrap();
+            let config = VibHeadConfig::paper_default().with_bottleneck(bottleneck);
+            VibHead::new(inner, config, &mut rng).unwrap()
+        };
+        let donor = build(seed);
+        let target = build(seed.wrapping_add(3));
+        let path = temp_path("vib");
+
+        save_to_path(&donor, &path).unwrap();
+        let header = load_from_path(&target, &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(header.arch.as_str(), "VggMini-vib");
+        prop_assert_eq!(header.fingerprint, architecture_fingerprint(&donor));
+        for name in ["vib.mu", "vib.sigma", "vib.prior_mu", "vib.prior_rho", "vib.classifier"] {
+            prop_assert!(
+                header.params.iter().any(|p| p.name.starts_with(name)),
+                "manifest is missing the {} parameters", name
+            );
+        }
+        assert_params_bitwise(&donor, &target);
     }
 }
 

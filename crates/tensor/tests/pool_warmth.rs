@@ -91,11 +91,17 @@ fn workload() -> Vec<u32> {
     let cols = im2col(&img, &Conv2dSpec::new(3, 4, 3, 1, 1)).unwrap();
     let r = m.relu();
     let s = m.add(&a.matmul(&b).unwrap()).unwrap();
+    // The VIB head's elementwise pattern: a softplus σ followed by the
+    // reparameterization z = μ + σ ⊙ ε (r stands in for the frozen noise).
+    let sigma = m.map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+    let z = m.add(&sigma.mul(&r).unwrap()).unwrap();
     m.data()
         .iter()
         .chain(cols.data())
         .chain(r.data())
         .chain(s.data())
+        .chain(sigma.data())
+        .chain(z.data())
         .map(|v| v.to_bits())
         .collect()
 }

@@ -58,6 +58,13 @@ else
     echo "== test (IBRAR_THREADS=1) =="
     IBRAR_THREADS=1 cargo test -q
 
+    echo "== VIB op audits (finite differences + oracle differentials) =="
+    # The variational-IB tape ops (softplus/rsample/kl_gauss) carry their
+    # own FD audit and oracle-twin differential suites; run them as an
+    # explicit gate so a kernel change cannot slip past inside the bulk
+    # test run above.
+    cargo test -q -p ibrar-autograd --test grad_audit --test differential
+
     echo "== serve smoke (ephemeral port) =="
     # End-to-end through the inference server: checkpoint load, classify,
     # robustness probe, typed queue-full/deadline backpressure, clean
@@ -91,11 +98,12 @@ else
     # validates the BENCH_PR7.json schema; no timing assertions.
     cargo run --release -q -p ibrar-bench --bin perf_report -- --smoke
 
-    echo "== perf regression gate (committed BENCH_PR5/PR7/PR8 references) =="
-    # Re-times the train_step, serve_batch, and serve_fleet medians on the
-    # current build and fails if any exceeds a committed BENCH_*.json
-    # reference by more than perf_report's documented REGRESSION_FACTOR
-    # (2x — above shared-host timing noise, below a structural regression).
+    echo "== perf regression gate (committed BENCH_PR5/PR7/PR8/PR9 references) =="
+    # Re-times the train_step, vib_train_step, serve_batch, and serve_fleet
+    # medians on the current build and fails if any exceeds a committed
+    # BENCH_*.json reference by more than perf_report's documented
+    # REGRESSION_FACTOR (2x — above shared-host timing noise, below a
+    # structural regression).
     cargo run --release -q -p ibrar-bench --bin perf_report -- --check
 fi
 

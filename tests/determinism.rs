@@ -5,12 +5,14 @@
 //! `IBRAR_THREADS` env knob; `scripts/ci.sh` additionally runs the whole
 //! suite under `IBRAR_THREADS=1` and the machine default).
 
+use ibrar::{TrainMethod, Trainer, TrainerConfig, VibConfig};
 use ibrar_attacks::{clean_accuracy, robust_accuracy, Fgsm, Pgd};
 use ibrar_autograd::Tape;
 use ibrar_data::{Dataset, SynthVision, SynthVisionConfig};
 use ibrar_infotheory::{hsic, median_sigma, one_hot};
-use ibrar_nn::{VggConfig, VggMini};
-use ibrar_tensor::{im2col, parallel, Conv2dSpec, Tensor};
+use ibrar_nn::{ImageModel, VggConfig, VggMini};
+use ibrar_tensor::{im2col, parallel, scratch, Conv2dSpec, Tensor};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -122,4 +124,72 @@ fn accuracy_evaluation_bitwise_invariant() {
     assert_invariant("robust_accuracy[PGD-det]", || {
         robust_accuracy(&model, &pgd, &test, 7).unwrap().to_bits()
     });
+}
+
+/// One full VIB training epoch from a fixed seed — frozen-noise K-sample
+/// forward, rsample/kl_gauss backward, SGD update, μ-only eval — digested
+/// to the final loss plus every parameter's bits.
+fn vib_train_digest(seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inner = VggMini::new(VggConfig::tiny(10), &mut rng).unwrap();
+    let model = VibConfig::paper_default()
+        .with_bottleneck(8)
+        .wrap(inner, &mut rng)
+        .unwrap();
+    let data = SynthVision::generate(
+        &SynthVisionConfig::cifar10_like().with_sizes(16, 8),
+        seed ^ 0xABCD,
+    )
+    .unwrap();
+    let report = Trainer::new(
+        TrainerConfig::new(TrainMethod::Standard)
+            .with_epochs(1)
+            .with_batch_size(8)
+            .with_seed(0)
+            .with_sequential_batches(),
+    )
+    .train(&model, &data.train, &data.test)
+    .unwrap();
+    let mut out = vec![u64::from(report.final_loss().to_bits())];
+    for p in model.params() {
+        out.push(ibrar_oracle::hash_bits(p.value().data()));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The VIB noise-freezing contract (DESIGN.md §16): because the
+    /// per-batch Gaussian noise is a pure function of (seed, batch), a
+    /// whole train step is bitwise identical at `IBRAR_THREADS` ∈
+    /// {1, 2, 4, 7} and across {cold, warm} worker-pool scratch states.
+    #[test]
+    fn vib_train_step_bitwise_invariant(seed in 0u64..1000) {
+        scratch::clear();
+        let baseline = {
+            let _g = parallel::with_threads(1);
+            vib_train_digest(seed)
+        };
+        for threads in [2usize, 4, 7] {
+            let _g = parallel::with_threads(threads);
+            // Warm: a throwaway pass leaves recycled buffers of every size
+            // class the step uses, on this thread and on pool workers.
+            let _ = vib_train_digest(seed);
+            prop_assert_eq!(
+                vib_train_digest(seed),
+                baseline.clone(),
+                "warm pool diverged at {} threads",
+                threads
+            );
+            // Cold: every first checkout misses the scratch pool.
+            scratch::clear();
+            prop_assert_eq!(
+                vib_train_digest(seed),
+                baseline.clone(),
+                "cold pool diverged at {} threads",
+                threads
+            );
+        }
+    }
 }

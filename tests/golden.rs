@@ -22,7 +22,7 @@ use ibrar::{IbLossConfig, TrainMethod, Trainer, TrainerConfig};
 use ibrar_attacks::{Attack, CwL2, Fab, Fgsm, NiFgsm, Pgd};
 use ibrar_autograd::Tape;
 use ibrar_data::Dataset;
-use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini};
+use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini, VibHead, VibHeadConfig};
 use ibrar_oracle::{check_snapshot, hash_bits, Gen, Snapshot};
 use ibrar_tensor::{parallel, Tensor};
 use rand::rngs::StdRng;
@@ -47,6 +47,25 @@ fn golden_dir() -> PathBuf {
 fn pseudo_model(seed: u64) -> VggMini {
     let mut rng = StdRng::seed_from_u64(0);
     let model = VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng).unwrap();
+    let mut g = Gen::new(seed);
+    for p in model.params() {
+        let shape = p.shape();
+        let fan = shape.iter().skip(1).product::<usize>().max(1) as f32;
+        let bound = (1.0 / fan).sqrt();
+        p.set_value(g.tensor(&shape, -bound, bound));
+    }
+    model
+}
+
+/// VIB head over a pseudo backbone, every parameter (μ/σ encoders, learned
+/// prior, bottleneck classifier included) overwritten from the `Gen`
+/// stream. The head's own noise is frozen per batch (DESIGN.md §16), so
+/// training it is as environment-independent as the plain model.
+fn pseudo_vib_model(seed: u64) -> VibHead<VggMini> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let inner = VggMini::new(VggConfig::tiny(NUM_CLASSES), &mut rng).unwrap();
+    let config = VibHeadConfig::paper_default().with_bottleneck(8);
+    let model = VibHead::new(inner, config, &mut rng).unwrap();
     let mut g = Gen::new(seed);
     for p in model.params() {
         let shape = p.shape();
@@ -106,6 +125,62 @@ fn training_run_matches_golden() {
     snap.push_f32s("logits.head", logits_on(&model, probe.images()).data());
 
     check_snapshot(&golden_dir().join("training.json"), &snap).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The fixed-seed VIB training run: two epochs through the frozen-noise
+/// K-sample train path plus the β·KL auxiliary loss, ending on the μ-only
+/// eval path. Bit-level divergence here means the noise-freezing contract
+/// or the rsample/kl_gauss kernels changed.
+#[test]
+fn vib_training_run_matches_golden() {
+    let _guard = GOLDEN_LOCK.lock().unwrap();
+    let _threads = parallel::with_threads(1);
+
+    let model = pseudo_vib_model(0x90_0020);
+    let train = pseudo_dataset(0x90_0021, 24);
+    let test = pseudo_dataset(0x90_0022, 12);
+    let config = TrainerConfig::new(TrainMethod::Standard)
+        .with_epochs(2)
+        .with_batch_size(8)
+        .with_sequential_batches();
+    let report = Trainer::new(config).train(&model, &train, &test).unwrap();
+
+    let mut snap = Snapshot::new("training-vib");
+    snap.push_str("method", "Standard + VIB(paper_default, bottleneck=8)");
+    snap.push_u64("epochs", report.epochs.len() as u64);
+    for e in &report.epochs {
+        snap.push_f32(format!("epoch{}.train_loss", e.epoch), e.train_loss);
+        snap.push_f32(format!("epoch{}.natural_acc", e.epoch), e.natural_acc);
+    }
+    snap.push_u64("params.hash", all_param_bits(&model));
+    let probe = test.take(4).unwrap();
+    snap.push_f32s("logits.head", logits_on(&model, probe.images()).data());
+
+    check_snapshot(&golden_dir().join("vib_training.json"), &snap)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// FGSM against the VIB head: the attack differentiates through the μ-only
+/// eval path, so the adversarial tensor is a pure function of the pseudo
+/// weights and the batch.
+#[test]
+fn vib_fgsm_attack_matches_golden() {
+    let _guard = GOLDEN_LOCK.lock().unwrap();
+    let _threads = parallel::with_threads(1);
+
+    let model = pseudo_vib_model(0x90_0030);
+    let mut g = Gen::new(0x90_0031);
+    let x = g.tensor(&[4, 3, 16, 16], 0.0, 1.0);
+    let labels = g.labels(4, NUM_CLASSES);
+    let attack = Fgsm::new(8.0 / 255.0);
+
+    let adv = attack.perturb(&model, &x, &labels).unwrap();
+    let mut snap = Snapshot::new("attack-vib-fgsm");
+    snap.push_str("attack", attack.name());
+    snap.push_u64("adv.hash", hash_bits(adv.data()));
+    snap.push_f32s("adv.head", &adv.data()[..8]);
+    snap.push_f32("linf", adv.sub(&x).unwrap().abs().max());
+    check_snapshot(&golden_dir().join("vib_fgsm.json"), &snap).unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// One attack per family, all on the same untrained pseudo model and the
