@@ -3,29 +3,12 @@
 use crate::tape::BackwardFn;
 use crate::{AutogradError, Result, Var};
 use ibrar_tensor::{
-    avg_pool2d, avg_pool2d_backward, col2im, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec,
-    Pool2dSpec, Tensor,
+    avg_pool2d, avg_pool2d_backward, col2im, conv2d_forward, im2col, max_pool2d,
+    max_pool2d_backward, Conv2dSpec, Pool2dSpec, Tensor,
 };
 
-/// Rearranges an `[n·oh·ow, oc]` patch-product matrix into `[n, oc, oh, ow]`.
-fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
-    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    let src = rows.data();
-    let dst = out.data_mut();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * oc;
-                for c in 0..oc {
-                    dst[((ni * oc + c) * oh + oy) * ow + ox] = src[row + c];
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Inverse of [`rows_to_nchw`].
+/// Flattens an `[n, oc, oh, ow]` gradient into the `[n·oh·ow, oc]` row
+/// layout of the im2col patch product (used only on the backward path).
 fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
     let mut out = Tensor::zeros(&[n * oh * ow, oc]);
     let src = t.data();
@@ -44,10 +27,17 @@ fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor
 }
 
 impl<'t> Var<'t> {
-    /// 2-D convolution (`im2col` + matmul).
+    /// 2-D convolution (direct forward; `im2col` only on the backward pass).
     ///
     /// `self` is the `[n, c, h, w]` input, `weight` is `[oc, c, k, k]`,
     /// `bias` an optional `[oc]` vector.
+    ///
+    /// The forward is the backend's im2col-free direct kernel
+    /// ([`conv2d_forward`]), bitwise identical to the historical
+    /// `im2col × Wᵀ` formulation. The backward still materializes the patch
+    /// matrix — it needs `cols` for `dW = Gᵀ·cols` regardless — but does so
+    /// lazily inside the closure, so inference-style forwards (no backward)
+    /// never pay for it.
     ///
     /// # Errors
     ///
@@ -83,14 +73,16 @@ impl<'t> Var<'t> {
         let (n, h, wd) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = spec.out_hw(h, wd)?;
         let oc = spec.out_channels;
-        let cols = im2col(&x, &spec)?;
         let wmat = w.reshape(&[oc, spec.patch_len()])?;
-        let rows = cols.matmul_nt(&wmat)?;
-        let out = rows_to_nchw(&rows, n, oc, oh, ow);
+        let out = conv2d_forward(&x, &wmat, &spec)?;
 
         let weight_id = weight.id;
         let backward: BackwardFn = Box::new(move |grad| {
             let grad_rows = nchw_to_rows(grad, n, oc, oh, ow);
+            // The backward needs the patch matrix either way (dW = Gᵀ·cols),
+            // so it is materialized here — off the forward hot path — with
+            // content identical to the historical forward's `cols`.
+            let cols = im2col(&x, &spec).expect("forward validated geometry");
             // dW = Gᵀ · cols, reshaped back to [oc, c, k, k].
             let dw = grad_rows
                 .matmul_tn(&cols)

@@ -7,7 +7,7 @@
 
 use crate::tape::BackwardFn;
 use crate::{Result, Var};
-use ibrar_tensor::{parallel, simd, Tensor};
+use ibrar_tensor::{backend, parallel, Tensor};
 
 impl<'t> Var<'t> {
     /// Pairwise squared Euclidean distances of the rows of a `[m, d]` matrix,
@@ -27,12 +27,16 @@ impl<'t> Var<'t> {
             let xd = x.data();
             let od = out.data_mut();
             let threads = parallel::threads_for(m * m * d);
+            // Resolve the backend once on the submitting thread so a
+            // `with_backend` override applies to the parallel branch too
+            // (worker threads don't inherit thread-local overrides).
+            let be = backend::current();
             if threads == 1 {
                 // Half-matrix fill: each distance is computed once and
                 // mirrored across the diagonal.
                 for i in 0..m {
                     for j in (i + 1)..m {
-                        let acc = simd::sqdist8(&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
+                        let acc = be.sqdist(&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
                         od[i * m + j] = acc;
                         od[j * m + i] = acc;
                     }
@@ -41,14 +45,14 @@ impl<'t> Var<'t> {
                 // Full-row fill so each worker writes only its own rows (the
                 // mirrored write would cross chunk boundaries). Bitwise equal
                 // to the half-matrix path: `(x_j − x_i)² ≡ (x_i − x_j)²`
-                // under IEEE-754 and `sqdist8`'s accumulation order is a
-                // pure function of the operand slices.
+                // under IEEE-754 and the sqdist kernel's accumulation order
+                // is a pure function of the operand slices.
                 parallel::par_items_mut(od, m, threads, |i, orow| {
                     for (j, o) in orow.iter_mut().enumerate() {
                         if j == i {
                             continue;
                         }
-                        *o = simd::sqdist8(&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
+                        *o = be.sqdist(&xd[i * d..(i + 1) * d], &xd[j * d..(j + 1) * d]);
                     }
                 });
             }

@@ -23,6 +23,16 @@
 //! that the running build does not emit (e.g. at the baseline commit) are
 //! reported as `null`. `--smoke` exercises both phases at tiny scale
 //! against a temporary file and only checks the schema, never the timings.
+//!
+//! Head-only workloads (the baseline binary predates the code they time)
+//! cannot be measured in the baseline phase. Instead of emitting no
+//! `baseline_ms` at all — which let them escape both the speedup column and
+//! the `--check` gate through PR 9 — the head phase now *carries forward*
+//! the best committed median from the prior `BENCH_PR*.json` trajectory
+//! files as their baseline, tagged with a `baseline_source` field naming
+//! the report it came from. A head-only workload with no committed history
+//! (a genuinely new workload) still reports `optimized_ms` alone, and earns
+//! its carried baseline the first time its report is committed.
 
 use ibrar::{IbLoss, IbLossConfig, TrainMethod, Trainer, TrainerConfig};
 use ibrar_attacks::{Attack, Pgd, DEFAULT_ALPHA, DEFAULT_EPS};
@@ -31,6 +41,7 @@ use ibrar_data::{Dataset, SynthVision, SynthVisionConfig};
 use ibrar_nn::{ImageModel, Mode, Session, VggConfig, VggMini, VibHead, VibHeadConfig};
 use ibrar_serve::{BatchEngine, EngineConfig, PoolConfig, ReplicaPool};
 use ibrar_telemetry::{self as tel, json::Json};
+use ibrar_tensor::qgemm::{gemm_i8_packed, PackedQuantB};
 use ibrar_tensor::{parallel, Conv2dSpec, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,14 +68,37 @@ const WORKLOADS: [&str; 7] = [
 
 /// Workloads that only exist at the head commit (the baseline binary
 /// predates the code they time). They get `optimized_ms` in the head phase,
-/// plus `baseline_ms`/`speedup` only when the baseline file carries them.
-const HEAD_ONLY_WORKLOADS: [&str; 1] = ["serve_batch_int8"];
+/// plus a `baseline_ms`/`speedup` carried forward from the best committed
+/// median in [`COMMITTED_REPORTS`] (tagged `baseline_source`) when any
+/// prior report carries one.
+const HEAD_ONLY_WORKLOADS: [&str; 2] = ["serve_batch_int8", "qgemm"];
 
 /// Workloads the `--check` regression gate re-times. `serve_fleet` is not
 /// in [`WORKLOADS`] (committed PR7-era reports predate the pool); its
 /// reference lives in the loadgen report, `BENCH_PR8.json`.
-/// `vib_train_step`'s reference lives in `BENCH_PR9.json`.
-const CHECK_WORKLOADS: [&str; 4] = ["train_step", "vib_train_step", "serve_batch", "serve_fleet"];
+/// `vib_train_step`'s reference lives in `BENCH_PR9.json`;
+/// `serve_batch_int8`'s and `qgemm`'s live in `BENCH_PR9.json` /
+/// `BENCH_PR10.json` — head-only workloads are gated like everything else
+/// once a committed report carries a median for them.
+const CHECK_WORKLOADS: [&str; 6] = [
+    "train_step",
+    "vib_train_step",
+    "serve_batch",
+    "serve_batch_int8",
+    "qgemm",
+    "serve_fleet",
+];
+
+/// The committed performance-trajectory files, newest first. `--check`
+/// requires every one of them to exist and parse; the head phase scans the
+/// same list (minus the file being written) for carried-forward baselines.
+const COMMITTED_REPORTS: [&str; 5] = [
+    "BENCH_PR10.json",
+    "BENCH_PR9.json",
+    "BENCH_PR8.json",
+    "BENCH_PR7.json",
+    "BENCH_PR5.json",
+];
 
 /// `--check` threshold: a fresh median may be at most this multiple of a
 /// committed reference before the gate fails. Sub-100ms wall-clock medians
@@ -84,9 +118,10 @@ fn usage() -> ! {
          --reps N          timed repetitions per workload (default 15)\n\
          --smoke           tiny-scale two-phase run against a temp file that\n\
          \x20                 only validates the schema\n\
-         --check           re-time train_step/serve_batch and fail if a median\n\
-         \x20                 exceeds any committed BENCH_*.json reference by\n\
-         \x20                 more than the documented regression factor"
+         --check           re-time the gated workloads (incl. the int8 serve\n\
+         \x20                 tier and raw qgemm) and fail if a median exceeds\n\
+         \x20                 any committed BENCH_*.json reference by more\n\
+         \x20                 than the documented regression factor"
     );
     std::process::exit(2);
 }
@@ -142,6 +177,8 @@ struct Sizes {
     train: usize,
     test: usize,
     serve_wave: usize,
+    /// `(m, k, n)` for the raw packed-qgemm workload.
+    qgemm: (usize, usize, usize),
     reps: usize,
 }
 
@@ -155,6 +192,7 @@ impl Sizes {
             train: 32,
             test: 8,
             serve_wave: 64,
+            qgemm: (64, 1152, 256),
             reps,
         }
     }
@@ -168,6 +206,7 @@ impl Sizes {
             train: 8,
             test: 4,
             serve_wave: 8,
+            qgemm: (3, 8, 5),
             reps: 1,
         }
     }
@@ -303,6 +342,24 @@ fn time_serve_int8(sizes: &Sizes) -> f64 {
     time_serve_with(Arc::new(q), sizes)
 }
 
+/// `qgemm`: the raw packed i8×i8→i32 GEMM on serve-shaped operands — B
+/// packed once outside the clock (exactly like `Int8Vgg`'s cached panels),
+/// so the timed region is what `serve_batch_int8` pays per batch: quantized
+/// activation rows against the k-major panels.
+fn time_qgemm(sizes: &Sizes) -> f64 {
+    let (m, k, n) = sizes.qgemm;
+    let a: Vec<i8> = (0..m * k)
+        .map(|i| (((i * 37 + 11) % 255) as i32 - 127) as i8)
+        .collect();
+    let b: Vec<i8> = (0..n * k)
+        .map(|i| (((i * 53 + 7) % 255) as i32 - 127) as i8)
+        .collect();
+    let packed = PackedQuantB::pack(&b, n, k).expect("pack");
+    median_ms(sizes.reps, || {
+        std::hint::black_box(gemm_i8_packed(&a, &packed, m).expect("qgemm"));
+    })
+}
+
 /// `serve_fleet`: the `serve_batch` wave through a two-replica
 /// [`ReplicaPool`] under least-depth dispatch — times fleet routing and
 /// per-replica batch assembly on top of the single-engine path. Matches
@@ -385,6 +442,7 @@ fn time_workload(name: &str, sizes: &Sizes) -> f64 {
         "vib_train_step" => time_vib_train(sizes),
         "serve_batch" => time_serve(sizes),
         "serve_batch_int8" => time_serve_int8(sizes),
+        "qgemm" => time_qgemm(sizes),
         "serve_fleet" => time_serve_fleet(sizes),
         other => unreachable!("unknown workload {other}"),
     }
@@ -587,15 +645,25 @@ fn run(phase: &str, out_path: &PathBuf, sizes: &Sizes) -> DynResult<()> {
             .iter()
             .map(|(name, ms)| {
                 // Head-only workloads have no baseline entry (the baseline
-                // binary predates them); everything else was validated.
-                let baseline = base
+                // binary predates them); carry forward the best committed
+                // median instead so they still get a speedup column and the
+                // `--check` gate. Everything else was validated above.
+                let measured = base
                     .get("workloads")
                     .and_then(|w| w.get(name))
                     .and_then(|w| w.get("baseline_ms"))
                     .and_then(Json::as_f64);
+                let carried = match measured {
+                    Some(_) => None,
+                    None => carried_baseline(name, out_path),
+                };
+                let baseline = measured.or(carried.map(|(b, _)| b));
                 let mut fields = Vec::new();
                 if let Some(b) = baseline {
                     fields.push(("baseline_ms".into(), num(b)));
+                }
+                if let Some((_, src)) = carried {
+                    fields.push(("baseline_source".into(), Json::Str(src.into())));
                 }
                 fields.push(("optimized_ms".into(), num(*ms)));
                 if let Some(b) = baseline {
@@ -641,6 +709,33 @@ fn run(phase: &str, out_path: &PathBuf, sizes: &Sizes) -> DynResult<()> {
     Ok(())
 }
 
+/// The baseline to carry forward for a head-only workload: the best
+/// committed median for `name` across [`COMMITTED_REPORTS`], with the file
+/// it came from. The file currently being written is skipped (the head
+/// phase must not reference itself), and unreadable files are skipped too —
+/// carry-forward is best-effort, unlike `--check` which demands every file.
+fn carried_baseline(name: &str, out_path: &std::path::Path) -> Option<(f64, &'static str)> {
+    let out_name = out_path.file_name();
+    let mut best: Option<(f64, &'static str)> = None;
+    for file in COMMITTED_REPORTS {
+        if out_name.is_some_and(|o| o == file) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(repo_root().join(file)) else {
+            continue;
+        };
+        let Ok(report) = Json::parse(&text) else {
+            continue;
+        };
+        if let Some(v) = committed_reference(&report, name) {
+            if best.is_none_or(|(b, _)| v < b) {
+                best = Some((v, file));
+            }
+        }
+    }
+    best
+}
+
 /// The committed reference median for `name` in a report: the smaller of
 /// `baseline_ms` and `optimized_ms` (whichever are present), i.e. the best
 /// wall-clock this workload has ever been recorded at in that file.
@@ -661,12 +756,6 @@ fn committed_reference(report: &Json, name: &str) -> Option<f64> {
 /// `BENCH_PR*.json` trajectory files — so a regression against PR 5's or
 /// PR 7's recorded medians fails even if the latest baseline got slower.
 fn run_check(sizes: &Sizes) -> DynResult<()> {
-    let reports = [
-        "BENCH_PR9.json",
-        "BENCH_PR8.json",
-        "BENCH_PR7.json",
-        "BENCH_PR5.json",
-    ];
     let mut current = Vec::new();
     for name in CHECK_WORKLOADS {
         let ms = time_workload(name, sizes);
@@ -679,7 +768,7 @@ fn run_check(sizes: &Sizes) -> DynResult<()> {
     // every CHECK workload must find a reference in at least one file —
     // otherwise the gate would silently stop covering it.
     let mut matched = vec![false; current.len()];
-    for file in reports {
+    for file in COMMITTED_REPORTS {
         let path = repo_root().join(file);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("missing committed report {}: {e}", path.display()))?;

@@ -1,0 +1,68 @@
+//! Regression test pinning the `hsic.cache.{hit,miss}` steady state.
+//!
+//! The benchmark reports (BENCH_PR5/PR7/PR9) show a 66% hit rate for
+//! `hsic_cache` — investigated in PR 10 and found to be the compulsory-miss
+//! steady state of a per-batch cache, not invalidation thrash (see the
+//! `ibrar_infotheory::cache` module docs). Per batch: 2 misses (first
+//! build of `KₓH`, `KᵧH`) and `2(L−1)` hits across `L` selected layers.
+//! This test replays the regularizer's lookup pattern and pins those exact
+//! counts, so a future change that silently starts thrashing (or silently
+//! caches across batches, breaking batch-identity keying) fails loudly.
+//!
+//! Lives in its own integration-test binary: the counters are process-wide,
+//! so no other test may share the process.
+
+use ibrar_autograd::Tape;
+use ibrar_infotheory::{one_hot, HsicBatchCache};
+use ibrar_telemetry as tel;
+use ibrar_tensor::Tensor;
+
+#[test]
+fn hit_and_miss_counts_match_compulsory_miss_model() {
+    tel::global().enable();
+    tel::global().reset_metrics();
+
+    const BATCHES: usize = 4;
+    const LAYERS: usize = 3; // the default Σ_l selection size
+    let m = 6;
+
+    for batch in 0..BATCHES {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_fn(&[m, 5], |i| {
+            ((i[0] * 7 + i[1] * 3 + batch) % 11) as f32 * 0.3 - 1.2
+        }));
+        let y = tape.leaf(one_hot(&[0, 1, 2, 0, 1, 2], 3).unwrap());
+        let cache = HsicBatchCache::with_sigmas(x, y, 1.0, 0.9).unwrap();
+        for l in 0..LAYERS {
+            let t = tape.leaf(Tensor::from_fn(&[m, 4], |i| {
+                ((i[0] * 5 + i[1] * 2 + l) % 7) as f32 * 0.4 - 1.0
+            }));
+            let lk = cache.layer(t, 1.1).unwrap();
+            // Both terms per layer, exactly like `regularizer_with_terms`.
+            let _ = cache.hsic_xt(&lk).unwrap();
+            let _ = cache.hsic_yt(&lk).unwrap();
+        }
+    }
+
+    let snap = tel::snapshot();
+    let hits = snap.counter("hsic.cache.hit").unwrap_or(0);
+    let misses = snap.counter("hsic.cache.miss").unwrap_or(0);
+
+    // 2 compulsory misses per batch, 2(L−1) hits per batch.
+    assert_eq!(
+        misses,
+        (2 * BATCHES) as u64,
+        "per-batch cache must take exactly two compulsory misses per batch"
+    );
+    assert_eq!(
+        hits,
+        (2 * BATCHES * (LAYERS - 1)) as u64,
+        "all post-first-layer lookups must hit"
+    );
+    // The steady-state rate the benchmarks report: (L−1)/L = 2/3.
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        (rate - 2.0 / 3.0).abs() < 1e-9,
+        "hit rate {rate} deviates from the (L-1)/L steady state"
+    );
+}

@@ -75,6 +75,27 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
+/// Exact integer GEMM twin of `ibrar_tensor::qgemm::gemm_i8_nt`:
+/// `[m, k]i8 × [n, k]ᵀi8 → [m, n]`, accumulated in `i64` so the reference
+/// is exact regardless of depth — comparisons against the production
+/// kernel's `i32` results must therefore hold bit-for-bit whenever
+/// `k ≤ ibrar_tensor::qgemm::MAX_K`.
+pub fn gemm_i8_nt(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i64> {
+    assert_eq!(a.len(), m * k, "lhs length disagrees with [m, k]");
+    assert_eq!(b.len(), n * k, "rhs length disagrees with [n, k]");
+    let mut out = vec![0i64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for t in 0..k {
+                acc += a[i * k + t] as i64 * b[j * k + t] as i64;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
 /// Padded input lookup: 0 outside the image.
 #[allow(clippy::too_many_arguments)]
 fn at(x: &[f32], c: usize, h: usize, w: usize, ni: usize, ci: usize, iy: isize, ix: isize) -> f32 {

@@ -31,8 +31,8 @@
 use crate::{Result, ServeError};
 use ibrar_nn::{ImageModel, Mode, ModelOutput, NnError, Parameter, Session};
 use ibrar_telemetry as tel;
-use ibrar_tensor::qgemm::{gemm_i8_nt, QuantizedMatrix};
-use ibrar_tensor::{im2col, Conv2dSpec, Pool2dSpec, Tensor};
+use ibrar_tensor::qgemm::{gemm_i8_packed, gemm_i8_packed_into, PackedQuantB, QuantizedMatrix};
+use ibrar_tensor::{gather_patch_rows, Conv2dSpec, Pool2dSpec, Tensor};
 
 /// Absolute floor of the INT8 tier of the oracle tolerance policy
 /// (DESIGN.md §10). The full bound is mixed absolute + relative — see
@@ -64,15 +64,21 @@ pub const INT8_ACCURACY_DELTA: f64 = 0.05;
 const POOLED: [bool; 5] = [true, true, true, false, true];
 
 struct QConv {
-    /// Kernel flattened to `[oc, c·k·k]`, per-output-channel scales.
-    weight: QuantizedMatrix,
+    /// Kernel flattened to `[oc, c·k·k]` and packed into the qgemm panel
+    /// layout once at build time — weights are static across the serving
+    /// process, so every batch reuses the panels.
+    packed: PackedQuantB,
+    /// Per-output-channel symmetric scales of the packed weight.
+    weight_scales: Vec<f32>,
     bias: Vec<f32>,
     spec: Conv2dSpec,
 }
 
 struct QLinear {
-    /// Weight transposed to `[out, in]`, per-output-channel scales.
-    weight: QuantizedMatrix,
+    /// Weight transposed to `[out, in]` and panel-packed at build time.
+    packed: PackedQuantB,
+    /// Per-output-channel symmetric scales of the packed weight.
+    weight_scales: Vec<f32>,
     bias: Vec<f32>,
 }
 
@@ -157,7 +163,8 @@ impl Int8Vgg {
             // and shape checks above are what make that assumption safe.
             let weight = QuantizedMatrix::quantize_rows(w.data(), oc, ic * k * k)?;
             convs.push(QConv {
-                weight,
+                packed: PackedQuantB::pack(&weight.data, oc, ic * k * k)?,
+                weight_scales: weight.scales,
                 bias,
                 spec: Conv2dSpec::new(ic, oc, k, 1, 1),
             });
@@ -183,8 +190,10 @@ impl Int8Vgg {
                     t[c * rows_in + r] = src[r * cols_out + c];
                 }
             }
+            let weight = QuantizedMatrix::quantize_rows(&t, cols_out, rows_in)?;
             linears.push(QLinear {
-                weight: QuantizedMatrix::quantize_rows(&t, cols_out, rows_in)?,
+                packed: PackedQuantB::pack(&weight.data, cols_out, rows_in)?,
+                weight_scales: weight.scales,
                 bias,
             });
         }
@@ -202,50 +211,154 @@ impl Int8Vgg {
         })
     }
 
-    /// One quantized conv block: im2col → per-row activation quantization →
-    /// exact int GEMM → fused dequant + bias + ReLU straight into NCHW.
-    fn conv_block(&self, x: &Tensor, conv: &QConv, relu: bool) -> Result<Tensor> {
-        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
-        let (oh, ow) = conv.spec.out_hw(h, w)?;
-        let patch = conv.spec.patch_len();
-        let oc = conv.spec.out_channels;
-        let rows = n * oh * ow;
-        let cols = im2col(x, &conv.spec)?;
-        let qa = QuantizedMatrix::quantize_rows(cols.data(), rows, patch)?;
-        let acc = gemm_i8_nt(&qa.data, &conv.weight.data, rows, patch, oc)?;
-        // Row r of `acc` is output pixel (ni, oy, ox); scatter into NCHW
-        // while dequantizing (same index map as the autograd conv).
-        let mut out = vec![0.0f32; n * oc * oh * ow];
-        for ni in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let r = (ni * oh + oy) * ow + ox;
-                    let sa = qa.scales[r];
-                    for c in 0..oc {
-                        let mut v =
-                            acc[r * oc + c] as f32 * (sa * conv.weight.scales[c]) + conv.bias[c];
-                        if relu {
-                            v = v.max(0.0);
-                        }
-                        out[((ni * oc + c) * oh + oy) * ow + ox] = v;
+    /// One quantized conv block, fused per output row: gather the im2col
+    /// patch rows of one `(sample, oy)` strip
+    /// ([`ibrar_tensor::gather_patch_rows`] — the exact rows `im2col` would
+    /// produce), quantize them per row, run the exact int GEMM against the
+    /// pre-packed weight panels, and dequantize + bias + ReLU straight into
+    /// NCHW. No `[n·oh·ow, patch]` matrix is ever materialized — the strip
+    /// buffer stays cache-resident across the quantize/GEMM/scatter stages.
+    ///
+    /// Per-row patch maxima come from a separable sliding-window max over
+    /// the sample's activation map ([`Self::patch_maxabs`]), computed once
+    /// per sample instead of rescanning each input pixel once per kernel
+    /// cell it appears in (a 3×3 kernel reads every pixel nine times in
+    /// the naive row scan). `max` over absolute values is exact and
+    /// order-free, so the window maxima — and therefore the scales and
+    /// codes — are bitwise what the row scan produces.
+    ///
+    /// Each row's quantized codes, scale, and integer accumulators are pure
+    /// functions of that row alone, so the result is bitwise identical to
+    /// the historical whole-batch im2col formulation and the per-row-scale
+    /// batching-invisibility contract is untouched. Samples split across
+    /// threads on disjoint output regions, mirroring the f32 direct conv.
+    /// `maxabs` of every output pixel's im2col patch for one `[c, h, w]`
+    /// sample, as a `[oh, ow]` row-major map — separable sliding-window
+    /// max: collapse channels (`cmax`), then the horizontal kernel window
+    /// per input row (`hmax`), then the vertical window. Out-of-bounds
+    /// taps contribute nothing, exactly like the explicit padding zeros in
+    /// a gathered patch row (absolute values are non-negative, so a zero
+    /// never raises the max; an entirely padded patch yields `0.0`, the
+    /// same value the row scan's zero-initialized fold returns). Every
+    /// reduction step is `f32::max` — exact, order-free, and NaN-skipping
+    /// — so `pmax[oy·ow + ox]` is bitwise the maxabs
+    /// [`QuantizedMatrix::quantize_rows_into`] would compute by scanning
+    /// the gathered row.
+    fn patch_maxabs(
+        sample: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        spec: &Conv2dSpec,
+        oh: usize,
+        ow: usize,
+    ) -> Vec<f32> {
+        let (k, s, p) = (spec.kernel, spec.stride, spec.padding as isize);
+        let mut cmax = vec![0.0f32; h * w];
+        for ci in 0..c {
+            let chan = &sample[ci * h * w..(ci + 1) * h * w];
+            for (m, &v) in cmax.iter_mut().zip(chan) {
+                *m = m.max(v.abs());
+            }
+        }
+        let mut hmax = vec![0.0f32; h * ow];
+        for y in 0..h {
+            let crow = &cmax[y * w..(y + 1) * w];
+            let hrow = &mut hmax[y * ow..(y + 1) * ow];
+            for (ox, hv) in hrow.iter_mut().enumerate() {
+                let ix0 = (ox * s) as isize - p;
+                let mut m = 0.0f32;
+                for kx in 0..k {
+                    let ix = ix0 + kx as isize;
+                    if ix >= 0 && (ix as usize) < w {
+                        m = m.max(crow[ix as usize]);
                     }
+                }
+                *hv = m;
+            }
+        }
+        let mut pmax = vec![0.0f32; oh * ow];
+        for oy in 0..oh {
+            let iy0 = (oy * s) as isize - p;
+            let prow = &mut pmax[oy * ow..(oy + 1) * ow];
+            for ky in 0..k {
+                let iy = iy0 + ky as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let hrow = &hmax[iy as usize * ow..(iy as usize + 1) * ow];
+                for (mv, &hv) in prow.iter_mut().zip(hrow) {
+                    *mv = mv.max(hv);
                 }
             }
         }
+        pmax
+    }
+
+    fn conv_block(&self, x: &Tensor, conv: &QConv, relu: bool) -> Result<Tensor> {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = conv.spec.out_hw(h, w)?;
+        let patch = conv.spec.patch_len();
+        let oc = conv.spec.out_channels;
+        let mut out = vec![0.0f32; n * oc * oh * ow];
+        let plane = oh * ow;
+        let data = x.data();
+        let work = n * oc * plane * patch;
+        let threads = ibrar_tensor::parallel::threads_for(work);
+        ibrar_tensor::parallel::par_items_mut(&mut out, oc * plane, threads, |ni, sample_out| {
+            let sample = &data[ni * c * h * w..(ni + 1) * c * h * w];
+            // Strip-sized working set, allocated once per sample and reused
+            // across every output row (the `_into` kernels overwrite fully).
+            let mut rowbuf = vec![0.0f32; ow * patch];
+            let mut codes = vec![0i8; ow * patch];
+            let mut scales = vec![1.0f32; ow];
+            let mut acc = vec![0i32; ow * oc];
+            let pmax = Self::patch_maxabs(sample, c, h, w, &conv.spec, oh, ow);
+            for oy in 0..oh {
+                gather_patch_rows(sample, h, w, &conv.spec, oy, ow, &mut rowbuf);
+                QuantizedMatrix::quantize_rows_with_maxabs(
+                    &rowbuf,
+                    ow,
+                    patch,
+                    &pmax[oy * ow..(oy + 1) * ow],
+                    &mut codes,
+                    &mut scales,
+                )
+                .expect("strip dimensions are consistent by construction");
+                gemm_i8_packed_into(&codes, &conv.packed, ow, &mut acc)
+                    .expect("strip dimensions are consistent by construction");
+                // Channel-outer scatter: each channel writes one contiguous
+                // `ow` segment of its output plane; the `[ox, oc]`
+                // accumulator strip is small enough to stay cache-resident
+                // across the strided reads.
+                for ch in 0..oc {
+                    let ws = conv.weight_scales[ch];
+                    let bias = conv.bias[ch];
+                    let orow = &mut sample_out[ch * plane + oy * ow..ch * plane + (oy + 1) * ow];
+                    for (ox, o) in orow.iter_mut().enumerate() {
+                        let mut v = acc[ox * oc + ch] as f32 * (scales[ox] * ws) + bias;
+                        if relu {
+                            v = v.max(0.0);
+                        }
+                        *o = v;
+                    }
+                }
+            }
+        });
         Ok(Tensor::from_vec(out, &[n, oc, oh, ow])?)
     }
 
     /// One quantized linear layer on a `[n, in]` batch.
     fn linear(&self, x: &Tensor, lin: &QLinear, relu: bool) -> Result<Tensor> {
         let (n, k) = (x.shape()[0], x.shape()[1]);
-        let out_w = lin.weight.rows;
+        let out_w = lin.packed.n;
         let qa = QuantizedMatrix::quantize_rows(x.data(), n, k)?;
-        let acc = gemm_i8_nt(&qa.data, &lin.weight.data, n, k, out_w)?;
+        let acc = gemm_i8_packed(&qa.data, &lin.packed, n)?;
         let mut out = vec![0.0f32; n * out_w];
         for r in 0..n {
             let sa = qa.scales[r];
             for c in 0..out_w {
-                let mut v = acc[r * out_w + c] as f32 * (sa * lin.weight.scales[c]) + lin.bias[c];
+                let mut v = acc[r * out_w + c] as f32 * (sa * lin.weight_scales[c]) + lin.bias[c];
                 if relu {
                     v = v.max(0.0);
                 }
@@ -378,6 +491,52 @@ mod tests {
         Tensor::from_fn(&[n, 3, 16, 16], |i| {
             ((i[0] * 131 + i[1] * 37 + i[2] * 11 + i[3] * 3) % 97) as f32 / 97.0
         })
+    }
+
+    #[test]
+    fn window_patch_maxabs_is_bitwise_the_row_scan() {
+        // The separable sliding-window max must reproduce, bit for bit,
+        // the maxabs a per-row scan of the gathered im2col rows computes —
+        // including border rows (padding taps), negative values, and NaN
+        // elements (skipped by `f32::max` in both formulations). Scales
+        // are pure functions of maxabs, so comparing quantized scales
+        // pins the claim end to end.
+        let (c, h, w) = (3usize, 7usize, 6usize);
+        for (kernel, stride, padding) in [(3usize, 1usize, 1usize), (2, 2, 0), (3, 2, 1)] {
+            let spec = Conv2dSpec::new(c, 4, kernel, stride, padding);
+            let (oh, ow) = spec.out_hw(h, w).unwrap();
+            let patch = spec.patch_len();
+            let mut sample: Vec<f32> = (0..c * h * w)
+                .map(|i| ((i * 29 + 7) % 53) as f32 * 0.31 - 7.0)
+                .collect();
+            sample[5] = f32::NAN;
+            sample[c * h * w - 2] = -123.5;
+            let pmax = Int8Vgg::patch_maxabs(&sample, c, h, w, &spec, oh, ow);
+            let mut rowbuf = vec![0.0f32; ow * patch];
+            for oy in 0..oh {
+                gather_patch_rows(&sample, h, w, &spec, oy, ow, &mut rowbuf);
+                let scan = QuantizedMatrix::quantize_rows(&rowbuf, ow, patch).unwrap();
+                let mut codes = vec![0i8; ow * patch];
+                let mut scales = vec![0.0f32; ow];
+                QuantizedMatrix::quantize_rows_with_maxabs(
+                    &rowbuf,
+                    ow,
+                    patch,
+                    &pmax[oy * ow..(oy + 1) * ow],
+                    &mut codes,
+                    &mut scales,
+                )
+                .unwrap();
+                for (ox, (win, row)) in scales.iter().zip(&scan.scales).enumerate() {
+                    assert_eq!(
+                        win.to_bits(),
+                        row.to_bits(),
+                        "k={kernel} s={stride} p={padding} oy={oy} ox={ox}"
+                    );
+                }
+                assert_eq!(codes, scan.data);
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,27 @@
-//! 2-D convolution support: geometry, `im2col` and `col2im`.
+//! 2-D convolution support: geometry, direct forward, `im2col` and `col2im`.
 //!
-//! The autograd crate implements `conv2d` as
-//! `im2col(input) × weightᵀ` (a single large matmul), and its backward pass
-//! as a matmul followed by [`col2im`]. Keeping the data-movement kernels here
-//! lets them be benchmarked and property-tested independently of the graph.
+//! The forward pass is [`conv2d_forward`] — an im2col-free blocked direct
+//! convolution dispatched through the [`crate::backend`] seam. The autograd
+//! backward pass still materializes the patch matrix (it needs `cols` for
+//! `dW = gradᵀ × cols` anyway) via [`im2col`] + [`col2im`]. Keeping the
+//! data-movement kernels here lets them be benchmarked and property-tested
+//! independently of the graph.
+//!
+//! # Why the direct forward produces the same bits as im2col + matmul_nt
+//!
+//! The historical forward was `im2col(x) × Wᵀ` via `matmul_nt`, whose every
+//! output element is one full-length [`crate::simd::dot8`] over
+//! `(patch row, weight row)`. The direct kernel gathers the *same* patch
+//! row (padding positions explicitly zero, same `(ci, ky, kx)` column
+//! order) into a row buffer and computes the *same* full-length `dot8`
+//! against the same weight row. `dot8` is a pure function of its operands,
+//! so every output element gets identical bits — the change eliminates the
+//! `[n·oh·ow, patch]` materialization and the scatter from row-major back
+//! to NCHW, not a single add. Goldens and thread-count invariance hold
+//! unchanged (the per-sample split never splits one element's reduction).
 
-use crate::{parallel, scratch, Result, Tensor, TensorError};
+use crate::backend::{self, ConvGeom};
+use crate::{parallel, scratch, simd, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution or correlation.
 ///
@@ -80,6 +96,182 @@ impl Conv2dSpec {
     pub fn patch_len(&self) -> usize {
         self.in_channels * self.kernel * self.kernel
     }
+}
+
+/// Direct 2-D convolution forward: `[n, c, h, w] ⋆ [oc, c·k·k] →
+/// [n, oc, oh, ow]`, dispatched through the active
+/// [`Backend`](crate::backend::Backend).
+///
+/// `wmat` is the kernel tensor flattened to `[out_channels, patch_len]` —
+/// the same layout the im2col formulation multiplies against, so weights
+/// need no repacking. Bitwise identical to `im2col(x) × wmatᵀ` reshaped to
+/// NCHW under the tuned backend (see the module docs) without
+/// materializing the patch matrix.
+///
+/// # Errors
+///
+/// Returns an error when `input` is not rank 4, `wmat` is not
+/// `[out_channels, patch_len]`, the channel counts disagree with `spec`,
+/// or the geometry is invalid.
+pub fn conv2d_forward(input: &Tensor, wmat: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    input.shape_obj().expect_rank(4, "conv2d_forward")?;
+    wmat.shape_obj().expect_rank(2, "conv2d_forward")?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if c != spec.in_channels || wmat.shape() != [spec.out_channels, spec.patch_len()] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: wmat.shape().to_vec(),
+            op: "conv2d_forward",
+        });
+    }
+    let (oh, ow) = spec.out_hw(h, w)?;
+    let geom = ConvGeom {
+        n,
+        h,
+        w,
+        oh,
+        ow,
+        spec: *spec,
+    };
+    let be = backend::current();
+    let mut out = be.alloc(crate::shape::checked_volume(
+        &[n, spec.out_channels, oh, ow],
+        "conv2d_forward",
+    )?);
+    be.conv2d_forward(input.data(), wmat.data(), &mut out, &geom);
+    Tensor::from_vec(out, &[n, spec.out_channels, oh, ow])
+}
+
+/// Gathers the im2col patch rows of one output row into `rowbuf`.
+///
+/// `sample` is one sample's `[c, h, w]` slab; on return
+/// `rowbuf[ox·patch..][..patch]` holds exactly the im2col row of output
+/// pixel `(oy, ox)` — padding positions explicitly zero, `(ci, ky, kx)`
+/// column order, interior kernel rows copied contiguously. `rowbuf` must
+/// hold `ow · patch_len` elements. Shared by the f32 direct forward and the
+/// serve-side fused int8 conv so both quantize/reduce the *same* patch
+/// bytes the im2col formulation would produce.
+pub fn gather_patch_rows(
+    sample: &[f32],
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    oy: usize,
+    ow: usize,
+    rowbuf: &mut [f32],
+) {
+    let (c, k, patch) = (spec.in_channels, spec.kernel, spec.patch_len());
+    let iy0 = (oy * spec.stride) as isize - spec.padding as isize;
+    for (ox, row) in rowbuf.chunks_exact_mut(patch).take(ow).enumerate() {
+        let ix0 = (ox * spec.stride) as isize - spec.padding as isize;
+        let mut col = 0usize;
+        for ci in 0..c {
+            let chan = ci * h * w;
+            for ky in 0..k {
+                let iy = iy0 + ky as isize;
+                if iy < 0 || iy >= h as isize {
+                    row[col..col + k].fill(0.0);
+                    col += k;
+                    continue;
+                }
+                let base = chan + iy as usize * w;
+                if ix0 >= 0 && ix0 as usize + k <= w {
+                    // Interior fast path: the whole kernel row is in
+                    // bounds — one contiguous copy. The 3-wide case (every
+                    // VGG-style conv) is unrolled by hand: a 12-byte
+                    // `copy_from_slice` lowers to a libc memcpy call whose
+                    // dispatch overhead dominates the copy itself.
+                    let start = base + ix0 as usize;
+                    if k == 3 {
+                        row[col] = sample[start];
+                        row[col + 1] = sample[start + 1];
+                        row[col + 2] = sample[start + 2];
+                    } else {
+                        row[col..col + k].copy_from_slice(&sample[start..start + k]);
+                    }
+                    col += k;
+                } else {
+                    for kx in 0..k {
+                        let ix = ix0 + kx as isize;
+                        row[col] = if ix >= 0 && ix < w as isize {
+                            sample[base + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tuned blocked direct-conv kernel for [`crate::backend::CpuTuned`].
+///
+/// Per sample (batch split across threads — each sample's `oc·oh·ow`
+/// region is disjoint), per output row `oy`: gather the `ow × patch` patch
+/// rows once into a scratch row buffer ([`gather_patch_rows`]), then stream
+/// the weight matrix in blocks of eight output channels — `ox` inner — so
+/// the weight rows stay hot across the whole output row and the
+/// independent accumulator chains of [`simd::dot8_x8`] (with
+/// `dot8_x4`/`dot8` cleanup) overlap in the pipeline. Every output element
+/// is one full-length `dot8`-ordered
+/// reduction over exactly the im2col row content, preserving the bitwise
+/// contract described in the module docs.
+pub(crate) fn conv_forward_tuned(x: &[f32], wmat: &[f32], out: &mut [f32], geom: &ConvGeom) {
+    let spec = &geom.spec;
+    let (c, oc, patch) = (spec.in_channels, spec.out_channels, spec.patch_len());
+    let (h, w, oh, ow) = (geom.h, geom.w, geom.oh, geom.ow);
+    if patch == 0 {
+        return; // zero input channels: the reduction is empty, out is zero
+    }
+    let work = geom
+        .n
+        .saturating_mul(oc.saturating_mul(oh).saturating_mul(ow))
+        .saturating_mul(patch);
+    let threads = parallel::threads_for(work);
+    parallel::par_items_mut(out, oc * oh * ow, threads, |ni, sample| {
+        let xs = &x[ni * c * h * w..(ni + 1) * c * h * w];
+        let mut rowbuf = scratch::take(ow * patch);
+        for oy in 0..oh {
+            gather_patch_rows(xs, h, w, spec, oy, ow, &mut rowbuf);
+            let wr = |co: usize| &wmat[co * patch..(co + 1) * patch];
+            let mut co = 0usize;
+            while co + 8 <= oc {
+                let ws: [&[f32]; 8] = core::array::from_fn(|r| wr(co + r));
+                for ox in 0..ow {
+                    let vals = simd::dot8_x8(&rowbuf[ox * patch..(ox + 1) * patch], ws);
+                    for (r, v) in vals.into_iter().enumerate() {
+                        sample[((co + r) * oh + oy) * ow + ox] = v;
+                    }
+                }
+                co += 8;
+            }
+            while co + 4 <= oc {
+                let ws: [&[f32]; 4] = core::array::from_fn(|r| wr(co + r));
+                for ox in 0..ow {
+                    let vals = simd::dot8_x4(&rowbuf[ox * patch..(ox + 1) * patch], ws);
+                    for (r, v) in vals.into_iter().enumerate() {
+                        sample[((co + r) * oh + oy) * ow + ox] = v;
+                    }
+                }
+                co += 4;
+            }
+            for co in co..oc {
+                let wrow = &wmat[co * patch..(co + 1) * patch];
+                let obase = (co * oh + oy) * ow;
+                for (ox, o) in sample[obase..obase + ow].iter_mut().enumerate() {
+                    *o = simd::dot8(&rowbuf[ox * patch..(ox + 1) * patch], wrow);
+                }
+            }
+        }
+        scratch::recycle(rowbuf);
+    });
 }
 
 /// Unfolds an `[n, c, h, w]` input into an `[n·oh·ow, c·k·k]` patch matrix.

@@ -26,6 +26,7 @@
 //! # Ok::<(), ibrar_tensor::TensorError>(())
 //! ```
 
+pub mod backend;
 mod conv;
 mod elementwise;
 mod error;
@@ -41,7 +42,7 @@ mod shape;
 pub mod simd;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dSpec};
+pub use conv::{col2im, conv2d_forward, gather_patch_rows, im2col, Conv2dSpec};
 pub use error::TensorError;
 pub use init::{kaiming_uniform, normal, uniform, xavier_uniform, NormalSampler};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Pool2dSpec};

@@ -30,7 +30,7 @@
 //! in the tests and by property tests; order-preservation is pinned by
 //! bitwise tests against literal reference loops.
 
-use crate::{parallel, scratch, shape, simd, Result, Tensor, TensorError};
+use crate::{backend, parallel, shape, simd, Result, Tensor, TensorError};
 
 /// Cache block edge (in elements) for output rows (i dimension).
 const BLOCK_I: usize = 32;
@@ -78,13 +78,9 @@ impl Tensor {
                 rhs_rows: k2,
             });
         }
-        let mut out = scratch::take(shape::checked_volume(&[m, n], "matmul")?);
-        let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
-        if threads > 1 && m >= 2 {
-            matmul_parallel(self.data(), rhs.data(), &mut out, k, n, threads);
-        } else {
-            matmul_block(self.data(), rhs.data(), &mut out, m, k, n);
-        }
+        let be = backend::current();
+        let mut out = be.alloc(shape::checked_volume(&[m, n], "matmul")?);
+        be.gemm(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -104,29 +100,9 @@ impl Tensor {
                 rhs_rows: k2,
             });
         }
-        let mut out = scratch::take(shape::checked_volume(&[m, n], "matmul_nt")?);
-        let a = self.data();
-        let b = rhs.data();
-        // Each output row is an independent batch of dot products; split
-        // rows across threads (this is the conv-forward workhorse:
-        // `im2col(x) × Wᵀ`). Within a chunk, B rows are tiled in groups of
-        // NT_TILE_J so a tile (NT_TILE_J × k floats) is reused across every
-        // output row of the chunk. Each element is still one full-length
-        // dot8 — a pure function of its operands — so both the row split
-        // and the tile loop stay bitwise thread-count invariant.
-        let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
-        parallel::par_chunks_mut(&mut out, n, threads, |rows, region| {
-            for j0 in (0..n).step_by(NT_TILE_J) {
-                let j1 = (j0 + NT_TILE_J).min(n);
-                for (ii, orow) in region.chunks_mut(n).enumerate() {
-                    let i = rows.start + ii;
-                    let arow = &a[i * k..(i + 1) * k];
-                    for (j, o) in (j0..j1).zip(orow[j0..j1].iter_mut()) {
-                        *o = simd::dot8(arow, &b[j * k..(j + 1) * k]);
-                    }
-                }
-            }
-        });
+        let be = backend::current();
+        let mut out = be.alloc(shape::checked_volume(&[m, n], "matmul_nt")?);
+        be.gemm_nt(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -146,27 +122,9 @@ impl Tensor {
                 rhs_rows: k2,
             });
         }
-        let mut out = scratch::take(shape::checked_volume(&[m, n], "matmul_tn")?);
-        let a = self.data();
-        let b = rhs.data();
-        // ikj order over the transposed access pattern: accumulate row i of
-        // out from column i of a. Row chunks keep the per-row accumulation
-        // order (t ascending) identical to the serial kernel; the AXPY body
-        // is element-wise, so unrolling it changes no bits.
-        let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
-        parallel::par_chunks_mut(&mut out, n, threads, |rows, region| {
-            for t in 0..k {
-                let arow = &a[t * m..(t + 1) * m];
-                let brow = &b[t * n..(t + 1) * n];
-                for (ii, orow) in region.chunks_mut(n).enumerate() {
-                    let av = arow[rows.start + ii];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    simd::axpy8(av, brow, orow);
-                }
-            }
-        });
+        let be = backend::current();
+        let mut out = be.alloc(shape::checked_volume(&[m, n], "matmul_tn")?);
+        be.gemm_tn(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -187,14 +145,9 @@ impl Tensor {
         }
         // The output length is the single extent m (no product to overflow),
         // but route through the same checked-sizing guard for uniformity.
-        let mut out = scratch::take(shape::checked_volume(&[m], "matvec")?);
-        let a = self.data();
-        let v = rhs.data();
-        // Rows split across threads exactly like matmul_nt with n = 1.
-        let threads = parallel::threads_for(m.saturating_mul(k));
-        parallel::par_items_mut(&mut out, 1, threads, |i, o| {
-            o[0] = simd::dot8(&a[i * k..(i + 1) * k], v);
-        });
+        let be = backend::current();
+        let mut out = be.alloc(shape::checked_volume(&[m], "matvec")?);
+        be.matvec(self.data(), rhs.data(), &mut out, m, k);
         Tensor::from_vec(out, &[m])
     }
 
@@ -206,8 +159,92 @@ impl Tensor {
     pub fn dot(&self, rhs: &Tensor) -> Result<f32> {
         self.shape_obj().expect_rank(1, "dot")?;
         rhs.shape_obj().expect_same(self.shape_obj(), "dot")?;
-        Ok(simd::dot8(self.data(), rhs.data()))
+        Ok(backend::current().dot(self.data(), rhs.data()))
     }
+}
+
+/// Tuned GEMM entry point for [`crate::backend::CpuTuned`]: work-gated
+/// parallel row split over the cache-tiled kernel.
+pub(crate) fn gemm_tuned(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
+    if threads > 1 && m >= 2 {
+        matmul_parallel(a, b, out, k, n, threads);
+    } else {
+        matmul_block(a, b, out, m, k, n);
+    }
+}
+
+/// Tuned `A × Bᵀ` entry point (`b` in `[n, k]` layout).
+///
+/// Each output row is an independent batch of dot products; rows split
+/// across threads (this is the linear-forward workhorse). Within a chunk, B
+/// rows are tiled in groups of [`NT_TILE_J`] so a tile (`NT_TILE_J × k`
+/// floats) is reused across every output row of the chunk, and consumed in
+/// blocks of eight ([`simd::dot8_x8`], then `dot8_x4`/`dot8` cleanup) so
+/// independent accumulator chains overlap in the pipeline. Each element is
+/// still one full-length `dot8`-ordered reduction — a pure function of its
+/// operands — so the row split, the tile loop, and the multi-output blocks
+/// all stay bitwise thread-count invariant.
+pub(crate) fn gemm_nt_tuned(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
+    parallel::par_chunks_mut(out, n, threads, |rows, region| {
+        for j0 in (0..n).step_by(NT_TILE_J) {
+            let j1 = (j0 + NT_TILE_J).min(n);
+            for (ii, orow) in region.chunks_mut(n).enumerate() {
+                let i = rows.start + ii;
+                let arow = &a[i * k..(i + 1) * k];
+                let br = |j: usize| &b[j * k..(j + 1) * k];
+                let mut j = j0;
+                while j + 8 <= j1 {
+                    let bs: [&[f32]; 8] = core::array::from_fn(|r| br(j + r));
+                    let vals = simd::dot8_x8(arow, bs);
+                    orow[j..j + 8].copy_from_slice(&vals);
+                    j += 8;
+                }
+                while j + 4 <= j1 {
+                    let bs: [&[f32]; 4] = core::array::from_fn(|r| br(j + r));
+                    let vals = simd::dot8_x4(arow, bs);
+                    orow[j..j + 4].copy_from_slice(&vals);
+                    j += 4;
+                }
+                for (j, o) in (j..j1).zip(orow[j..j1].iter_mut()) {
+                    *o = simd::dot8(arow, br(j));
+                }
+            }
+        }
+    });
+}
+
+/// Tuned `Aᵀ × B` entry point (`a` in `[k, m]` layout).
+///
+/// `ikj` order over the transposed access pattern: accumulate row i of out
+/// from column i of a. Row chunks keep the per-row accumulation order
+/// (t ascending) identical to the serial kernel; the AXPY body is
+/// element-wise, so unrolling it changes no bits.
+pub(crate) fn gemm_tn_tuned(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let threads = parallel::threads_for(m.saturating_mul(n).saturating_mul(k));
+    parallel::par_chunks_mut(out, n, threads, |rows, region| {
+        for t in 0..k {
+            let arow = &a[t * m..(t + 1) * m];
+            let brow = &b[t * n..(t + 1) * n];
+            for (ii, orow) in region.chunks_mut(n).enumerate() {
+                let av = arow[rows.start + ii];
+                if av == 0.0 {
+                    continue;
+                }
+                simd::axpy8(av, brow, orow);
+            }
+        }
+    });
+}
+
+/// Tuned matrix–vector entry point: rows split across threads exactly like
+/// `gemm_nt` with `n = 1`.
+pub(crate) fn matvec_tuned(a: &[f32], v: &[f32], out: &mut [f32], m: usize, k: usize) {
+    let threads = parallel::threads_for(m.saturating_mul(k));
+    parallel::par_items_mut(out, 1, threads, |i, o| {
+        o[0] = simd::dot8(&a[i * k..(i + 1) * k], v);
+    });
 }
 
 /// Cache-tiled serial kernel, `i k j` loop order inside each tile so the

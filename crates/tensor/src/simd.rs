@@ -26,9 +26,166 @@
 //!
 //! [`axpy8`] is element-wise (no cross-element reduction), so it is bitwise
 //! identical to the plain `y[i] += a * x[i]` loop it replaces.
+//!
+//! # Runtime AVX2 dispatch
+//!
+//! The workspace builds for the baseline `x86-64` target (SSE2), where the
+//! autovectorizer can only give the lane loops 4-wide registers. On hosts
+//! with AVX2 the kernels dispatch at runtime (`is_x86_feature_detected!`,
+//! cached in a `OnceLock`) to explicit 8-wide intrinsic bodies. This does
+//! **not** loosen the numeric contract: one `__m256` register *is* the
+//! 8-lane accumulator array — `vmulps`/`vaddps` perform the identical IEEE
+//! single-precision operation per lane as the scalar loop, the tail stays
+//! scalar, and the final reduction uses the same fixed tree — so the AVX2
+//! and portable paths are bitwise identical on every input (pinned by
+//! `dot8_matches_documented_order_exactly`, which always exercises the
+//! dispatched path against a literal transcription). No FMA is used:
+//! contracting `mul`+`add` would change the rounding.
 
 /// Lane width of the multi-accumulator kernels.
 pub const LANES: usize = 8;
+
+/// Whether runtime dispatch to the AVX2 kernel bodies is active (detection
+/// result is process-wide and cached). Always `false` off x86-64.
+pub fn have_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{reduce_lanes, LANES};
+    use core::arch::x86_64::*;
+
+    /// 8-wide `dot8` body: one `__m256` holds the 8 lane accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot8(a: &[f32], b: &[f32]) -> f32 {
+        let chunks = a.len() / LANES;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(ap.add(c * LANES));
+            let vb = _mm256_loadu_ps(bp.add(c * LANES));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut tail = 0.0f32;
+        for i in chunks * LANES..a.len() {
+            tail += *ap.add(i) * *bp.add(i);
+        }
+        reduce_lanes(lanes) + tail
+    }
+
+    /// 8-wide `dot8_x4` body: four independent `__m256` accumulators, one
+    /// per output, so the four add-chains overlap in the pipeline. Each
+    /// output's per-lane operation sequence is exactly [`dot8`]'s.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and that every `b[r]` has
+    /// `x.len()` elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot8_x4(x: &[f32], b: [&[f32]; 4]) -> [f32; 4] {
+        let chunks = x.len() / LANES;
+        let xp = x.as_ptr();
+        let bp = [b[0].as_ptr(), b[1].as_ptr(), b[2].as_ptr(), b[3].as_ptr()];
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for c in 0..chunks {
+            let vx = _mm256_loadu_ps(xp.add(c * LANES));
+            for r in 0..4 {
+                let vb = _mm256_loadu_ps(bp[r].add(c * LANES));
+                acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(vx, vb));
+            }
+        }
+        let mut out = [0.0f32; 4];
+        for r in 0..4 {
+            let mut lanes = [0.0f32; LANES];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc[r]);
+            let mut tail = 0.0f32;
+            for i in chunks * LANES..x.len() {
+                tail += *xp.add(i) * *bp[r].add(i);
+            }
+            out[r] = reduce_lanes(lanes) + tail;
+        }
+        out
+    }
+
+    /// 8-wide `dot8_x8` body: eight independent accumulators. Four chains
+    /// keep only one FP-add port busy at 4-cycle latency; eight saturate
+    /// both. Per-output lane semantics are exactly [`dot8`]'s.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and that every `b[r]` has
+    /// `x.len()` elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot8_x8(x: &[f32], b: [&[f32]; 8]) -> [f32; 8] {
+        let chunks = x.len() / LANES;
+        let xp = x.as_ptr();
+        let mut bp = [core::ptr::null::<f32>(); 8];
+        for r in 0..8 {
+            bp[r] = b[r].as_ptr();
+        }
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for c in 0..chunks {
+            let vx = _mm256_loadu_ps(xp.add(c * LANES));
+            for r in 0..8 {
+                let vb = _mm256_loadu_ps(bp[r].add(c * LANES));
+                acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(vx, vb));
+            }
+        }
+        let mut out = [0.0f32; 8];
+        for r in 0..8 {
+            let mut lanes = [0.0f32; LANES];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc[r]);
+            let mut tail = 0.0f32;
+            for i in chunks * LANES..x.len() {
+                tail += *xp.add(i) * *bp[r].add(i);
+            }
+            out[r] = reduce_lanes(lanes) + tail;
+        }
+        out
+    }
+
+    /// 8-wide `sqdist8` body, same lane semantics as the portable loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sqdist8(a: &[f32], b: &[f32]) -> f32 {
+        let chunks = a.len() / LANES;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let va = _mm256_loadu_ps(ap.add(c * LANES));
+            let vb = _mm256_loadu_ps(bp.add(c * LANES));
+            let d = _mm256_sub_ps(va, vb);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut tail = 0.0f32;
+        for i in chunks * LANES..a.len() {
+            let d = *ap.add(i) - *bp.add(i);
+            tail += d * d;
+        }
+        reduce_lanes(lanes) + tail
+    }
+}
 
 /// Reduces 8 lane accumulators in the documented fixed tree order.
 #[inline(always)]
@@ -44,6 +201,12 @@ fn reduce_lanes(l: [f32; LANES]) -> f32 {
 #[inline]
 pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 verified at runtime; the body performs the identical
+        // per-lane IEEE sequence, so this is a pure speedup (see module docs).
+        return unsafe { x86::dot8(a, b) };
+    }
     let mut lanes = [0.0f32; LANES];
     let ac = a.chunks_exact(LANES);
     let bc = b.chunks_exact(LANES);
@@ -60,6 +223,75 @@ pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
     reduce_lanes(lanes) + tail
 }
 
+/// Four dot products of one shared left operand against four right
+/// operands: `out[r] = dot8(x, b[r])`, bit for bit.
+///
+/// A single [`dot8`] is latency-bound — every chunk's `vaddps` waits on the
+/// previous one, regardless of register width. Interleaving four
+/// *independent* outputs gives the pipeline four overlapping add-chains
+/// (≈4× throughput on the gemm-NT and direct-conv hot loops) while leaving
+/// each output's per-lane accumulation sequence — and therefore its bits —
+/// exactly as documented in the module docs.
+///
+/// # Panics
+///
+/// Panics in debug builds when any `b[r]` length differs from `x`.
+#[inline]
+pub fn dot8_x4(x: &[f32], b: [&[f32]; 4]) -> [f32; 4] {
+    debug_assert!(b.iter().all(|r| r.len() == x.len()));
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 verified at runtime; per-output lane semantics are
+        // identical to dot8 (pinned by `dot8_x4_is_bitwise_dot8_per_output`).
+        return unsafe { x86::dot8_x4(x, b) };
+    }
+    let chunks = x.len() / LANES;
+    let mut lanes = [[0.0f32; LANES]; 4];
+    for c in 0..chunks {
+        let cx = &x[c * LANES..(c + 1) * LANES];
+        for r in 0..4 {
+            let cb = &b[r][c * LANES..(c + 1) * LANES];
+            for l in 0..LANES {
+                lanes[r][l] += cx[l] * cb[l];
+            }
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for r in 0..4 {
+        let mut tail = 0.0f32;
+        for i in chunks * LANES..x.len() {
+            tail += x[i] * b[r][i];
+        }
+        out[r] = reduce_lanes(lanes[r]) + tail;
+    }
+    out
+}
+
+/// Eight dot products of one shared left operand: `out[r] = dot8(x, b[r])`,
+/// bit for bit. Doubles [`dot8_x4`]'s chain count — four add-chains at
+/// ~4-cycle latency keep a single FP-add port busy, eight keep two — so
+/// this is the preferred block size when the output count allows.
+///
+/// # Panics
+///
+/// Panics in debug builds when any `b[r]` length differs from `x`.
+#[inline]
+pub fn dot8_x8(x: &[f32], b: [&[f32]; 8]) -> [f32; 8] {
+    debug_assert!(b.iter().all(|r| r.len() == x.len()));
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 verified at runtime; per-output lane semantics are
+        // identical to dot8 (pinned by `dot8_x8_is_bitwise_dot8_per_output`).
+        return unsafe { x86::dot8_x8(x, b) };
+    }
+    // Portable fallback: two 4-blocks — 64 scalar accumulators would spill
+    // on SSE2's 16 registers, and each output's reduction is a pure
+    // function of its own operands either way.
+    let lo = dot8_x4(x, [b[0], b[1], b[2], b[3]]);
+    let hi = dot8_x4(x, [b[4], b[5], b[6], b[7]]);
+    [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
+}
+
 /// Squared Euclidean distance `Σ (a[i]−b[i])²` in the fixed 8-lane
 /// accumulation order.
 ///
@@ -69,6 +301,11 @@ pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn sqdist8(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 verified at runtime; identical per-lane IEEE sequence.
+        return unsafe { x86::sqdist8(a, b) };
+    }
     let mut lanes = [0.0f32; LANES];
     let ac = a.chunks_exact(LANES);
     let bc = b.chunks_exact(LANES);
@@ -136,6 +373,62 @@ mod tests {
                 + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
                 + tail;
             assert_eq!(dot8(&a, &b).to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot8_x4_is_bitwise_dot8_per_output() {
+        for n in [0, 1, 7, 8, 9, 16, 37, 144] {
+            let x = seq(n, |i| ((i * 31 + 7) % 17) as f32 * 0.37 - 2.0);
+            let bs: Vec<Vec<f32>> = (0..4)
+                .map(|r| seq(n, |i| ((i * 13 + 3 * r + 5) % 19) as f32 * 0.23 - 1.5))
+                .collect();
+            let got = dot8_x4(&x, [&bs[0], &bs[1], &bs[2], &bs[3]]);
+            for r in 0..4 {
+                assert_eq!(got[r].to_bits(), dot8(&x, &bs[r]).to_bits(), "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot8_x8_is_bitwise_dot8_per_output() {
+        for n in [0, 1, 7, 8, 9, 16, 37, 144] {
+            let x = seq(n, |i| ((i * 31 + 7) % 17) as f32 * 0.37 - 2.0);
+            let bs: Vec<Vec<f32>> = (0..8)
+                .map(|r| seq(n, |i| ((i * 13 + 5 * r + 3) % 19) as f32 * 0.23 - 1.5))
+                .collect();
+            let refs: [&[f32]; 8] = std::array::from_fn(|r| bs[r].as_slice());
+            let got = dot8_x8(&x, refs);
+            for r in 0..8 {
+                assert_eq!(got[r].to_bits(), dot8(&x, &bs[r]).to_bits(), "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqdist8_matches_documented_order_exactly() {
+        // Same literal-transcription pin as dot8 — on AVX2 hosts this
+        // exercises the intrinsic body against the documented scalar order.
+        for n in [0, 1, 7, 8, 9, 16, 37, 64] {
+            let a = seq(n, |i| ((i * 29 + 5) % 23) as f32 * 0.31 - 2.1);
+            let b = seq(n, |i| ((i * 17 + 11) % 13) as f32 * 0.27 - 1.1);
+            let mut lanes = [0.0f32; 8];
+            let chunks = n / 8;
+            for c in 0..chunks {
+                for l in 0..8 {
+                    let d = a[c * 8 + l] - b[c * 8 + l];
+                    lanes[l] += d * d;
+                }
+            }
+            let mut tail = 0.0f32;
+            for i in chunks * 8..n {
+                let d = a[i] - b[i];
+                tail += d * d;
+            }
+            let want = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+                + tail;
+            assert_eq!(sqdist8(&a, &b).to_bits(), want.to_bits(), "n={n}");
         }
     }
 

@@ -2,8 +2,10 @@
 # Tier-1 verification: release build, the full test suite under both the
 # default thread count and IBRAR_THREADS=1 (the determinism guarantee says
 # the two runs must see identical numbers — this includes the differential
-# and golden snapshot suites), an end-to-end inference-server +
-# metrics-endpoint smoke test, and workspace-wide lint gates.
+# and golden snapshot suites), the kernel differential suites re-run under
+# IBRAR_BACKEND=naive (both sides of the backend seam), an end-to-end
+# inference-server + metrics-endpoint smoke test, the committed perf
+# regression gate, and workspace-wide lint gates.
 #
 # Test processes run with a JSONL telemetry sink attached
 # (IBRAR_TELEMETRY=jsonl:<tmp>/%p.jsonl); on a test failure the tail of
@@ -58,6 +60,17 @@ else
     echo "== test (IBRAR_THREADS=1) =="
     IBRAR_THREADS=1 cargo test -q
 
+    echo "== backend matrix (differential suites, IBRAR_BACKEND=naive) =="
+    # The kernel seam (DESIGN.md §17) ships two backends; the differential
+    # and conformance suites must hold under both. The default (tuned)
+    # backend was exercised by the full runs above; re-run the suites that
+    # pin kernels against the oracle with the naive backend selected, plus
+    # the conformance sweep that iterates ALL_BACKENDS explicitly.
+    IBRAR_BACKEND=naive cargo test -q -p ibrar-tensor --test differential \
+        --test backend_conformance --test qgemm_prop
+    IBRAR_BACKEND=naive cargo test -q -p ibrar-autograd --test differential
+    IBRAR_BACKEND=naive cargo test -q -p ibrar-attacks --test differential
+
     echo "== VIB op audits (finite differences + oracle differentials) =="
     # The variational-IB tape ops (softplus/rsample/kl_gauss) carry their
     # own FD audit and oracle-twin differential suites; run them as an
@@ -98,12 +111,13 @@ else
     # validates the BENCH_PR7.json schema; no timing assertions.
     cargo run --release -q -p ibrar-bench --bin perf_report -- --smoke
 
-    echo "== perf regression gate (committed BENCH_PR5/PR7/PR8/PR9 references) =="
-    # Re-times the train_step, vib_train_step, serve_batch, and serve_fleet
-    # medians on the current build and fails if any exceeds a committed
-    # BENCH_*.json reference by more than perf_report's documented
-    # REGRESSION_FACTOR (2x — above shared-host timing noise, below a
-    # structural regression).
+    echo "== perf regression gate (committed BENCH_PR5/PR7/PR8/PR9/PR10 references) =="
+    # Re-times the train_step, vib_train_step, serve_batch, serve_batch_int8,
+    # qgemm, and serve_fleet medians on the current build and fails if any
+    # exceeds a committed BENCH_*.json reference by more than perf_report's
+    # documented REGRESSION_FACTOR (2x — above shared-host timing noise,
+    # below a structural regression). Head-only workloads are gated against
+    # their carried-forward baselines (BENCH_PR9/PR10).
     cargo run --release -q -p ibrar-bench --bin perf_report -- --check
 fi
 
